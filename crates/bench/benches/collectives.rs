@@ -1,0 +1,118 @@
+//! Criterion benches of the `mp` runtime's collective algorithms on the
+//! host — the algorithm-ablation companion to the simulated figures
+//! (which collective algorithm wins at which size is exactly the
+//! dispatch question the IMB figures probe).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const RANKS: usize = 8;
+
+fn bench_allreduce_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce_8r");
+    for words in [1024usize, 131072] {
+        g.throughput(Throughput::Bytes((words * 8) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("recursive_doubling", words),
+            &words,
+            |bench, &w| {
+                bench.iter(|| {
+                    mp::run(RANKS, |comm| {
+                        let mut buf = vec![1.0f64; w];
+                        mp::coll::allreduce::recursive_doubling(comm, &mut buf, mp::Op::Sum);
+                        black_box(buf[0])
+                    })
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("rabenseifner", words),
+            &words,
+            |bench, &w| {
+                bench.iter(|| {
+                    mp::run(RANKS, |comm| {
+                        let mut buf = vec![1.0f64; w];
+                        mp::coll::allreduce::rabenseifner(comm, &mut buf, mp::Op::Sum);
+                        black_box(buf[0])
+                    })
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_bcast_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bcast_8r");
+    for words in [1024usize, 131072] {
+        g.throughput(Throughput::Bytes((words * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("binomial", words), &words, |bench, &w| {
+            bench.iter(|| {
+                mp::run(RANKS, |comm| {
+                    let mut buf = vec![1.0f64; w];
+                    mp::coll::bcast::binomial(comm, &mut buf, 0);
+                    black_box(buf[0])
+                })
+            });
+        });
+        g.bench_with_input(
+            BenchmarkId::new("scatter_allgather", words),
+            &words,
+            |bench, &w| {
+                bench.iter(|| {
+                    mp::run(RANKS, |comm| {
+                        let mut buf = vec![1.0f64; w];
+                        mp::coll::bcast::scatter_allgather(comm, &mut buf, 0);
+                        black_box(buf[0])
+                    })
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_alltoall_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoall_8r");
+    for words in [64usize, 16384] {
+        g.throughput(Throughput::Bytes((words * 8 * RANKS) as u64));
+        for (name, f) in [
+            ("pairwise", mp::coll::alltoall::pairwise::<f64> as fn(&mp::Comm, &[f64], &mut [f64])),
+            ("bruck", mp::coll::alltoall::bruck::<f64>),
+            ("linear", mp::coll::alltoall::linear::<f64>),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, words), &words, |bench, &w| {
+                bench.iter(|| {
+                    mp::run(RANKS, |comm| {
+                        let send = vec![1.0f64; w * RANKS];
+                        let mut recv = vec![0.0f64; w * RANKS];
+                        f(comm, &send, &mut recv);
+                        black_box(recv[0])
+                    })
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    c.bench_function("barrier_dissemination_8r_x100", |bench| {
+        bench.iter(|| {
+            mp::run(RANKS, |comm| {
+                for _ in 0..100 {
+                    comm.barrier();
+                }
+            })
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_allreduce_algorithms,
+    bench_bcast_algorithms,
+    bench_alltoall_algorithms,
+    bench_barrier
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! One criterion bench per HPCC-derived table/figure of the paper
+//! (Tables 1-3, Figs. 1-5): each bench regenerates its artefact at a
+//! reduced sweep scale and asserts its shape, so `cargo bench` both
+//! times and exercises the full regeneration pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hpcbench::figures::{self, FigureConfig};
+
+fn cfg() -> FigureConfig {
+    FigureConfig { max_procs: 32, imb_bytes: 1 << 20 }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1", |b| b.iter(|| black_box(figures::table1()).rows.len()));
+    c.bench_function("table2", |b| b.iter(|| black_box(figures::table2()).rows.len()));
+    c.bench_function("table3", |b| {
+        b.iter(|| black_box(figures::table3(&cfg())).rows.len())
+    });
+    c.bench_function("fig05_kiviat", |b| {
+        b.iter(|| black_box(figures::fig05(&cfg())).rows.len())
+    });
+}
+
+fn bench_balance_figures(c: &mut Criterion) {
+    // The sweep dominates; bench it once and each figure's projection.
+    c.bench_function("hpcc_sweep", |b| {
+        b.iter(|| black_box(figures::hpcc_sweeps(&cfg())).len())
+    });
+    let sweeps = figures::hpcc_sweeps(&cfg());
+    c.bench_function("fig01_ring_vs_hpl", |b| {
+        b.iter(|| black_box(figures::fig01_from(&sweeps)).series.len())
+    });
+    c.bench_function("fig02_ring_ratio", |b| {
+        b.iter(|| black_box(figures::fig02_from(&sweeps)).series.len())
+    });
+    c.bench_function("fig03_stream_vs_hpl", |b| {
+        b.iter(|| black_box(figures::fig03_from(&sweeps)).series.len())
+    });
+    c.bench_function("fig04_stream_ratio", |b| {
+        b.iter(|| black_box(figures::fig04_from(&sweeps)).series.len())
+    });
+}
+
+fn bench_hpcc_models(c: &mut Criterion) {
+    let sx8 = machines::systems::nec_sx8();
+    c.bench_function("model_hpl_sx8_64", |b| {
+        b.iter(|| black_box(hpcc::sim::hpl(&sx8, 64)))
+    });
+    c.bench_function("model_ptrans_sx8_64", |b| {
+        b.iter(|| black_box(hpcc::sim::ptrans(&sx8, 64)))
+    });
+    c.bench_function("model_gfft_sx8_64", |b| {
+        b.iter(|| black_box(hpcc::sim::gfft(&sx8, 64)))
+    });
+    c.bench_function("model_random_ring_sx8_64", |b| {
+        b.iter(|| black_box(hpcc::sim::random_ring(&sx8, 64)))
+    });
+}
+
+criterion_group!(benches, bench_tables, bench_balance_figures, bench_hpcc_models);
+criterion_main!(benches);

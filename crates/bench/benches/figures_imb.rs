@@ -1,0 +1,52 @@
+//! One criterion bench per IMB figure of the paper (Figs. 6-15): each
+//! bench regenerates its figure at a reduced sweep scale, plus native
+//! IMB measurements on the host for the headline 1 MB collectives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hpcbench::figures::{self, FigureConfig};
+use hpcbench::Figure;
+
+fn cfg() -> FigureConfig {
+    FigureConfig { max_procs: 32, imb_bytes: 1 << 20 }
+}
+
+#[allow(clippy::type_complexity)]
+fn bench_imb_figures(c: &mut Criterion) {
+    let figs: [(&str, fn(&FigureConfig) -> Figure); 10] = [
+        ("fig06_barrier", figures::fig06),
+        ("fig07_allreduce", figures::fig07),
+        ("fig08_reduce", figures::fig08),
+        ("fig09_reduce_scatter", figures::fig09),
+        ("fig10_allgather", figures::fig10),
+        ("fig11_allgatherv", figures::fig11),
+        ("fig12_alltoall", figures::fig12),
+        ("fig13_sendrecv", figures::fig13),
+        ("fig14_exchange", figures::fig14),
+        ("fig15_bcast", figures::fig15),
+    ];
+    for (name, f) in figs {
+        c.bench_function(name, |b| b.iter(|| black_box(f(&cfg())).series.len()));
+    }
+}
+
+fn bench_native_imb(c: &mut Criterion) {
+    // Native counterparts: actual 1 MB collectives on host threads.
+    for bench in [
+        imb::Benchmark::Allreduce,
+        imb::Benchmark::Alltoall,
+        imb::Benchmark::Bcast,
+    ] {
+        let name = format!("native_{bench}_8r_1MiB");
+        c.bench_function(&name, |b| {
+            b.iter(|| {
+                let m = imb::run_native(black_box(bench), 8, 1 << 20, 2);
+                black_box(m.t_max_us)
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_imb_figures, bench_native_imb);
+criterion_main!(benches);

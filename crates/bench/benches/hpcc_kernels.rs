@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks of the HPCC compute kernels on the host:
+//! DGEMM, STREAM, FFT and the RandomAccess generator. These are the
+//! native (real-measurement) counterparts of the EP benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use hpcc::kernels::dgemm::{dgemm, dgemm_flops};
+use hpcc::kernels::fft::{fft, Complex};
+use hpcc::kernels::ra_rng::UpdateStream;
+use hpcc::kernels::stream::{StreamArrays, StreamKernel};
+
+fn bench_dgemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dgemm");
+    for n in [64usize, 256] {
+        let a: Vec<f64> = (0..n * n).map(|i| (i % 97) as f64 * 0.01).collect();
+        let b = a.clone();
+        let mut out = vec![0.0; n * n];
+        g.throughput(Throughput::Elements(dgemm_flops(n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| dgemm(n, black_box(&a), black_box(&b), black_box(&mut out)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream");
+    let len = 1_000_000;
+    let mut arrays = StreamArrays::new(len);
+    for kernel in StreamKernel::ALL {
+        g.throughput(Throughput::Bytes(
+            (len * kernel.bytes_per_element()) as u64,
+        ));
+        g.bench_function(format!("{kernel:?}").to_lowercase(), |bench| {
+            bench.iter(|| arrays.run(black_box(kernel)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for log2n in [12u32, 16] {
+        let n = 1usize << log2n;
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.1).sin(), (i as f64 * 0.2).cos()))
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut data = input.clone();
+                fft(black_box(&mut data), false);
+                data
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_random_access_stream(c: &mut Criterion) {
+    c.bench_function("ra_update_stream_1M", |bench| {
+        bench.iter(|| {
+            let mut acc = 0u64;
+            for v in UpdateStream::at(black_box(12345)).take(1_000_000) {
+                acc ^= v;
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dgemm,
+    bench_stream,
+    bench_fft,
+    bench_random_access_stream
+);
+criterion_main!(benches);

@@ -1,0 +1,470 @@
+//! Regeneration of every figure and table in the paper's evaluation.
+//!
+//! | id | paper content | data source |
+//! |----|----|----|
+//! | table1, table2 | architecture tables | `machines::tables` |
+//! | fig01-fig04 | random-ring / STREAM balance vs HPL | `hpcc::sim` sweeps |
+//! | fig05, table3 | HPL-normalised benchmark comparison | `ratios::kiviat_row` |
+//! | fig06-fig15 | IMB collectives / transfers at 1 MB | `imb::sim` sweeps |
+
+use machines::{systems, Machine};
+use simnet::units::MIB;
+
+use crate::ratios;
+use crate::report::{fmt_num, Figure, Series, Table};
+
+/// Sweep scale configuration. The default regenerates the paper's full
+/// processor ranges; tests use a smaller cap.
+#[derive(Clone, Copy, Debug)]
+pub struct FigureConfig {
+    /// Upper bound on simulated CPUs (per machine, also capped by the
+    /// installation size).
+    pub max_procs: usize,
+    /// IMB message size (the paper reports 1 MB = 2^20 bytes).
+    pub imb_bytes: u64,
+}
+
+impl Default for FigureConfig {
+    fn default() -> FigureConfig {
+        FigureConfig { max_procs: 2048, imb_bytes: MIB }
+    }
+}
+
+impl FigureConfig {
+    /// A scaled-down configuration for fast tests.
+    pub fn quick() -> FigureConfig {
+        FigureConfig { max_procs: 16, imb_bytes: 64 * 1024 }
+    }
+}
+
+/// Processor grid for the HPCC balance sweeps (Figs. 1-4): powers of two
+/// from 4, plus the odd installation endpoints the paper reports (576 on
+/// the SX-8, 2024-like multi-box sizes on the Altix).
+fn hpcc_grid(m: &Machine, cap: usize) -> Vec<usize> {
+    let limit = m.max_cpus.min(cap);
+    let mut grid = Vec::new();
+    let mut p = 4;
+    while p <= limit {
+        grid.push(p);
+        p *= 2;
+    }
+    if m.max_cpus == 576 && limit >= 576 {
+        grid.push(576);
+    }
+    if grid.is_empty() {
+        grid.push(m.node.cpus.max(2).min(limit.max(2)));
+    }
+    grid
+}
+
+/// Processor grid for the IMB figures (Figs. 6-15): powers of two from 2.
+fn imb_grid(m: &Machine, cap: usize) -> Vec<usize> {
+    let limit = m.max_cpus.min(cap).min(512);
+    let mut grid = Vec::new();
+    let mut p = 2;
+    while p <= limit {
+        grid.push(p);
+        p *= 2;
+    }
+    if m.max_cpus == 576 && cap >= 576 {
+        grid.push(576);
+    }
+    grid
+}
+
+/// One machine's HPCC sweep.
+#[derive(Clone, Debug)]
+pub struct HpccSweep {
+    /// The machine.
+    pub machine: Machine,
+    /// Summaries at each grid point.
+    pub rows: Vec<hpcc::HpccSummary>,
+}
+
+/// Runs the HPCC model sweep for every machine variant of Figs. 1-4
+/// (including the Altix NUMALINK3 configuration).
+pub fn hpcc_sweeps(cfg: &FigureConfig) -> Vec<HpccSweep> {
+    systems::all_variants()
+        .into_iter()
+        .map(|machine| {
+            let rows = hpcc_grid(&machine, cfg.max_procs)
+                .into_iter()
+                .map(|p| hpcc::sim::summary(&machine, p))
+                .collect();
+            HpccSweep { machine, rows }
+        })
+        .collect()
+}
+
+fn balance_figure(
+    id: &'static str,
+    title: &str,
+    ylabel: &str,
+    sweeps: &[HpccSweep],
+    f: impl Fn(&ratios::BalancePoint) -> f64,
+) -> Figure {
+    Figure {
+        id,
+        title: title.to_string(),
+        xlabel: "HPL Gflop/s".into(),
+        ylabel: ylabel.into(),
+        series: sweeps
+            .iter()
+            .map(|sw| Series {
+                name: sw.machine.name.to_string(),
+                points: sw
+                    .rows
+                    .iter()
+                    .map(|s| {
+                        let b = ratios::balance_point(s);
+                        (b.hpl_gflops, f(&b))
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Fig. 1: accumulated random-ring bandwidth versus HPL performance.
+pub fn fig01_from(sweeps: &[HpccSweep]) -> Figure {
+    balance_figure(
+        "fig01",
+        "Accumulated random ring bandwidth versus HPL performance",
+        "Accumulated random ring bandwidth (GB/s)",
+        sweeps,
+        |b| b.accum_ring_bw,
+    )
+}
+
+/// Fig. 2: accumulated random-ring bandwidth ratio versus HPL.
+pub fn fig02_from(sweeps: &[HpccSweep]) -> Figure {
+    balance_figure(
+        "fig02",
+        "Accumulated random ring bandwidth ratio versus HPL performance",
+        "Random ring bandwidth / HPL (B/kFlop)",
+        sweeps,
+        |b| b.b_per_kflop,
+    )
+}
+
+/// Fig. 3: accumulated EP-STREAM copy versus HPL performance.
+pub fn fig03_from(sweeps: &[HpccSweep]) -> Figure {
+    balance_figure(
+        "fig03",
+        "Accumulated EP stream copy versus HPL performance",
+        "Accumulated EP STREAM copy (GB/s)",
+        sweeps,
+        |b| b.accum_stream,
+    )
+}
+
+/// Fig. 4: accumulated EP-STREAM copy ratio versus HPL performance.
+pub fn fig04_from(sweeps: &[HpccSweep]) -> Figure {
+    balance_figure(
+        "fig04",
+        "Accumulated EP stream copy ratio versus HPL performance",
+        "STREAM copy / HPL (B/F)",
+        sweeps,
+        |b| b.stream_b_per_flop,
+    )
+}
+
+/// The Kiviat rows behind Fig. 5 / Table 3: each of the five paper
+/// systems at its largest configuration.
+///
+/// As in the paper, "the global ratios of systems with over 1 TFlop/s
+/// HPL performance are plotted" — the globally-measured columns (G-FFTE,
+/// G-Ptrans, G-RandomAccess) are blanked for smaller systems, whose
+/// easier scaling would otherwise give them "an undue advantage".
+pub fn kiviat_rows(cfg: &FigureConfig) -> Vec<ratios::KiviatRow> {
+    systems::paper_systems()
+        .iter()
+        .map(|m| {
+            let p = *hpcc_grid(m, cfg.max_procs).last().unwrap();
+            let mut row = ratios::kiviat_row(m, &hpcc::sim::summary(m, p));
+            if row.values[0] < 1.0 {
+                // values[0] is G-HPL in TF/s; columns 2/3/7 are the
+                // global-measurement ratios.
+                for i in [2, 3, 7] {
+                    row.values[i] = 0.0;
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+/// Fig. 5: all benchmarks normalised with the HPL value, column maxima
+/// scaled to 1.
+pub fn fig05(cfg: &FigureConfig) -> Table {
+    let (rows, _) = ratios::normalise(&kiviat_rows(cfg));
+    Table {
+        id: "fig05",
+        title: "Comparison of all the benchmarks normalized with HPL value".into(),
+        columns: std::iter::once("Machine".to_string())
+            .chain(ratios::KIVIAT_COLUMNS.iter().map(|c| c.to_string()))
+            .collect(),
+        rows: rows
+            .iter()
+            .map(|r| {
+                std::iter::once(r.machine.clone())
+                    .chain(r.values.iter().map(|v| fmt_num(*v)))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// Table 3: the per-column maxima behind Fig. 5.
+pub fn table3(cfg: &FigureConfig) -> Table {
+    let (_, maxima) = ratios::normalise(&kiviat_rows(cfg));
+    Table {
+        id: "table3",
+        title: "Ratio values corresponding to 1 in Fig. 5".into(),
+        columns: vec!["Ratio".into(), "Maximum value".into()],
+        rows: ratios::KIVIAT_COLUMNS
+            .iter()
+            .zip(maxima.iter())
+            .map(|(c, v)| vec![c.to_string(), fmt_num(*v)])
+            .collect(),
+    }
+}
+
+/// Table 1: architecture parameters of the SGI Altix BX2.
+pub fn table1() -> Table {
+    Table {
+        id: "table1",
+        title: "Architecture parameters of SGI Altix BX2".into(),
+        columns: vec!["Characteristics".into(), "SGI Altix BX2".into()],
+        rows: machines::tables::TABLE1
+            .iter()
+            .map(|r| vec![r.characteristic.to_string(), r.value.to_string()])
+            .collect(),
+    }
+}
+
+/// Table 2: system characteristics of the five computing platforms.
+pub fn table2() -> Table {
+    Table {
+        id: "table2",
+        title: "System characteristics of the five computing platforms".into(),
+        columns: [
+            "Platform", "Type", "CPUs/node", "Clock (GHz)", "Peak/node (Gflop/s)",
+            "Network", "Network topology", "Operating system", "Location",
+            "Processor vendor", "System vendor",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows: machines::tables::table2()
+            .iter()
+            .map(|r| {
+                vec![
+                    r.platform.to_string(),
+                    format!("{:?}", r.class),
+                    r.cpus_per_node.to_string(),
+                    fmt_num(r.clock_ghz),
+                    fmt_num(r.peak_per_node),
+                    r.network.to_string(),
+                    r.network_topology.to_string(),
+                    r.operating_system.to_string(),
+                    r.location.to_string(),
+                    r.processor_vendor.to_string(),
+                    r.system_vendor.to_string(),
+                ]
+            })
+            .collect(),
+    }
+}
+
+/// The machine variants plotted in the IMB figures (the five systems,
+/// with the Cray X1 in both MSP and SSP modes, as in the paper's plots).
+fn imb_machines() -> Vec<Machine> {
+    vec![
+        systems::altix_bx2(),
+        systems::cray_x1_msp(),
+        systems::cray_x1_ssp(),
+        systems::cray_opteron(),
+        systems::dell_xeon(),
+        systems::nec_sx8(),
+    ]
+}
+
+fn imb_figure(
+    id: &'static str,
+    benchmark: imb::Benchmark,
+    title: &str,
+    cfg: &FigureConfig,
+) -> Figure {
+    let bytes = if benchmark.sized() { cfg.imb_bytes } else { 0 };
+    let (ylabel, extract): (&str, fn(&imb::Measurement) -> f64) =
+        match benchmark.metric() {
+            imb::Metric::TimeUs => ("time per call (us)", |m| m.t_max_us),
+            imb::Metric::Bandwidth => ("bandwidth (MB/s)", |m| m.bandwidth_mbs.unwrap_or(0.0)),
+        };
+    Figure {
+        id,
+        title: title.to_string(),
+        xlabel: "processes".into(),
+        ylabel: ylabel.into(),
+        series: imb_machines()
+            .iter()
+            .map(|m| Series {
+                name: m.name.to_string(),
+                points: imb_grid(m, cfg.max_procs)
+                    .into_iter()
+                    .map(|p| {
+                        let meas = imb::sim::simulate(m, benchmark, p, bytes);
+                        (p as f64, extract(&meas))
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Fig. 6: execution time of the Barrier benchmark.
+pub fn fig06(cfg: &FigureConfig) -> Figure {
+    imb_figure("fig06", imb::Benchmark::Barrier,
+        "Execution time of Barrier Benchmark (us/call)", cfg)
+}
+
+/// Fig. 7: Allreduce, 1 MB.
+pub fn fig07(cfg: &FigureConfig) -> Figure {
+    imb_figure("fig07", imb::Benchmark::Allreduce,
+        "Execution time of Allreduce Benchmark for 1 MB message (us/call)", cfg)
+}
+
+/// Fig. 8: Reduce, 1 MB.
+pub fn fig08(cfg: &FigureConfig) -> Figure {
+    imb_figure("fig08", imb::Benchmark::Reduce,
+        "Execution time of Reduction Benchmark, 1 MB message (us/call)", cfg)
+}
+
+/// Fig. 9: Reduce_scatter, 1 MB.
+pub fn fig09(cfg: &FigureConfig) -> Figure {
+    imb_figure("fig09", imb::Benchmark::ReduceScatter,
+        "Execution time of Reduce_scatter Benchmark, 1 MB message (us/call)", cfg)
+}
+
+/// Fig. 10: Allgather, 1 MB.
+pub fn fig10(cfg: &FigureConfig) -> Figure {
+    imb_figure("fig10", imb::Benchmark::Allgather,
+        "Execution time of Allgather Benchmark, 1 MB message (us/call)", cfg)
+}
+
+/// Fig. 11: Allgatherv, 1 MB.
+pub fn fig11(cfg: &FigureConfig) -> Figure {
+    imb_figure("fig11", imb::Benchmark::Allgatherv,
+        "Execution time of Allgatherv Benchmark, 1 MB message (us/call)", cfg)
+}
+
+/// Fig. 12: AlltoAll, 1 MB.
+pub fn fig12(cfg: &FigureConfig) -> Figure {
+    imb_figure("fig12", imb::Benchmark::Alltoall,
+        "Execution time of AlltoAll Benchmark, 1 MB message (us/call)", cfg)
+}
+
+/// Fig. 13: Sendrecv bandwidth, 1 MB.
+pub fn fig13(cfg: &FigureConfig) -> Figure {
+    imb_figure("fig13", imb::Benchmark::Sendrecv,
+        "Bandwidth of Sendrecv Benchmark, 1 MB message (MB/s)", cfg)
+}
+
+/// Fig. 14: Exchange bandwidth, 1 MB.
+pub fn fig14(cfg: &FigureConfig) -> Figure {
+    imb_figure("fig14", imb::Benchmark::Exchange,
+        "Bandwidth of Exchange Benchmark, 1 MB message (MB/s)", cfg)
+}
+
+/// Fig. 15: Broadcast, 1 MB.
+pub fn fig15(cfg: &FigureConfig) -> Figure {
+    imb_figure("fig15", imb::Benchmark::Bcast,
+        "Execution time of Broadcast Benchmark, 1 MB message (us/call)", cfg)
+}
+
+/// Every figure of the paper, in order.
+pub fn all_figures(cfg: &FigureConfig) -> Vec<Figure> {
+    let sweeps = hpcc_sweeps(cfg);
+    vec![
+        fig01_from(&sweeps),
+        fig02_from(&sweeps),
+        fig03_from(&sweeps),
+        fig04_from(&sweeps),
+        fig06(cfg),
+        fig07(cfg),
+        fig08(cfg),
+        fig09(cfg),
+        fig10(cfg),
+        fig11(cfg),
+        fig12(cfg),
+        fig13(cfg),
+        fig14(cfg),
+        fig15(cfg),
+    ]
+}
+
+/// Every table of the paper (Fig. 5 is tabular here), in order.
+pub fn all_tables(cfg: &FigureConfig) -> Vec<Table> {
+    vec![table1(), table2(), fig05(cfg), table3(cfg)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_cover_paper_ranges() {
+        let sx8 = systems::nec_sx8();
+        let cfg = FigureConfig::default();
+        assert_eq!(*imb_grid(&sx8, cfg.max_procs).last().unwrap(), 576);
+        let x1 = systems::cray_x1_msp();
+        assert_eq!(*imb_grid(&x1, cfg.max_procs).last().unwrap(), 16);
+        let altix = systems::altix_bx2();
+        assert!(hpcc_grid(&altix, cfg.max_procs).contains(&2048));
+    }
+
+    #[test]
+    fn quick_figures_have_all_series() {
+        let cfg = FigureConfig::quick();
+        let f = fig12(&cfg);
+        assert_eq!(f.series.len(), 6);
+        for s in &f.series {
+            assert!(!s.points.is_empty(), "{} has no points", s.name);
+            for (_, y) in &s.points {
+                assert!(*y > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn quick_balance_figures_are_consistent() {
+        let cfg = FigureConfig::quick();
+        let sweeps = hpcc_sweeps(&cfg);
+        let f1 = fig01_from(&sweeps);
+        let f2 = fig02_from(&sweeps);
+        assert_eq!(f1.series.len(), 7, "five systems + X1 SSP + Altix NL3");
+        // fig2 = fig1 / HPL * 1000 pointwise.
+        for (s1, s2) in f1.series.iter().zip(&f2.series) {
+            for ((x1, y1), (x2, y2)) in s1.points.iter().zip(&s2.points) {
+                assert_eq!(x1, x2);
+                let expect = y1 / x1 * 1000.0;
+                assert!((y2 - expect).abs() < 1e-6 * expect, "{} vs {expect}", y2);
+            }
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let t1 = table1();
+        assert_eq!(t1.rows.len(), 9);
+        let t2 = table2();
+        assert_eq!(t2.rows.len(), 5);
+        let cfg = FigureConfig::quick();
+        let f5 = fig05(&cfg);
+        assert_eq!(f5.rows.len(), 5);
+        assert_eq!(f5.columns.len(), 9);
+        let t3 = table3(&cfg);
+        assert_eq!(t3.rows.len(), 8);
+    }
+}

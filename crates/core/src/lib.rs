@@ -1,0 +1,34 @@
+//! `hpcbench` — the evaluation harness reproducing Saini et al.,
+//! *"Performance evaluation of supercomputers using HPCC and IMB
+//! Benchmarks"* (J. Computer and System Sciences 74, 2008).
+//!
+//! Three layers:
+//!
+//! * [`figures`] regenerates every table and figure of the paper from the
+//!   machine models (`machines`) and the benchmark simulations
+//!   (`hpcc::sim`, `imb::sim`).
+//! * [`ratios`] implements the paper's ratio-based analysis (Section
+//!   4.1): communication/computation balance and the HPL-normalised
+//!   Kiviat comparison.
+//! * [`report`] renders figures and tables to CSV and markdown.
+//!
+//! Native benchmark execution (real runs on this host) lives in the
+//! `hpcc` and `imb` crates; this crate consumes their summaries.
+//!
+//! ```
+//! use hpcbench::figures::{fig06, FigureConfig};
+//!
+//! let fig = fig06(&FigureConfig::quick());
+//! assert!(fig.to_csv().lines().count() > 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extensions;
+pub mod figures;
+pub mod ratios;
+pub mod report;
+pub mod svg;
+
+pub use report::{Figure, Series, Table};

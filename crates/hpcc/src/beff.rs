@@ -1,0 +1,194 @@
+//! b_eff: the effective bandwidth benchmark (Rabenseifner & Koniges),
+//! the paper's reference [14] and the origin of its random-ring
+//! bandwidth/latency metric.
+//!
+//! b_eff summarises a system's communication capability in one number:
+//! the bandwidth per process averaged over **21 message sizes** (from a
+//! few bytes to `L_max`) and **several communication patterns** (natural
+//! rings, random rings), with each size's contribution weighted by the
+//! logarithmic average the benchmark defines:
+//!
+//! `b_eff = avg over patterns ( avg over sizes ( L * iters / time ) )`
+
+use mp::Comm;
+
+use crate::ring::ring_permutation;
+
+/// Configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BeffConfig {
+    /// Largest message size in bytes (`L_max`; the official run uses
+    /// 1/128 of node memory — scaled down for in-process runs).
+    pub l_max: usize,
+    /// Number of random ring patterns.
+    pub random_patterns: usize,
+    /// Iterations per (pattern, size) measurement.
+    pub iters: usize,
+    /// Permutation seed.
+    pub seed: u64,
+}
+
+impl Default for BeffConfig {
+    fn default() -> BeffConfig {
+        BeffConfig { l_max: 1 << 20, random_patterns: 3, iters: 3, seed: 0xEFF }
+    }
+}
+
+/// Result: the effective bandwidth and its decomposition.
+#[derive(Clone, Debug)]
+pub struct BeffResult {
+    /// Effective bandwidth per process, GB/s.
+    pub b_eff: f64,
+    /// Effective bandwidth accumulated over all processes, GB/s.
+    pub b_eff_total: f64,
+    /// Per-size average bandwidths (bytes, GB/s per process).
+    pub by_size: Vec<(usize, f64)>,
+}
+
+/// The 21-size geometric grid of the benchmark: `L_max` down by factors
+/// of two (clamped at 1 byte), reversed to ascending order.
+pub fn size_grid(l_max: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..21)
+        .map(|k| (l_max >> k).max(1))
+        .collect();
+    v.dedup();
+    v.reverse();
+    v
+}
+
+/// One timed both-directions ring pass at `bytes`; returns seconds per
+/// iteration (max over ranks).
+fn ring_pass(comm: &Comm, perm: &[usize], bytes: usize, iters: usize) -> f64 {
+    let words = (bytes / 8).max(1);
+    let me = comm.rank();
+    let n = perm.len();
+    let pos = perm.iter().position(|&r| r == me).expect("rank in ring");
+    let right = perm[(pos + 1) % n];
+    let left = perm[(pos + n - 1) % n];
+    let sbuf = vec![1.0f64; words];
+    let mut rbuf = vec![0.0f64; words];
+    comm.barrier();
+    let clock = mp::timer::Stopwatch::start();
+    for _ in 0..iters {
+        comm.sendrecv(&sbuf, right, &mut rbuf, left, 37);
+        comm.sendrecv(&sbuf, left, &mut rbuf, right, 37);
+    }
+    let mut t = [clock.elapsed_secs() / iters as f64];
+    comm.allreduce(&mut t, mp::Op::Max);
+    t[0].max(1e-9)
+}
+
+/// Runs b_eff on `comm`.
+pub fn run(comm: &Comm, cfg: &BeffConfig) -> BeffResult {
+    let n = comm.size();
+    let sizes = size_grid(cfg.l_max);
+    let natural: Vec<usize> = (0..n).collect();
+    let mut patterns: Vec<Vec<usize>> = vec![natural];
+    for k in 0..cfg.random_patterns {
+        patterns.push(ring_permutation(n, cfg.seed.wrapping_add(k as u64)));
+    }
+
+    let mut by_size = Vec::with_capacity(sizes.len());
+    let mut sum_over_sizes = 0.0;
+    for &bytes in &sizes {
+        // Average the per-pattern bandwidths at this size. Each pass
+        // moves 2 messages out + 2 in per rank (b_eff counts in + out).
+        let mut acc = 0.0;
+        for p in &patterns {
+            let t = ring_pass(comm, p, bytes, cfg.iters);
+            acc += 4.0 * bytes as f64 / t;
+        }
+        let bw = acc / patterns.len() as f64;
+        by_size.push((bytes, bw / 1e9));
+        sum_over_sizes += bw;
+    }
+    let b_eff = sum_over_sizes / sizes.len() as f64 / 1e9;
+    BeffResult {
+        b_eff,
+        b_eff_total: b_eff * n as f64,
+        by_size,
+    }
+}
+
+/// Spawns `p` ranks and runs b_eff natively.
+pub fn run_native(p: usize, cfg: &BeffConfig) -> BeffResult {
+    mp::run(p, |comm| run(comm, cfg)).swap_remove(0)
+}
+
+/// Modelled b_eff for a machine at `p` CPUs: the same size/pattern
+/// averaging priced on the fabric (plain MPI path, like the real
+/// benchmark).
+pub fn simulate(machine: &machines::Machine, p: usize, cfg: &BeffConfig) -> BeffResult {
+    let sizes = size_grid(cfg.l_max);
+    let natural: Vec<usize> = (0..p).collect();
+    let mut patterns: Vec<Vec<usize>> = vec![natural];
+    for k in 0..cfg.random_patterns {
+        patterns.push(ring_permutation(p, cfg.seed.wrapping_add(k as u64)));
+    }
+
+    let mut by_size = Vec::with_capacity(sizes.len());
+    let mut sum = 0.0;
+    for &bytes in &sizes {
+        let mut acc = 0.0;
+        for perm in &patterns {
+            let ring = mp::sched::p2p::random_ring(perm, bytes as u64);
+            let sim = machines::ClusterSim::new_plain(machine, p);
+            let warm = sim.run(&ring).as_secs();
+            let t = (sim.run(&ring).as_secs() - warm).max(1e-12);
+            acc += 4.0 * bytes as f64 / t;
+        }
+        let bw = acc / patterns.len() as f64;
+        by_size.push((bytes, bw / 1e9));
+        sum += bw;
+    }
+    let b_eff = sum / sizes.len() as f64 / 1e9;
+    BeffResult { b_eff, b_eff_total: b_eff * p as f64, by_size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_grid_has_21_dyadic_sizes() {
+        let g = size_grid(1 << 20);
+        assert_eq!(g.len(), 21);
+        assert_eq!(*g.last().unwrap(), 1 << 20);
+        assert_eq!(g[0], 1);
+        assert!(g.windows(2).all(|w| w[1] == w[0] * 2));
+    }
+
+    #[test]
+    fn tiny_l_max_deduplicates() {
+        let g = size_grid(16);
+        assert_eq!(g, vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn native_beff_reports_positive_bandwidths() {
+        let cfg = BeffConfig { l_max: 1 << 14, random_patterns: 1, iters: 2, seed: 1 };
+        let r = run_native(4, &cfg);
+        assert!(r.b_eff > 0.0 && r.b_eff.is_finite());
+        assert!((r.b_eff_total - 4.0 * r.b_eff).abs() < 1e-9);
+        // Bandwidth at the largest size exceeds the smallest (latency
+        // dominates tiny messages).
+        assert!(r.by_size.last().unwrap().1 > r.by_size[0].1);
+    }
+
+    #[test]
+    fn simulated_beff_ranks_machines_plausibly() {
+        let cfg = BeffConfig::default();
+        let sx8 = simulate(&machines::systems::nec_sx8(), 64, &cfg);
+        let opteron = simulate(&machines::systems::cray_opteron(), 64, &cfg);
+        assert!(
+            sx8.b_eff > 2.0 * opteron.b_eff,
+            "SX-8 {} vs Opteron {}",
+            sx8.b_eff,
+            opteron.b_eff
+        );
+        // b_eff is far below the peak large-message ring bandwidth — the
+        // small-size average drags it down, by design.
+        let peak = sx8.by_size.last().unwrap().1;
+        assert!(sx8.b_eff < 0.7 * peak, "b_eff {} vs peak {peak}", sx8.b_eff);
+    }
+}

@@ -1,0 +1,221 @@
+//! G-FFT: distributed 1-D complex FFT "across the entire computer by
+//! distributing the input vector in block fashion across all the nodes".
+//!
+//! Binary-exchange algorithm, decimation in frequency: the first
+//! `log2(p)` butterfly stages span multiple ranks — each rank exchanges
+//! its whole block with the partner at XOR distance and computes its half
+//! of the butterflies — and the remaining stages are a local DIF
+//! transform. The result is globally bit-reversed; the benchmark (like
+//! FFTE's internal representation) leaves it so, and the verifier
+//! accounts for it.
+
+// Index-heavy numeric code: explicit indices mirror the maths.
+#![allow(clippy::needless_range_loop)]
+
+use mp::Comm;
+
+use crate::kernels::fft::{fft_flops, Complex};
+
+/// Configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FftConfig {
+    /// log2 of the global transform length.
+    pub log2_n: u32,
+}
+
+/// Benchmark outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct FftResult {
+    /// Global transform length.
+    pub n: u64,
+    /// Gflop/s by the 5 n log2 n convention.
+    pub gflops: f64,
+    /// Wall time, seconds.
+    pub time_s: f64,
+    /// Max |error| of an inverse-transform round trip, relative.
+    pub max_error: f64,
+    /// Whether the round trip reproduced the input.
+    pub passed: bool,
+}
+
+/// The deterministic input signal.
+fn input_element(g: u64) -> Complex {
+    let x = crate::hpl::matrix_element(g as usize, 77);
+    let y = crate::hpl::matrix_element(g as usize, 78);
+    Complex::new(x, y)
+}
+
+/// Local decimation-in-frequency stages (spans `data.len()` down to 2),
+/// no bit-reversal. Output is in bit-reversed order.
+fn dif_local(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = n;
+    while len >= 2 {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        for start in (0..n).step_by(len) {
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2];
+                data[start + k] = a + b;
+                data[start + k + len / 2] = (a - b) * Complex::cis(ang * k as f64);
+            }
+        }
+        len >>= 1;
+    }
+}
+
+/// One distributed DIF transform over `comm`; `local` is this rank's
+/// block (length `n/p`). Output is globally bit-reversed in place.
+pub fn distributed_fft(comm: &Comm, local: &mut [Complex], inverse: bool) {
+    let p = comm.size();
+    let me = comm.rank();
+    assert!(p.is_power_of_two(), "G-FFT needs a power-of-two rank count");
+    let ln = local.len();
+    assert!(ln.is_power_of_two(), "local block must be a power of two");
+    let n = ln * p;
+    let sign = if inverse { 1.0 } else { -1.0 };
+
+    // Cross-rank stages: global span L from n down to 2*ln.
+    let mut flat: Vec<f64> = vec![0.0; 2 * ln];
+    let mut incoming = vec![0.0f64; 2 * ln];
+    let mut span = n;
+    while span > ln {
+        let dist_ranks = span / 2 / ln; // partner XOR distance in ranks
+        let partner = me ^ dist_ranks;
+        for (i, c) in local.iter().enumerate() {
+            flat[2 * i] = c.re;
+            flat[2 * i + 1] = c.im;
+        }
+        comm.sendrecv(&flat, partner, &mut incoming, partner, 19);
+        let low = me & dist_ranks == 0;
+        let ang = sign * 2.0 * std::f64::consts::PI / span as f64;
+        for l in 0..ln {
+            let other = Complex::new(incoming[2 * l], incoming[2 * l + 1]);
+            if low {
+                // I hold `a`; partner holds `b`.
+                local[l] = local[l] + other;
+            } else {
+                // I hold `b`; twiddle index is my global offset within the
+                // low half of the span.
+                let g = me * ln + l;
+                let k = g % (span / 2);
+                local[l] = (other - local[l]) * Complex::cis(ang * k as f64);
+            }
+        }
+        span /= 2;
+    }
+
+    dif_local(local, inverse);
+}
+
+/// Runs G-FFT: forward transform (timed), then an inverse round trip for
+/// verification.
+pub fn run(comm: &Comm, cfg: &FftConfig) -> FftResult {
+    let p = comm.size();
+    let me = comm.rank();
+    let n = 1u64 << cfg.log2_n;
+    assert!(
+        n as usize >= p * p.max(2),
+        "transform too small for the rank count"
+    );
+    let ln = (n as usize) / p;
+    let base = (me * ln) as u64;
+    let mut data: Vec<Complex> = (0..ln as u64).map(|l| input_element(base + l)).collect();
+
+    comm.barrier();
+    let clock = mp::timer::Stopwatch::start();
+    distributed_fft(comm, &mut data, false);
+    comm.barrier();
+    let time_s = clock.elapsed_secs();
+
+    // Round trip: the bit-reversed forward output fed to an inverse
+    // transform of the same shape returns the input, scaled by n and
+    // block-permuted by double bit-reversal = identity ordering when both
+    // transforms use the same stage structure.
+    // Here we verify numerically: inverse-transform the *bit-reversed*
+    // spectrum by gathering, reordering, scattering conceptually — to
+    // stay distributed we instead apply the inverse DIT mirror: reverse
+    // the stage order by running the same DIF inverse on the
+    // bit-reversed data's reversed index space. The cheap, robust check:
+    // gather to rank 0, undo bit reversal, serial-inverse, compare.
+    let mut gathered = (me == 0).then(|| vec![0.0f64; 2 * n as usize]);
+    let mut flat = vec![0.0f64; 2 * ln];
+    for (i, c) in data.iter().enumerate() {
+        flat[2 * i] = c.re;
+        flat[2 * i + 1] = c.im;
+    }
+    comm.gather(&flat, gathered.as_deref_mut(), 0);
+
+    let mut max_err = 0.0f64;
+    if let Some(g) = gathered {
+        let bits = cfg.log2_n;
+        let mut spectrum = vec![Complex::default(); n as usize];
+        for i in 0..n as usize {
+            let rev = (i as u64).reverse_bits() >> (64 - bits) as u64;
+            spectrum[rev as usize] = Complex::new(g[2 * i], g[2 * i + 1]);
+        }
+        crate::kernels::fft::fft(&mut spectrum, true);
+        for (i, v) in spectrum.iter().enumerate() {
+            let expect = input_element(i as u64);
+            let scaled = Complex::new(v.re / n as f64, v.im / n as f64);
+            max_err = max_err.max((scaled - expect).abs());
+        }
+    }
+    let mut stats = [max_err, time_s];
+    comm.bcast(&mut stats, 0);
+
+    FftResult {
+        n,
+        gflops: fft_flops(n as usize) / stats[1] / 1e9,
+        time_s: stats[1],
+        max_error: stats[0],
+        passed: stats[0] < 1e-8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributed_matches_serial_across_rank_counts() {
+        for (p, log2_n) in [(1usize, 8u32), (2, 8), (4, 10), (8, 12)] {
+            let results = mp::run(p, |comm| run(comm, &FftConfig { log2_n }));
+            for r in &results {
+                assert!(
+                    r.passed,
+                    "p={p} n=2^{log2_n}: max error {}",
+                    r.max_error
+                );
+                assert!(r.gflops > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dif_local_is_a_bit_reversed_fft() {
+        let n = 64usize;
+        let input: Vec<Complex> = (0..n as u64).map(input_element).collect();
+        let mut dif = input.clone();
+        dif_local(&mut dif, false);
+        let mut reference = input;
+        crate::kernels::fft::fft(&mut reference, false);
+        let bits = n.trailing_zeros();
+        for i in 0..n {
+            let rev = i.reverse_bits() >> (usize::BITS - bits);
+            let d = dif[i] - reference[rev];
+            assert!(d.abs() < 1e-9, "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two rank count")]
+    fn rejects_odd_rank_counts() {
+        mp::run(3, |comm| {
+            let mut block = vec![Complex::default(); 8];
+            distributed_fft(comm, &mut block, false);
+        });
+    }
+}

@@ -1,0 +1,496 @@
+//! G-HPL on a 2-D process grid: the ScaLAPACK/HPL distribution proper.
+//!
+//! The 1-D column variant in [`crate::hpl`] gives every rank full
+//! columns, which caps scalability at O(N/NB) ranks and makes the panel
+//! factorisation serial per column block. Real HPL distributes the
+//! matrix block-cyclically over a `P x Q` grid so that panel
+//! factorisation, row swaps and the trailing update all parallelise in
+//! both dimensions — at the cost of distributed partial pivoting. This
+//! module implements that algorithm faithfully:
+//!
+//! 1. distributed panel factorisation with pivot search by all-gather
+//!    over the panel's *column* communicator and cross-row swaps;
+//! 2. pivot application to the trailing (and finished) columns;
+//! 3. panel broadcast along *row* communicators;
+//! 4. U12 triangular solve on the pivot block row + broadcast down
+//!    column communicators;
+//! 5. local rank-NB trailing update.
+//!
+//! Row/column communicators come from `Comm::split`, exercising the
+//! communicator machinery the way ScaLAPACK does.
+
+// Index-heavy distributed linear algebra: explicit indices mirror the
+// block-cyclic maths.
+#![allow(clippy::needless_range_loop)]
+
+use mp::Comm;
+
+use crate::hpl::{matrix_element, rhs_element, scaled_residual, HplResult};
+
+/// 2-D HPL configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Hpl2dConfig {
+    /// Matrix order.
+    pub n: usize,
+    /// Square block size.
+    pub nb: usize,
+    /// Process rows (`P`); `P * Q = comm.size()` with `Q = size / P`.
+    pub p_rows: usize,
+}
+
+impl Hpl2dConfig {
+    /// Picks a near-square grid for `size` ranks.
+    pub fn near_square(n: usize, nb: usize, size: usize) -> Hpl2dConfig {
+        let mut p = (size as f64).sqrt() as usize;
+        while p > 1 && !size.is_multiple_of(p) {
+            p -= 1;
+        }
+        Hpl2dConfig { n, nb, p_rows: p.max(1) }
+    }
+}
+
+/// Local block-cyclic storage: the rows/columns this rank owns, stored
+/// column-major as `data[lc * lrows + lr]`.
+struct Local {
+    /// Global row index of each local row.
+    rows: Vec<usize>,
+    /// Global column index of each local column.
+    cols: Vec<usize>,
+    data: Vec<f64>,
+}
+
+/// Global indices owned by grid coordinate `c` of `g` with block `nb`.
+fn owned(n: usize, nb: usize, grid: usize, coord: usize) -> Vec<usize> {
+    (0..n).filter(|i| (i / nb) % grid == coord).collect()
+}
+
+impl Local {
+    fn generate(n: usize, nb: usize, pi: usize, qj: usize, grid_p: usize, grid_q: usize) -> Local {
+        let rows = owned(n, nb, grid_p, pi);
+        let cols = owned(n, nb, grid_q, qj);
+        let (lr, lc) = (rows.len(), cols.len());
+        let mut data = vec![0.0f64; lr * lc];
+        for (c, &gc) in cols.iter().enumerate() {
+            for (r, &gr) in rows.iter().enumerate() {
+                data[c * lr + r] = matrix_element(gr, gc);
+            }
+        }
+        Local { rows, cols, data }
+    }
+
+    fn lrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Local row index of global row `g`, if owned.
+    fn lrow(&self, g: usize) -> Option<usize> {
+        self.rows.binary_search(&g).ok()
+    }
+
+    /// Local column index of global column `g`, if owned.
+    fn lcol(&self, g: usize) -> Option<usize> {
+        self.cols.binary_search(&g).ok()
+    }
+
+    fn at(&self, lr: usize, lc: usize) -> f64 {
+        self.data[lc * self.lrows() + lr]
+    }
+
+    fn at_mut(&mut self, lr: usize, lc: usize) -> &mut f64 {
+        let n = self.lrows();
+        &mut self.data[lc * n + lr]
+    }
+
+    /// Copies the local segment of global row `g` across columns
+    /// `col_filter(gc)` into a vector (with the matching local column
+    /// indices).
+    fn row_segment(&self, lr: usize, col_filter: impl Fn(usize) -> bool) -> Vec<f64> {
+        self.cols
+            .iter()
+            .enumerate()
+            .filter(|(_, &gc)| col_filter(gc))
+            .map(|(lc, _)| self.at(lr, lc))
+            .collect()
+    }
+
+    fn set_row_segment(&mut self, lr: usize, col_filter: impl Fn(usize) -> bool, vals: &[f64]) {
+        let targets: Vec<usize> = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, &gc)| col_filter(gc))
+            .map(|(lc, _)| lc)
+            .collect();
+        assert_eq!(targets.len(), vals.len());
+        for (lc, &v) in targets.into_iter().zip(vals) {
+            *self.at_mut(lr, lc) = v;
+        }
+    }
+}
+
+/// Exchanges (or locally swaps) global rows `ga` and `gb` across this
+/// rank's columns selected by `col_filter`, using the column
+/// communicator. Owners of the two rows are process rows `(ga/nb)%P`
+/// and `(gb/nb)%P`; `col_comm` ranks are indexed by process row.
+fn swap_rows(
+    local: &mut Local,
+    col_comm: &Comm,
+    nb: usize,
+    ga: usize,
+    gb: usize,
+    col_filter: impl Fn(usize) -> bool + Copy,
+) {
+    if ga == gb {
+        return;
+    }
+    let grid_p = col_comm.size();
+    let owner_a = (ga / nb) % grid_p;
+    let owner_b = (gb / nb) % grid_p;
+    let me = col_comm.rank();
+    if owner_a == owner_b {
+        if me == owner_a {
+            let (la, lb) = (
+                local.lrow(ga).expect("own row a"),
+                local.lrow(gb).expect("own row b"),
+            );
+            let seg_a = local.row_segment(la, col_filter);
+            let seg_b = local.row_segment(lb, col_filter);
+            local.set_row_segment(la, col_filter, &seg_b);
+            local.set_row_segment(lb, col_filter, &seg_a);
+        }
+    } else if me == owner_a || me == owner_b {
+        let (mine, peer) = if me == owner_a {
+            (ga, owner_b)
+        } else {
+            (gb, owner_a)
+        };
+        let lr = local.lrow(mine).expect("own my row");
+        let seg = local.row_segment(lr, col_filter);
+        let mut incoming = vec![0.0f64; seg.len()];
+        col_comm.sendrecv(&seg, peer, &mut incoming, peer, 29);
+        local.set_row_segment(lr, col_filter, &incoming);
+    }
+}
+
+/// Runs 2-D G-HPL on `comm`. All ranks receive the same result.
+pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
+    let (n, nb) = (cfg.n, cfg.nb);
+    let size = comm.size();
+    let grid_p = cfg.p_rows;
+    assert!(grid_p >= 1 && size.is_multiple_of(grid_p), "grid must tile the world");
+    let grid_q = size / grid_p;
+
+    // Grid position: row-major rank numbering.
+    let me = comm.rank();
+    let (pi, qj) = (me / grid_q, me % grid_q);
+    // Communicators: all ranks in my process row / column.
+    let row_comm = comm.split(pi as u32, qj as i64);
+    let col_comm = comm.split((grid_p + qj) as u32, pi as i64);
+    assert_eq!(row_comm.size(), grid_q);
+    assert_eq!(col_comm.size(), grid_p);
+
+    let mut local = Local::generate(n, nb, pi, qj, grid_p, grid_q);
+    let nblocks = n.div_ceil(nb);
+    let mut pivots: Vec<usize> = Vec::with_capacity(n);
+
+    comm.barrier();
+    let clock = mp::timer::Stopwatch::start();
+
+    for kb in 0..nblocks {
+        let k0 = kb * nb;
+        let k1 = ((kb + 1) * nb).min(n);
+        let kw = k1 - k0;
+        let panel_q = kb % grid_q; // process column owning the panel
+        let in_panel_col = qj == panel_q;
+        let in_panel = |gc: usize| (k0..k1).contains(&gc);
+
+        // --- 1. Distributed panel factorisation -------------------------
+        // Everyone tracks the pivot list; panel owners do the arithmetic.
+        let mut panel_pivots = vec![0usize; kw];
+        if in_panel_col {
+            for j in 0..kw {
+                let gj = k0 + j;
+                let ljc = local.lcol(gj).expect("panel column owned");
+                // Local pivot candidate over my trailing rows.
+                let (mut best, mut best_row) = (-1.0f64, usize::MAX);
+                for (lr, &gr) in local.rows.iter().enumerate() {
+                    if gr >= gj {
+                        let v = local.at(lr, ljc).abs();
+                        if v > best {
+                            best = v;
+                            best_row = gr;
+                        }
+                    }
+                }
+                // Global argmax across the process column.
+                let mut all = vec![0.0f64; 2 * grid_p];
+                col_comm.allgather(&[best, best_row as f64], &mut all);
+                let (mut gbest, mut grow) = (-1.0, usize::MAX);
+                for c in 0..grid_p {
+                    let (v, r) = (all[2 * c], all[2 * c + 1] as usize);
+                    if v > gbest || (v == gbest && r < grow) {
+                        gbest = v;
+                        grow = r;
+                    }
+                }
+                assert!(gbest > 0.0, "2-D HPL hit an exactly singular pivot");
+                panel_pivots[j] = grow;
+
+                // Swap rows gj <-> grow within the panel columns.
+                swap_rows(&mut local, &col_comm, nb, gj, grow, in_panel);
+
+                // Owner of (new) row gj broadcasts its panel segment.
+                let diag_owner = (gj / nb) % grid_p;
+                let mut urow = vec![0.0f64; kw];
+                if col_comm.rank() == diag_owner {
+                    let lr = local.lrow(gj).expect("diag row owned");
+                    for c in 0..kw {
+                        let lc = local.lcol(k0 + c).expect("panel col owned");
+                        urow[c] = local.at(lr, lc);
+                    }
+                }
+                mp::coll::bcast::binomial(&col_comm, &mut urow, diag_owner);
+                let ajj = urow[j];
+
+                // Scale my below-diagonal entries of column j and update
+                // the remaining panel columns.
+                for (lr, &gr) in local.rows.clone().iter().enumerate() {
+                    if gr > gj {
+                        let l = local.at(lr, ljc) / ajj;
+                        *local.at_mut(lr, ljc) = l;
+                        for c in j + 1..kw {
+                            let lcc = local.lcol(k0 + c).expect("panel col owned");
+                            *local.at_mut(lr, lcc) -= l * urow[c];
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- 2. Share pivots; apply swaps outside the panel -------------
+        let mut piv_f: Vec<f64> = panel_pivots.iter().map(|&p| p as f64).collect();
+        mp::coll::bcast::binomial(&row_comm, &mut piv_f, panel_q);
+        let panel_pivots: Vec<usize> = piv_f.iter().map(|&v| v as usize).collect();
+        for (j, &piv) in panel_pivots.iter().enumerate() {
+            let gj = k0 + j;
+            // Panel columns were already swapped during factorisation;
+            // everything else (finished columns and the trailing
+            // submatrix) swaps now. The filter is uniform across each
+            // column communicator, keeping the exchanges matched.
+            swap_rows(&mut local, &col_comm, nb, gj, piv, |gc| {
+                !in_panel_col || !in_panel(gc)
+            });
+            pivots.push(piv);
+        }
+
+        // --- 3. Broadcast the panel along process rows ------------------
+        // My local panel piece: for each of my local rows, the kw panel
+        // values (L below the diagonal, U11 on/above it).
+        let lrows = local.lrows();
+        let mut panel_piece = vec![0.0f64; lrows * kw];
+        if in_panel_col {
+            for c in 0..kw {
+                let lc = local.lcol(k0 + c).expect("panel col owned");
+                for lr in 0..lrows {
+                    panel_piece[c * lrows + lr] = local.at(lr, lc);
+                }
+            }
+        }
+        mp::coll::bcast::auto(&row_comm, &mut panel_piece, panel_q);
+
+        // --- 4. U12: solve L11 U12 = A12 on the pivot block rows --------
+        // The rows k0..k1 are spread over process rows ((k0..k1)/nb = kb,
+        // owner pi_k = kb % grid_p) — a single process row.
+        let pi_k = kb % grid_p;
+        let my_u_rows: Vec<usize> = (k0..k1).collect();
+        let trailing: Vec<usize> = local
+            .cols
+            .iter()
+            .copied()
+            .filter(|&gc| gc >= k1)
+            .collect();
+        // u12[jj][t] for jj in 0..kw over my trailing columns.
+        let mut u12 = vec![0.0f64; kw * trailing.len()];
+        if pi == pi_k {
+            // I own the block row; panel_piece has L11 in my local rows.
+            let l11_lr: Vec<usize> = my_u_rows
+                .iter()
+                .map(|&g| local.lrow(g).expect("block row owned"))
+                .collect();
+            for (t, &gc) in trailing.iter().enumerate() {
+                let lc = local.lcol(gc).expect("trailing col owned");
+                // Forward substitution with unit lower L11.
+                for jj in 0..kw {
+                    let mut v = local.at(l11_lr[jj], lc);
+                    for pp in 0..jj {
+                        v -= panel_piece[pp * lrows + l11_lr[jj]] * u12[pp * trailing.len() + t];
+                    }
+                    u12[jj * trailing.len() + t] = v;
+                    *local.at_mut(l11_lr[jj], lc) = v;
+                }
+            }
+        }
+        mp::coll::bcast::auto(&col_comm, &mut u12, pi_k);
+
+        // --- 5. Trailing update: A22 -= L21 * U12 -----------------------
+        for (t, &gc) in trailing.iter().enumerate() {
+            let lc = local.lcol(gc).expect("trailing col owned");
+            for jj in 0..kw {
+                let u = u12[jj * trailing.len() + t];
+                if u != 0.0 {
+                    for (lr, &gr) in local.rows.iter().enumerate() {
+                        if gr >= k1 {
+                            let l = panel_piece[jj * lrows + lr];
+                            local.data[lc * lrows + lr] -= l * u;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Gather to rank 0, solve, verify --------------------------------
+    let x = solve_on_root(comm, &local, &pivots, n);
+    let time_s = clock.elapsed_secs();
+
+    let mut stats = [0.0f64; 2];
+    if me == 0 {
+        stats[0] = scaled_residual(n, &x);
+        stats[1] = time_s;
+    }
+    comm.bcast(&mut stats, 0);
+
+    let flops = 2.0 / 3.0 * (n as f64).powi(3) + 2.0 * (n as f64).powi(2);
+    HplResult {
+        n,
+        gflops: flops / stats[1] / 1e9,
+        time_s: stats[1],
+        residual: stats[0],
+        passed: stats[0] < 16.0,
+    }
+}
+
+/// Gathers the distributed factors to rank 0 and solves P L U x = b.
+fn solve_on_root(comm: &Comm, local: &Local, pivots: &[usize], n: usize) -> Vec<f64> {
+    const TAG: mp::Tag = 31;
+    let me = comm.rank();
+
+    // Every rank ships (rows, cols, data) to rank 0.
+    if me != 0 {
+        let rows_f: Vec<f64> = local.rows.iter().map(|&r| r as f64).collect();
+        let cols_f: Vec<f64> = local.cols.iter().map(|&c| c as f64).collect();
+        comm.send(&[rows_f.len() as f64, cols_f.len() as f64], 0, TAG);
+        comm.send(&rows_f, 0, TAG);
+        comm.send(&cols_f, 0, TAG);
+        comm.send(&local.data, 0, TAG);
+        return Vec::new();
+    }
+
+    let mut full = vec![0.0f64; n * n]; // column-major
+    let mut place = |rows: &[usize], cols: &[usize], data: &[f64]| {
+        for (c, &gc) in cols.iter().enumerate() {
+            for (r, &gr) in rows.iter().enumerate() {
+                full[gc * n + gr] = data[c * rows.len() + r];
+            }
+        }
+    };
+    place(&local.rows, &local.cols, &local.data);
+    for src in 1..comm.size() {
+        let mut sizes = [0.0f64; 2];
+        comm.recv(&mut sizes, src, TAG);
+        let mut rows_f = vec![0.0f64; sizes[0] as usize];
+        let mut cols_f = vec![0.0f64; sizes[1] as usize];
+        comm.recv(&mut rows_f, src, TAG);
+        comm.recv(&mut cols_f, src, TAG);
+        let mut data = vec![0.0f64; rows_f.len() * cols_f.len()];
+        comm.recv(&mut data, src, TAG);
+        let rows: Vec<usize> = rows_f.iter().map(|&v| v as usize).collect();
+        let cols: Vec<usize> = cols_f.iter().map(|&v| v as usize).collect();
+        place(&rows, &cols, &data);
+    }
+
+    let mut b: Vec<f64> = (0..n).map(rhs_element).collect();
+    for (j, &piv) in pivots.iter().enumerate() {
+        b.swap(j, piv);
+    }
+    for j in 0..n {
+        let yj = b[j];
+        if yj != 0.0 {
+            for r in j + 1..n {
+                b[r] -= full[j * n + r] * yj;
+            }
+        }
+    }
+    for j in (0..n).rev() {
+        b[j] /= full[j * n + j];
+        let xj = b[j];
+        for r in 0..j {
+            b[r] -= full[j * n + r] * xj;
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(size: usize, p_rows: usize, n: usize, nb: usize) {
+        let cfg = Hpl2dConfig { n, nb, p_rows };
+        let results = mp::run(size, |comm| run(comm, &cfg));
+        for r in &results {
+            assert!(
+                r.passed,
+                "size={size} P={p_rows} n={n} nb={nb}: residual {}",
+                r.residual
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_grid() {
+        check(1, 1, 48, 8);
+    }
+
+    #[test]
+    fn row_and_column_grids() {
+        check(4, 1, 64, 8); // 1x4: pure column distribution
+        check(4, 4, 64, 8); // 4x1: pure row distribution
+        check(4, 2, 64, 8); // 2x2: square grid
+    }
+
+    #[test]
+    fn rectangular_grids() {
+        check(6, 2, 60, 8); // 2x3
+        check(6, 3, 60, 8); // 3x2
+        check(8, 2, 64, 16); // 2x4, block = panel
+    }
+
+    #[test]
+    fn ragged_sizes() {
+        check(4, 2, 50, 7); // n not a multiple of nb or the grid
+        check(9, 3, 81, 9);
+    }
+
+    #[test]
+    fn near_square_grid_selection() {
+        assert_eq!(Hpl2dConfig::near_square(100, 8, 16).p_rows, 4);
+        assert_eq!(Hpl2dConfig::near_square(100, 8, 6).p_rows, 2);
+        assert_eq!(Hpl2dConfig::near_square(100, 8, 7).p_rows, 1, "prime worlds fall back to 1xN");
+        assert_eq!(Hpl2dConfig::near_square(100, 8, 1).p_rows, 1);
+    }
+
+    #[test]
+    fn matches_1d_variant_quality() {
+        // Both variants solve the same deterministic system; their
+        // residual quality must be comparable.
+        let r2d = mp::run(4, |comm| {
+            run(comm, &Hpl2dConfig { n: 64, nb: 8, p_rows: 2 })
+        })[0];
+        let r1d = mp::run(4, |comm| {
+            crate::hpl::run(comm, &crate::hpl::HplConfig { n: 64, nb: 8 })
+        })[0];
+        assert!(r2d.passed && r1d.passed);
+        assert!(r2d.residual < 16.0 && r1d.residual < 16.0);
+    }
+}

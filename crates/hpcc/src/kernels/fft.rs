@@ -1,0 +1,195 @@
+//! Radix-2 complex FFT kernel (the local compute of G-FFT).
+
+use std::ops::{Add, Mul, Sub};
+
+/// A double-precision complex number.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs `re + im*i`.
+    pub fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// `e^{i theta}`.
+    pub fn cis(theta: f64) -> Complex {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex { re: self.re, im: -self.im }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+/// In-place iterative radix-2 Cooley-Tukey FFT (decimation in time).
+/// `inverse` computes the unscaled inverse transform (divide by `n`
+/// afterwards to invert exactly). Length must be a power of two.
+pub fn fft(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly stages.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Floating-point operations of one radix-2 FFT of length `n`
+/// (HPCC's 5 n log2 n convention).
+pub fn fft_flops(n: usize) -> f64 {
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+/// Naive O(n^2) DFT for validation.
+pub fn dft_reference(data: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = data.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::default();
+            for (j, &x) in data.iter().enumerate() {
+                let theta = sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc = acc + x * Complex::cis(theta);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Complex::new((t * 0.7).sin() + 0.3, (t * 1.3).cos() * 0.5)
+            })
+            .collect()
+    }
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            let x = signal(n);
+            let expect = dft_reference(&x, false);
+            let mut got = x.clone();
+            fft(&mut got, false);
+            for (g, e) in got.iter().zip(&expect) {
+                assert!(close(*g, *e, 1e-8 * n as f64), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_is_identity() {
+        let n = 1024;
+        let x = signal(n);
+        let mut y = x.clone();
+        fft(&mut y, false);
+        fft(&mut y, true);
+        for (g, e) in y.iter().zip(&x) {
+            let scaled = Complex::new(g.re / n as f64, g.im / n as f64);
+            assert!(close(scaled, *e, 1e-10));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 512;
+        let x = signal(n);
+        let mut y = x.clone();
+        fft(&mut y, false);
+        let ex: f64 = x.iter().map(|c| c.abs() * c.abs()).sum();
+        let ey: f64 = y.iter().map(|c| c.abs() * c.abs()).sum::<f64>() / n as f64;
+        assert!((ex - ey).abs() < 1e-8 * ex);
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let n = 16;
+        let mut x = vec![Complex::default(); n];
+        x[0] = Complex::new(1.0, 0.0);
+        fft(&mut x, false);
+        for v in &x {
+            assert!(close(*v, Complex::new(1.0, 0.0), 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut x = signal(12);
+        fft(&mut x, false);
+    }
+}

@@ -1,0 +1,8 @@
+//! Compute kernels underlying the HPCC benchmarks: DGEMM, the STREAM
+//! vector operations, the radix-2 FFT and the RandomAccess update-stream
+//! generator.
+
+pub mod dgemm;
+pub mod fft;
+pub mod ra_rng;
+pub mod stream;

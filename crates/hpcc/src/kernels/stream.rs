@@ -1,0 +1,135 @@
+//! The STREAM kernels (McCalpin): sustainable memory bandwidth via four
+//! simple vector operations. Backs the EP-STREAM benchmark, "a synthetic
+//! benchmark program that measures sustainable memory bandwidth (in GB/s)
+//! and the corresponding computation rate for simple vector kernels".
+
+/// One STREAM kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StreamKernel {
+    /// `c[i] = a[i]` — 16 bytes/iteration.
+    Copy,
+    /// `b[i] = s * c[i]` — 16 bytes/iteration.
+    Scale,
+    /// `c[i] = a[i] + b[i]` — 24 bytes/iteration.
+    Add,
+    /// `a[i] = b[i] + s * c[i]` — 24 bytes/iteration.
+    Triad,
+}
+
+impl StreamKernel {
+    /// All four kernels in STREAM's canonical order.
+    pub const ALL: [StreamKernel; 4] =
+        [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad];
+
+    /// Bytes moved per element (STREAM's counting convention: one read
+    /// plus one write per operand actually touched).
+    pub fn bytes_per_element(self) -> usize {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => 16,
+            StreamKernel::Add | StreamKernel::Triad => 24,
+        }
+    }
+}
+
+/// Working arrays for the STREAM kernels.
+pub struct StreamArrays {
+    /// Operand/destination vectors.
+    pub a: Vec<f64>,
+    /// Operand/destination vectors.
+    pub b: Vec<f64>,
+    /// Operand/destination vectors.
+    pub c: Vec<f64>,
+}
+
+impl StreamArrays {
+    /// Allocates and initialises the canonical STREAM starting state
+    /// (a = 1, b = 2, c = 0).
+    pub fn new(len: usize) -> StreamArrays {
+        StreamArrays {
+            a: vec![1.0; len],
+            b: vec![2.0; len],
+            c: vec![0.0; len],
+        }
+    }
+
+    /// Runs one kernel over the arrays (scalar s = 3.0, as in STREAM).
+    pub fn run(&mut self, kernel: StreamKernel) {
+        const S: f64 = 3.0;
+        match kernel {
+            StreamKernel::Copy => {
+                for (c, a) in self.c.iter_mut().zip(&self.a) {
+                    *c = *a;
+                }
+            }
+            StreamKernel::Scale => {
+                for (b, c) in self.b.iter_mut().zip(&self.c) {
+                    *b = S * *c;
+                }
+            }
+            StreamKernel::Add => {
+                for ((c, a), b) in self.c.iter_mut().zip(&self.a).zip(&self.b) {
+                    *c = *a + *b;
+                }
+            }
+            StreamKernel::Triad => {
+                for ((a, b), c) in self.a.iter_mut().zip(&self.b).zip(&self.c) {
+                    *a = *b + S * *c;
+                }
+            }
+        }
+    }
+
+    /// STREAM's built-in solution check after running the canonical
+    /// sequence copy, scale, add, triad `iters` times.
+    pub fn verify(&self, iters: usize) -> Result<(), String> {
+        let (mut ea, mut eb, mut ec) = (1.0f64, 2.0f64, 0.0f64);
+        for _ in 0..iters {
+            ec = ea;
+            eb = 3.0 * ec;
+            ec = ea + eb;
+            ea = eb + 3.0 * ec;
+        }
+        for (name, arr, expect) in
+            [("a", &self.a, ea), ("b", &self.b, eb), ("c", &self.c, ec)]
+        {
+            for (i, v) in arr.iter().enumerate() {
+                if (v - expect).abs() > 1e-8 * expect.abs().max(1.0) {
+                    return Err(format!("array {name}[{i}] = {v}, expected {expect}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_sequence_verifies() {
+        let mut s = StreamArrays::new(1000);
+        for _ in 0..3 {
+            for k in StreamKernel::ALL {
+                s.run(k);
+            }
+        }
+        s.verify(3).unwrap();
+    }
+
+    #[test]
+    fn verify_catches_corruption() {
+        let mut s = StreamArrays::new(100);
+        for k in StreamKernel::ALL {
+            s.run(k);
+        }
+        s.c[42] += 1.0;
+        assert!(s.verify(1).unwrap_err().contains("c[42]"));
+    }
+
+    #[test]
+    fn byte_counts_match_stream_conventions() {
+        assert_eq!(StreamKernel::Copy.bytes_per_element(), 16);
+        assert_eq!(StreamKernel::Triad.bytes_per_element(), 24);
+    }
+}

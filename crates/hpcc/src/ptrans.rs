@@ -1,0 +1,135 @@
+//! G-PTRANS: parallel matrix transpose, `A = A + B^T`.
+//!
+//! "This benchmark heavily exercises the communication subsystem where
+//! pairs of processors communicate with each other simultaneously. It
+//! measures the total communications capacity of the network."
+//!
+//! Distribution: 1-D block by rows — rank `r` owns rows
+//! `[r*n/p, (r+1)*n/p)` of both A and B. Computing `A += B^T` requires,
+//! for my row block and rank `s`'s column range, the sub-block
+//! `B[rows_s][cols_me]` — a pairwise all-to-all of `(n/p)^2` tiles,
+//! exactly the simultaneous-pairs pattern the paper describes.
+
+use mp::Comm;
+
+/// Configuration: matrix order (must be divisible by the rank count).
+#[derive(Clone, Copy, Debug)]
+pub struct PtransConfig {
+    /// Matrix order.
+    pub n: usize,
+}
+
+/// Benchmark outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct PtransResult {
+    /// Matrix order.
+    pub n: usize,
+    /// Achieved rate in GB/s (8 n^2 bytes over the measured time).
+    pub gb_per_s: f64,
+    /// Wall time, seconds.
+    pub time_s: f64,
+    /// Max |error| against the analytically known result.
+    pub max_error: f64,
+    /// Whether verification passed.
+    pub passed: bool,
+}
+
+/// Deterministic element generators (distinct for A and B).
+fn a_elem(i: usize, j: usize) -> f64 {
+    crate::hpl::matrix_element(i, j + 1_000_003)
+}
+
+fn b_elem(i: usize, j: usize) -> f64 {
+    crate::hpl::matrix_element(i + 2_000_033, j)
+}
+
+/// Runs G-PTRANS on `comm`.
+pub fn run(comm: &Comm, cfg: &PtransConfig) -> PtransResult {
+    let n = cfg.n;
+    let p = comm.size();
+    let me = comm.rank();
+    assert!(n.is_multiple_of(p), "PTRANS requires n divisible by the rank count");
+    let rows = n / p;
+    let my0 = me * rows;
+
+    // Local row blocks, row-major.
+    let mut a: Vec<f64> = (0..rows * n)
+        .map(|k| a_elem(my0 + k / n, k % n))
+        .collect();
+    let b: Vec<f64> = (0..rows * n)
+        .map(|k| b_elem(my0 + k / n, k % n))
+        .collect();
+
+    comm.barrier();
+    let clock = mp::timer::Stopwatch::start();
+
+    // Pairwise tile exchange: in step s I trade tiles with partner
+    // (me + s) mod p / (me - s) mod p.
+    let mut tile = vec![0.0f64; rows * rows];
+    let mut incoming = vec![0.0f64; rows * rows];
+    for s in 0..p {
+        let dst = (me + s) % p;
+        let src = (me + p - s) % p;
+        // Tile for dst: my rows, dst's column range.
+        for r in 0..rows {
+            let off = r * n + dst * rows;
+            tile[r * rows..(r + 1) * rows].copy_from_slice(&b[off..off + rows]);
+        }
+        if dst == me {
+            incoming.copy_from_slice(&tile);
+        } else {
+            comm.sendrecv(&tile, dst, &mut incoming, src, 3);
+        }
+        // incoming = B[rows_src][cols_me]; A[my rows][cols_src] += its
+        // transpose.
+        for r in 0..rows {
+            for c in 0..rows {
+                a[r * n + src * rows + c] += incoming[c * rows + r];
+            }
+        }
+    }
+
+    let time_s = clock.elapsed_secs();
+
+    // Verify against the closed form A'[i][j] = a(i,j) + b(j,i).
+    let mut max_err = 0.0f64;
+    for r in 0..rows {
+        for j in 0..n {
+            let expect = a_elem(my0 + r, j) + b_elem(j, my0 + r);
+            max_err = max_err.max((a[r * n + j] - expect).abs());
+        }
+    }
+    let mut reduced = [max_err, time_s];
+    comm.allreduce(&mut reduced, mp::Op::Max);
+
+    let bytes = 8.0 * (n as f64) * (n as f64);
+    PtransResult {
+        n,
+        gb_per_s: bytes / reduced[1] / 1e9,
+        time_s: reduced[1],
+        max_error: reduced[0],
+        passed: reduced[0] < 1e-12,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_is_correct() {
+        for (p, n) in [(1, 16), (2, 16), (4, 32), (8, 64)] {
+            let results = mp::run(p, |comm| run(comm, &PtransConfig { n }));
+            for r in &results {
+                assert!(r.passed, "p={p} n={n}: max error {}", r.max_error);
+                assert!(r.gb_per_s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn rejects_indivisible_order() {
+        mp::run(3, |comm| run(comm, &PtransConfig { n: 16 }));
+    }
+}

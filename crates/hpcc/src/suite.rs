@@ -1,0 +1,176 @@
+//! Full-suite orchestration: runs every HPCC benchmark natively on the
+//! `mp` runtime and collects the summary the paper's analysis consumes.
+
+use mp::Comm;
+
+use crate::{ep, fft_dist, hpl, ptrans, random_access, ring};
+
+/// Native-run configuration, scaled for in-process execution.
+#[derive(Clone, Copy, Debug)]
+pub struct SuiteConfig {
+    /// HPL matrix order.
+    pub hpl_n: usize,
+    /// HPL panel width.
+    pub hpl_nb: usize,
+    /// PTRANS matrix order (divisible by the rank count).
+    pub ptrans_n: usize,
+    /// log2 of the RandomAccess table size.
+    pub ra_log2_size: u32,
+    /// STREAM vector length per rank.
+    pub stream_len: usize,
+    /// log2 of the global FFT length.
+    pub fft_log2_n: u32,
+    /// EP-DGEMM matrix order per rank.
+    pub dgemm_n: usize,
+    /// Ring message bytes.
+    pub ring_bytes: usize,
+    /// Use the 2-D process-grid HPL (near-square grid) instead of the
+    /// 1-D column-cyclic variant.
+    pub hpl_2d: bool,
+}
+
+impl SuiteConfig {
+    /// A configuration sized for quick in-process runs on `p` ranks.
+    pub fn small(p: usize) -> SuiteConfig {
+        SuiteConfig {
+            hpl_n: 96,
+            hpl_nb: 16,
+            ptrans_n: 16 * p,
+            ra_log2_size: 12,
+            stream_len: 200_000,
+            fft_log2_n: 12,
+            dgemm_n: 128,
+            ring_bytes: 100_000,
+            hpl_2d: false,
+        }
+    }
+}
+
+/// The suite summary: one row of the paper's analysis per configuration.
+/// All rates follow HPCC conventions (global values for G-*, per-CPU
+/// means for EP-*).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HpccSummary {
+    /// Ranks.
+    pub cpus: usize,
+    /// G-HPL, Gflop/s.
+    pub ghpl: f64,
+    /// G-PTRANS, GB/s.
+    pub ptrans: f64,
+    /// G-RandomAccess, GUP/s.
+    pub gups: f64,
+    /// EP-STREAM copy, GB/s per CPU.
+    pub stream_copy: f64,
+    /// EP-STREAM triad, GB/s per CPU.
+    pub stream_triad: f64,
+    /// G-FFT, Gflop/s.
+    pub gfft: f64,
+    /// EP-DGEMM, Gflop/s per CPU.
+    pub ep_dgemm: f64,
+    /// Random-ring bandwidth, GB/s per CPU.
+    pub ring_bw: f64,
+    /// Random-ring latency, microseconds.
+    pub ring_latency_us: f64,
+    /// Every benchmark's verification passed.
+    pub all_passed: bool,
+}
+
+/// Runs the complete HPCC suite on an existing communicator.
+pub fn run_on(comm: &Comm, cfg: &SuiteConfig) -> HpccSummary {
+    let p = comm.size();
+    let hplr = if cfg.hpl_2d {
+        crate::hpl2d::run(
+            comm,
+            &crate::hpl2d::Hpl2dConfig::near_square(cfg.hpl_n, cfg.hpl_nb, p),
+        )
+    } else {
+        hpl::run(comm, &hpl::HplConfig { n: cfg.hpl_n, nb: cfg.hpl_nb })
+    };
+    let ptr = ptrans::run(comm, &ptrans::PtransConfig { n: cfg.ptrans_n });
+    let rar = if p.is_power_of_two() {
+        Some(random_access::run(
+            comm,
+            &random_access::RandomAccessConfig {
+                log2_size: cfg.ra_log2_size,
+                updates_per_entry: 1,
+                batch: 512,
+            },
+        ))
+    } else {
+        None
+    };
+    let str = ep::stream(comm, &ep::StreamConfig { len: cfg.stream_len, iters: 2 });
+    let fftr = if p.is_power_of_two() {
+        Some(fft_dist::run(comm, &fft_dist::FftConfig { log2_n: cfg.fft_log2_n }))
+    } else {
+        None
+    };
+    let dg = ep::ep_dgemm(comm, &ep::DgemmConfig { n: cfg.dgemm_n, iters: 1 });
+    let rg = ring::run(
+        comm,
+        &ring::RingConfig { bw_bytes: cfg.ring_bytes, patterns: 2, iters: 2, seed: 0xBEEF },
+    );
+
+    HpccSummary {
+        cpus: p,
+        ghpl: hplr.gflops,
+        ptrans: ptr.gb_per_s,
+        gups: rar.map(|r| r.gups).unwrap_or(0.0),
+        stream_copy: str.copy,
+        stream_triad: str.triad,
+        gfft: fftr.map(|r| r.gflops).unwrap_or(0.0),
+        ep_dgemm: dg.gflops,
+        ring_bw: rg.random_bw,
+        ring_latency_us: rg.random_latency_us,
+        all_passed: hplr.passed
+            && ptr.passed
+            && rar.map(|r| r.passed).unwrap_or(true)
+            && str.passed
+            && fftr.map(|r| r.passed).unwrap_or(true)
+            && dg.passed,
+    }
+}
+
+/// Spawns `p` ranks and runs the complete suite natively on the host.
+pub fn run_native(p: usize, cfg: &SuiteConfig) -> HpccSummary {
+    let results = mp::run(p, |comm| run_on(comm, cfg));
+    results[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_suite_runs_and_verifies_on_4_ranks() {
+        let s = run_native(4, &SuiteConfig::small(4));
+        assert!(s.all_passed, "{s:?}");
+        assert!(s.ghpl > 0.0);
+        assert!(s.ptrans > 0.0);
+        assert!(s.gups > 0.0);
+        assert!(s.stream_copy > 0.0);
+        assert!(s.gfft > 0.0);
+        assert!(s.ep_dgemm > 0.0);
+        assert!(s.ring_bw > 0.0);
+        assert!(s.ring_latency_us > 0.0);
+        assert_eq!(s.cpus, 4);
+    }
+
+    #[test]
+    fn full_suite_with_2d_hpl() {
+        let mut cfg = SuiteConfig::small(4);
+        cfg.hpl_2d = true;
+        let s = run_native(4, &cfg);
+        assert!(s.all_passed, "{s:?}");
+        assert!(s.ghpl > 0.0);
+    }
+
+    #[test]
+    fn suite_skips_power_of_two_benchmarks_on_odd_worlds() {
+        let s = run_native(3, &SuiteConfig::small(3));
+        assert!(s.all_passed);
+        assert_eq!(s.gups, 0.0);
+        assert_eq!(s.gfft, 0.0);
+        assert!(s.ghpl > 0.0);
+    }
+}

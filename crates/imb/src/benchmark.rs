@@ -1,0 +1,207 @@
+//! The IMB 2.3 benchmark catalogue used in the paper: two single-transfer
+//! benchmarks, two parallel-transfer benchmarks and the collective
+//! benchmarks of Figs. 6-15.
+
+use std::fmt;
+
+/// An Intel MPI Benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Single transfer: strict ping-pong between two processes.
+    PingPong,
+    /// Single transfer: ping-pong "obstructed by oncoming messages".
+    PingPing,
+    /// Parallel transfer: periodic chain, send right / receive left.
+    Sendrecv,
+    /// Parallel transfer: exchange with both chain neighbours.
+    Exchange,
+    /// Collective: `MPI_Barrier`.
+    Barrier,
+    /// Collective: `MPI_Bcast`.
+    Bcast,
+    /// Collective: `MPI_Allgather`.
+    Allgather,
+    /// Collective: `MPI_Allgatherv`.
+    Allgatherv,
+    /// Collective: `MPI_Alltoall`.
+    Alltoall,
+    /// Collective: `MPI_Reduce`.
+    Reduce,
+    /// Collective: `MPI_Allreduce`.
+    Allreduce,
+    /// Collective: `MPI_Reduce_scatter`.
+    ReduceScatter,
+}
+
+/// IMB benchmark classification (paper Section 3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Class {
+    /// Single Transfer Benchmarks: one message between two processes.
+    SingleTransfer,
+    /// Parallel Transfer Benchmarks: concurrent pattern activity.
+    ParallelTransfer,
+    /// Collective Benchmarks: all processes participate.
+    Collective,
+}
+
+/// What the benchmark reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Time per call in microseconds (the smaller the better).
+    TimeUs,
+    /// Bandwidth in MB/s.
+    Bandwidth,
+}
+
+impl Benchmark {
+    /// All benchmarks, in the paper's presentation order (the "11 MPI
+    /// communication functions", plus PingPing which IMB bundles with
+    /// PingPong as the second single-transfer case).
+    pub const ALL: [Benchmark; 12] = [
+        Benchmark::PingPong,
+        Benchmark::PingPing,
+        Benchmark::Sendrecv,
+        Benchmark::Exchange,
+        Benchmark::Barrier,
+        Benchmark::Bcast,
+        Benchmark::Allgather,
+        Benchmark::Allgatherv,
+        Benchmark::Alltoall,
+        Benchmark::Reduce,
+        Benchmark::Allreduce,
+        Benchmark::ReduceScatter,
+    ];
+
+    /// The benchmark's IMB class.
+    pub fn class(self) -> Class {
+        match self {
+            Benchmark::PingPong | Benchmark::PingPing => Class::SingleTransfer,
+            Benchmark::Sendrecv | Benchmark::Exchange => Class::ParallelTransfer,
+            _ => Class::Collective,
+        }
+    }
+
+    /// What the paper's figure for this benchmark plots.
+    pub fn metric(self) -> Metric {
+        match self {
+            Benchmark::PingPong
+            | Benchmark::PingPing
+            | Benchmark::Sendrecv
+            | Benchmark::Exchange => Metric::Bandwidth,
+            _ => Metric::TimeUs,
+        }
+    }
+
+    /// Whether the benchmark takes a message size (Barrier does not).
+    pub fn sized(self) -> bool {
+        self != Benchmark::Barrier
+    }
+
+    /// Minimum number of processes.
+    pub fn min_procs(self) -> usize {
+        match self.class() {
+            Class::SingleTransfer => 2,
+            _ => 1,
+        }
+    }
+
+    /// IMB's bandwidth accounting: payload multiplier per reported byte
+    /// (PingPong 1x, Sendrecv 2x, Exchange 4x).
+    pub fn bandwidth_factor(self) -> f64 {
+        match self {
+            Benchmark::PingPong | Benchmark::PingPing => 1.0,
+            Benchmark::Sendrecv => 2.0,
+            Benchmark::Exchange => 4.0,
+            _ => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Benchmark::PingPong => "PingPong",
+            Benchmark::PingPing => "PingPing",
+            Benchmark::Sendrecv => "Sendrecv",
+            Benchmark::Exchange => "Exchange",
+            Benchmark::Barrier => "Barrier",
+            Benchmark::Bcast => "Bcast",
+            Benchmark::Allgather => "Allgather",
+            Benchmark::Allgatherv => "Allgatherv",
+            Benchmark::Alltoall => "Alltoall",
+            Benchmark::Reduce => "Reduce",
+            Benchmark::Allreduce => "Allreduce",
+            Benchmark::ReduceScatter => "Reduce_scatter",
+        };
+        f.write_str(name)
+    }
+}
+
+/// IMB's standard message-size grid: 0, 1, 2, 4, ..., 4194304 bytes.
+pub fn standard_sizes() -> Vec<u64> {
+    let mut v = vec![0u64];
+    let mut s = 1u64;
+    while s <= 4 * 1024 * 1024 {
+        v.push(s);
+        s <<= 1;
+    }
+    v
+}
+
+/// IMB's repetition-count rule: 1000 iterations, scaled down for large
+/// messages to bound total time.
+pub fn default_repetitions(bytes: u64) -> usize {
+    match bytes {
+        0..=4096 => 1000,
+        4097..=65536 => 640,
+        65537..=1048576 => 80,
+        _ => 20,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_covers_the_paper() {
+        assert_eq!(Benchmark::ALL.len(), 12);
+        let collectives = Benchmark::ALL
+            .iter()
+            .filter(|b| b.class() == Class::Collective)
+            .count();
+        assert_eq!(collectives, 8, "Figs. 6-12 and 15");
+    }
+
+    #[test]
+    fn metrics_match_figures() {
+        // Figs. 13-14 plot MB/s; Figs. 6-12 and 15 plot us/call.
+        assert_eq!(Benchmark::Sendrecv.metric(), Metric::Bandwidth);
+        assert_eq!(Benchmark::Exchange.metric(), Metric::Bandwidth);
+        assert_eq!(Benchmark::Alltoall.metric(), Metric::TimeUs);
+        assert_eq!(Benchmark::Barrier.metric(), Metric::TimeUs);
+    }
+
+    #[test]
+    fn size_grid_is_imb_standard() {
+        let sizes = standard_sizes();
+        assert_eq!(sizes[0], 0);
+        assert_eq!(sizes[1], 1);
+        assert_eq!(*sizes.last().unwrap(), 4 * 1024 * 1024);
+        assert_eq!(sizes.len(), 24);
+    }
+
+    #[test]
+    fn repetition_rule_decreases() {
+        assert_eq!(default_repetitions(1024), 1000);
+        assert!(default_repetitions(1 << 20) < default_repetitions(1 << 14));
+        assert_eq!(default_repetitions(4 << 20), 20);
+    }
+
+    #[test]
+    fn bandwidth_factors() {
+        assert_eq!(Benchmark::Exchange.bandwidth_factor(), 4.0);
+        assert_eq!(Benchmark::Sendrecv.bandwidth_factor(), 2.0);
+        assert_eq!(Benchmark::PingPong.bandwidth_factor(), 1.0);
+    }
+}

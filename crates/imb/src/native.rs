@@ -1,0 +1,268 @@
+//! Native execution of the IMB benchmarks on the `mp` runtime, following
+//! IMB's measurement conventions: warm-up, barrier-synchronised timed
+//! loop, per-rank average with min/avg/max reported across ranks, and
+//! root rotation for rooted collectives.
+
+use mp::{Comm, Op};
+
+use crate::benchmark::{Benchmark, Metric};
+
+/// One measurement row, as IMB prints it.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Which benchmark.
+    pub benchmark: Benchmark,
+    /// Number of processes.
+    pub procs: usize,
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Timed iterations.
+    pub iterations: usize,
+    /// Minimum per-rank average time, microseconds.
+    pub t_min_us: f64,
+    /// Mean per-rank average time, microseconds.
+    pub t_avg_us: f64,
+    /// Maximum per-rank average time, microseconds (the figure metric).
+    pub t_max_us: f64,
+    /// Bandwidth in MB/s for the transfer benchmarks.
+    pub bandwidth_mbs: Option<f64>,
+}
+
+/// Runs one benchmark natively over a fresh `procs`-rank world.
+pub fn run_native(benchmark: Benchmark, procs: usize, bytes: u64, iters: usize) -> Measurement {
+    assert!(procs >= benchmark.min_procs(), "{benchmark} needs more ranks");
+    let results = mp::run(procs, |comm| run_on(comm, benchmark, bytes, iters));
+    results[0]
+}
+
+/// Runs one benchmark on an existing communicator. Collective across the
+/// communicator; every rank returns the same measurement.
+pub fn run_on(comm: &Comm, benchmark: Benchmark, bytes: u64, iters: usize) -> Measurement {
+    assert!(iters > 0, "need at least one iteration");
+    let me = comm.rank();
+
+    // One untimed warm-up round, then a barrier, then the timed loop.
+    let mut state = BenchState::new(comm, benchmark, bytes);
+    state.iterate(comm, 0);
+    comm.barrier();
+    let clock = mp::timer::Stopwatch::start();
+    for it in 0..iters {
+        state.iterate(comm, it);
+    }
+    let elapsed = clock.elapsed_secs();
+    let participated = state.participates(comm);
+    let per_call = elapsed / iters as f64 * 1e6;
+
+    // IMB prints min/avg/max of the per-rank averages.
+    let mut maxv = [if participated { per_call } else { 0.0 }];
+    let mut minv = [if participated { per_call } else { f64::INFINITY }];
+    let mut sums = [
+        if participated { per_call } else { 0.0 },
+        if participated { 1.0 } else { 0.0 },
+    ];
+    comm.allreduce(&mut maxv, Op::Max);
+    comm.allreduce(&mut minv, Op::Min);
+    comm.allreduce(&mut sums, Op::Sum);
+    let t_max = maxv[0];
+    let t_min = minv[0];
+    let t_avg = sums[0] / sums[1].max(1.0);
+
+    let bandwidth = match benchmark.metric() {
+        Metric::Bandwidth => {
+            let factor = benchmark.bandwidth_factor();
+            let per_call_s = t_max / 1e6;
+            // PingPong's reported time is the full round trip; IMB
+            // divides by 2 for the one-way bandwidth.
+            let t_one_way = if benchmark == Benchmark::PingPong {
+                per_call_s / 2.0
+            } else {
+                per_call_s
+            };
+            Some(factor.max(1.0) * bytes as f64 / t_one_way / 1e6)
+        }
+        Metric::TimeUs => None,
+    };
+
+    let _ = me;
+    Measurement {
+        benchmark,
+        procs: comm.size(),
+        bytes,
+        iterations: iters,
+        t_min_us: t_min,
+        t_avg_us: t_avg,
+        t_max_us: t_max,
+        bandwidth_mbs: bandwidth,
+    }
+}
+
+/// Builds the preallocated state for one benchmark (shared with the
+/// virtual-execution mode).
+pub(crate) fn bench_state(comm: &Comm, benchmark: Benchmark, bytes: u64) -> BenchState {
+    BenchState::new(comm, benchmark, bytes)
+}
+
+/// Runs one iteration of a benchmark (shared with virtual execution).
+pub(crate) fn bench_iterate(state: &mut BenchState, comm: &Comm, iter: usize) {
+    state.iterate(comm, iter);
+}
+
+/// Preallocated buffers + the per-iteration body for one benchmark.
+pub(crate) struct BenchState {
+    benchmark: Benchmark,
+    bytes: usize,
+    sbuf: Vec<u8>,
+    rbuf: Vec<u8>,
+    fsend: Vec<f64>,
+    frecv: Vec<f64>,
+    counts: Vec<usize>,
+}
+
+impl BenchState {
+    fn new(comm: &Comm, benchmark: Benchmark, bytes: u64) -> BenchState {
+        let n = comm.size();
+        let bytes = bytes as usize;
+        let words = bytes / 8;
+        let (sbuf, rbuf, fsend, frecv, counts) = match benchmark {
+            Benchmark::PingPong | Benchmark::PingPing => {
+                (vec![1u8; bytes], vec![0u8; bytes], vec![], vec![], vec![])
+            }
+            Benchmark::Sendrecv | Benchmark::Exchange => {
+                (vec![1u8; bytes], vec![0u8; bytes], vec![], vec![], vec![])
+            }
+            Benchmark::Barrier => (vec![], vec![], vec![], vec![], vec![]),
+            Benchmark::Bcast => (vec![1u8; bytes], vec![], vec![], vec![], vec![]),
+            Benchmark::Allgather | Benchmark::Allgatherv => {
+                (vec![1u8; bytes], vec![0u8; bytes * n], vec![], vec![], vec![bytes; n])
+            }
+            Benchmark::Alltoall => {
+                (vec![1u8; bytes * n], vec![0u8; bytes * n], vec![], vec![], vec![])
+            }
+            Benchmark::Reduce | Benchmark::Allreduce => {
+                (vec![], vec![], vec![0.5f64; words], vec![0.0f64; words], vec![])
+            }
+            Benchmark::ReduceScatter => {
+                // X bytes reduced, X/N scattered; distribute remainders.
+                let counts: Vec<usize> =
+                    (0..n).map(|i| words / n + usize::from(i < words % n)).collect();
+                let mine = counts[comm.rank()];
+                (vec![], vec![], vec![0.5f64; words], vec![0.0f64; mine], counts)
+            }
+        };
+        BenchState { benchmark, bytes, sbuf, rbuf, fsend, frecv, counts }
+    }
+
+    /// Whether this rank takes part (single-transfer benchmarks only use
+    /// the first two ranks; everything else is communicator-wide).
+    fn participates(&self, comm: &Comm) -> bool {
+        match self.benchmark {
+            Benchmark::PingPong | Benchmark::PingPing => comm.rank() < 2,
+            _ => true,
+        }
+    }
+
+    fn iterate(&mut self, comm: &Comm, iter: usize) {
+        let n = comm.size();
+        let me = comm.rank();
+        const TAG: mp::Tag = 40;
+        match self.benchmark {
+            Benchmark::PingPong => {
+                if me == 0 {
+                    comm.send(&self.sbuf, 1, TAG);
+                    comm.recv(&mut self.rbuf, 1, TAG);
+                } else if me == 1 {
+                    comm.recv(&mut self.rbuf, 0, TAG);
+                    comm.send(&self.sbuf, 0, TAG);
+                }
+            }
+            Benchmark::PingPing => {
+                if me < 2 {
+                    let peer = 1 - me;
+                    comm.send(&self.sbuf, peer, TAG);
+                    comm.recv(&mut self.rbuf, peer, TAG);
+                }
+            }
+            Benchmark::Sendrecv => {
+                let right = (me + 1) % n;
+                let left = (me + n - 1) % n;
+                comm.sendrecv(&self.sbuf, right, &mut self.rbuf, left, TAG);
+            }
+            Benchmark::Exchange => {
+                let right = (me + 1) % n;
+                let left = (me + n - 1) % n;
+                comm.isend(&self.sbuf, left, TAG);
+                comm.isend(&self.sbuf, right, TAG);
+                comm.recv(&mut self.rbuf, left, TAG);
+                comm.recv(&mut self.rbuf, right, TAG);
+            }
+            Benchmark::Barrier => comm.barrier(),
+            Benchmark::Bcast => comm.bcast(&mut self.sbuf, iter % n),
+            Benchmark::Allgather => comm.allgather(&self.sbuf, &mut self.rbuf),
+            Benchmark::Allgatherv => {
+                comm.allgatherv(&self.sbuf, &mut self.rbuf, &self.counts)
+            }
+            Benchmark::Alltoall => comm.alltoall(&self.sbuf, &mut self.rbuf),
+            Benchmark::Reduce => {
+                let root = iter % n;
+                let recv = (me == root).then_some(self.frecv.as_mut_slice());
+                comm.reduce(&self.fsend, recv, root, Op::Sum);
+            }
+            Benchmark::Allreduce => {
+                self.frecv.copy_from_slice(&self.fsend);
+                comm.allreduce(&mut self.frecv, Op::Sum);
+            }
+            Benchmark::ReduceScatter => {
+                comm.reduce_scatter(&self.fsend, &mut self.frecv, &self.counts, Op::Sum);
+            }
+        }
+        let _ = self.bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::Benchmark;
+
+    #[test]
+    fn every_benchmark_runs_natively() {
+        for b in Benchmark::ALL {
+            let p = b.min_procs().max(4);
+            let m = run_native(b, p, 4096, 3);
+            assert!(m.t_max_us > 0.0, "{b}: zero time");
+            assert!(m.t_min_us <= m.t_avg_us && m.t_avg_us <= m.t_max_us, "{b}");
+            assert_eq!(m.procs, p);
+            match b.metric() {
+                Metric::Bandwidth => assert!(m.bandwidth_mbs.unwrap() > 0.0, "{b}"),
+                Metric::TimeUs => assert!(m.bandwidth_mbs.is_none(), "{b}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_byte_messages_work() {
+        for b in [Benchmark::PingPong, Benchmark::Bcast, Benchmark::Alltoall] {
+            let m = run_native(b, 2, 0, 2);
+            assert!(m.t_max_us >= 0.0);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_with_indivisible_sizes() {
+        // 100 words over 3 ranks: counts 34/33/33.
+        let m = run_native(Benchmark::ReduceScatter, 3, 800, 2);
+        assert!(m.t_max_us > 0.0);
+    }
+
+    #[test]
+    fn barrier_ignores_message_size() {
+        let m = run_native(Benchmark::Barrier, 4, 0, 5);
+        assert!(m.t_max_us > 0.0);
+    }
+
+    #[test]
+    fn pingpong_only_times_first_two_ranks() {
+        let m = run_native(Benchmark::PingPong, 4, 1024, 3);
+        assert!(m.t_min_us > 0.0, "idle ranks must not drag the min to 0");
+    }
+}

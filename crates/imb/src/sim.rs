@@ -1,0 +1,165 @@
+//! Simulated IMB measurements: the same benchmarks priced on a
+//! [`machines::Machine`] model via the schedule generators. This is what
+//! regenerates Figs. 6-15.
+
+use machines::{ClusterSim, Machine};
+use mp::sched;
+use simnet::Schedule;
+
+use crate::benchmark::{Benchmark, Metric};
+use crate::native::Measurement;
+
+/// The communication schedule of one benchmark invocation.
+pub fn schedule_for(benchmark: Benchmark, procs: usize, bytes: u64) -> Schedule {
+    match benchmark {
+        Benchmark::PingPong => sched::p2p::ping_pong(bytes),
+        Benchmark::PingPing => sched::p2p::ping_ping(bytes),
+        Benchmark::Sendrecv => sched::p2p::sendrecv(procs, bytes),
+        Benchmark::Exchange => sched::p2p::exchange(procs, bytes),
+        Benchmark::Barrier => sched::barrier::auto(procs),
+        Benchmark::Bcast => sched::bcast::auto(procs, 0, bytes),
+        Benchmark::Allgather => sched::allgather::auto(procs, bytes),
+        Benchmark::Allgatherv => sched::allgatherv::auto(&vec![bytes; procs]),
+        Benchmark::Alltoall => sched::alltoall::auto(procs, bytes),
+        Benchmark::Reduce => sched::reduce::auto(procs, 0, bytes, 8),
+        Benchmark::Allreduce => sched::allreduce::auto(procs, bytes, 8),
+        Benchmark::ReduceScatter => {
+            sched::reduce_scatter::block_auto(procs, bytes / procs as u64, 8)
+        }
+    }
+}
+
+/// Prices one benchmark invocation on `machine` at `procs` ranks.
+/// Returns a [`Measurement`] in the same shape as a native run (per-call
+/// time; min = avg = max since the model is deterministic).
+pub fn simulate(machine: &Machine, benchmark: Benchmark, procs: usize, bytes: u64) -> Measurement {
+    assert!(procs >= benchmark.min_procs(), "{benchmark} needs more ranks");
+    // Single-transfer benchmarks only ever involve the first two ranks.
+    let sched_procs = match benchmark.class() {
+        crate::benchmark::Class::SingleTransfer => 2,
+        _ => procs,
+    };
+    let sim = ClusterSim::new(machine, sched_procs);
+    let schedule = schedule_for(benchmark, sched_procs, bytes);
+    // IMB reports the average over many iterations; the cold first pass
+    // over-counts start-up skew, so measure the steady-state (marginal)
+    // cost of a second pass after a warm-up.
+    let warm = sim.run(&schedule);
+    let t = sim.run(&schedule) - warm;
+    let t_us = t.as_us();
+
+    let bandwidth = match benchmark.metric() {
+        Metric::Bandwidth => {
+            let t_one_way = if benchmark == Benchmark::PingPong {
+                t.as_secs() / 2.0
+            } else {
+                t.as_secs()
+            };
+            Some(benchmark.bandwidth_factor().max(1.0) * bytes as f64 / t_one_way / 1e6)
+        }
+        Metric::TimeUs => None,
+    };
+
+    Measurement {
+        benchmark,
+        procs,
+        bytes,
+        iterations: 1,
+        t_min_us: t_us,
+        t_avg_us: t_us,
+        t_max_us: t_us,
+        bandwidth_mbs: bandwidth,
+    }
+}
+
+/// The paper's processor-count grid for the IMB figures: powers of two
+/// from 2 up to the installation's size (576 rather than 512 for the NEC
+/// SX-8, as in the paper's runs).
+pub fn proc_grid(machine: &Machine) -> Vec<usize> {
+    let mut grid = Vec::new();
+    let mut p = 2;
+    while p <= machine.max_cpus && p <= 512 {
+        grid.push(p);
+        p *= 2;
+    }
+    if machine.max_cpus == 576 {
+        grid.push(576);
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machines::systems::*;
+    use simnet::units::MIB;
+
+    #[test]
+    fn every_benchmark_simulates_on_every_machine() {
+        for m in all_variants() {
+            for b in Benchmark::ALL {
+                let p = 8.min(m.max_cpus);
+                let meas = simulate(&m, b, p, 4096);
+                assert!(meas.t_max_us > 0.0, "{b} on {}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_allreduce_vector_systems_win_at_1mb() {
+        // "Both vector systems are clearly the winner, with NEC SX-8
+        // superior to Cray X1" (Fig. 7); worst is the Opteron/Myrinet.
+        let p = 16;
+        let sx8 = simulate(&nec_sx8(), Benchmark::Allreduce, p, MIB).t_max_us;
+        let x1 = simulate(&cray_x1_msp(), Benchmark::Allreduce, p, MIB).t_max_us;
+        let opteron = simulate(&cray_opteron(), Benchmark::Allreduce, p, MIB).t_max_us;
+        let xeon = simulate(&dell_xeon(), Benchmark::Allreduce, p, MIB).t_max_us;
+        assert!(sx8 < x1, "SX-8 {sx8} !< X1 {x1}");
+        assert!(x1 < xeon, "X1 {x1} !< Xeon {xeon}");
+        assert!(xeon < opteron, "Xeon {xeon} !< Opteron {opteron}");
+    }
+
+    #[test]
+    fn fig12_alltoall_ordering_at_1mb() {
+        // Fig. 12: NEC SX-8 > Cray X1 > SGI Altix BX2 > Dell Xeon >
+        // Cray Opteron (time: smaller is better in that order).
+        let p = 16;
+        let t = |m: &machines::Machine| simulate(m, Benchmark::Alltoall, p, MIB).t_max_us;
+        let sx8 = t(&nec_sx8());
+        let x1 = t(&cray_x1_msp());
+        let bx2 = t(&altix_bx2());
+        let xeon = t(&dell_xeon());
+        let opt = t(&cray_opteron());
+        assert!(sx8 < x1 && x1 < bx2 && bx2 < xeon && xeon < opt,
+            "ordering violated: sx8={sx8} x1={x1} bx2={bx2} xeon={xeon} opt={opt}");
+    }
+
+    #[test]
+    fn fig13_sendrecv_two_proc_anchors() {
+        // Paper: SX-8 47.4 GB/s, Cray X1 (SSP) 7.6 GB/s at 2 processes.
+        let sx8 = simulate(&nec_sx8(), Benchmark::Sendrecv, 2, MIB)
+            .bandwidth_mbs
+            .unwrap();
+        assert!((sx8 - 47_400.0).abs() / 47_400.0 < 0.2, "SX-8 {sx8} MB/s");
+        let x1 = simulate(&cray_x1_ssp(), Benchmark::Sendrecv, 2, MIB)
+            .bandwidth_mbs
+            .unwrap();
+        assert!((x1 - 7_600.0).abs() / 7_600.0 < 0.25, "X1 SSP {x1} MB/s");
+    }
+
+    #[test]
+    fn fig6_barrier_grows_with_procs() {
+        let m = dell_xeon();
+        let t8 = simulate(&m, Benchmark::Barrier, 8, 0).t_max_us;
+        let t128 = simulate(&m, Benchmark::Barrier, 128, 0).t_max_us;
+        assert!(t128 > t8);
+    }
+
+    #[test]
+    fn proc_grid_respects_installation_sizes() {
+        assert_eq!(proc_grid(&cray_opteron()), vec![2, 4, 8, 16, 32, 64, 128]);
+        let sx8 = proc_grid(&nec_sx8());
+        assert_eq!(*sx8.last().unwrap(), 576);
+        assert!(proc_grid(&altix_bx2()).contains(&512));
+    }
+}

@@ -1,0 +1,110 @@
+//! Virtual execution of the IMB benchmarks: the *real* benchmark code
+//! (same per-iteration bodies as [`crate::native`]) running on a
+//! modelled machine via [`mp::run_virtual`], timed by virtual clocks.
+//!
+//! This is the third mode beside native timing and schedule-replay
+//! simulation; integration tests cross-validate it against
+//! [`crate::sim::simulate`], closing the loop between "what the program
+//! does" and "what the model prices".
+
+use machines::{Machine, SharedClusterNet};
+
+use crate::benchmark::{Benchmark, Metric};
+use crate::native::Measurement;
+
+/// Runs `benchmark` on `procs` ranks of the modelled `machine`,
+/// executing the real benchmark code under virtual time.
+pub fn run_virtual(
+    machine: &Machine,
+    benchmark: Benchmark,
+    procs: usize,
+    bytes: u64,
+    iters: usize,
+) -> Measurement {
+    assert!(procs >= benchmark.min_procs(), "{benchmark} needs more ranks");
+    assert!(iters > 0);
+    let net = SharedClusterNet::new(machine, procs);
+    let (per_rank, _clocks) = mp::run_virtual(procs, Box::new(net), |comm| {
+        let mut state = crate::native::bench_state(comm, benchmark, bytes);
+        // Warm-up pass, then align clocks and time the loop virtually.
+        crate::native::bench_iterate(&mut state, comm, 0);
+        let t0 = comm.v_sync();
+        for it in 0..iters {
+            crate::native::bench_iterate(&mut state, comm, it);
+        }
+        let t1 = comm.v_sync();
+        (t1 - t0).as_us() / iters as f64
+    });
+    let t_max = per_rank.iter().copied().fold(0.0, f64::max);
+    let t_min = per_rank.iter().copied().fold(f64::INFINITY, f64::min);
+    let t_avg = per_rank.iter().sum::<f64>() / per_rank.len() as f64;
+
+    let bandwidth = match benchmark.metric() {
+        Metric::Bandwidth => {
+            let t_one_way = if benchmark == Benchmark::PingPong {
+                t_max / 2.0
+            } else {
+                t_max
+            } / 1e6;
+            Some(benchmark.bandwidth_factor().max(1.0) * bytes as f64 / t_one_way / 1e6)
+        }
+        Metric::TimeUs => None,
+    };
+    Measurement {
+        benchmark,
+        procs,
+        bytes,
+        iterations: iters,
+        t_min_us: t_min,
+        t_avg_us: t_avg,
+        t_max_us: t_max,
+        bandwidth_mbs: bandwidth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machines::systems::{dell_xeon, nec_sx8};
+
+    #[test]
+    fn every_benchmark_runs_virtually() {
+        let m = dell_xeon();
+        for b in Benchmark::ALL {
+            let p = b.min_procs().max(4);
+            let meas = run_virtual(&m, b, p, 8192, 2);
+            assert!(meas.t_max_us > 0.0, "{b}");
+        }
+    }
+
+    #[test]
+    fn virtual_times_reflect_the_machine_not_the_host() {
+        // The same program on a 10x-faster fabric must report a smaller
+        // virtual time, regardless of host speed.
+        let sx8 = run_virtual(&nec_sx8(), Benchmark::Allreduce, 8, 1 << 20, 2);
+        let xeon = run_virtual(&dell_xeon(), Benchmark::Allreduce, 8, 1 << 20, 2);
+        assert!(
+            sx8.t_max_us < xeon.t_max_us / 2.0,
+            "SX-8 {} vs Xeon {}",
+            sx8.t_max_us,
+            xeon.t_max_us
+        );
+    }
+
+    #[test]
+    fn virtual_execution_tracks_schedule_simulation() {
+        // The executed program and its generated schedule price within a
+        // small factor of each other (they share the same pricing model;
+        // differences come from cold-start and thread interleaving).
+        let m = dell_xeon();
+        for b in [Benchmark::Allreduce, Benchmark::Alltoall, Benchmark::Bcast] {
+            let executed = run_virtual(&m, b, 8, 1 << 20, 3).t_max_us;
+            let scheduled = crate::sim::simulate(&m, b, 8, 1 << 20).t_max_us;
+            let ratio = executed / scheduled;
+            assert!(
+                (0.4..2.5).contains(&ratio),
+                "{b}: executed {executed} vs scheduled {scheduled} (ratio {ratio})"
+            );
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! The machine models of the paper's five systems (Table 2), plus the
+//! NUMALINK3 Altix variant and the Cray X1 SSP mode the figures include.
+
+mod altix;
+mod cray_opteron;
+mod cray_x1;
+mod dell_xeon;
+pub mod future;
+mod nec_sx8;
+
+pub use altix::{altix_bx2, altix_nl3};
+pub use cray_opteron::cray_opteron;
+pub use cray_x1::{cray_x1_msp, cray_x1_ssp};
+pub use dell_xeon::dell_xeon;
+pub use future::future_systems;
+pub use nec_sx8::nec_sx8;
+
+use crate::model::Machine;
+
+/// The five systems of Table 2 (Cray X1 in MSP mode).
+pub fn paper_systems() -> Vec<Machine> {
+    vec![
+        altix_bx2(),
+        cray_x1_msp(),
+        cray_opteron(),
+        dell_xeon(),
+        nec_sx8(),
+    ]
+}
+
+/// Every model variant the figures use: the five systems plus the Cray X1
+/// SSP mode and the Altix NUMALINK3 configuration.
+pub fn all_variants() -> Vec<Machine> {
+    vec![
+        altix_bx2(),
+        altix_nl3(),
+        cray_x1_msp(),
+        cray_x1_ssp(),
+        cray_opteron(),
+        dell_xeon(),
+        nec_sx8(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SystemClass;
+
+    #[test]
+    fn all_models_validate() {
+        for m in all_variants() {
+            m.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn paper_has_five_systems_two_vector() {
+        let systems = paper_systems();
+        assert_eq!(systems.len(), 5);
+        let vectors = systems
+            .iter()
+            .filter(|m| m.class == SystemClass::Vector)
+            .count();
+        assert_eq!(vectors, 2, "Cray X1 and NEC SX-8 are the vector systems");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all_variants().iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all_variants().len());
+    }
+
+    #[test]
+    fn vector_systems_have_order_of_magnitude_memory_advantage() {
+        // The premise behind Figs. 7-9's vector/scalar clustering.
+        let sx8 = nec_sx8();
+        let xeon = dell_xeon();
+        assert!(sx8.node.stream_bw > 10.0 * xeon.node.stream_bw);
+    }
+}

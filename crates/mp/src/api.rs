@@ -1,0 +1,209 @@
+//! High-level collective methods on [`Comm`], dispatching to the
+//! auto-selected algorithms in [`crate::coll`].
+
+use crate::coll;
+use crate::comm::Comm;
+use crate::datatype::Word;
+use crate::reduce::{Numeric, Op};
+
+impl Comm {
+    /// Synchronises all ranks (`MPI_Barrier`).
+    pub fn barrier(&self) {
+        coll::barrier::auto(self);
+    }
+
+    /// Broadcasts `buf` from `root` to every rank (`MPI_Bcast`).
+    pub fn bcast<T: Word>(&self, buf: &mut [T], root: usize) {
+        coll::bcast::auto(self, buf, root);
+    }
+
+    /// Gathers one equal block per rank to `root` (`MPI_Gather`).
+    /// `recv` must be `Some` (of length `n * send.len()`) exactly at the root.
+    pub fn gather<T: Word>(&self, send: &[T], recv: Option<&mut [T]>, root: usize) {
+        coll::gather::auto(self, send, recv, root);
+    }
+
+    /// Scatters equal blocks from `root` (`MPI_Scatter`).
+    /// `send` must be `Some` (of length `n * recv.len()`) exactly at the root.
+    pub fn scatter<T: Word>(&self, send: Option<&[T]>, recv: &mut [T], root: usize) {
+        coll::scatter::auto(self, send, recv, root);
+    }
+
+    /// Gathers one equal block per rank to every rank (`MPI_Allgather`).
+    pub fn allgather<T: Word>(&self, send: &[T], recv: &mut [T]) {
+        coll::allgather::auto(self, send, recv);
+    }
+
+    /// Vector allgather with per-rank counts (`MPI_Allgatherv`).
+    pub fn allgatherv<T: Word>(&self, send: &[T], recv: &mut [T], counts: &[usize]) {
+        coll::allgatherv::auto(self, send, recv, counts);
+    }
+
+    /// Personalised all-to-all exchange (`MPI_Alltoall`): block `d` of
+    /// `send` goes to rank `d`; block `s` of `recv` arrives from rank `s`.
+    pub fn alltoall<T: Word>(&self, send: &[T], recv: &mut [T]) {
+        coll::alltoall::auto(self, send, recv);
+    }
+
+    /// Reduces element-wise to `root` (`MPI_Reduce`).
+    /// `recv` must be `Some` exactly at the root.
+    pub fn reduce<T: Numeric>(&self, send: &[T], recv: Option<&mut [T]>, root: usize, op: Op) {
+        coll::reduce::auto(self, send, recv, root, op);
+    }
+
+    /// Reduces element-wise, result on every rank (`MPI_Allreduce`).
+    /// Operates in place on `buf`.
+    pub fn allreduce<T: Numeric>(&self, buf: &mut [T], op: Op) {
+        coll::allreduce::auto(self, buf, op);
+    }
+
+    /// Reduce + scatter of equal blocks (`MPI_Reduce_scatter_block`):
+    /// `send` holds `n` blocks of `recv.len()`; `recv` gets this rank's
+    /// fully-reduced block.
+    pub fn reduce_scatter_block<T: Numeric>(&self, send: &[T], recv: &mut [T], op: Op) {
+        coll::reduce_scatter::block_auto(self, send, recv, op);
+    }
+
+    /// Reduce + scatter with per-rank counts (`MPI_Reduce_scatter`).
+    pub fn reduce_scatter<T: Numeric>(
+        &self,
+        send: &[T],
+        recv: &mut [T],
+        counts: &[usize],
+        op: Op,
+    ) {
+        coll::reduce_scatter::auto(self, send, recv, counts, op);
+    }
+
+    /// Inclusive prefix reduction (`MPI_Scan`), in place.
+    pub fn scan<T: Numeric>(&self, buf: &mut [T], op: Op) {
+        coll::scan::auto(self, buf, op);
+    }
+
+    /// Exclusive prefix reduction (`MPI_Exscan`), in place; rank 0 gets
+    /// the operation's identity.
+    pub fn exscan<T: Numeric>(&self, buf: &mut [T], op: Op) {
+        coll::scan::exscan(self, buf, op);
+    }
+
+    /// Vector all-to-all with per-pair counts (`MPI_Alltoallv`).
+    pub fn alltoallv<T: Word>(
+        &self,
+        send: &[T],
+        send_counts: &[usize],
+        recv: &mut [T],
+        recv_counts: &[usize],
+    ) {
+        coll::alltoallv::auto(self, send, send_counts, recv, recv_counts);
+    }
+
+    /// Vector gather with per-rank counts (`MPI_Gatherv`).
+    pub fn gatherv<T: Word>(
+        &self,
+        send: &[T],
+        recv: Option<&mut [T]>,
+        counts: &[usize],
+        root: usize,
+    ) {
+        coll::gatherv::gatherv(self, send, recv, counts, root);
+    }
+
+    /// Vector scatter with per-rank counts (`MPI_Scatterv`).
+    pub fn scatterv<T: Word>(
+        &self,
+        send: Option<&[T]>,
+        recv: &mut [T],
+        counts: &[usize],
+        root: usize,
+    ) {
+        coll::gatherv::scatterv(self, send, recv, counts, root);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::run;
+    use crate::Op;
+
+    /// Smoke-test the whole method surface in one SPMD program, mixing
+    /// collectives back-to-back the way real applications do.
+    #[test]
+    fn collective_method_surface() {
+        let n = 6;
+        run(n, |comm| {
+            let me = comm.rank();
+
+            let mut b = vec![0u64; 4];
+            if me == 2 {
+                b = vec![9, 8, 7, 6];
+            }
+            comm.bcast(&mut b, 2);
+            assert_eq!(b, vec![9, 8, 7, 6]);
+
+            let mut sum = vec![me as f64];
+            comm.allreduce(&mut sum, Op::Sum);
+            assert_eq!(sum[0], 15.0);
+
+            let mut all = vec![0u64; n];
+            comm.allgather(&[me as u64], &mut all);
+            assert_eq!(all, (0..n as u64).collect::<Vec<_>>());
+
+            let send: Vec<u64> = (0..n as u64).map(|d| d * 10 + me as u64).collect();
+            let mut recv = vec![0u64; n];
+            comm.alltoall(&send, &mut recv);
+            let expect: Vec<u64> = (0..n as u64).map(|s| (me as u64) * 10 + s).collect();
+            assert_eq!(recv, expect);
+
+            comm.barrier();
+
+            let mut slice = [0.0f64; 2];
+            let send: Vec<f64> = (0..2 * n).map(|i| i as f64).collect();
+            comm.reduce_scatter_block(&send, &mut slice, Op::Sum);
+            assert_eq!(slice[0], (2 * me) as f64 * n as f64);
+        });
+    }
+
+    #[test]
+    fn split_into_halves() {
+        let n = 8;
+        let results = run(n, |comm| {
+            let color = (comm.rank() < n / 2) as u32;
+            let sub = comm.split(color, comm.rank() as i64);
+            let mut x = vec![1u64];
+            sub.allreduce(&mut x, Op::Sum);
+            (sub.size(), sub.rank(), x[0])
+        });
+        for (r, (size, sub_rank, count)) in results.iter().enumerate() {
+            assert_eq!(*size, n / 2);
+            assert_eq!(*count, (n / 2) as u64);
+            assert_eq!(*sub_rank, r % (n / 2));
+        }
+    }
+
+    #[test]
+    fn split_with_reversed_keys() {
+        let results = run(4, |comm| {
+            let sub = comm.split(0, -(comm.rank() as i64));
+            sub.rank()
+        });
+        assert_eq!(results, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn dup_has_isolated_tag_space() {
+        run(3, |comm| {
+            let d = comm.dup();
+            // Interleave traffic on both communicators with equal tags.
+            if comm.rank() == 0 {
+                comm.send(&[1u8], 1, 5);
+                d.send(&[2u8], 1, 5);
+            } else if comm.rank() == 1 {
+                let mut a = [0u8];
+                let mut b = [0u8];
+                d.recv(&mut b, 0, 5);
+                comm.recv(&mut a, 0, 5);
+                assert_eq!((a[0], b[0]), (1, 2));
+            }
+        });
+    }
+}

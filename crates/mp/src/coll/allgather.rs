@@ -1,0 +1,121 @@
+//! Allgather (`MPI_Allgather`, IMB `Allgather`, paper Fig. 10).
+
+use crate::comm::Comm;
+use crate::datatype::{decode_into, encode, Word};
+
+use super::LONG_MSG_THRESHOLD;
+
+/// Ring allgather: `n-1` rounds; each round every rank passes one block to
+/// its right neighbour. Bandwidth-optimal for long blocks and valid for any
+/// group size.
+pub fn ring<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
+    let n = comm.size();
+    let tag = comm.next_coll_tag();
+    let block = send.len();
+    assert_eq!(recv.len(), block * n, "allgather receive buffer size mismatch");
+    let me = comm.rank();
+    recv[me * block..(me + 1) * block].copy_from_slice(send);
+    if n == 1 {
+        return;
+    }
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    for k in 0..n - 1 {
+        let send_block = (me + n - k) % n;
+        let recv_block = (me + n - k - 1) % n;
+        let out = encode(&recv[send_block * block..(send_block + 1) * block]);
+        let bytes = comm.sendrecv_bytes_coll(out, right, left, tag);
+        decode_into(&bytes, &mut recv[recv_block * block..(recv_block + 1) * block]);
+    }
+}
+
+/// Recursive-doubling allgather: `log2 n` rounds, doubling the gathered
+/// span each round. Latency-optimal; requires a power-of-two group (the
+/// dispatcher falls back to [`ring`] otherwise).
+pub fn recursive_doubling<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
+    let n = comm.size();
+    assert!(n.is_power_of_two(), "recursive doubling needs 2^k ranks");
+    let tag = comm.next_coll_tag();
+    let block = send.len();
+    assert_eq!(recv.len(), block * n, "allgather receive buffer size mismatch");
+    let me = comm.rank();
+    recv[me * block..(me + 1) * block].copy_from_slice(send);
+
+    let mut span = 1;
+    while span < n {
+        let partner = me ^ span;
+        let base = me & !(span - 1); // start of the 2^k-aligned group I hold
+        let pbase = partner & !(span - 1);
+        let out = encode(&recv[base * block..(base + span) * block]);
+        let bytes = comm.sendrecv_bytes_coll(out, partner, partner, tag);
+        decode_into(&bytes, &mut recv[pbase * block..(pbase + span) * block]);
+        span <<= 1;
+    }
+}
+
+/// Size- and shape-dispatched allgather: recursive doubling for short
+/// blocks on power-of-two groups, ring otherwise.
+pub fn auto<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
+    let n = comm.size();
+    if n.is_power_of_two() && send.len() * T::SIZE * n < LONG_MSG_THRESHOLD {
+        recursive_doubling(comm, send, recv);
+    } else {
+        ring(comm, send, recv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::run;
+
+    type Algo = fn(&crate::Comm, &[i64], &mut [i64]);
+
+    fn check(n: usize, block: usize, algo: Algo) {
+        let results = run(n, |comm| {
+            let send: Vec<i64> = (0..block as i64)
+                .map(|i| (comm.rank() as i64) * 1000 + i)
+                .collect();
+            let mut recv = vec![0i64; n * block];
+            algo(comm, &send, &mut recv);
+            recv
+        });
+        let expect: Vec<i64> = (0..n as i64)
+            .flat_map(|r| (0..block as i64).map(move |i| r * 1000 + i))
+            .collect();
+        for (r, got) in results.iter().enumerate() {
+            assert_eq!(got, &expect, "rank {r} gathered wrong data");
+        }
+    }
+
+    #[test]
+    fn ring_various_sizes() {
+        for n in [1, 2, 3, 5, 8, 13] {
+            check(n, 4, super::ring);
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_power_of_two() {
+        for n in [1, 2, 4, 8, 16] {
+            check(n, 4, super::recursive_doubling);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k ranks")]
+    fn recursive_doubling_rejects_odd_groups() {
+        check(6, 2, super::recursive_doubling);
+    }
+
+    #[test]
+    fn auto_both_paths() {
+        check(8, 2, super::auto); // short, 2^k -> doubling
+        check(8, 4096, super::auto); // long -> ring
+        check(6, 2, super::auto); // non-2^k -> ring
+    }
+
+    #[test]
+    fn single_element_blocks() {
+        check(7, 1, super::ring);
+    }
+}

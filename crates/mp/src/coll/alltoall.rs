@@ -1,0 +1,192 @@
+//! All-to-all personalised exchange (`MPI_Alltoall`, IMB `AlltoAll`,
+//! paper Fig. 12) — the benchmark that "stresses the global network
+//! bandwidth of the computing system".
+
+use crate::comm::Comm;
+use crate::datatype::{decode_into, encode, Word};
+
+use super::LONG_MSG_THRESHOLD;
+
+/// Pairwise-exchange alltoall: `n-1` rounds; in round `s` each rank
+/// exchanges one block with the rank at offset `s` (XOR-pairing on
+/// power-of-two groups, rotation otherwise). The standard long-message
+/// algorithm: every block travels exactly once.
+pub fn pairwise<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
+    let n = comm.size();
+    let tag = comm.next_coll_tag();
+    assert_eq!(send.len(), recv.len(), "alltoall buffers must match");
+    assert_eq!(send.len() % n, 0, "alltoall buffer not divisible by ranks");
+    let block = send.len() / n;
+    let me = comm.rank();
+    recv[me * block..(me + 1) * block].copy_from_slice(&send[me * block..(me + 1) * block]);
+    for s in 1..n {
+        let (dst, src) = if n.is_power_of_two() {
+            (me ^ s, me ^ s)
+        } else {
+            ((me + s) % n, (me + n - s) % n)
+        };
+        let out = encode(&send[dst * block..(dst + 1) * block]);
+        let bytes = comm.sendrecv_bytes_coll(out, dst, src, tag);
+        decode_into(&bytes, &mut recv[src * block..(src + 1) * block]);
+    }
+}
+
+/// Bruck alltoall: `ceil(log2 n)` rounds, each moving about half the
+/// payload. Fewer, larger messages than pairwise — the short-message
+/// algorithm. Works for any group size.
+///
+/// After the initial rotation `L[i] = send[(me + i) % n]`, round `k` ships
+/// every slot with bit `k` set to rank `me + 2^k`; slot contents then
+/// satisfy `L[j] = block from (me - j) to me`, undone by the final inverse
+/// rotation.
+pub fn bruck<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
+    let n = comm.size();
+    let tag = comm.next_coll_tag();
+    assert_eq!(send.len(), recv.len(), "alltoall buffers must match");
+    assert_eq!(send.len() % n, 0, "alltoall buffer not divisible by ranks");
+    let block = send.len() / n;
+    let bw = block * T::SIZE;
+    let me = comm.rank();
+
+    // Phase 1: rotate into slot space.
+    let mut slots = vec![0u8; bw * n];
+    for i in 0..n {
+        let src_block = (me + i) % n;
+        crate::datatype::encode_into(
+            &send[src_block * block..(src_block + 1) * block],
+            &mut slots[i * bw..(i + 1) * bw],
+        );
+    }
+
+    // Phase 2: log-round combining exchanges.
+    let mut step = 1usize;
+    while step < n {
+        let dst = (me + step) % n;
+        let src = (me + n - step) % n;
+        let moving: Vec<usize> = (0..n).filter(|i| i & step != 0).collect();
+        let mut out = Vec::with_capacity(moving.len() * bw);
+        for &i in &moving {
+            out.extend_from_slice(&slots[i * bw..(i + 1) * bw]);
+        }
+        let bytes = comm.sendrecv_bytes_coll(out, dst, src, tag);
+        assert_eq!(bytes.len(), moving.len() * bw, "bruck round size mismatch");
+        for (j, &i) in moving.iter().enumerate() {
+            slots[i * bw..(i + 1) * bw].copy_from_slice(&bytes[j * bw..(j + 1) * bw]);
+        }
+        step <<= 1;
+    }
+
+    // Phase 3: inverse rotation — slot j holds the block from (me - j).
+    for j in 0..n {
+        let from = (me + n - j) % n;
+        decode_into(
+            &slots[j * bw..(j + 1) * bw],
+            &mut recv[from * block..(from + 1) * block],
+        );
+    }
+}
+
+/// Linear alltoall: every rank fires all `n-1` sends eagerly, then drains
+/// its receives. Maximum overlap, no round structure; the baseline.
+pub fn linear<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
+    let n = comm.size();
+    let tag = comm.next_coll_tag();
+    assert_eq!(send.len(), recv.len(), "alltoall buffers must match");
+    assert_eq!(send.len() % n, 0, "alltoall buffer not divisible by ranks");
+    let block = send.len() / n;
+    let me = comm.rank();
+    recv[me * block..(me + 1) * block].copy_from_slice(&send[me * block..(me + 1) * block]);
+    for off in 1..n {
+        let dst = (me + off) % n;
+        comm.send_bytes(encode(&send[dst * block..(dst + 1) * block]), dst, tag);
+    }
+    for off in 1..n {
+        let src = (me + n - off) % n;
+        let bytes = comm.recv_bytes(src, tag);
+        decode_into(&bytes, &mut recv[src * block..(src + 1) * block]);
+    }
+}
+
+/// Size-dispatched alltoall: Bruck for short blocks, pairwise for long.
+pub fn auto<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
+    let n = comm.size();
+    if n == 1 {
+        recv.copy_from_slice(send);
+        return;
+    }
+    let block_bytes = send.len() / n * T::SIZE;
+    if block_bytes < 256 && n > 8 {
+        bruck(comm, send, recv);
+    } else {
+        let _ = LONG_MSG_THRESHOLD;
+        pairwise(comm, send, recv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::run;
+
+    type Algo = fn(&crate::Comm, &[u32], &mut [u32]);
+
+    /// Element (s -> d, i) encoded as s*10000 + d*100 + i.
+    fn check(n: usize, block: usize, algo: Algo) {
+        let results = run(n, |comm| {
+            let me = comm.rank() as u32;
+            let send: Vec<u32> = (0..n as u32)
+                .flat_map(|d| (0..block as u32).map(move |i| me * 10000 + d * 100 + i))
+                .collect();
+            let mut recv = vec![0u32; n * block];
+            algo(comm, &send, &mut recv);
+            recv
+        });
+        for (r, got) in results.iter().enumerate() {
+            let expect: Vec<u32> = (0..n as u32)
+                .flat_map(|s| {
+                    (0..block as u32).map(move |i| s * 10000 + (r as u32) * 100 + i)
+                })
+                .collect();
+            assert_eq!(got, &expect, "rank {r} has wrong alltoall result");
+        }
+    }
+
+    #[test]
+    fn pairwise_power_of_two() {
+        for n in [1, 2, 4, 8, 16] {
+            check(n, 3, super::pairwise);
+        }
+    }
+
+    #[test]
+    fn pairwise_general() {
+        for n in [3, 5, 6, 7, 12] {
+            check(n, 3, super::pairwise);
+        }
+    }
+
+    #[test]
+    fn bruck_various() {
+        for n in [1, 2, 3, 4, 5, 8, 11, 16] {
+            check(n, 2, super::bruck);
+        }
+    }
+
+    #[test]
+    fn linear_various() {
+        for n in [1, 2, 5, 9] {
+            check(n, 2, super::linear);
+        }
+    }
+
+    #[test]
+    fn auto_both_paths() {
+        check(12, 1, super::auto); // tiny blocks, n > 8 -> bruck
+        check(12, 512, super::auto); // long -> pairwise
+    }
+
+    #[test]
+    fn empty_blocks() {
+        check(4, 0, super::pairwise);
+        check(4, 0, super::bruck);
+    }
+}

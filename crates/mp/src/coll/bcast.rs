@@ -1,0 +1,160 @@
+//! Broadcast (`MPI_Bcast`, IMB `Bcast`, paper Fig. 15).
+
+use crate::comm::Comm;
+use crate::datatype::{decode_into, encode, Word};
+
+use super::{binomial_node, halving_tree, unvrank, vrank, LONG_MSG_THRESHOLD};
+
+/// Binomial-tree broadcast: `ceil(log2 n)` rounds, the whole payload on
+/// every edge. Latency-optimal; the standard short-message algorithm.
+pub fn binomial<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
+    let n = comm.size();
+    let tag = comm.next_coll_tag();
+    if n == 1 {
+        return;
+    }
+    let v = vrank(comm.rank(), root, n);
+    let node = binomial_node(v);
+
+    let mut data = if let Some((parent, _)) = node.parent {
+        let bytes = comm.recv_bytes(unvrank(parent, root, n), tag);
+        decode_into(&bytes, buf);
+        bytes
+    } else {
+        encode(buf)
+    };
+
+    let mut k = node.first_send_round;
+    while (1usize << k) < n {
+        let peer = v + (1 << k);
+        if peer < n {
+            // The last send can donate the buffer instead of cloning.
+            let next = v + (1 << (k + 1)) < n && (1usize << (k + 1)) < n;
+            let payload = if next { data.clone() } else { std::mem::take(&mut data) };
+            comm.send_bytes(payload, unvrank(peer, root, n), tag);
+        }
+        k += 1;
+    }
+}
+
+/// Van de Geijn broadcast for long messages: a binomial *scatter* of the
+/// payload followed by a ring allgather of the pieces. Moves
+/// `~2 * bytes * (n-1)/n` per rank instead of `bytes * log2 n`, which is
+/// why MPI libraries switch to it for large payloads.
+pub fn scatter_allgather<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
+    let n = comm.size();
+    if n == 1 {
+        return;
+    }
+    let tag = comm.next_coll_tag();
+    let v = vrank(comm.rank(), root, n);
+    let total = buf.len() * T::SIZE;
+    // Block b covers bytes [cut(b), cut(b+1)) of the encoded payload.
+    let cut = |b: usize| -> usize { b * total / n };
+
+    // Phase 1: binomial scatter down the halving tree (by vrank ranges).
+    let (parent, children) = halving_tree(v, n);
+    let mut have: std::ops::Range<usize> = 0..n; // vrank-block range I hold
+    let mut data = vec![0u8; total];
+    if let Some((p, range)) = parent {
+        let bytes = comm.recv_bytes(unvrank(p, root, n), tag);
+        data[cut(range.start)..cut(range.end)].copy_from_slice(&bytes);
+        have = range;
+    } else {
+        crate::datatype::encode_into(buf, &mut data);
+    }
+    for (child, range) in children {
+        comm.send_bytes(
+            data[cut(range.start)..cut(range.end)].to_vec(),
+            unvrank(child, root, n),
+            tag,
+        );
+        have = have.start..range.start;
+    }
+    debug_assert_eq!(have, v..v + 1);
+
+    // Phase 2: ring allgather of the n blocks (vrank ring).
+    let right = unvrank((v + 1) % n, root, n);
+    let left = unvrank((v + n - 1) % n, root, n);
+    for k in 0..n - 1 {
+        let send_block = (v + n - k) % n;
+        let recv_block = (v + n - k - 1) % n;
+        let out = data[cut(send_block)..cut(send_block + 1)].to_vec();
+        let got = comm.sendrecv_bytes_coll(out, right, left, tag);
+        data[cut(recv_block)..cut(recv_block + 1)].copy_from_slice(&got);
+    }
+    decode_into(&data, buf);
+}
+
+/// Size-dispatched broadcast: binomial for short payloads, scatter+allgather
+/// for long ones.
+pub fn auto<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
+    if buf.len() * T::SIZE >= LONG_MSG_THRESHOLD && comm.size() > 2 {
+        scatter_allgather(comm, buf, root);
+    } else {
+        binomial(comm, buf, root);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::run;
+
+    fn payload(len: usize) -> Vec<f64> {
+        (0..len).map(|i| (i as f64) * 0.5 - 3.0).collect()
+    }
+
+    fn check(n: usize, len: usize, root: usize, algo: fn(&crate::Comm, &mut [f64], usize)) {
+        let expect = payload(len);
+        let results = run(n, |comm| {
+            let mut buf = if comm.rank() == root {
+                payload(len)
+            } else {
+                vec![0.0; len]
+            };
+            algo(comm, &mut buf, root);
+            buf
+        });
+        for (r, got) in results.iter().enumerate() {
+            assert_eq!(got, &expect, "rank {r} has wrong broadcast data");
+        }
+    }
+
+    #[test]
+    fn binomial_all_roots_small_worlds() {
+        for n in [1, 2, 3, 5, 8] {
+            for root in [0, n - 1, n / 2] {
+                check(n, 17, root, super::binomial);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_allgather_matches() {
+        for n in [2, 3, 4, 7, 8] {
+            for root in [0, n / 2] {
+                check(n, 1000, root, super::scatter_allgather);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_allgather_payload_smaller_than_ranks() {
+        // Degenerate blocks (some empty) must still work.
+        check(8, 3, 1, super::scatter_allgather);
+    }
+
+    #[test]
+    fn auto_dispatches_both_paths() {
+        check(4, 8, 0, super::auto); // short -> binomial
+        check(4, 16384, 0, super::auto); // 128 KiB -> scatter+allgather
+    }
+
+    #[test]
+    fn broadcast_of_empty_buffer() {
+        run(3, |comm| {
+            let mut buf: [f64; 0] = [];
+            super::auto(comm, &mut buf, 0);
+        });
+    }
+}

@@ -1,0 +1,189 @@
+//! Collective operations.
+//!
+//! Each collective comes in the classical algorithm variants MPI libraries
+//! of the paper's era used (MPICH/MVAPICH ancestry, which the Dell cluster's
+//! Topspin MPI was based on): binomial trees for rooted short-message
+//! operations, recursive doubling/halving for power-of-two groups, ring and
+//! pairwise exchanges for long messages, Bruck for small all-to-all, and
+//! Rabenseifner's reduce-scatter-based algorithms for long reductions.
+//!
+//! The `auto` entry point of each module mirrors the size/shape heuristics
+//! of those libraries. Every algorithm also has a *schedule generator* in
+//! [`crate::sched`] producing its exact communication rounds for the fabric
+//! simulator; tests assert that a traced real execution moves exactly the
+//! messages the generator predicts.
+
+pub mod allgather;
+pub mod allgatherv;
+pub mod allreduce;
+pub mod alltoall;
+pub mod alltoallv;
+pub mod barrier;
+pub mod bcast;
+pub mod gather;
+pub mod gatherv;
+pub mod reduce;
+pub mod reduce_scatter;
+pub mod scan;
+pub mod scatter;
+
+/// Message-size threshold (bytes) between "short" (latency-optimised) and
+/// "long" (bandwidth-optimised) collective algorithms, matching the era's
+/// common 8-64 KiB switchover points.
+pub const LONG_MSG_THRESHOLD: usize = 32 * 1024;
+
+/// Translates a rank to its root-relative ("virtual") rank.
+#[inline]
+pub(crate) fn vrank(rank: usize, root: usize, n: usize) -> usize {
+    (rank + n - root) % n
+}
+
+/// Translates a root-relative rank back to a real rank.
+#[inline]
+pub(crate) fn unvrank(v: usize, root: usize, n: usize) -> usize {
+    (v + root) % n
+}
+
+/// The binomial broadcast/scatter tree over virtual ranks, shared by the
+/// real implementations and the schedule generators.
+///
+/// For a non-root vrank `v`, the parent is `v` with its top bit cleared and
+/// the receive round is `log2(top bit)`. `v` then sends to `v + 2^k` for
+/// every `k > recv_round` with `v + 2^k < n` (the root starts at round 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct BinomialNode {
+    /// Parent vrank and the round in which data arrives (None at the root).
+    pub parent: Option<(usize, u32)>,
+    /// First round in which this node sends.
+    pub first_send_round: u32,
+}
+
+pub(crate) fn binomial_node(v: usize) -> BinomialNode {
+    if v == 0 {
+        BinomialNode {
+            parent: None,
+            first_send_round: 0,
+        }
+    } else {
+        let r = v.ilog2();
+        BinomialNode {
+            parent: Some((v - (1 << r), r)),
+            first_send_round: r + 1,
+        }
+    }
+}
+
+/// A `(vrank, block range)` pair in the halving tree.
+pub(crate) type RankRange = (usize, std::ops::Range<usize>);
+
+/// The recursive-halving block tree used by binomial scatter/gather and
+/// Rabenseifner reductions: walking from the full range `[0, n)`, each
+/// holder `lo` of a range splits off the upper part `[mid, hi)` to vrank
+/// `mid`, where `mid = lo + next_pow2(hi-lo)/2`.
+///
+/// Returns, for vrank `v`: the parent `(vrank, range)` it receives from
+/// (None for the root) and the ordered list of `(child vrank, range)` it
+/// sends, from the outermost split inwards.
+pub(crate) fn halving_tree(v: usize, n: usize) -> (Option<RankRange>, Vec<RankRange>) {
+    let (mut lo, mut hi) = (0usize, n);
+    let mut parent = None;
+    let mut children = Vec::new();
+    while hi - lo > 1 {
+        let half = (hi - lo).next_power_of_two() / 2;
+        let mid = lo + half;
+        if v < mid {
+            if v == lo {
+                children.push((mid, mid..hi));
+            }
+            hi = mid;
+        } else {
+            if v == mid {
+                parent = Some((lo, mid..hi));
+            }
+            lo = mid;
+        }
+    }
+    debug_assert_eq!(lo, v);
+    (parent, children)
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vrank_roundtrip() {
+        for n in 1..10 {
+            for root in 0..n {
+                for r in 0..n {
+                    assert_eq!(unvrank(vrank(r, root, n), root, n), r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_tree_shape() {
+        assert_eq!(binomial_node(0).parent, None);
+        assert_eq!(binomial_node(1).parent, Some((0, 0)));
+        assert_eq!(binomial_node(5).parent, Some((1, 2)));
+        assert_eq!(binomial_node(5).first_send_round, 3);
+        assert_eq!(binomial_node(6).parent, Some((2, 2)));
+    }
+
+    #[test]
+    fn binomial_tree_is_connected() {
+        // Every non-root node's parent receives strictly earlier.
+        for n in 2..40usize {
+            for v in 1..n {
+                let node = binomial_node(v);
+                let (p, round) = node.parent.unwrap();
+                assert!(p < v);
+                if p != 0 {
+                    let (_, p_round) = binomial_node(p).parent.unwrap();
+                    assert!(p_round < round, "parent must hold data before sending");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn halving_tree_partitions_ranks() {
+        for n in 1..33usize {
+            let mut seen = vec![false; n];
+            for v in 0..n {
+                let (parent, _) = halving_tree(v, n);
+                if v == 0 {
+                    assert!(parent.is_none());
+                } else {
+                    let (p, range) = parent.clone().unwrap();
+                    assert!(p < v);
+                    assert_eq!(range.start, v, "a node receives its own range");
+                    assert!(!seen[v]);
+                    seen[v] = true;
+                }
+            }
+            assert!(seen[1..].iter().all(|&s| s), "every non-root receives once");
+        }
+    }
+
+    #[test]
+    fn halving_tree_children_cover_parent_range() {
+        for n in 2..33usize {
+            for v in 0..n {
+                let (parent, children) = halving_tree(v, n);
+                let my_range = parent.map(|(_, r)| r).unwrap_or(0..n);
+                // Children ranges plus {v} partition my range.
+                let mut covered: Vec<usize> = vec![v];
+                for (c, r) in &children {
+                    assert_eq!(*c, r.start);
+                    covered.extend(r.clone());
+                }
+                covered.sort_unstable();
+                let expect: Vec<usize> = my_range.collect();
+                assert_eq!(covered, expect);
+            }
+        }
+    }
+}

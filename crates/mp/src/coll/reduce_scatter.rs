@@ -1,0 +1,189 @@
+//! Reduce-scatter (`MPI_Reduce_scatter`, IMB `Reduce_scatter`, paper
+//! Fig. 9): "the outcome ... is the same as an MPI Reduce operation
+//! followed by an MPI Scatter".
+
+use crate::comm::Comm;
+use crate::datatype::{decode, encode};
+use crate::reduce::{Numeric, Op};
+
+/// Pairwise reduce-scatter: `n-1` rounds; in round `s` each rank ships the
+/// slice belonging to `(me + s) mod n` and folds the operand for its own
+/// slice arriving from `(me - s) mod n`. Works for any group size and any
+/// per-rank counts; bandwidth-optimal (each rank moves `len - own` once).
+pub fn pairwise<T: Numeric>(comm: &Comm, send: &[T], recv: &mut [T], counts: &[usize], op: Op) {
+    let n = comm.size();
+    let tag = comm.next_coll_tag();
+    assert_eq!(counts.len(), n, "one count per rank required");
+    let total: usize = counts.iter().sum();
+    assert_eq!(send.len(), total, "reduce_scatter send buffer size mismatch");
+    let me = comm.rank();
+    assert_eq!(recv.len(), counts[me], "receive buffer must match my count");
+
+    let mut displ = vec![0usize; n + 1];
+    for r in 0..n {
+        displ[r + 1] = displ[r] + counts[r];
+    }
+
+    let mut acc = send[displ[me]..displ[me + 1]].to_vec();
+    for s in 1..n {
+        let dst = (me + s) % n;
+        let src = (me + n - s) % n;
+        comm.send_bytes(encode(&send[displ[dst]..displ[dst + 1]]), dst, tag);
+        let operand: Vec<T> = decode(&comm.recv_bytes(src, tag));
+        op.fold_into(&mut acc, &operand);
+    }
+    recv.copy_from_slice(&acc);
+}
+
+/// Recursive-halving reduce-scatter for equal counts on power-of-two
+/// groups: `log2 n` rounds, halving the active vector each round. The
+/// short-message algorithm; also the first phase of Rabenseifner's
+/// reductions.
+pub fn recursive_halving<T: Numeric>(comm: &Comm, send: &[T], recv: &mut [T], op: Op) {
+    let n = comm.size();
+    assert!(n.is_power_of_two(), "recursive halving needs 2^k ranks");
+    let tag = comm.next_coll_tag();
+    let me = comm.rank();
+    let len = send.len();
+    assert_eq!(len % n, 0, "vector must divide evenly among ranks");
+    let slice = len / n;
+    assert_eq!(recv.len(), slice, "receive buffer must hold one slice");
+    if n == 1 {
+        recv.copy_from_slice(send);
+        return;
+    }
+
+    let mut acc = send.to_vec();
+    let (mut lo, mut hi) = (0usize, len);
+    let mut group = n;
+    while group > 1 {
+        let gbase = me & !(group - 1);
+        let mid_rank = gbase + group / 2;
+        let mid = (lo + hi) / 2;
+        let in_lower = me < mid_rank;
+        let partner = if in_lower { me + group / 2 } else { me - group / 2 };
+        let (keep, give) = if in_lower { (lo..mid, mid..hi) } else { (mid..hi, lo..mid) };
+        let out = encode(&acc[give]);
+        let bytes = comm.sendrecv_bytes_coll(out, partner, partner, tag);
+        let operand: Vec<T> = decode(&bytes);
+        op.fold_into(&mut acc[keep.clone()], &operand);
+        lo = keep.start;
+        hi = keep.end;
+        group /= 2;
+    }
+    debug_assert_eq!((lo, hi), (me * slice, (me + 1) * slice));
+    recv.copy_from_slice(&acc[lo..hi]);
+}
+
+/// Dispatched equal-counts reduce-scatter (`MPI_Reduce_scatter_block`):
+/// recursive halving on power-of-two groups, pairwise otherwise.
+pub fn block_auto<T: Numeric>(comm: &Comm, send: &[T], recv: &mut [T], op: Op) {
+    let n = comm.size();
+    if n.is_power_of_two() && send.len().is_multiple_of(n) {
+        recursive_halving(comm, send, recv, op);
+    } else {
+        let counts = vec![recv.len(); n];
+        assert_eq!(send.len(), recv.len() * n, "send must be n equal blocks");
+        pairwise(comm, send, recv, &counts, op);
+    }
+}
+
+/// General per-rank-counts reduce-scatter (pairwise).
+pub fn auto<T: Numeric>(comm: &Comm, send: &[T], recv: &mut [T], counts: &[usize], op: Op) {
+    pairwise(comm, send, recv, counts, op);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::reduce::Op;
+    use crate::runtime::run;
+
+    /// send[r][i] = (r+1) * (i+1); reduced slice for rank d starts at
+    /// displ[d].
+    fn check_counts(counts: Vec<usize>, op: Op) {
+        let n = counts.len();
+        let total: usize = counts.iter().sum();
+        let counts2 = counts.clone();
+        let results = run(n, |comm| {
+            let me = comm.rank();
+            let send: Vec<f64> =
+                (0..total).map(|i| ((me + 1) * (i + 1)) as f64).collect();
+            let mut recv = vec![0.0f64; counts2[me]];
+            super::pairwise(comm, &send, &mut recv, &counts2, op);
+            recv
+        });
+        let mut displ = 0usize;
+        for (r, got) in results.iter().enumerate() {
+            for (j, &g) in got.iter().enumerate() {
+                let i = displ + j;
+                let mut e = match op {
+                    Op::Sum => 0.0,
+                    Op::Prod => 1.0,
+                    Op::Max => f64::NEG_INFINITY,
+                    Op::Min => f64::INFINITY,
+                };
+                for s in 0..n {
+                    e = op.apply(e, ((s + 1) * (i + 1)) as f64);
+                }
+                assert!((g - e).abs() < 1e-9 * e.abs().max(1.0), "rank {r} elem {j}");
+            }
+            displ += counts[r];
+        }
+    }
+
+    #[test]
+    fn pairwise_equal_counts() {
+        for n in [1, 2, 3, 4, 5, 8] {
+            check_counts(vec![3; n], Op::Sum);
+        }
+    }
+
+    #[test]
+    fn pairwise_varying_counts() {
+        check_counts(vec![1, 4, 0, 2], Op::Sum);
+        check_counts(vec![2, 2, 5], Op::Max);
+    }
+
+    fn check_halving(n: usize, slice: usize, op: Op) {
+        let results = run(n, |comm| {
+            let me = comm.rank();
+            let send: Vec<f64> =
+                (0..n * slice).map(|i| ((me + 1) * (i + 1)) as f64).collect();
+            let mut recv = vec![0.0f64; slice];
+            super::recursive_halving(comm, &send, &mut recv, op);
+            recv
+        });
+        for (r, got) in results.iter().enumerate() {
+            for (j, &g) in got.iter().enumerate() {
+                let i = r * slice + j;
+                let mut e = match op {
+                    Op::Sum => 0.0,
+                    _ => f64::NEG_INFINITY,
+                };
+                for s in 0..n {
+                    e = op.apply(e, ((s + 1) * (i + 1)) as f64);
+                }
+                assert!((g - e).abs() < 1e-9 * e.abs().max(1.0), "rank {r} elem {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_halving_power_of_two() {
+        for n in [1, 2, 4, 8, 16] {
+            check_halving(n, 4, Op::Sum);
+        }
+    }
+
+    #[test]
+    fn recursive_halving_max() {
+        check_halving(8, 2, Op::Max);
+    }
+
+    #[test]
+    fn block_auto_matches_both_paths() {
+        check_halving(8, 4, Op::Sum);
+        // Non-power-of-two goes through pairwise.
+        check_counts(vec![4; 6], Op::Sum);
+    }
+}

@@ -1,0 +1,171 @@
+//! Inclusive prefix reduction (`MPI_Scan`).
+//!
+//! Not benchmarked by the paper but part of the MPI collective family the
+//! runtime exposes; the ordered fold also exercises non-commutative-safe
+//! operand ordering, which the tests rely on.
+
+// Index-heavy numeric code: explicit indices mirror the maths.
+#![allow(clippy::needless_range_loop)]
+
+use crate::comm::Comm;
+use crate::datatype::{decode, encode};
+use crate::reduce::{Numeric, Op};
+
+/// Linear scan: a pipeline along the rank order. `n-1` serial steps.
+pub fn linear<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
+    let n = comm.size();
+    let tag = comm.next_coll_tag();
+    let me = comm.rank();
+    if me > 0 {
+        let prefix: Vec<T> = decode(&comm.recv_bytes(me - 1, tag));
+        // Ordered: earlier ranks' contribution on the left.
+        let mut acc = prefix;
+        op.fold_into(&mut acc, buf);
+        buf.copy_from_slice(&acc);
+    }
+    if me + 1 < n {
+        comm.send_bytes(encode(buf), me + 1, tag);
+    }
+}
+
+/// Recursive-doubling scan: `ceil(log2 n)` rounds. Each rank keeps its
+/// inclusive prefix `result` and the segment aggregate `partial`; round `d`
+/// ships `partial` a distance `d` to the right.
+pub fn recursive_doubling<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
+    let n = comm.size();
+    let tag = comm.next_coll_tag();
+    let me = comm.rank();
+    let mut partial = buf.to_vec();
+    let mut d = 1;
+    while d < n {
+        if me + d < n {
+            comm.send_bytes(encode(&partial), me + d, tag);
+        }
+        if me >= d {
+            let incoming: Vec<T> = decode(&comm.recv_bytes(me - d, tag));
+            // incoming covers ranks [me-2d+1 ..= me-d]; keep it on the left.
+            let mut r = incoming.clone();
+            op.fold_into(&mut r, buf);
+            buf.copy_from_slice(&r);
+            let mut p = incoming;
+            op.fold_into(&mut p, &partial);
+            partial = p;
+        }
+        d <<= 1;
+    }
+}
+
+/// The default scan (recursive doubling).
+pub fn auto<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
+    recursive_doubling(comm, buf, op);
+}
+
+/// Exclusive prefix reduction (`MPI_Exscan`): rank `r` receives the
+/// reduction of ranks `0..r`; rank 0's buffer is left as the operation's
+/// identity (undefined in MPI; the identity is the useful convention).
+pub fn exscan<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
+    let me = comm.rank();
+    // Inclusive scan of the original contribution, then shift by
+    // combining with the inverse... reductions are not invertible in
+    // general, so implement directly: run the doubling scan on a copy and
+    // exchange: rank r's exclusive result is rank r-1's inclusive one.
+    // One extra ring hop keeps it simple and allocation-light.
+    let tag = comm.next_coll_tag();
+    recursive_doubling(comm, buf, op);
+    let n = comm.size();
+    if n == 1 {
+        fill_identity(buf, op);
+        return;
+    }
+    if me + 1 < n {
+        comm.send_bytes(crate::datatype::encode(buf), me + 1, tag);
+    }
+    if me > 0 {
+        let bytes = comm.recv_bytes(me - 1, tag);
+        crate::datatype::decode_into(&bytes, buf);
+    } else {
+        fill_identity(buf, op);
+    }
+}
+
+fn fill_identity<T: Numeric>(buf: &mut [T], op: Op) {
+    if let Some(id) = op.identity::<T>() {
+        buf.fill(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::reduce::Op;
+    use crate::runtime::run;
+
+    type Algo = fn(&crate::Comm, &mut [f64], Op);
+
+    fn check(n: usize, len: usize, op: Op, algo: Algo) {
+        let results = run(n, |comm| {
+            let me = comm.rank();
+            let mut buf: Vec<f64> = (0..len).map(|i| ((me + 2) * (i + 1)) as f64).collect();
+            algo(comm, &mut buf, op);
+            buf
+        });
+        for (r, got) in results.iter().enumerate() {
+            for i in 0..len {
+                let mut e = ((2) * (i + 1)) as f64;
+                for s in 1..=r {
+                    e = op.apply(e, ((s + 2) * (i + 1)) as f64);
+                }
+                assert!(
+                    (got[i] - e).abs() < 1e-9 * e.abs().max(1.0),
+                    "rank {r} elem {i}: {} != {e}",
+                    got[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_various() {
+        for n in [1, 2, 3, 5, 8] {
+            check(n, 4, Op::Sum, super::linear);
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_various() {
+        for n in [1, 2, 3, 4, 5, 8, 13] {
+            check(n, 4, Op::Sum, super::recursive_doubling);
+        }
+    }
+
+    #[test]
+    fn scan_max() {
+        check(7, 3, Op::Max, super::recursive_doubling);
+        check(7, 3, Op::Min, super::linear);
+    }
+
+    #[test]
+    fn exscan_shifts_the_inclusive_scan() {
+        let results = run(5, |comm| {
+            let mut inc = vec![(comm.rank() + 1) as f64];
+            super::auto(comm, &mut inc, Op::Sum);
+            let mut exc = vec![(comm.rank() + 1) as f64];
+            super::exscan(comm, &mut exc, Op::Sum);
+            (inc[0], exc[0])
+        });
+        // exc[r] == inc[r-1]; exc[0] == 0 (Sum identity).
+        assert_eq!(results[0].1, 0.0);
+        for r in 1..5 {
+            assert_eq!(results[r].1, results[r - 1].0, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn rank_zero_keeps_its_data() {
+        let results = run(4, |comm| {
+            let mut buf = vec![(comm.rank() + 1) as f64];
+            super::auto(comm, &mut buf, Op::Sum);
+            buf[0]
+        });
+        assert_eq!(results, vec![1.0, 3.0, 6.0, 10.0]);
+    }
+}

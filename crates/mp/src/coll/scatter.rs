@@ -1,0 +1,135 @@
+//! Scatter (`MPI_Scatter`): root distributes one block per rank.
+
+use crate::comm::Comm;
+use crate::datatype::{decode_into, encode, Word};
+
+use super::{halving_tree, unvrank, vrank};
+
+/// Linear scatter: the root sends each rank its block directly. Baseline
+/// algorithm (and the fallback for tiny groups).
+pub fn linear<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: usize) {
+    let n = comm.size();
+    let tag = comm.next_coll_tag();
+    let block = recv.len();
+    if comm.rank() == root {
+        let send = send.expect("root must supply a send buffer");
+        assert_eq!(send.len(), block * n, "scatter send buffer size mismatch");
+        for r in 0..n {
+            let part = &send[r * block..(r + 1) * block];
+            if r == root {
+                recv.copy_from_slice(part);
+            } else {
+                comm.send_bytes(encode(part), r, tag);
+            }
+        }
+    } else {
+        let bytes = comm.recv_bytes(root, tag);
+        decode_into(&bytes, recv);
+    }
+}
+
+/// Binomial-tree scatter down the recursive-halving tree: `ceil(log2 n)`
+/// rounds; each internal node forwards the halves destined to its subtrees.
+pub fn binomial<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: usize) {
+    let n = comm.size();
+    let tag = comm.next_coll_tag();
+    let block = recv.len();
+    if n == 1 {
+        let send = send.expect("root must supply a send buffer");
+        recv.copy_from_slice(&send[..block]);
+        return;
+    }
+    let v = vrank(comm.rank(), root, n);
+    let (parent, children) = halving_tree(v, n);
+
+    // Hold the encoded blocks for my subtree, indexed by vrank.
+    let bw = block * T::SIZE;
+    let (mut data, lo) = if let Some((p, range)) = parent {
+        (comm.recv_bytes(unvrank(p, root, n), tag), range.start)
+    } else {
+        // Root re-orders its buffer into vrank order once.
+        let send = send.expect("root must supply a send buffer");
+        assert_eq!(send.len(), block * n, "scatter send buffer size mismatch");
+        let mut d = vec![0u8; bw * n];
+        for vv in 0..n {
+            let r = unvrank(vv, root, n);
+            crate::datatype::encode_into(
+                &send[r * block..(r + 1) * block],
+                &mut d[vv * bw..(vv + 1) * bw],
+            );
+        }
+        (d, 0)
+    };
+
+    for (child, range) in children {
+        let off = (range.start - lo) * bw;
+        let len = (range.end - range.start) * bw;
+        comm.send_bytes(data[off..off + len].to_vec(), unvrank(child, root, n), tag);
+        data.truncate(off);
+    }
+    // After all splits only my own block remains (lo == v).
+    debug_assert_eq!(lo, v);
+    decode_into(&data[..bw], recv);
+}
+
+/// Size-dispatched scatter (binomial; linear for 2 ranks).
+pub fn auto<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: usize) {
+    if comm.size() <= 2 {
+        linear(comm, send, recv, root);
+    } else {
+        binomial(comm, send, recv, root);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::run;
+
+    type Algo = fn(&crate::Comm, Option<&[u64]>, &mut [u64], usize);
+
+    fn check(n: usize, block: usize, root: usize, algo: Algo) {
+        let results = run(n, |comm| {
+            let send: Option<Vec<u64>> = (comm.rank() == root)
+                .then(|| (0..(n * block) as u64).map(|x| x * 7 + 1).collect());
+            let mut recv = vec![0u64; block];
+            algo(comm, send.as_deref(), &mut recv, root);
+            recv
+        });
+        for (r, got) in results.iter().enumerate() {
+            let expect: Vec<u64> = (0..block as u64)
+                .map(|i| ((r * block) as u64 + i) * 7 + 1)
+                .collect();
+            assert_eq!(got, &expect, "rank {r} got the wrong block");
+        }
+    }
+
+    #[test]
+    fn linear_various() {
+        for n in [1, 2, 3, 6] {
+            for root in [0, n - 1] {
+                check(n, 4, root, super::linear);
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_various() {
+        for n in [1, 2, 3, 4, 5, 8, 11, 16] {
+            for root in [0, n - 1, n / 2] {
+                check(n, 3, root, super::binomial);
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_matches_linear_block_sizes() {
+        check(7, 1, 2, super::binomial);
+        check(7, 64, 2, super::binomial);
+    }
+
+    #[test]
+    fn auto_works() {
+        check(2, 5, 1, super::auto);
+        check(9, 5, 4, super::auto);
+    }
+}

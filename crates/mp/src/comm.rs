@@ -1,0 +1,357 @@
+//! Communicators: rank naming, point-to-point operations, splitting.
+//!
+//! A [`Comm`] is a rank's handle onto an ordered group of ranks, mirroring
+//! `MPI_Comm`. Point-to-point sends are *eager*: the payload is copied into
+//! the destination mailbox and the send completes locally, so symmetric
+//! exchange patterns (ring `sendrecv`, pairwise all-to-all) cannot deadlock.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use crate::datatype::{decode_into, encode, Word};
+use crate::msg::{pack_tag, Match, Message, Tag, COLL_BIT, MAX_USER_TAG};
+use crate::runtime::World;
+
+/// A communicator: this rank's view of an ordered group of ranks.
+///
+/// Each rank thread owns its own `Comm` value (the type is intentionally
+/// not `Sync`): collective calls sequence themselves through an internal
+/// per-rank counter, which is correct precisely because every rank of the
+/// group executes the same collective calls in the same order — the MPI
+/// contract.
+pub struct Comm {
+    world: Arc<World>,
+    /// Local rank -> global rank.
+    group: Arc<Vec<usize>>,
+    rank: usize,
+    id: u32,
+    coll_seq: Cell<u32>,
+}
+
+impl Comm {
+    /// The world communicator for `rank` (all ranks, identity mapping).
+    pub(crate) fn world(world: Arc<World>, rank: usize) -> Comm {
+        let n = world.n;
+        Comm {
+            world,
+            group: Arc::new((0..n).collect()),
+            rank,
+            id: 0,
+            coll_seq: Cell::new(0),
+        }
+    }
+
+    /// This rank's index within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// The global (world) rank behind a local rank.
+    #[inline]
+    pub fn global_rank(&self, local: usize) -> usize {
+        self.group[local]
+    }
+
+    /// Reserves a fresh internal tag for one collective call. All ranks call
+    /// collectives in the same order, so the per-rank counters agree.
+    pub(crate) fn next_coll_tag(&self) -> Tag {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq.wrapping_add(1));
+        COLL_BIT | (seq & (COLL_BIT - 1))
+    }
+
+    fn local_of_global(&self, global: usize) -> usize {
+        self.group
+            .iter()
+            .position(|&g| g == global)
+            .expect("message from a rank outside this communicator")
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Sends raw bytes to local rank `dst` with `tag`.
+    pub(crate) fn send_bytes(&self, data: Vec<u8>, dst: usize, tag: Tag) {
+        assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
+        let (gsrc, gdst) = (self.group[self.rank], self.group[dst]);
+        // Under virtual execution, price the message and stamp its
+        // simulated arrival before delivery.
+        let arrival = self.world.virtual_net.as_ref().map(|net| {
+            let mut clock = self.world.virtual_clocks[gsrc].lock();
+            let cost = net.p2p(gsrc, gdst, data.len() as u64, *clock);
+            *clock = clock.max(cost.sender_done);
+            cost.arrival
+        });
+        let msg = Message {
+            src: gsrc,
+            full_tag: pack_tag(self.id, tag),
+            data,
+            arrival,
+        };
+        self.world.deliver(gdst, msg);
+    }
+
+    /// Receives raw bytes from local rank `src` with `tag`.
+    pub(crate) fn recv_bytes(&self, src: usize, tag: Tag) -> Vec<u8> {
+        assert!(src < self.size(), "recv from rank {src} of {}", self.size());
+        let filter = Match {
+            comm_id: self.id,
+            src: Some(self.group[src]),
+            tag: Some(tag),
+        };
+        let msg = self.world.mailboxes[self.group[self.rank]].recv(filter);
+        self.observe_arrival(msg.arrival);
+        msg.data
+    }
+
+    /// Advances this rank's virtual clock to a received message's
+    /// simulated arrival (no-op natively).
+    fn observe_arrival(&self, arrival: Option<simnet::Time>) {
+        if let Some(arr) = arrival {
+            let mut clock = self.world.virtual_clocks[self.group[self.rank]].lock();
+            *clock = clock.max(arr);
+        }
+    }
+
+    /// Sends `buf` to local rank `dst` with a user `tag`
+    /// (< [`MAX_USER_TAG`]).
+    pub fn send<T: Word>(&self, buf: &[T], dst: usize, tag: Tag) {
+        assert!(tag < MAX_USER_TAG, "tag {tag:#x} is in the reserved range");
+        self.send_bytes(encode(buf), dst, tag);
+    }
+
+    /// Receives exactly `buf.len()` words from local rank `src` with `tag`.
+    /// Panics if the matched message has a different length (MPI would
+    /// raise `MPI_ERR_TRUNCATE`).
+    pub fn recv<T: Word>(&self, buf: &mut [T], src: usize, tag: Tag) {
+        assert!(tag < MAX_USER_TAG, "tag {tag:#x} is in the reserved range");
+        let data = self.recv_bytes(src, tag);
+        decode_into(&data, buf);
+    }
+
+    /// Receives a message of any length, optionally constrained by source
+    /// and/or tag. Returns the payload and the actual (source, tag).
+    pub fn recv_any<T: Word>(
+        &self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> (Vec<T>, usize, Tag) {
+        if let Some(t) = tag {
+            assert!(t < MAX_USER_TAG, "tag {t:#x} is in the reserved range");
+        }
+        let filter = Match {
+            comm_id: self.id,
+            src: src.map(|s| self.group[s]),
+            tag,
+        };
+        let msg = self.world.mailboxes[self.group[self.rank]].recv(filter);
+        self.observe_arrival(msg.arrival);
+        let mut out = vec![T::read_le(&vec![0u8; T::SIZE][..]); msg.data.len() / T::SIZE];
+        decode_into(&msg.data, &mut out);
+        let tag = (msg.full_tag & 0xFFFF_FFFF) as Tag;
+        (out, self.local_of_global(msg.src), tag)
+    }
+
+    /// Combined send+receive (both with tag `tag`), the workhorse of ring
+    /// and exchange patterns. Deadlock-free because sends are eager.
+    pub fn sendrecv<T: Word>(
+        &self,
+        sbuf: &[T],
+        dst: usize,
+        rbuf: &mut [T],
+        src: usize,
+        tag: Tag,
+    ) {
+        self.send(sbuf, dst, tag);
+        self.recv(rbuf, src, tag);
+    }
+
+    /// Internal sendrecv on a collective tag.
+    pub(crate) fn sendrecv_bytes_coll(
+        &self,
+        sdata: Vec<u8>,
+        dst: usize,
+        src: usize,
+        tag: Tag,
+    ) -> Vec<u8> {
+        self.send_bytes(sdata, dst, tag);
+        self.recv_bytes(src, tag)
+    }
+
+    /// Posts a nonblocking receive. The returned handle is matched when
+    /// [`RecvHandle::wait`] is called.
+    pub fn irecv<T: Word>(&self, src: usize, tag: Tag) -> RecvHandle<T> {
+        assert!(tag < MAX_USER_TAG, "tag {tag:#x} is in the reserved range");
+        RecvHandle {
+            src,
+            tag,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Nonblocking send. With the eager protocol the payload is already
+    /// delivered when this returns, so there is no send handle to wait on;
+    /// the name exists for API parity with MPI-style code.
+    pub fn isend<T: Word>(&self, buf: &[T], dst: usize, tag: Tag) {
+        self.send(buf, dst, tag);
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator management
+    // ------------------------------------------------------------------
+
+    /// Splits the communicator by `color`; ranks with equal color form a new
+    /// communicator ordered by `(key, old rank)`. Mirrors `MPI_Comm_split`.
+    pub fn split(&self, color: u32, key: i64) -> Comm {
+        // Share (color, key) among all ranks via the existing allgather.
+        let mine = [u64::from(color), key as u64, self.rank as u64];
+        let mut all = vec![0u64; 3 * self.size()];
+        crate::coll::allgather::ring(self, &mine, &mut all);
+
+        let mut members: Vec<(i64, usize)> = (0..self.size())
+            .filter(|&r| all[3 * r] as u32 == color)
+            .map(|r| (all[3 * r + 1] as i64, all[3 * r + 2] as usize))
+            .collect();
+        members.sort_unstable();
+
+        let group: Vec<usize> = members.iter().map(|&(_, r)| self.group[r]).collect();
+        let rank = members
+            .iter()
+            .position(|&(_, r)| r == self.rank)
+            .expect("calling rank must be in its own color group");
+
+        // Deterministic child id: identical on every member of the new
+        // communicator, distinct (whp) from sibling/parent communicators.
+        let seq = self.coll_seq.get();
+        let id = mix32(self.id, seq, color);
+
+        Comm {
+            world: Arc::clone(&self.world),
+            group: Arc::new(group),
+            rank,
+            id,
+            coll_seq: Cell::new(0),
+        }
+    }
+
+    /// A duplicate communicator with the same group but an isolated tag
+    /// space. Mirrors `MPI_Comm_dup`.
+    pub fn dup(&self) -> Comm {
+        let seq = self.coll_seq.get();
+        // Advance the parent's sequence so distinct dup() calls get
+        // distinct ids.
+        self.coll_seq.set(seq.wrapping_add(1));
+        Comm {
+            world: Arc::clone(&self.world),
+            group: Arc::clone(&self.group),
+            rank: self.rank,
+            id: mix32(self.id, seq, DUP_MARKER),
+            coll_seq: Cell::new(0),
+        }
+    }
+}
+
+const DUP_MARKER: u32 = 0xD0B1_C0DE;
+
+/// Deterministic 3-input mixer for communicator ids (splitmix-style).
+fn mix32(a: u32, b: u32, c: u32) -> u32 {
+    let mut x = (u64::from(a) << 32) ^ (u64::from(b) << 16) ^ u64::from(c);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x = x ^ (x >> 31);
+    (x as u32) | 1 // never 0, which is reserved for the world communicator
+}
+
+impl Comm {
+    /// This rank's virtual clock (zero natively).
+    pub(crate) fn world_virtual_clock(&self) -> simnet::Time {
+        self.world
+            .virtual_clocks
+            .get(self.group[self.rank])
+            .map(|m| *m.lock())
+            .unwrap_or(simnet::Time::ZERO)
+    }
+
+    /// The world's virtual net, if executing virtually.
+    pub(crate) fn world_virtual_net(&self) -> Option<&dyn crate::virt::VirtualNet> {
+        self.world.virtual_net.as_deref()
+    }
+
+    /// Adds `dt` to this rank's virtual clock (no-op natively).
+    pub(crate) fn advance_virtual_clock(&self, dt: simnet::Time) {
+        if let Some(m) = self.world.virtual_clocks.get(self.group[self.rank]) {
+            let mut clock = m.lock();
+            *clock += dt;
+        }
+    }
+
+    /// Raises this rank's virtual clock to at least `t`.
+    pub(crate) fn set_virtual_clock_at_least(&self, t: simnet::Time) {
+        if let Some(m) = self.world.virtual_clocks.get(self.group[self.rank]) {
+            let mut clock = m.lock();
+            *clock = clock.max(t);
+        }
+    }
+
+    /// Collective rendezvous on a shared object: the communicator's rank
+    /// 0 constructs it, every member receives the same `Arc`. All members
+    /// must call this in the same collective order (the internal sequence
+    /// number is the key). Used by RMA window creation.
+    pub(crate) fn rendezvous_storage<T: Send + Sync + 'static>(
+        &self,
+        make: impl FnOnce() -> std::sync::Arc<T>,
+    ) -> std::sync::Arc<T> {
+        let seq = self.next_coll_tag();
+        let key = (u64::from(self.id) << 32) | u64::from(seq & 0x7FFF_FFFF);
+        let n = self.size();
+        if self.rank == 0 {
+            let arc = make();
+            if n > 1 {
+                let mut map = self.world.rendezvous.lock();
+                map.insert(key, (arc.clone(), n - 1));
+                self.world.rendezvous_cv.notify_all();
+            }
+            arc
+        } else {
+            let mut map = self.world.rendezvous.lock();
+            loop {
+                if let Some(entry) = map.get_mut(&key) {
+                    let arc = entry
+                        .0
+                        .clone()
+                        .downcast::<T>()
+                        .expect("rendezvous type mismatch");
+                    entry.1 -= 1;
+                    if entry.1 == 0 {
+                        map.remove(&key);
+                    }
+                    return arc;
+                }
+                self.world.rendezvous_cv.wait(&mut map);
+            }
+        }
+    }
+}
+
+/// A posted nonblocking receive; call [`wait`](RecvHandle::wait) to match it.
+pub struct RecvHandle<T> {
+    src: usize,
+    tag: Tag,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Word> RecvHandle<T> {
+    /// Blocks until the receive matches; fills `buf` (exact length).
+    pub fn wait(self, comm: &Comm, buf: &mut [T]) {
+        comm.recv(buf, self.src, self.tag);
+    }
+}

@@ -1,0 +1,130 @@
+//! Typed message payloads.
+//!
+//! Messages travel as byte vectors; a [`Word`] is a fixed-size scalar with
+//! an explicit little-endian wire encoding. Explicit encode/decode (rather
+//! than transmutation) keeps the crate free of `unsafe` while remaining a
+//! simple chunked copy that optimises to a `memcpy`-like loop in release
+//! builds.
+
+/// A fixed-size scalar that can be carried in a message.
+pub trait Word: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+    /// Writes the little-endian encoding into `out` (exactly `SIZE` bytes).
+    fn write_le(self, out: &mut [u8]);
+    /// Reads a value from the little-endian encoding in `inp`.
+    fn read_le(inp: &[u8]) -> Self;
+}
+
+macro_rules! impl_word {
+    ($($t:ty),*) => {$(
+        impl Word for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn write_le(self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_le(inp: &[u8]) -> Self {
+                <$t>::from_le_bytes(inp.try_into().expect("word size mismatch"))
+            }
+        }
+    )*};
+}
+
+impl_word!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64, usize, isize);
+
+/// Encodes a slice of words into a fresh byte vector.
+pub fn encode<T: Word>(data: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; data.len() * T::SIZE];
+    encode_into(data, &mut out);
+    out
+}
+
+/// Encodes a slice of words into a preallocated byte buffer
+/// (`out.len() == data.len() * T::SIZE`).
+pub fn encode_into<T: Word>(data: &[T], out: &mut [u8]) {
+    assert_eq!(out.len(), data.len() * T::SIZE, "encode buffer size mismatch");
+    for (v, chunk) in data.iter().zip(out.chunks_exact_mut(T::SIZE)) {
+        v.write_le(chunk);
+    }
+}
+
+/// Decodes a byte buffer into a preallocated word slice
+/// (`bytes.len() == out.len() * T::SIZE`).
+pub fn decode_into<T: Word>(bytes: &[u8], out: &mut [T]) {
+    assert_eq!(
+        bytes.len(),
+        out.len() * T::SIZE,
+        "decode buffer size mismatch: {} bytes for {} words of {}",
+        bytes.len(),
+        out.len(),
+        T::SIZE,
+    );
+    for (v, chunk) in out.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
+        *v = T::read_le(chunk);
+    }
+}
+
+/// Decodes a byte buffer into a fresh vector of words.
+pub fn decode<T: Word>(bytes: &[u8]) -> Vec<T> {
+    assert!(
+        bytes.len().is_multiple_of(T::SIZE),
+        "byte length not a multiple of word size"
+    );
+    bytes.chunks_exact(T::SIZE).map(T::read_le).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let data = [1.5f64, -2.25, 0.0, f64::MAX, f64::MIN_POSITIVE];
+        let bytes = encode(&data);
+        assert_eq!(bytes.len(), 40);
+        let back: Vec<f64> = decode(&bytes);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn roundtrip_various_types() {
+        let u = [1u64, u64::MAX, 42];
+        assert_eq!(decode::<u64>(&encode(&u)), u);
+        let i = [-1i32, i32::MIN, i32::MAX];
+        assert_eq!(decode::<i32>(&encode(&i)), i);
+        let b = [0u8, 255, 7];
+        assert_eq!(decode::<u8>(&encode(&b)), b);
+    }
+
+    #[test]
+    fn empty_slice() {
+        let bytes = encode::<f64>(&[]);
+        assert!(bytes.is_empty());
+        assert!(decode::<f64>(&bytes).is_empty());
+    }
+
+    #[test]
+    fn decode_into_preallocated() {
+        let data = [3u32, 4, 5];
+        let bytes = encode(&data);
+        let mut out = [0u32; 3];
+        decode_into(&bytes, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "decode buffer size mismatch")]
+    fn decode_size_mismatch_panics() {
+        let bytes = encode(&[1u64, 2]);
+        let mut out = [0u64; 3];
+        decode_into(&bytes, &mut out);
+    }
+
+    #[test]
+    fn encoding_is_little_endian() {
+        let bytes = encode(&[0x0102_0304u32]);
+        assert_eq!(bytes, vec![0x04, 0x03, 0x02, 0x01]);
+    }
+}

@@ -1,0 +1,51 @@
+//! `mp` — a thread-based SPMD message-passing runtime ("mini-MPI").
+//!
+//! The HPCC and IMB benchmark suites are MPI programs; this crate supplies
+//! the message-passing substrate they run on in this workspace. One OS
+//! thread per rank, eager in-process message delivery with MPI matching
+//! semantics (source + tag, non-overtaking), communicators with
+//! `split`/`dup`, and the full family of collective operations in the
+//! classical algorithm variants (binomial, recursive doubling/halving,
+//! ring, pairwise, Bruck, Rabenseifner).
+//!
+//! # Quickstart
+//!
+//! ```
+//! let totals = mp::run(4, |comm| {
+//!     let mut x = [comm.rank() as u64 + 1];
+//!     comm.allreduce(&mut x, mp::Op::Sum);
+//!     x[0]
+//! });
+//! assert_eq!(totals, vec![10, 10, 10, 10]);
+//! ```
+//!
+//! Every collective algorithm has a mirror *schedule generator* in
+//! [`sched`] that emits its exact per-round communication pattern as a
+//! [`simnet::Schedule`]; the fabric simulator replays those schedules
+//! against the paper's machine models, and tests assert that traced real
+//! executions ([`run_traced`]) move exactly the messages the generators
+//! predict.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod api;
+pub mod coll;
+mod comm;
+pub mod datatype;
+mod mailbox;
+mod msg;
+pub mod reduce;
+pub mod rma;
+mod runtime;
+pub mod sched;
+pub mod timer;
+pub mod virt;
+
+pub use comm::{Comm, RecvHandle};
+pub use datatype::Word;
+pub use msg::{Tag, MAX_USER_TAG};
+pub use reduce::{Numeric, Op};
+pub use rma::Window;
+pub use runtime::{run, run_traced};
+pub use virt::{run_virtual, VirtualNet};

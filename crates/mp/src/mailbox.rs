@@ -1,0 +1,137 @@
+//! Per-rank unexpected-message queues with MPI-style (source, tag) matching.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::msg::{Match, Message};
+
+/// How long a blocking receive waits before declaring a deadlock.
+///
+/// A correct SPMD program never waits this long for an in-process message;
+/// the timeout converts silent test hangs into actionable panics.
+const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// A rank's incoming-message queue.
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    queue: Mutex<VecDeque<Message>>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    pub fn new() -> Mailbox {
+        Mailbox::default()
+    }
+
+    /// Delivers a message (called from the sending rank's thread).
+    pub fn push(&self, msg: Message) {
+        let mut q = self.queue.lock();
+        q.push_back(msg);
+        // notify_all: several receives with different filters may be blocked
+        // (e.g. wildcard receives in tests); all must re-scan.
+        self.arrived.notify_all();
+    }
+
+    /// Removes and returns the first message matching `filter`, blocking
+    /// until one arrives. FIFO per (source, tag) pair, preserving MPI's
+    /// non-overtaking guarantee.
+    pub fn recv(&self, filter: Match) -> Message {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|m| filter.accepts(m)) {
+                return q.remove(pos).expect("position just found");
+            }
+            let timed_out = self
+                .arrived
+                .wait_for(&mut q, DEADLOCK_TIMEOUT)
+                .timed_out();
+            if timed_out {
+                panic!(
+                    "mp: receive waited {}s for a message matching {filter:?}; \
+                     likely deadlock ({} unmatched messages queued)",
+                    DEADLOCK_TIMEOUT.as_secs(),
+                    q.len(),
+                );
+            }
+        }
+    }
+
+    /// Non-blocking variant: removes the first matching message if present.
+    /// Exercised by tests and kept for `iprobe`-style extensions.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn try_recv(&self, filter: Match) -> Option<Message> {
+        let mut q = self.queue.lock();
+        let pos = q.iter().position(|m| filter.accepts(m))?;
+        q.remove(pos)
+    }
+
+    /// Number of queued (unmatched) messages.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn pending(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::pack_tag;
+    use std::sync::Arc;
+
+    fn msg(src: usize, tag: u32, data: Vec<u8>) -> Message {
+        Message { src, full_tag: pack_tag(0, tag), data, arrival: None }
+    }
+
+    fn exact(src: usize, tag: u32) -> Match {
+        Match { comm_id: 0, src: Some(src), tag: Some(tag) }
+    }
+
+    #[test]
+    fn fifo_within_matching_pair() {
+        let mb = Mailbox::new();
+        mb.push(msg(1, 5, vec![1]));
+        mb.push(msg(1, 5, vec![2]));
+        assert_eq!(mb.recv(exact(1, 5)).data, vec![1]);
+        assert_eq!(mb.recv(exact(1, 5)).data, vec![2]);
+    }
+
+    #[test]
+    fn matching_skips_non_matching_messages() {
+        let mb = Mailbox::new();
+        mb.push(msg(2, 9, vec![9]));
+        mb.push(msg(1, 5, vec![5]));
+        assert_eq!(mb.recv(exact(1, 5)).data, vec![5]);
+        assert_eq!(mb.pending(), 1);
+        assert_eq!(mb.recv(exact(2, 9)).data, vec![9]);
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let mb = Mailbox::new();
+        assert!(mb.try_recv(exact(0, 0)).is_none());
+        mb.push(msg(0, 0, vec![]));
+        assert!(mb.try_recv(exact(0, 0)).is_some());
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_push() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || mb2.recv(exact(3, 1)).data);
+        std::thread::sleep(Duration::from_millis(20));
+        mb.push(msg(3, 1, vec![42]));
+        assert_eq!(t.join().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn wildcard_receive_takes_first_arrival() {
+        let mb = Mailbox::new();
+        mb.push(msg(7, 3, vec![7]));
+        mb.push(msg(8, 4, vec![8]));
+        let any = Match { comm_id: 0, src: None, tag: None };
+        assert_eq!(mb.recv(any).src, 7);
+        assert_eq!(mb.recv(any).src, 8);
+    }
+}

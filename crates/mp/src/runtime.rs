@@ -1,0 +1,228 @@
+//! The SPMD runtime: one OS thread per rank, in-process message delivery.
+//!
+//! `mp::run(n, f)` is the moral equivalent of `mpirun -np n`: it spawns `n`
+//! rank threads, hands each a world [`Comm`](crate::comm::Comm), runs `f`
+//! to completion on every rank and returns the per-rank results in rank
+//! order. Message delivery is eager (a send copies the payload into the
+//! destination mailbox and completes immediately), mirroring MPI's eager
+//! protocol for the message sizes the benchmarks use; this also makes
+//! `sendrecv`-style exchange patterns trivially deadlock-free.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use simnet::Transfer;
+
+use simnet::Time;
+
+use crate::comm::Comm;
+use crate::mailbox::Mailbox;
+use crate::msg::Message;
+use crate::virt::VirtualNet;
+
+/// Shared state of a running SPMD world.
+pub(crate) struct World {
+    pub n: usize,
+    pub mailboxes: Vec<Mailbox>,
+    /// When tracing, every point-to-point payload is recorded here as a
+    /// (global src, global dst, bytes) transfer.
+    pub trace: Option<Mutex<Vec<Transfer>>>,
+    /// Collective object rendezvous (used by RMA window creation):
+    /// key -> (shared object, fetches remaining before cleanup).
+    #[allow(clippy::type_complexity)]
+    pub rendezvous: Mutex<HashMap<u64, (Arc<dyn Any + Send + Sync>, usize)>>,
+    pub rendezvous_cv: Condvar,
+    /// Virtual-execution pricing model (None for native runs).
+    pub virtual_net: Option<Box<dyn VirtualNet>>,
+    /// Per-rank virtual clocks (empty for native runs).
+    pub virtual_clocks: Vec<Mutex<Time>>,
+}
+
+impl World {
+    fn new(n: usize, traced: bool) -> World {
+        World {
+            n,
+            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            trace: traced.then(|| Mutex::new(Vec::new())),
+            rendezvous: Mutex::new(HashMap::new()),
+            rendezvous_cv: Condvar::new(),
+            virtual_net: None,
+            virtual_clocks: Vec::new(),
+        }
+    }
+
+    /// Delivers `msg` to global rank `dst`, recording it if tracing.
+    pub fn deliver(&self, dst: usize, msg: Message) {
+        if let Some(trace) = &self.trace {
+            trace.lock().push(Transfer {
+                src: msg.src,
+                dst,
+                bytes: msg.data.len() as u64,
+            });
+        }
+        self.mailboxes[dst].push(msg);
+    }
+}
+
+/// Runs `f` as an SPMD program over `n` ranks and returns the per-rank
+/// results in rank order.
+///
+/// Panics if any rank panics (the panic is propagated with its message).
+///
+/// # Examples
+///
+/// ```
+/// let sums = mp::run(4, |comm| {
+///     let mut x = [comm.rank() as u64];
+///     comm.allreduce(&mut x, mp::Op::Sum);
+///     x[0]
+/// });
+/// assert_eq!(sums, vec![6, 6, 6, 6]);
+/// ```
+pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    run_inner(n, false, f).0
+}
+
+/// Like [`run`], but records every point-to-point message. Returns the
+/// per-rank results and the trace as a list of (src, dst, bytes) transfers
+/// in delivery order. Used to cross-validate the real collective
+/// implementations against their schedule generators.
+pub fn run_traced<R, F>(n: usize, f: F) -> (Vec<R>, Vec<Transfer>)
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    let (results, trace) = run_inner(n, true, f);
+    (results, trace.expect("tracing was enabled"))
+}
+
+/// Virtual-execution entry point (see [`crate::virt::run_virtual`]).
+pub(crate) fn run_with_virtual<R, F>(
+    n: usize,
+    net: Box<dyn VirtualNet>,
+    f: F,
+) -> (Vec<R>, Vec<Time>)
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    assert!(n > 0, "an SPMD world needs at least one rank");
+    let mut world = World::new(n, false);
+    world.virtual_net = Some(net);
+    world.virtual_clocks = (0..n).map(|_| Mutex::new(Time::ZERO)).collect();
+    let world = Arc::new(world);
+    let f = &f;
+    let results: Vec<R> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|rank| {
+                let world = Arc::clone(&world);
+                scope.spawn(move || f(&Comm::world(world, rank)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| h.join().unwrap_or_else(|_| panic!("rank {rank} panicked")))
+            .collect()
+    });
+    let world = Arc::try_unwrap(world).ok().expect("all rank threads joined");
+    let clocks = world
+        .virtual_clocks
+        .into_iter()
+        .map(Mutex::into_inner)
+        .collect();
+    (results, clocks)
+}
+
+fn run_inner<R, F>(n: usize, traced: bool, f: F) -> (Vec<R>, Option<Vec<Transfer>>)
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    assert!(n > 0, "an SPMD world needs at least one rank");
+    let world = Arc::new(World::new(n, traced));
+    let f = &f;
+    let results: Vec<R> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|rank| {
+                let world = Arc::clone(&world);
+                scope.spawn(move || {
+                    let comm = Comm::world(world, rank);
+                    f(&comm)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| match h.join() {
+                Ok(r) => r,
+                Err(e) => {
+                    let msg = e
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| e.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    panic!("rank {rank} panicked: {msg}");
+                }
+            })
+            .collect()
+    });
+    let trace = Arc::try_unwrap(world)
+        .ok()
+        .expect("all rank threads joined")
+        .trace
+        .map(Mutex::into_inner);
+    (results, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_rank_order() {
+        let out = run(8, |comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = run(1, |comm| {
+            assert_eq!(comm.size(), 1);
+            assert_eq!(comm.rank(), 0);
+            "ok"
+        });
+        assert_eq!(out, vec!["ok"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked: boom")]
+    fn rank_panic_propagates() {
+        run(4, |comm| {
+            if comm.rank() == 2 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn traced_run_records_messages() {
+        let (_, trace) = run_traced(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(&[1.0f64, 2.0], 1, 7);
+            } else {
+                let mut buf = [0.0f64; 2];
+                comm.recv(&mut buf, 0, 7);
+            }
+        });
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0], Transfer { src: 0, dst: 1, bytes: 16 });
+    }
+}

@@ -1,0 +1,62 @@
+//! Schedule generators for [`crate::coll::allgatherv`].
+
+use simnet::{Round, Schedule, Transfer};
+
+/// Ring allgatherv with per-rank block sizes in bytes: in round `k` rank
+/// `i` forwards the block that originated at `(i - k) mod n`.
+pub fn ring(counts_bytes: &[u64]) -> Schedule {
+    let n = counts_bytes.len();
+    let mut s = Schedule::new(n);
+    for k in 0..n.saturating_sub(1) {
+        s.push(Round::of(
+            (0..n)
+                .map(|i| Transfer {
+                    src: i,
+                    dst: (i + 1) % n,
+                    bytes: counts_bytes[(i + n - k) % n],
+                })
+                .collect(),
+        ));
+    }
+    s
+}
+
+/// Mirrors [`crate::coll::allgatherv::auto`] (ring).
+pub fn auto(counts_bytes: &[u64]) -> Schedule {
+    ring(counts_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::assert_trace_matches;
+    use crate::coll;
+    use crate::runtime::run_traced;
+
+    fn check(counts: Vec<usize>) {
+        let n = counts.len();
+        let total: usize = counts.iter().sum();
+        let counts2 = counts.clone();
+        let (_, trace) = run_traced(n, |comm| {
+            let send = vec![1u64; counts2[comm.rank()]];
+            let mut recv = vec![0u64; total];
+            coll::allgatherv::ring(comm, &send, &mut recv, &counts2);
+        });
+        let counts_bytes: Vec<u64> = counts.iter().map(|&c| (c * 8) as u64).collect();
+        assert_trace_matches(trace, &super::ring(&counts_bytes));
+    }
+
+    #[test]
+    fn ring_matches_real_execution() {
+        check(vec![3; 5]);
+        check(vec![1, 4, 2, 7]);
+        check(vec![0, 3, 0, 2]);
+        check(vec![4]);
+    }
+
+    #[test]
+    fn equal_counts_reduce_to_allgather_schedule() {
+        let v = super::ring(&[32; 6]);
+        let a = super::super::allgather::ring(6, 32);
+        assert_eq!(v.transfer_multiset(), a.transfer_multiset());
+    }
+}

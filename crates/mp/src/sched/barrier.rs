@@ -1,0 +1,91 @@
+//! Schedule generators for [`crate::coll::barrier`].
+
+use simnet::{Round, Schedule, Transfer};
+
+/// Dissemination barrier: round `k` signals at distance `2^k` around the
+/// ring with zero-byte messages.
+pub fn dissemination(n: usize) -> Schedule {
+    let mut s = Schedule::new(n);
+    if n == 1 {
+        return s;
+    }
+    let mut k = 1;
+    while k < n {
+        s.push(Round::of(
+            (0..n)
+                .map(|i| Transfer { src: i, dst: (i + k) % n, bytes: 0 })
+                .collect(),
+        ));
+        k <<= 1;
+    }
+    s
+}
+
+/// Tree barrier: binomial fan-in to rank 0, then binomial fan-out.
+pub fn tree(n: usize) -> Schedule {
+    let mut s = Schedule::new(n);
+    if n == 1 {
+        return s;
+    }
+    let rounds = super::binomial_rounds(n);
+    for round in rounds.iter().rev() {
+        s.push(Round::of(
+            round
+                .iter()
+                .map(|&(parent, child)| Transfer { src: child, dst: parent, bytes: 0 })
+                .collect(),
+        ));
+    }
+    for round in &rounds {
+        s.push(Round::of(
+            round
+                .iter()
+                .map(|&(parent, child)| Transfer { src: parent, dst: child, bytes: 0 })
+                .collect(),
+        ));
+    }
+    s
+}
+
+/// Mirrors [`crate::coll::barrier::auto`] (dissemination).
+pub fn auto(n: usize) -> Schedule {
+    dissemination(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::assert_trace_matches;
+    use crate::coll;
+    use crate::runtime::run_traced;
+
+    #[test]
+    fn dissemination_matches_real_execution() {
+        for n in [1, 2, 3, 5, 8, 13] {
+            let (_, trace) = run_traced(n, coll::barrier::dissemination);
+            assert_trace_matches(trace, &super::dissemination(n));
+        }
+    }
+
+    #[test]
+    fn tree_matches_real_execution() {
+        for n in [1, 2, 3, 5, 8, 13] {
+            let (_, trace) = run_traced(n, coll::barrier::tree);
+            assert_trace_matches(trace, &super::tree(n));
+        }
+    }
+
+    #[test]
+    fn dissemination_round_count() {
+        assert_eq!(super::dissemination(1).num_rounds(), 0);
+        assert_eq!(super::dissemination(8).num_rounds(), 3);
+        assert_eq!(super::dissemination(9).num_rounds(), 4);
+    }
+
+    #[test]
+    fn tree_has_twice_the_rounds_but_half_the_messages() {
+        let d = super::dissemination(16);
+        let t = super::tree(16);
+        assert_eq!(t.num_rounds(), 2 * d.num_rounds());
+        assert!(t.total_messages() < d.total_messages());
+    }
+}

@@ -1,0 +1,141 @@
+//! Schedule generators: the communication pattern of every collective
+//! algorithm as a [`simnet::Schedule`].
+//!
+//! Each generator mirrors one real implementation in [`crate::coll`] —
+//! same rounds, same peers, same byte counts — so the fabric simulator
+//! prices exactly the pattern the runtime executes. The `auto` generators
+//! replicate the real dispatchers' size/shape heuristics byte-for-byte.
+//!
+//! Tests in this module family assert *trace equivalence*: a traced real
+//! execution ([`crate::run_traced`]) moves exactly the (src, dst, bytes)
+//! multiset the generator predicts.
+
+pub mod allgather;
+pub mod allgatherv;
+pub mod allreduce;
+pub mod alltoall;
+pub mod barrier;
+pub mod bcast;
+pub mod gather;
+pub mod p2p;
+pub mod reduce;
+pub mod reduce_scatter;
+pub mod scan;
+pub mod scatter;
+
+use std::ops::Range;
+
+/// BFS levels of the recursive-halving block tree over `[0, n)`:
+/// `levels[d]` lists `(holder, child, child_range)` splits at depth `d`.
+/// Mirrors [`crate::coll::halving_tree`], which walks the same tree from a
+/// single rank's perspective.
+#[allow(clippy::single_range_in_vec_init)] // a worklist seeded with one range
+pub(crate) fn halving_bfs(n: usize) -> Vec<Vec<(usize, usize, Range<usize>)>> {
+    let mut levels = Vec::new();
+    let mut active: Vec<Range<usize>> = vec![0..n];
+    loop {
+        let mut level = Vec::new();
+        let mut next = Vec::new();
+        for r in &active {
+            if r.end - r.start > 1 {
+                let half = (r.end - r.start).next_power_of_two() / 2;
+                let mid = r.start + half;
+                level.push((r.start, mid, mid..r.end));
+                next.push(r.start..mid);
+                next.push(mid..r.end);
+            }
+        }
+        if level.is_empty() {
+            break;
+        }
+        levels.push(level);
+        active = next;
+    }
+    levels
+}
+
+/// Rounds of the binomial broadcast tree over virtual ranks: round `k`
+/// contains an edge `(v, v + 2^k)` for every `v < 2^k` with `v + 2^k < n`.
+pub(crate) fn binomial_rounds(n: usize) -> Vec<Vec<(usize, usize)>> {
+    let mut rounds = Vec::new();
+    let mut k = 0;
+    while (1usize << k) < n {
+        let step = 1usize << k;
+        let round: Vec<(usize, usize)> = (0..step)
+            .filter(|v| v + step < n)
+            .map(|v| (v, v + step))
+            .collect();
+        rounds.push(round);
+        k += 1;
+    }
+    rounds
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use simnet::{Schedule, Transfer};
+
+    /// Asserts that a traced execution and a generated schedule move the
+    /// same multiset of (src, dst, bytes) messages.
+    pub fn assert_trace_matches(trace: Vec<Transfer>, schedule: &Schedule) {
+        schedule.validate().expect("generated schedule is invalid");
+        let mut traced = trace;
+        traced.sort_unstable();
+        assert_eq!(
+            traced,
+            schedule.transfer_multiset(),
+            "traced execution and schedule generator disagree"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halving_bfs_covers_all_ranks() {
+        for n in 1..40usize {
+            let levels = halving_bfs(n);
+            let mut received = vec![false; n];
+            received[0] = true;
+            for level in &levels {
+                for (holder, child, range) in level {
+                    assert!(received[*holder], "holder must already have data");
+                    assert!(!received[*child], "child receives once");
+                    assert_eq!(range.start, *child);
+                    received[*child] = true;
+                }
+            }
+            assert!(received.iter().all(|&r| r), "n={n}");
+        }
+    }
+
+    #[test]
+    fn binomial_rounds_cover_all_ranks() {
+        for n in 1..40usize {
+            let rounds = binomial_rounds(n);
+            let mut have = vec![false; n];
+            have[0] = true;
+            for round in &rounds {
+                // All sends in a round come from ranks that already hold data.
+                for &(src, dst) in round {
+                    assert!(have[src], "n={n}: rank {src} sent before receiving");
+                    assert!(!have[dst]);
+                }
+                for &(_, dst) in round {
+                    have[dst] = true;
+                }
+            }
+            assert!(have.iter().all(|&h| h), "n={n}");
+        }
+    }
+
+    #[test]
+    fn binomial_round_count_is_log2() {
+        assert_eq!(binomial_rounds(1).len(), 0);
+        assert_eq!(binomial_rounds(2).len(), 1);
+        assert_eq!(binomial_rounds(8).len(), 3);
+        assert_eq!(binomial_rounds(9).len(), 4);
+    }
+}

@@ -1,0 +1,128 @@
+//! Schedules for the IMB point-to-point and parallel-transfer patterns
+//! (single iteration each).
+
+use simnet::{Round, Schedule, Transfer};
+
+/// IMB PingPong: rank 0 sends `bytes` to rank 1, which sends them back.
+pub fn ping_pong(bytes: u64) -> Schedule {
+    let mut s = Schedule::new(2);
+    s.push(Round::of(vec![Transfer { src: 0, dst: 1, bytes }]));
+    s.push(Round::of(vec![Transfer { src: 1, dst: 0, bytes }]));
+    s
+}
+
+/// IMB PingPing: both ranks send simultaneously — each message is
+/// "obstructed by oncoming messages".
+pub fn ping_ping(bytes: u64) -> Schedule {
+    let mut s = Schedule::new(2);
+    s.push(Round::of(vec![
+        Transfer { src: 0, dst: 1, bytes },
+        Transfer { src: 1, dst: 0, bytes },
+    ]));
+    s
+}
+
+/// IMB Sendrecv: a periodic chain — every rank sends `bytes` right and
+/// receives from the left.
+pub fn sendrecv(n: usize, bytes: u64) -> Schedule {
+    let mut s = Schedule::new(n);
+    if n > 1 {
+        s.push(Round::of(
+            (0..n)
+                .map(|i| Transfer { src: i, dst: (i + 1) % n, bytes })
+                .collect(),
+        ));
+    }
+    s
+}
+
+/// IMB Exchange: every rank exchanges `bytes` with both chain neighbours
+/// (the boundary-exchange pattern of mesh-based CFD codes).
+pub fn exchange(n: usize, bytes: u64) -> Schedule {
+    let mut s = Schedule::new(n);
+    if n > 1 {
+        s.push(Round::of(
+            (0..n)
+                .flat_map(|i| {
+                    [
+                        Transfer { src: i, dst: (i + 1) % n, bytes },
+                        Transfer { src: i, dst: (i + n - 1) % n, bytes },
+                    ]
+                })
+                .collect(),
+        ));
+    }
+    s
+}
+
+/// Random-ring pattern (HPCC random-ring bandwidth/latency): each rank
+/// sends to its successor in the given ring permutation and receives from
+/// its predecessor; both directions are active, as in `b_eff`.
+pub fn random_ring(perm: &[usize], bytes: u64) -> Schedule {
+    let n = perm.len();
+    let mut s = Schedule::new(n);
+    if n > 1 {
+        s.push(Round::of(
+            (0..n)
+                .flat_map(|i| {
+                    let a = perm[i];
+                    let b = perm[(i + 1) % n];
+                    [
+                        Transfer { src: a, dst: b, bytes },
+                        Transfer { src: b, dst: a, bytes },
+                    ]
+                })
+                .collect(),
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_is_two_dependent_rounds() {
+        let s = ping_pong(1024);
+        assert_eq!(s.num_rounds(), 2);
+        assert_eq!(s.total_bytes(), 2048);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn ping_ping_is_one_concurrent_round() {
+        let s = ping_ping(1024);
+        assert_eq!(s.num_rounds(), 1);
+        assert_eq!(s.total_messages(), 2);
+    }
+
+    #[test]
+    fn sendrecv_chain_volume() {
+        let s = sendrecv(8, 100);
+        assert_eq!(s.total_messages(), 8);
+        assert_eq!(s.total_bytes(), 800);
+        s.validate().unwrap();
+        assert_eq!(sendrecv(1, 100).total_messages(), 0);
+    }
+
+    #[test]
+    fn exchange_doubles_sendrecv() {
+        let s = exchange(8, 100);
+        assert_eq!(s.total_bytes(), 2 * sendrecv(8, 100).total_bytes());
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn random_ring_covers_every_rank_twice() {
+        let perm = vec![2, 0, 3, 1];
+        let s = random_ring(&perm, 10);
+        s.validate().unwrap();
+        assert_eq!(s.total_messages(), 8);
+        let mut sends = vec![0usize; 4];
+        for t in &s.rounds[0].transfers {
+            sends[t.src] += 1;
+        }
+        assert_eq!(sends, vec![2; 4], "each rank sends once per direction");
+    }
+}

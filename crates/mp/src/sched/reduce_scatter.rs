@@ -1,0 +1,123 @@
+//! Schedule generators for [`crate::coll::reduce_scatter`].
+
+use simnet::{LocalWork, Round, Schedule, Transfer};
+
+/// Pairwise reduce-scatter with per-rank slice sizes in bytes: round `s`
+/// ships each rank's operand for `(rank + s) mod n` and folds the arriving
+/// operand for the receiver's own slice.
+pub fn pairwise(counts_bytes: &[u64]) -> Schedule {
+    let n = counts_bytes.len();
+    let mut s = Schedule::new(n);
+    for step in 1..n {
+        s.push(Round {
+            transfers: (0..n)
+                .map(|i| {
+                    let dst = (i + step) % n;
+                    Transfer { src: i, dst, bytes: counts_bytes[dst] }
+                })
+                .collect(),
+            work: (0..n)
+                .map(|i| LocalWork { rank: i, bytes: counts_bytes[i] })
+                .collect(),
+        });
+    }
+    s
+}
+
+/// Recursive-halving reduce-scatter of `bytes` total (power-of-two groups,
+/// equal slices): `log2 n` rounds halving the active vector.
+pub fn recursive_halving(n: usize, bytes: u64) -> Schedule {
+    assert!(n.is_power_of_two(), "recursive halving needs 2^k ranks");
+    let mut s = Schedule::new(n);
+    let mut group = n;
+    let mut chunk = bytes;
+    while group > 1 {
+        chunk /= 2;
+        let half = group / 2;
+        s.push(Round {
+            transfers: (0..n)
+                .map(|v| {
+                    let partner = if v & half == 0 { v + half } else { v - half };
+                    Transfer { src: v, dst: partner, bytes: chunk }
+                })
+                .collect(),
+            work: (0..n).map(|v| LocalWork { rank: v, bytes: chunk }).collect(),
+        });
+        group /= 2;
+    }
+    s
+}
+
+/// Mirrors [`crate::coll::reduce_scatter::block_auto`]'s dispatch for equal
+/// blocks of `block_bytes` (`elem_size` as in [`super::reduce::auto`]).
+pub fn block_auto(n: usize, block_bytes: u64, elem_size: u64) -> Schedule {
+    let total = block_bytes * n as u64;
+    if n.is_power_of_two() && (total / elem_size).is_multiple_of(n as u64) {
+        recursive_halving(n, total)
+    } else {
+        pairwise(&vec![block_bytes; n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::assert_trace_matches;
+    use crate::coll;
+    use crate::reduce::Op;
+    use crate::runtime::run_traced;
+
+    #[test]
+    fn pairwise_matches_real_execution() {
+        for counts in [vec![3usize; 4], vec![1, 4, 0, 2], vec![2, 2, 5]] {
+            let n = counts.len();
+            let total: usize = counts.iter().sum();
+            let counts2 = counts.clone();
+            let (_, trace) = run_traced(n, |comm| {
+                let send = vec![1.0f64; total];
+                let mut recv = vec![0.0f64; counts2[comm.rank()]];
+                coll::reduce_scatter::pairwise(comm, &send, &mut recv, &counts2, Op::Sum);
+            });
+            let cb: Vec<u64> = counts.iter().map(|&c| (c * 8) as u64).collect();
+            assert_trace_matches(trace, &super::pairwise(&cb));
+        }
+    }
+
+    #[test]
+    fn recursive_halving_matches_real_execution() {
+        for n in [1, 2, 4, 8, 16] {
+            let slice = 4;
+            let (_, trace) = run_traced(n, |comm| {
+                let send = vec![1.0f64; n * slice];
+                let mut recv = vec![0.0f64; slice];
+                coll::reduce_scatter::recursive_halving(comm, &send, &mut recv, Op::Sum);
+            });
+            assert_trace_matches(trace, &super::recursive_halving(n, (n * slice * 8) as u64));
+        }
+    }
+
+    #[test]
+    fn block_auto_matches_real_dispatch() {
+        for n in [8usize, 6] {
+            let slice = 4;
+            let (_, trace) = run_traced(n, |comm| {
+                let send = vec![1.0f64; n * slice];
+                let mut recv = vec![0.0f64; slice];
+                coll::reduce_scatter::block_auto(comm, &send, &mut recv, Op::Sum);
+            });
+            assert_trace_matches(trace, &super::block_auto(n, (slice * 8) as u64, 8));
+        }
+    }
+
+    #[test]
+    fn halving_and_pairwise_volumes() {
+        let n = 8;
+        let slice = 1024u64;
+        let h = super::recursive_halving(n, slice * n as u64);
+        let p = super::pairwise(&vec![slice; n]);
+        // Pairwise: each rank sends (n-1) slices; halving: slightly less
+        // volume ((1 - 1/n) * total per rank too) — equal here.
+        assert_eq!(p.total_bytes(), (n * (n - 1)) as u64 * slice);
+        assert_eq!(h.total_bytes(), p.total_bytes());
+        assert!(h.num_rounds() < p.num_rounds());
+    }
+}

@@ -1,0 +1,75 @@
+//! Schedule generators for [`crate::coll::scan`].
+
+use simnet::{LocalWork, Round, Schedule, Transfer};
+
+/// Linear scan: a serial pipeline along rank order.
+pub fn linear(n: usize, bytes: u64) -> Schedule {
+    let mut s = Schedule::new(n);
+    for i in 0..n.saturating_sub(1) {
+        s.push(Round {
+            transfers: vec![Transfer { src: i, dst: i + 1, bytes }],
+            work: vec![LocalWork { rank: i + 1, bytes }],
+        });
+    }
+    s
+}
+
+/// Recursive-doubling scan: round `d` ships partials a distance `2^d`;
+/// receivers fold into both their result and their partial (2x work).
+pub fn recursive_doubling(n: usize, bytes: u64) -> Schedule {
+    let mut s = Schedule::new(n);
+    let mut d = 1;
+    while d < n {
+        s.push(Round {
+            transfers: (0..n - d)
+                .map(|i| Transfer { src: i, dst: i + d, bytes })
+                .collect(),
+            work: (d..n)
+                .map(|i| LocalWork { rank: i, bytes: 2 * bytes })
+                .collect(),
+        });
+        d <<= 1;
+    }
+    s
+}
+
+/// Mirrors [`crate::coll::scan::auto`] (recursive doubling).
+pub fn auto(n: usize, bytes: u64) -> Schedule {
+    recursive_doubling(n, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::assert_trace_matches;
+    use crate::coll;
+    use crate::reduce::Op;
+    use crate::runtime::run_traced;
+
+    #[test]
+    fn linear_matches_real_execution() {
+        for n in [1, 2, 5] {
+            let (_, trace) = run_traced(n, |comm| {
+                let mut buf = vec![1.0f64; 4];
+                coll::scan::linear(comm, &mut buf, Op::Sum);
+            });
+            assert_trace_matches(trace, &super::linear(n, 32));
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_matches_real_execution() {
+        for n in [1, 2, 3, 5, 8, 13] {
+            let (_, trace) = run_traced(n, |comm| {
+                let mut buf = vec![1.0f64; 4];
+                coll::scan::recursive_doubling(comm, &mut buf, Op::Sum);
+            });
+            assert_trace_matches(trace, &super::recursive_doubling(n, 32));
+        }
+    }
+
+    #[test]
+    fn round_counts() {
+        assert_eq!(super::linear(8, 1).num_rounds(), 7);
+        assert_eq!(super::recursive_doubling(8, 1).num_rounds(), 3);
+    }
+}

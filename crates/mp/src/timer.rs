@@ -1,0 +1,46 @@
+//! Wall-clock timing helpers for native benchmark runs.
+
+use std::time::Instant;
+
+/// A simple wall-clock stopwatch.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Seconds elapsed since start.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Microseconds elapsed since start.
+    pub fn elapsed_us(&self) -> f64 {
+        self.elapsed_secs() * 1e6
+    }
+
+    /// Restarts the stopwatch.
+    pub fn reset(&mut self) {
+        self.start = Instant::now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone_nonnegative() {
+        let mut w = Stopwatch::start();
+        let a = w.elapsed_secs();
+        let b = w.elapsed_secs();
+        assert!(a >= 0.0 && b >= a);
+        w.reset();
+        assert!(w.elapsed_us() >= 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Virtual-time execution: run any `mp` program on a *simulated* fabric.
+//!
+//! [`run_virtual`] spawns the usual rank threads, but every message is
+//! priced by a [`VirtualNet`] (supplied by the `machines` crate's
+//! models): sends advance the sender's virtual clock by its overhead,
+//! receives advance the receiver's clock to the message's simulated
+//! arrival, and compute phases are charged explicitly via
+//! [`Comm::v_compute`]. The program's real data still moves — results
+//! stay bit-identical to a native run — while [`Comm::v_time`] reads the
+//! timeline of the modelled machine.
+//!
+//! This is a third execution mode alongside native timing and
+//! schedule-replay simulation, and the integration tests use it to
+//! cross-validate the other two: a benchmark *executed* under virtual
+//! time must land near the price of its generated schedule.
+//!
+//! Approximation note: rank threads interleave nondeterministically, so
+//! when several messages contend for one simulated resource, their
+//! queueing order follows the host scheduler. First-fit reservation
+//! timelines keep the *total* times stable (see `simnet::resource`), but
+//! exact per-message arrivals may vary run to run by sub-contention
+//! amounts.
+
+use simnet::schedule::P2pCost;
+use simnet::Time;
+
+use crate::comm::Comm;
+use crate::runtime;
+
+/// A pricing model for virtual execution. Implemented by
+/// `machines::SharedClusterNet` for the paper's machine models.
+pub trait VirtualNet: Send + Sync {
+    /// Prices one message of `bytes` from `src` to `dst` (global ranks),
+    /// ready at `ready` on the sender's clock.
+    fn p2p(&self, src: usize, dst: usize, bytes: u64, ready: Time) -> P2pCost;
+
+    /// Prices `flops` floating-point operations on one rank at `eff`
+    /// fraction of peak.
+    fn compute(&self, flops: f64, eff: f64) -> Time;
+
+    /// Prices a memory-streaming phase of `bytes` on one rank.
+    fn stream(&self, bytes: f64) -> Time;
+}
+
+/// Runs `f` as an SPMD program over `n` ranks on the virtual fabric
+/// `net`. Returns the per-rank results and the per-rank final virtual
+/// clocks.
+pub fn run_virtual<R, F>(n: usize, net: Box<dyn VirtualNet>, f: F) -> (Vec<R>, Vec<Time>)
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    runtime::run_with_virtual(n, net, f)
+}
+
+impl Comm {
+    /// This rank's current virtual time. Zero outside virtual execution.
+    pub fn v_time(&self) -> Time {
+        self.world_virtual_clock()
+    }
+
+    /// Charges a compute phase of `flops` at `eff` fraction of peak to
+    /// this rank's virtual clock. No-op outside virtual execution.
+    pub fn v_compute(&self, flops: f64, eff: f64) {
+        if let Some(net) = self.world_virtual_net() {
+            let dt = net.compute(flops, eff);
+            self.advance_virtual_clock(dt);
+        }
+    }
+
+    /// Charges a memory-streaming phase of `bytes` to this rank's
+    /// virtual clock. No-op outside virtual execution.
+    pub fn v_stream(&self, bytes: f64) {
+        if let Some(net) = self.world_virtual_net() {
+            let dt = net.stream(bytes);
+            self.advance_virtual_clock(dt);
+        }
+    }
+
+    /// Synchronises this rank's virtual clock with a barrier: all ranks
+    /// leave with the maximum clock. (A convenience for benchmark
+    /// timing; the barrier itself is also priced as messages.)
+    pub fn v_sync(&self) -> Time {
+        let mut t = [self.v_time().as_secs()];
+        self.allreduce(&mut t, crate::reduce::Op::Max);
+        let target = Time::from_secs(t[0]);
+        self.set_virtual_clock_at_least(target);
+        target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A fixed-cost test net: latency 10 us, 1 GB/s, full overlap.
+    struct TestNet;
+
+    impl VirtualNet for TestNet {
+        fn p2p(&self, _s: usize, _d: usize, bytes: u64, ready: Time) -> P2pCost {
+            let dur = Time::from_us(10.0) + Time::from_secs(bytes as f64 / 1e9);
+            P2pCost { sender_done: ready + Time::from_us(1.0), arrival: ready + dur }
+        }
+        fn compute(&self, flops: f64, eff: f64) -> Time {
+            Time::from_secs(flops / (1e9 * eff))
+        }
+        fn stream(&self, bytes: f64) -> Time {
+            Time::from_secs(bytes / 1e9)
+        }
+    }
+
+    #[test]
+    fn ping_pong_accumulates_latency() {
+        let iters = 5;
+        let (_, clocks) = run_virtual(2, Box::new(TestNet), |comm| {
+            let me = comm.rank();
+            let buf = [0u8; 0];
+            for _ in 0..iters {
+                if me == 0 {
+                    comm.send(&buf, 1, 1);
+                    let mut r = [0u8; 0];
+                    comm.recv(&mut r, 1, 1);
+                } else {
+                    let mut r = [0u8; 0];
+                    comm.recv(&mut r, 0, 1);
+                    comm.send(&buf, 0, 1);
+                }
+            }
+        });
+        // 2 messages x 10 us per iteration on the critical path.
+        let expect = 2.0 * 10.0 * iters as f64;
+        assert!(
+            (clocks[0].as_us() - expect).abs() < 1e-6,
+            "clock {} vs {expect}",
+            clocks[0].as_us()
+        );
+    }
+
+    #[test]
+    fn results_match_native_execution() {
+        // Virtual time must not change computed values.
+        let native = crate::run(4, |comm| {
+            let mut x = vec![comm.rank() as f64 + 1.0; 3];
+            comm.allreduce(&mut x, crate::Op::Sum);
+            x
+        });
+        let (virt, clocks) = run_virtual(4, Box::new(TestNet), |comm| {
+            let mut x = vec![comm.rank() as f64 + 1.0; 3];
+            comm.allreduce(&mut x, crate::Op::Sum);
+            x
+        });
+        assert_eq!(native, virt);
+        assert!(clocks.iter().all(|c| c.as_us() > 0.0), "allreduce costs time");
+    }
+
+    #[test]
+    fn compute_charging_and_sync() {
+        let (_, clocks) = run_virtual(3, Box::new(TestNet), |comm| {
+            if comm.rank() == 1 {
+                comm.v_compute(5e9, 1.0); // 5 seconds
+            }
+            comm.v_sync();
+        });
+        for c in &clocks {
+            assert!(c.as_secs() >= 5.0, "sync must propagate the slowest clock");
+        }
+    }
+
+    #[test]
+    fn outside_virtual_mode_clocks_are_zero() {
+        crate::run(2, |comm| {
+            assert_eq!(comm.v_time(), Time::ZERO);
+            comm.v_compute(1e12, 1.0); // no-op
+            assert_eq!(comm.v_time(), Time::ZERO);
+        });
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_bytes() {
+        let run_bytes = |bytes: usize| -> f64 {
+            let (_, clocks) = run_virtual(2, Box::new(TestNet), move |comm| {
+                if comm.rank() == 0 {
+                    comm.send(&vec![1u8; bytes], 1, 2);
+                } else {
+                    let mut r = vec![0u8; bytes];
+                    comm.recv(&mut r, 0, 2);
+                }
+            });
+            clocks[1].as_us()
+        };
+        let t1 = run_bytes(1000);
+        let t2 = run_bytes(1_000_000);
+        assert!(t2 > t1 + 900.0, "1 MB adds ~1 ms: {t1} -> {t2}");
+    }
+
+    #[test]
+    fn shared_net_instances_are_reusable() {
+        // The Arc pattern machines uses: one net across several worlds.
+        struct ArcNet(Arc<TestNet>);
+        impl VirtualNet for ArcNet {
+            fn p2p(&self, s: usize, d: usize, b: u64, r: Time) -> P2pCost {
+                self.0.p2p(s, d, b, r)
+            }
+            fn compute(&self, f: f64, e: f64) -> Time {
+                self.0.compute(f, e)
+            }
+            fn stream(&self, b: f64) -> Time {
+                self.0.stream(b)
+            }
+        }
+        let shared = Arc::new(TestNet);
+        for _ in 0..3 {
+            let (_, clocks) =
+                run_virtual(2, Box::new(ArcNet(Arc::clone(&shared))), |comm| comm.barrier());
+            assert!(clocks[0].as_us() > 0.0);
+        }
+    }
+}

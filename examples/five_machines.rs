@@ -1,0 +1,62 @@
+//! Compares the five supercomputers of the paper on a chosen IMB
+//! benchmark across processor counts — a textual rendition of the
+//! paper's Figs. 6-15.
+//!
+//! ```text
+//! cargo run --example five_machines --release -- [benchmark] [bytes]
+//! cargo run --example five_machines --release -- Alltoall 1048576
+//! ```
+
+use imb::{Benchmark, Metric};
+
+fn parse_benchmark(name: &str) -> Option<Benchmark> {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.to_string().eq_ignore_ascii_case(name))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench = args
+        .next()
+        .map(|n| parse_benchmark(&n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
+        .unwrap_or(Benchmark::Alltoall);
+    let bytes: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(1 << 20);
+    let bytes = if bench.sized() { bytes } else { 0 };
+
+    let machines = machines::systems::all_variants();
+    let grid = [2usize, 4, 8, 16, 32, 64, 128, 256, 512];
+
+    println!("{bench} at {bytes} bytes (simulated on the paper's machines)");
+    let unit = match bench.metric() {
+        Metric::TimeUs => "us/call",
+        Metric::Bandwidth => "MB/s",
+    };
+    print!("{:>6}", "procs");
+    for m in &machines {
+        print!(" {:>26}", m.name);
+    }
+    println!("   [{unit}]");
+
+    for &p in &grid {
+        print!("{p:>6}");
+        for m in &machines {
+            if p <= m.max_cpus && p >= bench.min_procs() {
+                let s = imb::sim::simulate(m, bench, p, bytes);
+                let v = match bench.metric() {
+                    Metric::TimeUs => s.t_max_us,
+                    Metric::Bandwidth => s.bandwidth_mbs.unwrap_or(0.0),
+                };
+                print!(" {v:>26.1}");
+            } else {
+                print!(" {:>26}", "-");
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "\nPaper's Fig. 12 ordering at 1 MB: NEC SX-8 > Cray X1 > Altix BX2 \
+         > Dell Xeon > Cray Opteron (faster to slower)."
+    );
+}

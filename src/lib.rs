@@ -1,0 +1,19 @@
+//! Umbrella crate for the `hpcbench` workspace.
+//!
+//! This crate exists to host the workspace-level examples (`examples/`) and
+//! cross-crate integration tests (`tests/`). The actual library surface lives
+//! in the member crates, re-exported here for convenience:
+//!
+//! * [`mp`] — the thread-based message-passing runtime (mini-MPI).
+//! * [`simnet`] — the deterministic interconnect simulator.
+//! * [`machines`] — models of the five supercomputers evaluated in the paper.
+//! * [`hpcc`] — the HPC Challenge benchmark suite.
+//! * [`imb`] — the Intel MPI Benchmarks subset used in the paper.
+//! * [`hpcbench`] — suite orchestration, ratio analysis, figure regeneration.
+
+pub use hpcbench;
+pub use hpcc;
+pub use imb;
+pub use machines;
+pub use mp;
+pub use simnet;
