@@ -16,7 +16,11 @@ fn ablate_fat_tree_blocking(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_fat_tree_blocking");
     for blocking in [1.0f64, 3.0, 9.0] {
         let mut m = machines::systems::dell_xeon();
-        m.net.topology = TopologyKind::FatTree { arity: 18, blocking, blocking_from: 1 };
+        m.net.topology = TopologyKind::FatTree {
+            arity: 18,
+            blocking,
+            blocking_from: 1,
+        };
         let sched = sched::alltoall::pairwise(64, 1 << 20);
         g.bench_with_input(
             BenchmarkId::from_parameter(blocking as u64),
@@ -59,19 +63,18 @@ fn ablate_allreduce_crossover(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_allreduce_crossover");
     for bytes in [1024u64, 32 * 1024, 1 << 20] {
         for (name, sched) in [
-            ("recursive_doubling", sched::allreduce::recursive_doubling(64, bytes)),
+            (
+                "recursive_doubling",
+                sched::allreduce::recursive_doubling(64, bytes),
+            ),
             ("rabenseifner", sched::allreduce::rabenseifner(64, bytes)),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(name, bytes),
-                &bytes,
-                |b, _| {
-                    b.iter(|| {
-                        let sim = ClusterSim::new(&m, 64);
-                        black_box(sim.run_fresh(&sched).as_us())
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, bytes), &bytes, |b, _| {
+                b.iter(|| {
+                    let sim = ClusterSim::new(&m, 64);
+                    black_box(sim.run_fresh(&sched).as_us())
+                })
+            });
         }
     }
     g.finish();

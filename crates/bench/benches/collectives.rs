@@ -77,7 +77,10 @@ fn bench_alltoall_algorithms(c: &mut Criterion) {
     for words in [64usize, 16384] {
         g.throughput(Throughput::Bytes((words * 8 * RANKS) as u64));
         for (name, f) in [
-            ("pairwise", mp::coll::alltoall::pairwise::<f64> as fn(&mp::Comm, &[f64], &mut [f64])),
+            (
+                "pairwise",
+                mp::coll::alltoall::pairwise::<f64> as fn(&mp::Comm, &[f64], &mut [f64]),
+            ),
             ("bruck", mp::coll::alltoall::bruck::<f64>),
             ("linear", mp::coll::alltoall::linear::<f64>),
         ] {

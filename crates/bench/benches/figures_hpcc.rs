@@ -9,12 +9,19 @@ use std::hint::black_box;
 use hpcbench::figures::{self, FigureConfig};
 
 fn cfg() -> FigureConfig {
-    FigureConfig { max_procs: 32, imb_bytes: 1 << 20 }
+    FigureConfig {
+        max_procs: 32,
+        imb_bytes: 1 << 20,
+    }
 }
 
 fn bench_tables(c: &mut Criterion) {
-    c.bench_function("table1", |b| b.iter(|| black_box(figures::table1()).rows.len()));
-    c.bench_function("table2", |b| b.iter(|| black_box(figures::table2()).rows.len()));
+    c.bench_function("table1", |b| {
+        b.iter(|| black_box(figures::table1()).rows.len())
+    });
+    c.bench_function("table2", |b| {
+        b.iter(|| black_box(figures::table2()).rows.len())
+    });
     c.bench_function("table3", |b| {
         b.iter(|| black_box(figures::table3(&cfg())).rows.len())
     });
@@ -59,5 +66,10 @@ fn bench_hpcc_models(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_tables, bench_balance_figures, bench_hpcc_models);
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_balance_figures,
+    bench_hpcc_models
+);
 criterion_main!(benches);

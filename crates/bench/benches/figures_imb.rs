@@ -9,7 +9,10 @@ use hpcbench::figures::{self, FigureConfig};
 use hpcbench::Figure;
 
 fn cfg() -> FigureConfig {
-    FigureConfig { max_procs: 32, imb_bytes: 1 << 20 }
+    FigureConfig {
+        max_procs: 32,
+        imb_bytes: 1 << 20,
+    }
 }
 
 #[allow(clippy::type_complexity)]

@@ -29,9 +29,7 @@ fn bench_stream(c: &mut Criterion) {
     let len = 1_000_000;
     let mut arrays = StreamArrays::new(len);
     for kernel in StreamKernel::ALL {
-        g.throughput(Throughput::Bytes(
-            (len * kernel.bytes_per_element()) as u64,
-        ));
+        g.throughput(Throughput::Bytes((len * kernel.bytes_per_element()) as u64));
         g.bench_function(format!("{kernel:?}").to_lowercase(), |bench| {
             bench.iter(|| arrays.run(black_box(kernel)));
         });

@@ -1,0 +1,202 @@
+//! Perf baseline for the compute hot path: times DGEMM and HPL at fixed
+//! sizes and writes `BENCH_hpcc.json`, establishing the trajectory every
+//! later PR is measured against.
+//!
+//! ```text
+//! cargo run -p bench --bin bench_hpcc --release            # writes BENCH_hpcc.json
+//! cargo run -p bench --bin bench_hpcc --release -- --out F
+//! ```
+//!
+//! The packed register-blocked kernel is compared against the seed's
+//! 48x48 tiled i-k-j loop (reproduced here verbatim as the frozen
+//! baseline), so the speedup column stays meaningful as the kernel
+//! evolves.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hpcc::hpl::{self, HplConfig};
+use hpcc::hpl2d::{self, Hpl2dConfig};
+use hpcc::kernels::dgemm::{dgemm, dgemm_flops};
+
+/// The seed's DGEMM (PR 0): cache-tiled triple loop, no packing, no
+/// register blocking. Kept as the fixed reference point for speedups.
+fn tiled_baseline(n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    const TILE: usize = 48;
+    for it in (0..n).step_by(TILE) {
+        let imax = (it + TILE).min(n);
+        for kt in (0..n).step_by(TILE) {
+            let kmax = (kt + TILE).min(n);
+            for jt in (0..n).step_by(TILE) {
+                let jmax = (jt + TILE).min(n);
+                for i in it..imax {
+                    for k in kt..kmax {
+                        let aik = a[i * n + k];
+                        let brow = &b[k * n + jt..k * n + jmax];
+                        let crow = &mut c[i * n + jt..i * n + jmax];
+                        for (cv, bv) in crow.iter_mut().zip(brow) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn fill(len: usize, seed: u64) -> Vec<f64> {
+    let mut x = seed;
+    (0..len)
+        .map(|_| {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time of one invocation of `f`.
+fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best.max(1e-9)
+}
+
+struct Record {
+    name: String,
+    value: f64,
+    unit: &'static str,
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_hpcc.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}\nusage: bench_hpcc [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut records: Vec<Record> = Vec::new();
+
+    // --- DGEMM: packed kernel vs the seed's tiled loop ------------------
+    for n in [256usize, 512] {
+        let a = fill(n * n, 1);
+        let b = fill(n * n, 2);
+        let mut c = vec![0.0f64; n * n];
+        let flops = dgemm_flops(n);
+
+        let t_packed = best_secs(5, || {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            dgemm(n, &a, &b, &mut c);
+        });
+        let t_tiled = best_secs(5, || {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            tiled_baseline(n, &a, &b, &mut c);
+        });
+
+        println!(
+            "dgemm n={n}: packed {:.2} Gflop/s, tiled baseline {:.2} Gflop/s, speedup {:.2}x",
+            flops / t_packed / 1e9,
+            flops / t_tiled / 1e9,
+            t_tiled / t_packed
+        );
+        records.push(Record {
+            name: format!("dgemm_packed_n{n}_gflops"),
+            value: flops / t_packed / 1e9,
+            unit: "Gflop/s",
+        });
+        records.push(Record {
+            name: format!("dgemm_tiled_seed_n{n}_gflops"),
+            value: flops / t_tiled / 1e9,
+            unit: "Gflop/s",
+        });
+        records.push(Record {
+            name: format!("dgemm_speedup_vs_seed_n{n}"),
+            value: t_tiled / t_packed,
+            unit: "x",
+        });
+    }
+
+    // --- HPL: single-rank and small multi-rank factorisations -----------
+    let r1 = mp::run(1, |comm| hpl::run(comm, &HplConfig { n: 512, nb: 32 }))[0];
+    assert!(
+        r1.passed,
+        "HPL n=512 failed verification: residual {}",
+        r1.residual
+    );
+    println!(
+        "hpl 1d p=1 n=512: {:.2} Gflop/s (residual {:.3})",
+        r1.gflops, r1.residual
+    );
+    records.push(Record {
+        name: "hpl1d_p1_n512_gflops".into(),
+        value: r1.gflops,
+        unit: "Gflop/s",
+    });
+
+    let r4 = mp::run(4, |comm| hpl::run(comm, &HplConfig { n: 512, nb: 32 }))[0];
+    assert!(
+        r4.passed,
+        "HPL p=4 failed verification: residual {}",
+        r4.residual
+    );
+    println!(
+        "hpl 1d p=4 n=512: {:.2} Gflop/s (residual {:.3})",
+        r4.gflops, r4.residual
+    );
+    records.push(Record {
+        name: "hpl1d_p4_n512_gflops".into(),
+        value: r4.gflops,
+        unit: "Gflop/s",
+    });
+
+    let r2d = mp::run(4, |comm| {
+        hpl2d::run(
+            comm,
+            &Hpl2dConfig {
+                n: 512,
+                nb: 32,
+                p_rows: 2,
+            },
+        )
+    })[0];
+    assert!(
+        r2d.passed,
+        "HPL2D failed verification: residual {}",
+        r2d.residual
+    );
+    println!(
+        "hpl 2d 2x2 n=512: {:.2} Gflop/s (residual {:.3})",
+        r2d.gflops, r2d.residual
+    );
+    records.push(Record {
+        name: "hpl2d_2x2_n512_gflops".into(),
+        value: r2d.gflops,
+        unit: "Gflop/s",
+    });
+
+    // --- Write BENCH_hpcc.json ------------------------------------------
+    let mut json = String::from("{\n  \"suite\": \"hpcc-compute-baseline\",\n  \"metrics\": {\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    \"{}\": {{ \"value\": {:.4}, \"unit\": \"{}\" }}{comma}",
+            r.name, r.value, r.unit
+        )
+        .unwrap();
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

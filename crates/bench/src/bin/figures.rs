@@ -33,9 +33,7 @@ fn main() {
             "--out" => out_dir = PathBuf::from(args.next().expect("--out needs a path")),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!(
-                    "usage: figures [--quick] [--max-procs N] [--out DIR] [--no-extensions]"
-                );
+                eprintln!("usage: figures [--quick] [--max-procs N] [--out DIR] [--no-extensions]");
                 std::process::exit(2);
             }
         }
@@ -58,14 +56,20 @@ fn main() {
 
     println!("writing figures (max_procs = {}) ...", cfg.max_procs);
     for fig in figures::all_figures(&cfg) {
-        fs::write(out_dir.join(format!("{}.csv", fig.id)), fig.to_csv())
-            .expect("write figure csv");
-        fs::write(out_dir.join(format!("{}.svg", fig.id)), hpcbench::svg::render(&fig))
-            .expect("write figure svg");
+        fs::write(out_dir.join(format!("{}.csv", fig.id)), fig.to_csv()).expect("write figure csv");
+        fs::write(
+            out_dir.join(format!("{}.svg", fig.id)),
+            hpcbench::svg::render(&fig),
+        )
+        .expect("write figure svg");
         report.push_str(&fig.to_markdown());
         report.push('\n');
         let points: usize = fig.series.iter().map(|s| s.points.len()).sum();
-        println!("  {} ({} series, {points} points)", fig.id, fig.series.len());
+        println!(
+            "  {} ({} series, {points} points)",
+            fig.id,
+            fig.series.len()
+        );
     }
 
     if with_extensions {
@@ -76,8 +80,11 @@ fn main() {
         for fig in ext_figs {
             fs::write(out_dir.join(format!("{}.csv", fig.id)), fig.to_csv())
                 .expect("write extension csv");
-            fs::write(out_dir.join(format!("{}.svg", fig.id)), hpcbench::svg::render(&fig))
-                .expect("write extension svg");
+            fs::write(
+                out_dir.join(format!("{}.svg", fig.id)),
+                hpcbench::svg::render(&fig),
+            )
+            .expect("write extension svg");
             report.push_str(&fig.to_markdown());
             report.push('\n');
             println!("  {}", fig.id);

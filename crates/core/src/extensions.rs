@@ -129,7 +129,10 @@ pub fn onesided_figure(scheme: imb::SyncScheme) -> Figure {
 
 /// The one-sided study across all three synchronisation schemes.
 pub fn all_onesided_figures() -> Vec<Figure> {
-    imb::SyncScheme::ALL.into_iter().map(onesided_figure).collect()
+    imb::SyncScheme::ALL
+        .into_iter()
+        .map(onesided_figure)
+        .collect()
 }
 
 #[cfg(test)]
@@ -202,7 +205,10 @@ pub fn future_systems_figure(cfg: &FigureConfig) -> Figure {
                 points.push((p as f64, meas.t_max_us));
                 p *= 2;
             }
-            Series { name: m.name.to_string(), points }
+            Series {
+                name: m.name.to_string(),
+                points,
+            }
         })
         .collect();
     Figure {

@@ -26,14 +26,20 @@ pub struct FigureConfig {
 
 impl Default for FigureConfig {
     fn default() -> FigureConfig {
-        FigureConfig { max_procs: 2048, imb_bytes: MIB }
+        FigureConfig {
+            max_procs: 2048,
+            imb_bytes: MIB,
+        }
     }
 }
 
 impl FigureConfig {
     /// A scaled-down configuration for fast tests.
     pub fn quick() -> FigureConfig {
-        FigureConfig { max_procs: 16, imb_bytes: 64 * 1024 }
+        FigureConfig {
+            max_procs: 16,
+            imb_bytes: 64 * 1024,
+        }
     }
 }
 
@@ -249,9 +255,17 @@ pub fn table2() -> Table {
         id: "table2",
         title: "System characteristics of the five computing platforms".into(),
         columns: [
-            "Platform", "Type", "CPUs/node", "Clock (GHz)", "Peak/node (Gflop/s)",
-            "Network", "Network topology", "Operating system", "Location",
-            "Processor vendor", "System vendor",
+            "Platform",
+            "Type",
+            "CPUs/node",
+            "Clock (GHz)",
+            "Peak/node (Gflop/s)",
+            "Network",
+            "Network topology",
+            "Operating system",
+            "Location",
+            "Processor vendor",
+            "System vendor",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -297,11 +311,10 @@ fn imb_figure(
     cfg: &FigureConfig,
 ) -> Figure {
     let bytes = if benchmark.sized() { cfg.imb_bytes } else { 0 };
-    let (ylabel, extract): (&str, fn(&imb::Measurement) -> f64) =
-        match benchmark.metric() {
-            imb::Metric::TimeUs => ("time per call (us)", |m| m.t_max_us),
-            imb::Metric::Bandwidth => ("bandwidth (MB/s)", |m| m.bandwidth_mbs.unwrap_or(0.0)),
-        };
+    let (ylabel, extract): (&str, fn(&imb::Measurement) -> f64) = match benchmark.metric() {
+        imb::Metric::TimeUs => ("time per call (us)", |m| m.t_max_us),
+        imb::Metric::Bandwidth => ("bandwidth (MB/s)", |m| m.bandwidth_mbs.unwrap_or(0.0)),
+    };
     Figure {
         id,
         title: title.to_string(),
@@ -325,62 +338,102 @@ fn imb_figure(
 
 /// Fig. 6: execution time of the Barrier benchmark.
 pub fn fig06(cfg: &FigureConfig) -> Figure {
-    imb_figure("fig06", imb::Benchmark::Barrier,
-        "Execution time of Barrier Benchmark (us/call)", cfg)
+    imb_figure(
+        "fig06",
+        imb::Benchmark::Barrier,
+        "Execution time of Barrier Benchmark (us/call)",
+        cfg,
+    )
 }
 
 /// Fig. 7: Allreduce, 1 MB.
 pub fn fig07(cfg: &FigureConfig) -> Figure {
-    imb_figure("fig07", imb::Benchmark::Allreduce,
-        "Execution time of Allreduce Benchmark for 1 MB message (us/call)", cfg)
+    imb_figure(
+        "fig07",
+        imb::Benchmark::Allreduce,
+        "Execution time of Allreduce Benchmark for 1 MB message (us/call)",
+        cfg,
+    )
 }
 
 /// Fig. 8: Reduce, 1 MB.
 pub fn fig08(cfg: &FigureConfig) -> Figure {
-    imb_figure("fig08", imb::Benchmark::Reduce,
-        "Execution time of Reduction Benchmark, 1 MB message (us/call)", cfg)
+    imb_figure(
+        "fig08",
+        imb::Benchmark::Reduce,
+        "Execution time of Reduction Benchmark, 1 MB message (us/call)",
+        cfg,
+    )
 }
 
 /// Fig. 9: Reduce_scatter, 1 MB.
 pub fn fig09(cfg: &FigureConfig) -> Figure {
-    imb_figure("fig09", imb::Benchmark::ReduceScatter,
-        "Execution time of Reduce_scatter Benchmark, 1 MB message (us/call)", cfg)
+    imb_figure(
+        "fig09",
+        imb::Benchmark::ReduceScatter,
+        "Execution time of Reduce_scatter Benchmark, 1 MB message (us/call)",
+        cfg,
+    )
 }
 
 /// Fig. 10: Allgather, 1 MB.
 pub fn fig10(cfg: &FigureConfig) -> Figure {
-    imb_figure("fig10", imb::Benchmark::Allgather,
-        "Execution time of Allgather Benchmark, 1 MB message (us/call)", cfg)
+    imb_figure(
+        "fig10",
+        imb::Benchmark::Allgather,
+        "Execution time of Allgather Benchmark, 1 MB message (us/call)",
+        cfg,
+    )
 }
 
 /// Fig. 11: Allgatherv, 1 MB.
 pub fn fig11(cfg: &FigureConfig) -> Figure {
-    imb_figure("fig11", imb::Benchmark::Allgatherv,
-        "Execution time of Allgatherv Benchmark, 1 MB message (us/call)", cfg)
+    imb_figure(
+        "fig11",
+        imb::Benchmark::Allgatherv,
+        "Execution time of Allgatherv Benchmark, 1 MB message (us/call)",
+        cfg,
+    )
 }
 
 /// Fig. 12: AlltoAll, 1 MB.
 pub fn fig12(cfg: &FigureConfig) -> Figure {
-    imb_figure("fig12", imb::Benchmark::Alltoall,
-        "Execution time of AlltoAll Benchmark, 1 MB message (us/call)", cfg)
+    imb_figure(
+        "fig12",
+        imb::Benchmark::Alltoall,
+        "Execution time of AlltoAll Benchmark, 1 MB message (us/call)",
+        cfg,
+    )
 }
 
 /// Fig. 13: Sendrecv bandwidth, 1 MB.
 pub fn fig13(cfg: &FigureConfig) -> Figure {
-    imb_figure("fig13", imb::Benchmark::Sendrecv,
-        "Bandwidth of Sendrecv Benchmark, 1 MB message (MB/s)", cfg)
+    imb_figure(
+        "fig13",
+        imb::Benchmark::Sendrecv,
+        "Bandwidth of Sendrecv Benchmark, 1 MB message (MB/s)",
+        cfg,
+    )
 }
 
 /// Fig. 14: Exchange bandwidth, 1 MB.
 pub fn fig14(cfg: &FigureConfig) -> Figure {
-    imb_figure("fig14", imb::Benchmark::Exchange,
-        "Bandwidth of Exchange Benchmark, 1 MB message (MB/s)", cfg)
+    imb_figure(
+        "fig14",
+        imb::Benchmark::Exchange,
+        "Bandwidth of Exchange Benchmark, 1 MB message (MB/s)",
+        cfg,
+    )
 }
 
 /// Fig. 15: Broadcast, 1 MB.
 pub fn fig15(cfg: &FigureConfig) -> Figure {
-    imb_figure("fig15", imb::Benchmark::Bcast,
-        "Execution time of Broadcast Benchmark, 1 MB message (us/call)", cfg)
+    imb_figure(
+        "fig15",
+        imb::Benchmark::Bcast,
+        "Execution time of Broadcast Benchmark, 1 MB message (us/call)",
+        cfg,
+    )
 }
 
 /// Every figure of the paper, in order.

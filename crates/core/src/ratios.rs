@@ -68,14 +68,14 @@ pub fn kiviat_row(machine: &Machine, s: &HpccSummary) -> KiviatRow {
     KiviatRow {
         machine: machine.name.to_string(),
         values: [
-            s.ghpl / 1e3,                                  // TF/s
-            s.ep_dgemm * p / s.ghpl,                       // dimensionless
-            s.gfft / s.ghpl,                               // dimensionless
-            s.ptrans * 1e9 / hpl_flops,                    // B/F
-            s.stream_copy * 1e9 * p / hpl_flops,           // B/F
-            s.ring_bw * 1e9 / (hpl_flops / p),             // B/F (per process)
-            1.0 / s.ring_latency_us,                       // 1/us
-            s.gups * 1e9 / hpl_flops,                      // Update/F
+            s.ghpl / 1e3,                        // TF/s
+            s.ep_dgemm * p / s.ghpl,             // dimensionless
+            s.gfft / s.ghpl,                     // dimensionless
+            s.ptrans * 1e9 / hpl_flops,          // B/F
+            s.stream_copy * 1e9 * p / hpl_flops, // B/F
+            s.ring_bw * 1e9 / (hpl_flops / p),   // B/F (per process)
+            1.0 / s.ring_latency_us,             // 1/us
+            s.gups * 1e9 / hpl_flops,            // Update/F
         ],
     }
 }

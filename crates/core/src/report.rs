@@ -53,7 +53,11 @@ impl Figure {
             out,
             "| {} | {} |",
             self.xlabel,
-            self.series.iter().map(|s| s.name.as_str()).collect::<Vec<_>>().join(" | ")
+            self.series
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>()
+                .join(" | ")
         );
         let _ = writeln!(out, "|{}", "---|".repeat(self.series.len() + 1));
         for x in xs {
@@ -117,13 +121,20 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| csv_escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
                 out,
                 "{}",
-                row.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(",")
+                row.iter()
+                    .map(|c| csv_escape(c))
+                    .collect::<Vec<_>>()
+                    .join(",")
             );
         }
         out
@@ -152,8 +163,14 @@ mod tests {
             xlabel: "procs".into(),
             ylabel: "us".into(),
             series: vec![
-                Series { name: "A".into(), points: vec![(2.0, 10.0), (4.0, 20.0)] },
-                Series { name: "B,quoted".into(), points: vec![(2.0, 5.0)] },
+                Series {
+                    name: "A".into(),
+                    points: vec![(2.0, 10.0), (4.0, 20.0)],
+                },
+                Series {
+                    name: "B,quoted".into(),
+                    points: vec![(2.0, 5.0)],
+                },
             ],
         }
     }

@@ -89,7 +89,10 @@ pub fn render_scaled(figure: &Figure, x_scale: Scale, y_scale: Scale) -> String 
         out,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
     );
-    let _ = writeln!(out, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+    let _ = writeln!(
+        out,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
 
     // Title and axis labels.
     let _ = writeln!(
@@ -159,7 +162,12 @@ pub fn render_scaled(figure: &Figure, x_scale: Scale, y_scale: Scale) -> String 
             .iter()
             .enumerate()
             .map(|(k, &(x, y))| {
-                format!("{}{:.1},{:.1}", if k == 0 { "M" } else { "L" }, px(x), py(y))
+                format!(
+                    "{}{:.1},{:.1}",
+                    if k == 0 { "M" } else { "L" },
+                    px(x),
+                    py(y)
+                )
             })
             .collect();
         let _ = writeln!(
@@ -282,7 +290,9 @@ fn tick_label(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -301,7 +311,10 @@ mod tests {
                     name: "A".into(),
                     points: vec![(2.0, 10.0), (4.0, 100.0), (8.0, 1000.0)],
                 },
-                Series { name: "B".into(), points: vec![(2.0, 5.0), (8.0, 50000.0)] },
+                Series {
+                    name: "B".into(),
+                    points: vec![(2.0, 5.0), (8.0, 50000.0)],
+                },
             ],
         }
     }
@@ -320,7 +333,11 @@ mod tests {
     fn auto_scale_picks_log_for_wide_ranges() {
         assert_eq!(auto_scale(&[1.0, 10.0, 10000.0]), Scale::Log);
         assert_eq!(auto_scale(&[5.0, 6.0, 9.0]), Scale::Linear);
-        assert_eq!(auto_scale(&[-1.0, 1000.0]), Scale::Linear, "negatives stay linear");
+        assert_eq!(
+            auto_scale(&[-1.0, 1000.0]),
+            Scale::Linear,
+            "negatives stay linear"
+        );
     }
 
     #[test]
@@ -350,7 +367,10 @@ mod tests {
     #[test]
     fn empty_series_do_not_break_rendering() {
         let mut f = fig();
-        f.series.push(Series { name: "empty".into(), points: vec![] });
+        f.series.push(Series {
+            name: "empty".into(),
+            points: vec![],
+        });
         let svg = render(&f);
         assert!(svg.contains("</svg>"));
     }

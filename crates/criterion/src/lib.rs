@@ -1,0 +1,245 @@
+//! A minimal, API-compatible subset of the `criterion` crate, so the
+//! workspace benches build and run without network access to crates.io.
+//!
+//! The harness is deliberately simple: each benchmark is warmed up once,
+//! then timed over enough iterations to fill a short measurement window,
+//! and the mean per-iteration time (plus throughput, when declared) is
+//! printed in a criterion-like format. There is no statistical analysis
+//! or HTML report — `cargo bench` exists here to exercise the bench
+//! code paths and give coarse numbers, not publication statistics.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one benchmark's measurement phase.
+const MEASUREMENT_WINDOW: Duration = Duration::from_millis(300);
+/// Iteration cap so pathologically slow benches still terminate.
+const MAX_ITERS: u64 = 1_000_000_000;
+
+/// Declared per-iteration throughput, echoed as a rate in the output.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Benchmark identifier (`BenchmarkId` subset).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs closures under timing (`Bencher` subset).
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over a calibrated number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up + calibration pass.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (MEASUREMENT_WINDOW.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters_done = iters;
+    }
+
+    fn per_iter(&self) -> Duration {
+        if self.iters_done == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.iters_done as u32
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(throughput: Throughput, per_iter: Duration) -> String {
+    let secs = per_iter.as_secs_f64().max(1e-12);
+    match throughput {
+        Throughput::Bytes(b) => {
+            let rate = b as f64 / secs;
+            if rate >= 1e9 {
+                format!("{:.2} GiB/s", rate / (1u64 << 30) as f64)
+            } else {
+                format!("{:.2} MiB/s", rate / (1u64 << 20) as f64)
+            }
+        }
+        Throughput::Elements(e) => format!("{:.2} Melem/s", e as f64 / secs / 1e6),
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters_done: 0,
+        total: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.per_iter();
+    match throughput {
+        Some(t) => println!(
+            "{label:<40} time: {:>12}   thrpt: {}",
+            fmt_duration(per_iter),
+            fmt_rate(t, per_iter)
+        ),
+        None => println!("{label:<40} time: {:>12}", fmt_duration(per_iter)),
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver (`Criterion` subset).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), None, &mut f);
+        self
+    }
+}
+
+/// Re-export mirroring criterion's `black_box` (std's since 1.66).
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            iters_done: 0,
+            total: Duration::ZERO,
+        };
+        b.iter(|| std::hint::black_box(41 + 1));
+        assert!(b.iters_done >= 1);
+        assert!(b.per_iter() <= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("algo", 64).label, "algo/64");
+        assert_eq!(BenchmarkId::from_parameter(128).label, "128");
+    }
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion::default();
+        c.bench_function("plain", |b| b.iter(|| 2 + 2));
+        let mut g = c.benchmark_group("grouped");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("x", |b| b.iter(|| 3 * 3));
+        g.bench_with_input(BenchmarkId::new("y", 7), &7, |b, &v| b.iter(|| v * v));
+        g.finish();
+    }
+
+    #[test]
+    fn rates_format_sanely() {
+        assert!(fmt_rate(Throughput::Bytes(1 << 30), Duration::from_secs(1)).contains("GiB/s"));
+        assert!(
+            fmt_rate(Throughput::Elements(2_000_000), Duration::from_secs(1)).contains("Melem/s")
+        );
+        assert!(fmt_duration(Duration::from_micros(5)).contains("µs"));
+    }
+}

@@ -30,7 +30,12 @@ pub struct BeffConfig {
 
 impl Default for BeffConfig {
     fn default() -> BeffConfig {
-        BeffConfig { l_max: 1 << 20, random_patterns: 3, iters: 3, seed: 0xEFF }
+        BeffConfig {
+            l_max: 1 << 20,
+            random_patterns: 3,
+            iters: 3,
+            seed: 0xEFF,
+        }
     }
 }
 
@@ -48,9 +53,7 @@ pub struct BeffResult {
 /// The 21-size geometric grid of the benchmark: `L_max` down by factors
 /// of two (clamped at 1 byte), reversed to ascending order.
 pub fn size_grid(l_max: usize) -> Vec<usize> {
-    let mut v: Vec<usize> = (0..21)
-        .map(|k| (l_max >> k).max(1))
-        .collect();
+    let mut v: Vec<usize> = (0..21).map(|k| (l_max >> k).max(1)).collect();
     v.dedup();
     v.reverse();
     v
@@ -142,7 +145,11 @@ pub fn simulate(machine: &machines::Machine, p: usize, cfg: &BeffConfig) -> Beff
         sum += bw;
     }
     let b_eff = sum / sizes.len() as f64 / 1e9;
-    BeffResult { b_eff, b_eff_total: b_eff * p as f64, by_size }
+    BeffResult {
+        b_eff,
+        b_eff_total: b_eff * p as f64,
+        by_size,
+    }
 }
 
 #[cfg(test)]
@@ -166,7 +173,12 @@ mod tests {
 
     #[test]
     fn native_beff_reports_positive_bandwidths() {
-        let cfg = BeffConfig { l_max: 1 << 14, random_patterns: 1, iters: 2, seed: 1 };
+        let cfg = BeffConfig {
+            l_max: 1 << 14,
+            random_patterns: 1,
+            iters: 2,
+            seed: 1,
+        };
         let r = run_native(4, &cfg);
         assert!(r.b_eff > 0.0 && r.b_eff.is_finite());
         assert!((r.b_eff_total - 4.0 * r.b_eff).abs() < 1e-9);

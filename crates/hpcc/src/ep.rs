@@ -19,7 +19,10 @@ pub struct StreamConfig {
 
 impl Default for StreamConfig {
     fn default() -> StreamConfig {
-        StreamConfig { len: 4_000_000, iters: 5 }
+        StreamConfig {
+            len: 4_000_000,
+            iters: 5,
+        }
     }
 }
 
@@ -57,9 +60,7 @@ pub fn stream(comm: &Comm, cfg: &StreamConfig) -> StreamResult {
     let mut sums: Vec<f64> = StreamKernel::ALL
         .iter()
         .enumerate()
-        .map(|(k, kernel)| {
-            cfg.len as f64 * kernel.bytes_per_element() as f64 / best[k] / 1e9
-        })
+        .map(|(k, kernel)| cfg.len as f64 * kernel.bytes_per_element() as f64 / best[k] / 1e9)
         .collect();
     sums.push(if ok { 1.0 } else { 0.0 });
     comm.allreduce(&mut sums[..4], mp::Op::Sum);
@@ -101,8 +102,12 @@ pub struct DgemmResult {
 /// Runs EP-DGEMM: every rank multiplies its own `n x n` matrices.
 pub fn ep_dgemm(comm: &Comm, cfg: &DgemmConfig) -> DgemmResult {
     let n = cfg.n;
-    let a: Vec<f64> = (0..n * n).map(|k| crate::hpl::matrix_element(k / n, k % n)).collect();
-    let b: Vec<f64> = (0..n * n).map(|k| crate::hpl::matrix_element(k % n, k / n)).collect();
+    let a: Vec<f64> = (0..n * n)
+        .map(|k| crate::hpl::matrix_element(k / n, k % n))
+        .collect();
+    let b: Vec<f64> = (0..n * n)
+        .map(|k| crate::hpl::matrix_element(k % n, k / n))
+        .collect();
     let mut c = vec![0.0f64; n * n];
 
     comm.barrier();
@@ -140,7 +145,10 @@ mod tests {
 
     #[test]
     fn stream_reports_positive_bandwidths() {
-        let cfg = StreamConfig { len: 100_000, iters: 2 };
+        let cfg = StreamConfig {
+            len: 100_000,
+            iters: 2,
+        };
         let results = mp::run(2, |comm| stream(comm, &cfg));
         for r in &results {
             assert!(r.passed);

@@ -184,11 +184,7 @@ mod tests {
         for (p, log2_n) in [(1usize, 8u32), (2, 8), (4, 10), (8, 12)] {
             let results = mp::run(p, |comm| run(comm, &FftConfig { log2_n }));
             for r in &results {
-                assert!(
-                    r.passed,
-                    "p={p} n=2^{log2_n}: max error {}",
-                    r.max_error
-                );
+                assert!(r.passed, "p={p} n=2^{log2_n}: max error {}", r.max_error);
                 assert!(r.gflops > 0.0);
             }
         }

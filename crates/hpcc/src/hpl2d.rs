@@ -26,6 +26,7 @@
 use mp::Comm;
 
 use crate::hpl::{matrix_element, rhs_element, scaled_residual, HplResult};
+use crate::kernels::dgemm::gemm_update;
 
 /// 2-D HPL configuration.
 #[derive(Clone, Copy, Debug)]
@@ -45,7 +46,11 @@ impl Hpl2dConfig {
         while p > 1 && !size.is_multiple_of(p) {
             p -= 1;
         }
-        Hpl2dConfig { n, nb, p_rows: p.max(1) }
+        Hpl2dConfig {
+            n,
+            nb,
+            p_rows: p.max(1),
+        }
     }
 }
 
@@ -177,7 +182,10 @@ pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
     let (n, nb) = (cfg.n, cfg.nb);
     let size = comm.size();
     let grid_p = cfg.p_rows;
-    assert!(grid_p >= 1 && size.is_multiple_of(grid_p), "grid must tile the world");
+    assert!(
+        grid_p >= 1 && size.is_multiple_of(grid_p),
+        "grid must tile the world"
+    );
     let grid_q = size / grid_p;
 
     // Grid position: row-major rank numbering.
@@ -303,12 +311,7 @@ pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
         // owner pi_k = kb % grid_p) — a single process row.
         let pi_k = kb % grid_p;
         let my_u_rows: Vec<usize> = (k0..k1).collect();
-        let trailing: Vec<usize> = local
-            .cols
-            .iter()
-            .copied()
-            .filter(|&gc| gc >= k1)
-            .collect();
+        let trailing: Vec<usize> = local.cols.iter().copied().filter(|&gc| gc >= k1).collect();
         // u12[jj][t] for jj in 0..kw over my trailing columns.
         let mut u12 = vec![0.0f64; kw * trailing.len()];
         if pi == pi_k {
@@ -333,19 +336,29 @@ pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
         mp::coll::bcast::auto(&col_comm, &mut u12, pi_k);
 
         // --- 5. Trailing update: A22 -= L21 * U12 -----------------------
-        for (t, &gc) in trailing.iter().enumerate() {
-            let lc = local.lcol(gc).expect("trailing col owned");
-            for jj in 0..kw {
-                let u = u12[jj * trailing.len() + t];
-                if u != 0.0 {
-                    for (lr, &gr) in local.rows.iter().enumerate() {
-                        if gr >= k1 {
-                            let l = panel_piece[jj * lrows + lr];
-                            local.data[lc * lrows + lr] -= l * u;
-                        }
-                    }
-                }
-            }
+        // Rows and columns are sorted, so the trailing submatrix is the
+        // contiguous bottom-right corner of the local block: one
+        // rectangular GEMM on column-major views. L21 is the gr >= k1
+        // row suffix of the broadcast panel (column stride lrows), U12
+        // the broadcast row block (row stride = my trailing width).
+        let lr0 = local.rows.partition_point(|&gr| gr < k1);
+        let lc0 = local.cols.len() - trailing.len();
+        if lr0 < lrows && !trailing.is_empty() {
+            gemm_update(
+                lrows - lr0,
+                trailing.len(),
+                kw,
+                -1.0,
+                &panel_piece[lr0..],
+                1,
+                lrows,
+                &u12,
+                trailing.len(),
+                1,
+                &mut local.data[lc0 * lrows + lr0..],
+                1,
+                lrows,
+            );
         }
     }
 
@@ -473,10 +486,21 @@ mod tests {
     }
 
     #[test]
+    fn non_square_grid_prime_size_odd_block() {
+        // 2x3 grid with prime n and odd nb: every panel boundary is
+        // ragged and the row/column owners are maximally unaligned.
+        check(6, 2, 97, 17);
+    }
+
+    #[test]
     fn near_square_grid_selection() {
         assert_eq!(Hpl2dConfig::near_square(100, 8, 16).p_rows, 4);
         assert_eq!(Hpl2dConfig::near_square(100, 8, 6).p_rows, 2);
-        assert_eq!(Hpl2dConfig::near_square(100, 8, 7).p_rows, 1, "prime worlds fall back to 1xN");
+        assert_eq!(
+            Hpl2dConfig::near_square(100, 8, 7).p_rows,
+            1,
+            "prime worlds fall back to 1xN"
+        );
         assert_eq!(Hpl2dConfig::near_square(100, 8, 1).p_rows, 1);
     }
 
@@ -485,7 +509,14 @@ mod tests {
         // Both variants solve the same deterministic system; their
         // residual quality must be comparable.
         let r2d = mp::run(4, |comm| {
-            run(comm, &Hpl2dConfig { n: 64, nb: 8, p_rows: 2 })
+            run(
+                comm,
+                &Hpl2dConfig {
+                    n: 64,
+                    nb: 8,
+                    p_rows: 2,
+                },
+            )
         })[0];
         let r1d = mp::run(4, |comm| {
             crate::hpl::run(comm, &crate::hpl::HplConfig { n: 64, nb: 8 })

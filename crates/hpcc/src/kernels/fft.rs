@@ -19,7 +19,10 @@ impl Complex {
 
     /// `e^{i theta}`.
     pub fn cis(theta: f64) -> Complex {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex magnitude.
@@ -29,7 +32,10 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Complex {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -37,7 +43,10 @@ impl Add for Complex {
     type Output = Complex;
     #[inline]
     fn add(self, o: Complex) -> Complex {
-        Complex { re: self.re + o.re, im: self.im + o.im }
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -45,7 +54,10 @@ impl Sub for Complex {
     type Output = Complex;
     #[inline]
     fn sub(self, o: Complex) -> Complex {
-        Complex { re: self.re - o.re, im: self.im - o.im }
+        Complex {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 

@@ -73,7 +73,9 @@ pub struct UpdateStream {
 impl UpdateStream {
     /// Stream positioned to yield the `start`-th, `start+1`-th, ... values.
     pub fn at(start: i64) -> UpdateStream {
-        UpdateStream { state: starts(start) }
+        UpdateStream {
+            state: starts(start),
+        }
     }
 }
 

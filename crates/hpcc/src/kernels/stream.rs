@@ -18,8 +18,12 @@ pub enum StreamKernel {
 
 impl StreamKernel {
     /// All four kernels in STREAM's canonical order.
-    pub const ALL: [StreamKernel; 4] =
-        [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad];
+    pub const ALL: [StreamKernel; 4] = [
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+    ];
 
     /// Bytes moved per element (STREAM's counting convention: one read
     /// plus one write per operand actually touched).
@@ -89,9 +93,7 @@ impl StreamArrays {
             ec = ea + eb;
             ea = eb + 3.0 * ec;
         }
-        for (name, arr, expect) in
-            [("a", &self.a, ea), ("b", &self.b, eb), ("c", &self.c, ec)]
-        {
+        for (name, arr, expect) in [("a", &self.a, ea), ("b", &self.b, eb), ("c", &self.c, ec)] {
             for (i, v) in arr.iter().enumerate() {
                 if (v - expect).abs() > 1e-8 * expect.abs().max(1.0) {
                     return Err(format!("array {name}[{i}] = {v}, expected {expect}"));

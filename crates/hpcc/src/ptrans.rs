@@ -48,17 +48,16 @@ pub fn run(comm: &Comm, cfg: &PtransConfig) -> PtransResult {
     let n = cfg.n;
     let p = comm.size();
     let me = comm.rank();
-    assert!(n.is_multiple_of(p), "PTRANS requires n divisible by the rank count");
+    assert!(
+        n.is_multiple_of(p),
+        "PTRANS requires n divisible by the rank count"
+    );
     let rows = n / p;
     let my0 = me * rows;
 
     // Local row blocks, row-major.
-    let mut a: Vec<f64> = (0..rows * n)
-        .map(|k| a_elem(my0 + k / n, k % n))
-        .collect();
-    let b: Vec<f64> = (0..rows * n)
-        .map(|k| b_elem(my0 + k / n, k % n))
-        .collect();
+    let mut a: Vec<f64> = (0..rows * n).map(|k| a_elem(my0 + k / n, k % n)).collect();
+    let b: Vec<f64> = (0..rows * n).map(|k| b_elem(my0 + k / n, k % n)).collect();
 
     comm.barrier();
     let clock = mp::timer::Stopwatch::start();

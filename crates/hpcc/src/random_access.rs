@@ -28,7 +28,11 @@ pub struct RandomAccessConfig {
 
 impl Default for RandomAccessConfig {
     fn default() -> RandomAccessConfig {
-        RandomAccessConfig { log2_size: 16, updates_per_entry: 4, batch: 1024 }
+        RandomAccessConfig {
+            log2_size: 16,
+            updates_per_entry: 4,
+            batch: 1024,
+        }
     }
 }
 
@@ -111,7 +115,10 @@ fn log2(x: u64) -> u32 {
 pub fn run(comm: &Comm, cfg: &RandomAccessConfig) -> RandomAccessResult {
     let p = comm.size();
     let me = comm.rank();
-    assert!(p.is_power_of_two(), "RandomAccess needs a power-of-two rank count");
+    assert!(
+        p.is_power_of_two(),
+        "RandomAccess needs a power-of-two rank count"
+    );
     assert!(
         cfg.log2_size >= log2(p as u64),
         "table must have at least one word per rank"
@@ -126,12 +133,26 @@ pub fn run(comm: &Comm, cfg: &RandomAccessConfig) -> RandomAccessResult {
 
     comm.barrier();
     let clock = mp::timer::Stopwatch::start();
-    apply_stream(comm, &mut table, my_base, local_size - 1, cfg, total_updates);
+    apply_stream(
+        comm,
+        &mut table,
+        my_base,
+        local_size - 1,
+        cfg,
+        total_updates,
+    );
     comm.barrier();
     let time_s = clock.elapsed_secs();
 
     // Verification: replay the identical stream; XOR self-inverts.
-    apply_stream(comm, &mut table, my_base, local_size - 1, cfg, total_updates);
+    apply_stream(
+        comm,
+        &mut table,
+        my_base,
+        local_size - 1,
+        cfg,
+        total_updates,
+    );
     let ok = table
         .iter()
         .enumerate()
@@ -158,7 +179,11 @@ mod tests {
     #[test]
     fn updates_verify_on_various_rank_counts() {
         for p in [1usize, 2, 4, 8] {
-            let cfg = RandomAccessConfig { log2_size: 10, updates_per_entry: 2, batch: 128 };
+            let cfg = RandomAccessConfig {
+                log2_size: 10,
+                updates_per_entry: 2,
+                batch: 128,
+            };
             let results = mp::run(p, |comm| run(comm, &cfg));
             for r in &results {
                 assert!(r.passed, "p={p}: verification failed");

@@ -24,7 +24,12 @@ pub struct RingConfig {
 
 impl Default for RingConfig {
     fn default() -> RingConfig {
-        RingConfig { bw_bytes: 2_000_000, patterns: 4, iters: 3, seed: 0xBEEF }
+        RingConfig {
+            bw_bytes: 2_000_000,
+            patterns: 4,
+            iters: 3,
+            seed: 0xBEEF,
+        }
     }
 }
 
@@ -136,7 +141,12 @@ mod tests {
 
     #[test]
     fn ring_benchmark_reports_sane_numbers() {
-        let cfg = RingConfig { bw_bytes: 80_000, patterns: 2, iters: 2, seed: 1 };
+        let cfg = RingConfig {
+            bw_bytes: 80_000,
+            patterns: 2,
+            iters: 2,
+            seed: 1,
+        };
         let results = mp::run(4, |comm| run(comm, &cfg));
         for r in &results {
             assert!(r.random_bw > 0.0 && r.random_bw.is_finite());
@@ -148,7 +158,12 @@ mod tests {
 
     #[test]
     fn two_rank_ring_degenerates_gracefully() {
-        let cfg = RingConfig { bw_bytes: 8_000, patterns: 1, iters: 1, seed: 1 };
+        let cfg = RingConfig {
+            bw_bytes: 8_000,
+            patterns: 1,
+            iters: 1,
+            seed: 1,
+        };
         let results = mp::run(2, |comm| run(comm, &cfg));
         assert!(results[0].natural_bw > 0.0);
     }

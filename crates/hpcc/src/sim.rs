@@ -36,7 +36,11 @@ pub fn hpl(m: &Machine, p: usize) -> f64 {
     let compute_rate = m.node.peak_gflops * 1e9 * m.node.hpl_eff; // per CPU
     let nodes = m.nodes_for(p);
     // Pipelined broadcast: bandwidth term once, latency per tree level.
-    let bcast_bw = if nodes > 1 { m.net.plain_link_bw } else { m.net.intra_bw };
+    let bcast_bw = if nodes > 1 {
+        m.net.plain_link_bw
+    } else {
+        m.net.intra_bw
+    };
     let bcast_lat = if nodes > 1 {
         m.net.mpi_latency_us
     } else {

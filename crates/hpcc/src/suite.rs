@@ -84,7 +84,13 @@ pub fn run_on(comm: &Comm, cfg: &SuiteConfig) -> HpccSummary {
             &crate::hpl2d::Hpl2dConfig::near_square(cfg.hpl_n, cfg.hpl_nb, p),
         )
     } else {
-        hpl::run(comm, &hpl::HplConfig { n: cfg.hpl_n, nb: cfg.hpl_nb })
+        hpl::run(
+            comm,
+            &hpl::HplConfig {
+                n: cfg.hpl_n,
+                nb: cfg.hpl_nb,
+            },
+        )
     };
     let ptr = ptrans::run(comm, &ptrans::PtransConfig { n: cfg.ptrans_n });
     let rar = if p.is_power_of_two() {
@@ -99,16 +105,38 @@ pub fn run_on(comm: &Comm, cfg: &SuiteConfig) -> HpccSummary {
     } else {
         None
     };
-    let str = ep::stream(comm, &ep::StreamConfig { len: cfg.stream_len, iters: 2 });
+    let str = ep::stream(
+        comm,
+        &ep::StreamConfig {
+            len: cfg.stream_len,
+            iters: 2,
+        },
+    );
     let fftr = if p.is_power_of_two() {
-        Some(fft_dist::run(comm, &fft_dist::FftConfig { log2_n: cfg.fft_log2_n }))
+        Some(fft_dist::run(
+            comm,
+            &fft_dist::FftConfig {
+                log2_n: cfg.fft_log2_n,
+            },
+        ))
     } else {
         None
     };
-    let dg = ep::ep_dgemm(comm, &ep::DgemmConfig { n: cfg.dgemm_n, iters: 1 });
+    let dg = ep::ep_dgemm(
+        comm,
+        &ep::DgemmConfig {
+            n: cfg.dgemm_n,
+            iters: 1,
+        },
+    );
     let rg = ring::run(
         comm,
-        &ring::RingConfig { bw_bytes: cfg.ring_bytes, patterns: 2, iters: 2, seed: 0xBEEF },
+        &ring::RingConfig {
+            bw_bytes: cfg.ring_bytes,
+            patterns: 2,
+            iters: 2,
+            seed: 0xBEEF,
+        },
     );
 
     HpccSummary {

@@ -247,11 +247,7 @@ mod tests {
 /// RDMA-like single transfers; `get` costs a small request plus the data
 /// response; synchronisation contributes the zero-byte handshakes of the
 /// chosen scheme.
-pub fn schedule_for(
-    benchmark: ExtBenchmark,
-    scheme: SyncScheme,
-    bytes: u64,
-) -> simnet::Schedule {
+pub fn schedule_for(benchmark: ExtBenchmark, scheme: SyncScheme, bytes: u64) -> simnet::Schedule {
     use simnet::{Round, Transfer};
     let mut s = simnet::Schedule::new(2);
 
@@ -260,49 +256,109 @@ pub fn schedule_for(
         SyncScheme::Fence => {
             // Dissemination barrier over two ranks: one exchange.
             s.push(Round::of(vec![
-                Transfer { src: 0, dst: 1, bytes: 0 },
-                Transfer { src: 1, dst: 0, bytes: 0 },
+                Transfer {
+                    src: 0,
+                    dst: 1,
+                    bytes: 0,
+                },
+                Transfer {
+                    src: 1,
+                    dst: 0,
+                    bytes: 0,
+                },
             ]));
         }
         SyncScheme::Pscw => {
             // post: target -> origin.
-            s.push(Round::of(vec![Transfer { src: 1, dst: 0, bytes: 0 }]));
+            s.push(Round::of(vec![Transfer {
+                src: 1,
+                dst: 0,
+                bytes: 0,
+            }]));
         }
         SyncScheme::Lock => {
             // Lock acquisition round trip.
-            s.push(Round::of(vec![Transfer { src: 0, dst: 1, bytes: 0 }]));
-            s.push(Round::of(vec![Transfer { src: 1, dst: 0, bytes: 0 }]));
+            s.push(Round::of(vec![Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 0,
+            }]));
+            s.push(Round::of(vec![Transfer {
+                src: 1,
+                dst: 0,
+                bytes: 0,
+            }]));
         }
     }
 
     // The access(es).
     match benchmark {
         ExtBenchmark::UnidirPut => {
-            s.push(Round::of(vec![Transfer { src: 0, dst: 1, bytes }]));
+            s.push(Round::of(vec![Transfer {
+                src: 0,
+                dst: 1,
+                bytes,
+            }]));
         }
         ExtBenchmark::UnidirGet => {
-            s.push(Round::of(vec![Transfer { src: 0, dst: 1, bytes: 8 }]));
-            s.push(Round::of(vec![Transfer { src: 1, dst: 0, bytes }]));
+            s.push(Round::of(vec![Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 8,
+            }]));
+            s.push(Round::of(vec![Transfer {
+                src: 1,
+                dst: 0,
+                bytes,
+            }]));
         }
         ExtBenchmark::BidirPut => {
             s.push(Round::of(vec![
-                Transfer { src: 0, dst: 1, bytes },
-                Transfer { src: 1, dst: 0, bytes },
+                Transfer {
+                    src: 0,
+                    dst: 1,
+                    bytes,
+                },
+                Transfer {
+                    src: 1,
+                    dst: 0,
+                    bytes,
+                },
             ]));
         }
         ExtBenchmark::BidirGet => {
             s.push(Round::of(vec![
-                Transfer { src: 0, dst: 1, bytes: 8 },
-                Transfer { src: 1, dst: 0, bytes: 8 },
+                Transfer {
+                    src: 0,
+                    dst: 1,
+                    bytes: 8,
+                },
+                Transfer {
+                    src: 1,
+                    dst: 0,
+                    bytes: 8,
+                },
             ]));
             s.push(Round::of(vec![
-                Transfer { src: 1, dst: 0, bytes },
-                Transfer { src: 0, dst: 1, bytes },
+                Transfer {
+                    src: 1,
+                    dst: 0,
+                    bytes,
+                },
+                Transfer {
+                    src: 0,
+                    dst: 1,
+                    bytes,
+                },
             ]));
         }
         ExtBenchmark::Accumulate => {
             s.push(simnet::Round {
-                transfers: vec![Transfer { src: 0, dst: 1, bytes }],
+                transfers: vec![Transfer {
+                    src: 0,
+                    dst: 1,
+                    bytes,
+                }],
                 work: vec![simnet::LocalWork { rank: 1, bytes }],
             });
         }
@@ -312,17 +368,33 @@ pub fn schedule_for(
     match scheme {
         SyncScheme::Fence => {
             s.push(Round::of(vec![
-                Transfer { src: 0, dst: 1, bytes: 0 },
-                Transfer { src: 1, dst: 0, bytes: 0 },
+                Transfer {
+                    src: 0,
+                    dst: 1,
+                    bytes: 0,
+                },
+                Transfer {
+                    src: 1,
+                    dst: 0,
+                    bytes: 0,
+                },
             ]));
         }
         SyncScheme::Pscw => {
             // complete: origin -> target.
-            s.push(Round::of(vec![Transfer { src: 0, dst: 1, bytes: 0 }]));
+            s.push(Round::of(vec![Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 0,
+            }]));
         }
         SyncScheme::Lock => {
             // Unlock notification.
-            s.push(Round::of(vec![Transfer { src: 0, dst: 1, bytes: 0 }]));
+            s.push(Round::of(vec![Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 0,
+            }]));
         }
     }
     s
@@ -346,18 +418,31 @@ pub fn simulate(
     // Re-target rank 1 -> rank `stride` when the machine packs >= 2 CPUs
     // per node (keeps the schedule inter-node).
     let mut sched = simnet::Schedule::new(sim.nranks());
-    let map = |r: usize| if r == 0 { 0 } else { stride.min(sim.nranks() - 1) };
+    let map = |r: usize| {
+        if r == 0 {
+            0
+        } else {
+            stride.min(sim.nranks() - 1)
+        }
+    };
     for round in &base.rounds {
         sched.push(simnet::Round {
             transfers: round
                 .transfers
                 .iter()
-                .map(|t| simnet::Transfer { src: map(t.src), dst: map(t.dst), bytes: t.bytes })
+                .map(|t| simnet::Transfer {
+                    src: map(t.src),
+                    dst: map(t.dst),
+                    bytes: t.bytes,
+                })
                 .collect(),
             work: round
                 .work
                 .iter()
-                .map(|w| simnet::LocalWork { rank: map(w.rank), bytes: w.bytes })
+                .map(|w| simnet::LocalWork {
+                    rank: map(w.rank),
+                    bytes: w.bytes,
+                })
                 .collect(),
         });
     }

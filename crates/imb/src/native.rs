@@ -30,7 +30,10 @@ pub struct Measurement {
 
 /// Runs one benchmark natively over a fresh `procs`-rank world.
 pub fn run_native(benchmark: Benchmark, procs: usize, bytes: u64, iters: usize) -> Measurement {
-    assert!(procs >= benchmark.min_procs(), "{benchmark} needs more ranks");
+    assert!(
+        procs >= benchmark.min_procs(),
+        "{benchmark} needs more ranks"
+    );
     let results = mp::run(procs, |comm| run_on(comm, benchmark, bytes, iters));
     results[0]
 }
@@ -55,7 +58,11 @@ pub fn run_on(comm: &Comm, benchmark: Benchmark, bytes: u64, iters: usize) -> Me
 
     // IMB prints min/avg/max of the per-rank averages.
     let mut maxv = [if participated { per_call } else { 0.0 }];
-    let mut minv = [if participated { per_call } else { f64::INFINITY }];
+    let mut minv = [if participated {
+        per_call
+    } else {
+        f64::INFINITY
+    }];
     let mut sums = [
         if participated { per_call } else { 0.0 },
         if participated { 1.0 } else { 0.0 },
@@ -132,24 +139,51 @@ impl BenchState {
             }
             Benchmark::Barrier => (vec![], vec![], vec![], vec![], vec![]),
             Benchmark::Bcast => (vec![1u8; bytes], vec![], vec![], vec![], vec![]),
-            Benchmark::Allgather | Benchmark::Allgatherv => {
-                (vec![1u8; bytes], vec![0u8; bytes * n], vec![], vec![], vec![bytes; n])
-            }
-            Benchmark::Alltoall => {
-                (vec![1u8; bytes * n], vec![0u8; bytes * n], vec![], vec![], vec![])
-            }
-            Benchmark::Reduce | Benchmark::Allreduce => {
-                (vec![], vec![], vec![0.5f64; words], vec![0.0f64; words], vec![])
-            }
+            Benchmark::Allgather | Benchmark::Allgatherv => (
+                vec![1u8; bytes],
+                vec![0u8; bytes * n],
+                vec![],
+                vec![],
+                vec![bytes; n],
+            ),
+            Benchmark::Alltoall => (
+                vec![1u8; bytes * n],
+                vec![0u8; bytes * n],
+                vec![],
+                vec![],
+                vec![],
+            ),
+            Benchmark::Reduce | Benchmark::Allreduce => (
+                vec![],
+                vec![],
+                vec![0.5f64; words],
+                vec![0.0f64; words],
+                vec![],
+            ),
             Benchmark::ReduceScatter => {
                 // X bytes reduced, X/N scattered; distribute remainders.
-                let counts: Vec<usize> =
-                    (0..n).map(|i| words / n + usize::from(i < words % n)).collect();
+                let counts: Vec<usize> = (0..n)
+                    .map(|i| words / n + usize::from(i < words % n))
+                    .collect();
                 let mine = counts[comm.rank()];
-                (vec![], vec![], vec![0.5f64; words], vec![0.0f64; mine], counts)
+                (
+                    vec![],
+                    vec![],
+                    vec![0.5f64; words],
+                    vec![0.0f64; mine],
+                    counts,
+                )
             }
         };
-        BenchState { benchmark, bytes, sbuf, rbuf, fsend, frecv, counts }
+        BenchState {
+            benchmark,
+            bytes,
+            sbuf,
+            rbuf,
+            fsend,
+            frecv,
+            counts,
+        }
     }
 
     /// Whether this rank takes part (single-transfer benchmarks only use
@@ -198,9 +232,7 @@ impl BenchState {
             Benchmark::Barrier => comm.barrier(),
             Benchmark::Bcast => comm.bcast(&mut self.sbuf, iter % n),
             Benchmark::Allgather => comm.allgather(&self.sbuf, &mut self.rbuf),
-            Benchmark::Allgatherv => {
-                comm.allgatherv(&self.sbuf, &mut self.rbuf, &self.counts)
-            }
+            Benchmark::Allgatherv => comm.allgatherv(&self.sbuf, &mut self.rbuf, &self.counts),
             Benchmark::Alltoall => comm.alltoall(&self.sbuf, &mut self.rbuf),
             Benchmark::Reduce => {
                 let root = iter % n;

@@ -24,7 +24,17 @@ pub fn schedule_for(benchmark: Benchmark, procs: usize, bytes: u64) -> Schedule 
         Benchmark::Reduce => sched::reduce::auto(procs, 0, bytes, 8),
         Benchmark::Allreduce => sched::allreduce::auto(procs, bytes, 8),
         Benchmark::ReduceScatter => {
-            sched::reduce_scatter::block_auto(procs, bytes / procs as u64, 8)
+            // Mirror the native run exactly (see `imb::native`): the
+            // X-byte vector is split as f64 words, `words / p` each with
+            // the remainder spread over the leading ranks, and
+            // `Comm::reduce_scatter` always dispatches to the pairwise
+            // algorithm for per-rank counts.
+            let words = bytes / 8;
+            let p = procs as u64;
+            let counts_bytes: Vec<u64> = (0..p)
+                .map(|i| (words / p + u64::from(i < words % p)) * 8)
+                .collect();
+            sched::reduce_scatter::pairwise(&counts_bytes)
         }
     }
 }
@@ -33,7 +43,10 @@ pub fn schedule_for(benchmark: Benchmark, procs: usize, bytes: u64) -> Schedule 
 /// Returns a [`Measurement`] in the same shape as a native run (per-call
 /// time; min = avg = max since the model is deterministic).
 pub fn simulate(machine: &Machine, benchmark: Benchmark, procs: usize, bytes: u64) -> Measurement {
-    assert!(procs >= benchmark.min_procs(), "{benchmark} needs more ranks");
+    assert!(
+        procs >= benchmark.min_procs(),
+        "{benchmark} needs more ranks"
+    );
     // Single-transfer benchmarks only ever involve the first two ranks.
     let sched_procs = match benchmark.class() {
         crate::benchmark::Class::SingleTransfer => 2,
@@ -130,8 +143,10 @@ mod tests {
         let bx2 = t(&altix_bx2());
         let xeon = t(&dell_xeon());
         let opt = t(&cray_opteron());
-        assert!(sx8 < x1 && x1 < bx2 && bx2 < xeon && xeon < opt,
-            "ordering violated: sx8={sx8} x1={x1} bx2={bx2} xeon={xeon} opt={opt}");
+        assert!(
+            sx8 < x1 && x1 < bx2 && bx2 < xeon && xeon < opt,
+            "ordering violated: sx8={sx8} x1={x1} bx2={bx2} xeon={xeon} opt={opt}"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub fn run_virtual(
     bytes: u64,
     iters: usize,
 ) -> Measurement {
-    assert!(procs >= benchmark.min_procs(), "{benchmark} needs more ranks");
+    assert!(
+        procs >= benchmark.min_procs(),
+        "{benchmark} needs more ranks"
+    );
     assert!(iters > 0);
     let net = SharedClusterNet::new(machine, procs);
     let (per_rank, _clocks) = mp::run_virtual(procs, Box::new(net), |comm| {

@@ -239,8 +239,16 @@ mod tests {
         let bytes = 1u64 << 20;
         let mut s = Schedule::new(2);
         s.push(Round::of(vec![
-            Transfer { src: 0, dst: 1, bytes },
-            Transfer { src: 1, dst: 0, bytes },
+            Transfer {
+                src: 0,
+                dst: 1,
+                bytes,
+            },
+            Transfer {
+                src: 1,
+                dst: 0,
+                bytes,
+            },
         ]));
         let t = sim.run_fresh(&s);
         let reported = 2.0 * bytes as f64 / t.as_secs();
@@ -266,8 +274,16 @@ mod tests {
         // Node 0 <-> node 1 simultaneous exchange (ranks 0,1 on node 0).
         let mut s = Schedule::new(4);
         s.push(Round::of(vec![
-            Transfer { src: 0, dst: 2, bytes },
-            Transfer { src: 2, dst: 0, bytes },
+            Transfer {
+                src: 0,
+                dst: 2,
+                bytes,
+            },
+            Transfer {
+                src: 2,
+                dst: 0,
+                bytes,
+            },
         ]));
         let t_both = sim.run_fresh(&s);
         let t_one = sim.run_fresh(&one_transfer(4, 0, 2, bytes));

@@ -29,5 +29,5 @@ pub mod tables;
 pub mod virtnet;
 
 pub use cluster::ClusterSim;
-pub use virtnet::SharedClusterNet;
 pub use model::{Machine, NetworkModel, NodeModel, SystemClass, TopologyKind};
+pub use virtnet::SharedClusterNet;

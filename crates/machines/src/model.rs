@@ -48,15 +48,20 @@ impl TopologyKind {
     /// Builds the topology instance for `nodes` attached nodes.
     pub fn build(&self, nodes: usize) -> Box<dyn Topology> {
         match *self {
-            TopologyKind::FatTree { arity, blocking, blocking_from } => {
-                Box::new(FatTree::with_blocking_from(nodes, arity, blocking, blocking_from))
-            }
+            TopologyKind::FatTree {
+                arity,
+                blocking,
+                blocking_from,
+            } => Box::new(FatTree::with_blocking_from(
+                nodes,
+                arity,
+                blocking,
+                blocking_from,
+            )),
             TopologyKind::Hypercube => Box::new(Hypercube::new(nodes)),
             TopologyKind::Torus3D => Box::new(Torus3D::new(nodes)),
             TopologyKind::Crossbar => Box::new(Crossbar::new(nodes)),
-            TopologyKind::Clos { radix, spine } => {
-                Box::new(Clos::with_spine(nodes, radix, spine))
-            }
+            TopologyKind::Clos { radix, spine } => Box::new(Clos::with_spine(nodes, radix, spine)),
         }
     }
 }
@@ -289,11 +294,18 @@ mod tests {
     #[test]
     fn topology_kinds_build() {
         for kind in [
-            TopologyKind::FatTree { arity: 4, blocking: 1.0, blocking_from: 1 },
+            TopologyKind::FatTree {
+                arity: 4,
+                blocking: 1.0,
+                blocking_from: 1,
+            },
             TopologyKind::Hypercube,
             TopologyKind::Crossbar,
             TopologyKind::Torus3D,
-            TopologyKind::Clos { radix: 16, spine: 8 },
+            TopologyKind::Clos {
+                radix: 16,
+                spine: 8,
+            },
         ] {
             let t = kind.build(16);
             assert_eq!(t.num_nodes(), 16);

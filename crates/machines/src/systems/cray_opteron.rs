@@ -41,7 +41,10 @@ pub fn cray_opteron() -> Machine {
             // between 32 and 64 CPUs (Fig. 2: down to 24.41 B/kFlop)
             // implies heavy core oversubscription once traffic leaves a
             // single 16-port crossbar.
-            topology: TopologyKind::Clos { radix: 16, spine: 2 },
+            topology: TopologyKind::Clos {
+                radix: 16,
+                spine: 2,
+            },
             link_bw: 0.771e9,
             // PCI-X is a shared half-duplex bus: send and receive
             // contend for the same NIC bandwidth.

@@ -115,7 +115,11 @@ pub fn ibm_power5p() -> Machine {
             random_concurrency: 8.0,
         },
         net: NetworkModel {
-            topology: TopologyKind::FatTree { arity: 8, blocking: 1.0, blocking_from: 1 },
+            topology: TopologyKind::FatTree {
+                arity: 8,
+                blocking: 1.0,
+                blocking_from: 1,
+            },
             link_bw: 4.0e9, // two Federation link pairs per node
             nic_duplex: true,
             mpi_latency_us: 5.0,
@@ -148,7 +152,11 @@ pub fn linux_gige_cluster() -> Machine {
             random_concurrency: 4.0,
         },
         net: NetworkModel {
-            topology: TopologyKind::FatTree { arity: 24, blocking: 4.0, blocking_from: 1 },
+            topology: TopologyKind::FatTree {
+                arity: 24,
+                blocking: 4.0,
+                blocking_from: 1,
+            },
             link_bw: 0.112e9, // ~112 MB/s of TCP goodput over GigE
             nic_duplex: true,
             mpi_latency_us: 45.0,
@@ -211,7 +219,11 @@ mod tests {
         let gige = linux_gige_cluster();
         for m in crate::systems::paper_systems() {
             assert!(gige.net.link_bw < m.net.link_bw, "vs {}", m.name);
-            assert!(gige.net.mpi_latency_us > m.net.mpi_latency_us, "vs {}", m.name);
+            assert!(
+                gige.net.mpi_latency_us > m.net.mpi_latency_us,
+                "vs {}",
+                m.name
+            );
         }
     }
 }

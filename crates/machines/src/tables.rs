@@ -16,15 +16,42 @@ pub struct Table1Row {
 
 /// Table 1 of the paper.
 pub const TABLE1: &[Table1Row] = &[
-    Table1Row { characteristic: "Clock (GHz)", value: "1.6" },
-    Table1Row { characteristic: "C-Bricks", value: "64" },
-    Table1Row { characteristic: "IX-Bricks", value: "4" },
-    Table1Row { characteristic: "Routers", value: "128" },
-    Table1Row { characteristic: "Meta Routers", value: "48" },
-    Table1Row { characteristic: "CPUs", value: "512" },
-    Table1Row { characteristic: "L3-cache (MB)", value: "9" },
-    Table1Row { characteristic: "Memory (Tb)", value: "1" },
-    Table1Row { characteristic: "R-bricks", value: "48" },
+    Table1Row {
+        characteristic: "Clock (GHz)",
+        value: "1.6",
+    },
+    Table1Row {
+        characteristic: "C-Bricks",
+        value: "64",
+    },
+    Table1Row {
+        characteristic: "IX-Bricks",
+        value: "4",
+    },
+    Table1Row {
+        characteristic: "Routers",
+        value: "128",
+    },
+    Table1Row {
+        characteristic: "Meta Routers",
+        value: "48",
+    },
+    Table1Row {
+        characteristic: "CPUs",
+        value: "512",
+    },
+    Table1Row {
+        characteristic: "L3-cache (MB)",
+        value: "9",
+    },
+    Table1Row {
+        characteristic: "Memory (Tb)",
+        value: "1",
+    },
+    Table1Row {
+        characteristic: "R-bricks",
+        value: "48",
+    },
 ];
 
 /// One row of Table 2: "System characteristics of the five computing
@@ -149,8 +176,7 @@ mod tests {
     #[test]
     fn table2_matches_machine_models() {
         for m in paper_systems() {
-            let row = table2_row_for(&m)
-                .unwrap_or_else(|| panic!("no Table 2 row for {}", m.name));
+            let row = table2_row_for(&m).unwrap_or_else(|| panic!("no Table 2 row for {}", m.name));
             assert_eq!(m.node.cpus, row.cpus_per_node, "{}", m.name);
             assert_eq!(m.node.clock_ghz, row.clock_ghz, "{}", m.name);
             // Table 2 prints the Cray X1's *per-MSP* peak (12.8 Gflop/s)

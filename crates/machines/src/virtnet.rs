@@ -57,7 +57,10 @@ mod tests {
             comm.allreduce(&mut x, mp::Op::Sum);
             x[0]
         });
-        assert!(results.iter().all(|&v| v == 10.0), "data correctness preserved");
+        assert!(
+            results.iter().all(|&v| v == 10.0),
+            "data correctness preserved"
+        );
         assert!(clocks.iter().all(|c| c.as_us() > 0.0), "time was charged");
     }
 

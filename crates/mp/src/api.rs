@@ -65,13 +65,7 @@ impl Comm {
     }
 
     /// Reduce + scatter with per-rank counts (`MPI_Reduce_scatter`).
-    pub fn reduce_scatter<T: Numeric>(
-        &self,
-        send: &[T],
-        recv: &mut [T],
-        counts: &[usize],
-        op: Op,
-    ) {
+    pub fn reduce_scatter<T: Numeric>(&self, send: &[T], recv: &mut [T], counts: &[usize], op: Op) {
         coll::reduce_scatter::auto(self, send, recv, counts, op);
     }
 

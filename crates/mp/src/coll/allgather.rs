@@ -12,7 +12,11 @@ pub fn ring<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     let block = send.len();
-    assert_eq!(recv.len(), block * n, "allgather receive buffer size mismatch");
+    assert_eq!(
+        recv.len(),
+        block * n,
+        "allgather receive buffer size mismatch"
+    );
     let me = comm.rank();
     recv[me * block..(me + 1) * block].copy_from_slice(send);
     if n == 1 {
@@ -25,7 +29,10 @@ pub fn ring<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
         let recv_block = (me + n - k - 1) % n;
         let out = encode(&recv[send_block * block..(send_block + 1) * block]);
         let bytes = comm.sendrecv_bytes_coll(out, right, left, tag);
-        decode_into(&bytes, &mut recv[recv_block * block..(recv_block + 1) * block]);
+        decode_into(
+            &bytes,
+            &mut recv[recv_block * block..(recv_block + 1) * block],
+        );
     }
 }
 
@@ -37,7 +44,11 @@ pub fn recursive_doubling<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
     assert!(n.is_power_of_two(), "recursive doubling needs 2^k ranks");
     let tag = comm.next_coll_tag();
     let block = send.len();
-    assert_eq!(recv.len(), block * n, "allgather receive buffer size mismatch");
+    assert_eq!(
+        recv.len(),
+        block * n,
+        "allgather receive buffer size mismatch"
+    );
     let me = comm.rank();
     recv[me * block..(me + 1) * block].copy_from_slice(send);
 

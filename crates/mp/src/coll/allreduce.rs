@@ -26,7 +26,10 @@ impl Fold {
         } else {
             n.next_power_of_two() / 2
         };
-        Fold { pow2, rem: n - pow2 }
+        Fold {
+            pow2,
+            rem: n - pow2,
+        }
     }
 
     /// Real rank of participant `newrank`.
@@ -120,8 +123,16 @@ pub fn rabenseifner<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
             let mid_rank = gbase + group / 2;
             let mid = (lo + hi) / 2;
             let in_lower = v < mid_rank;
-            let partner = fold.oldrank(if in_lower { v + group / 2 } else { v - group / 2 });
-            let (keep, give) = if in_lower { (lo..mid, mid..hi) } else { (mid..hi, lo..mid) };
+            let partner = fold.oldrank(if in_lower {
+                v + group / 2
+            } else {
+                v - group / 2
+            });
+            let (keep, give) = if in_lower {
+                (lo..mid, mid..hi)
+            } else {
+                (mid..hi, lo..mid)
+            };
             let out = encode(&buf[give]);
             let bytes = comm.sendrecv_bytes_coll(out, partner, partner, tag);
             let operand: Vec<T> = decode(&bytes);
@@ -172,8 +183,9 @@ mod tests {
     fn check(n: usize, len: usize, op: Op, algo: Algo) {
         let results = run(n, |comm| {
             let me = comm.rank();
-            let mut buf: Vec<f64> =
-                (0..len).map(|i| ((me + 1) * (i + 1)) as f64 * 0.5).collect();
+            let mut buf: Vec<f64> = (0..len)
+                .map(|i| ((me + 1) * (i + 1)) as f64 * 0.5)
+                .collect();
             algo(comm, &mut buf, op);
             buf
         });

@@ -142,9 +142,7 @@ mod tests {
         });
         for (r, got) in results.iter().enumerate() {
             let expect: Vec<u32> = (0..n as u32)
-                .flat_map(|s| {
-                    (0..block as u32).map(move |i| s * 10000 + (r as u32) * 100 + i)
-                })
+                .flat_map(|s| (0..block as u32).map(move |i| s * 10000 + (r as u32) * 100 + i))
                 .collect();
             assert_eq!(got, &expect, "rank {r} has wrong alltoall result");
         }

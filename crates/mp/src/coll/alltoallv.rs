@@ -80,9 +80,7 @@ mod tests {
                 // recv_counts[s] must equal s's send_counts[me].
                 let recv_counts: Vec<usize> = (0..n).map(|s| s + me + 1).collect();
                 let send: Vec<u64> = (0..n)
-                    .flat_map(|d| {
-                        (0..send_counts[d]).map(move |i| (me * 100 + d * 10 + i) as u64)
-                    })
+                    .flat_map(|d| (0..send_counts[d]).map(move |i| (me * 100 + d * 10 + i) as u64))
                     .collect();
                 let mut recv = vec![0u64; recv_counts.iter().sum()];
                 super::pairwise(comm, &send, &send_counts, &mut recv, &recv_counts);

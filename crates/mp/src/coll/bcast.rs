@@ -30,7 +30,11 @@ pub fn binomial<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
         if peer < n {
             // The last send can donate the buffer instead of cloning.
             let next = v + (1 << (k + 1)) < n && (1usize << (k + 1)) < n;
-            let payload = if next { data.clone() } else { std::mem::take(&mut data) };
+            let payload = if next {
+                data.clone()
+            } else {
+                std::mem::take(&mut data)
+            };
             comm.send_bytes(payload, unvrank(peer, root, n), tag);
         }
         k += 1;

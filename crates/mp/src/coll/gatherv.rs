@@ -70,7 +70,9 @@ mod tests {
         let counts = [2usize, 0, 3, 1];
         let results = run(4, |comm| {
             let me = comm.rank();
-            let send: Vec<u32> = (0..counts[me] as u32).map(|i| (me as u32) * 10 + i).collect();
+            let send: Vec<u32> = (0..counts[me] as u32)
+                .map(|i| (me as u32) * 10 + i)
+                .collect();
             let mut recv = (me == 1).then(|| vec![0u32; 6]);
             super::gatherv(comm, &send, recv.as_deref_mut(), &counts, 1);
             recv
@@ -99,7 +101,9 @@ mod tests {
         let counts = [3usize, 1, 2];
         let results = run(3, |comm| {
             let me = comm.rank();
-            let original: Vec<u64> = (0..counts[me] as u64).map(|i| (me as u64) << (8 + i)).collect();
+            let original: Vec<u64> = (0..counts[me] as u64)
+                .map(|i| (me as u64) << (8 + i))
+                .collect();
             let mut gathered = (me == 2).then(|| vec![0u64; 6]);
             super::gatherv(comm, &original, gathered.as_deref_mut(), &counts, 2);
             let mut back = vec![0u64; counts[me]];

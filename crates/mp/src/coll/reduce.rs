@@ -9,13 +9,7 @@ use super::{binomial_node, halving_tree, unvrank, vrank, LONG_MSG_THRESHOLD};
 /// Binomial-tree reduce: the mirror of binomial broadcast. Each node folds
 /// its children's full vectors into its accumulator, then forwards to its
 /// parent. `ceil(log2 n)` rounds; every edge carries the whole vector.
-pub fn binomial<T: Numeric>(
-    comm: &Comm,
-    send: &[T],
-    recv: Option<&mut [T]>,
-    root: usize,
-    op: Op,
-) {
+pub fn binomial<T: Numeric>(comm: &Comm, send: &[T], recv: Option<&mut [T]>, root: usize, op: Op) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     let me = comm.rank();
@@ -92,11 +86,23 @@ pub fn rabenseifner<T: Numeric>(
         let mid_rank = gbase + group / 2;
         let mid = (lo + hi) / 2;
         let in_lower = v < mid_rank;
-        let partner_v = if in_lower { v + group / 2 } else { v - group / 2 };
-        let (keep, give) = if in_lower { (lo..mid, mid..hi) } else { (mid..hi, lo..mid) };
+        let partner_v = if in_lower {
+            v + group / 2
+        } else {
+            v - group / 2
+        };
+        let (keep, give) = if in_lower {
+            (lo..mid, mid..hi)
+        } else {
+            (mid..hi, lo..mid)
+        };
         let out = encode(&acc[give.clone()]);
-        let bytes =
-            comm.sendrecv_bytes_coll(out, unvrank(partner_v, root, n), unvrank(partner_v, root, n), tag);
+        let bytes = comm.sendrecv_bytes_coll(
+            out,
+            unvrank(partner_v, root, n),
+            unvrank(partner_v, root, n),
+            tag,
+        );
         let operand: Vec<T> = decode(&bytes);
         op.fold_into(&mut acc[keep.clone()], &operand);
         lo = keep.start;

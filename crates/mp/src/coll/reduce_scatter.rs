@@ -15,7 +15,11 @@ pub fn pairwise<T: Numeric>(comm: &Comm, send: &[T], recv: &mut [T], counts: &[u
     let tag = comm.next_coll_tag();
     assert_eq!(counts.len(), n, "one count per rank required");
     let total: usize = counts.iter().sum();
-    assert_eq!(send.len(), total, "reduce_scatter send buffer size mismatch");
+    assert_eq!(
+        send.len(),
+        total,
+        "reduce_scatter send buffer size mismatch"
+    );
     let me = comm.rank();
     assert_eq!(recv.len(), counts[me], "receive buffer must match my count");
 
@@ -61,8 +65,16 @@ pub fn recursive_halving<T: Numeric>(comm: &Comm, send: &[T], recv: &mut [T], op
         let mid_rank = gbase + group / 2;
         let mid = (lo + hi) / 2;
         let in_lower = me < mid_rank;
-        let partner = if in_lower { me + group / 2 } else { me - group / 2 };
-        let (keep, give) = if in_lower { (lo..mid, mid..hi) } else { (mid..hi, lo..mid) };
+        let partner = if in_lower {
+            me + group / 2
+        } else {
+            me - group / 2
+        };
+        let (keep, give) = if in_lower {
+            (lo..mid, mid..hi)
+        } else {
+            (mid..hi, lo..mid)
+        };
         let out = encode(&acc[give]);
         let bytes = comm.sendrecv_bytes_coll(out, partner, partner, tag);
         let operand: Vec<T> = decode(&bytes);
@@ -106,8 +118,7 @@ mod tests {
         let counts2 = counts.clone();
         let results = run(n, |comm| {
             let me = comm.rank();
-            let send: Vec<f64> =
-                (0..total).map(|i| ((me + 1) * (i + 1)) as f64).collect();
+            let send: Vec<f64> = (0..total).map(|i| ((me + 1) * (i + 1)) as f64).collect();
             let mut recv = vec![0.0f64; counts2[me]];
             super::pairwise(comm, &send, &mut recv, &counts2, op);
             recv
@@ -147,8 +158,9 @@ mod tests {
     fn check_halving(n: usize, slice: usize, op: Op) {
         let results = run(n, |comm| {
             let me = comm.rank();
-            let send: Vec<f64> =
-                (0..n * slice).map(|i| ((me + 1) * (i + 1)) as f64).collect();
+            let send: Vec<f64> = (0..n * slice)
+                .map(|i| ((me + 1) * (i + 1)) as f64)
+                .collect();
             let mut recv = vec![0.0f64; slice];
             super::recursive_halving(comm, &send, &mut recv, op);
             recv

@@ -89,8 +89,8 @@ mod tests {
 
     fn check(n: usize, block: usize, root: usize, algo: Algo) {
         let results = run(n, |comm| {
-            let send: Option<Vec<u64>> = (comm.rank() == root)
-                .then(|| (0..(n * block) as u64).map(|x| x * 7 + 1).collect());
+            let send: Option<Vec<u64>> =
+                (comm.rank() == root).then(|| (0..(n * block) as u64).map(|x| x * 7 + 1).collect());
             let mut recv = vec![0u64; block];
             algo(comm, send.as_deref(), &mut recv, root);
             recv

@@ -139,11 +139,7 @@ impl Comm {
 
     /// Receives a message of any length, optionally constrained by source
     /// and/or tag. Returns the payload and the actual (source, tag).
-    pub fn recv_any<T: Word>(
-        &self,
-        src: Option<usize>,
-        tag: Option<Tag>,
-    ) -> (Vec<T>, usize, Tag) {
+    pub fn recv_any<T: Word>(&self, src: Option<usize>, tag: Option<Tag>) -> (Vec<T>, usize, Tag) {
         if let Some(t) = tag {
             assert!(t < MAX_USER_TAG, "tag {t:#x} is in the reserved range");
         }
@@ -162,14 +158,7 @@ impl Comm {
 
     /// Combined send+receive (both with tag `tag`), the workhorse of ring
     /// and exchange patterns. Deadlock-free because sends are eager.
-    pub fn sendrecv<T: Word>(
-        &self,
-        sbuf: &[T],
-        dst: usize,
-        rbuf: &mut [T],
-        src: usize,
-        tag: Tag,
-    ) {
+    pub fn sendrecv<T: Word>(&self, sbuf: &[T], dst: usize, rbuf: &mut [T], src: usize, tag: Tag) {
         self.send(sbuf, dst, tag);
         self.recv(rbuf, src, tag);
     }

@@ -44,7 +44,11 @@ pub fn encode<T: Word>(data: &[T]) -> Vec<u8> {
 /// Encodes a slice of words into a preallocated byte buffer
 /// (`out.len() == data.len() * T::SIZE`).
 pub fn encode_into<T: Word>(data: &[T], out: &mut [u8]) {
-    assert_eq!(out.len(), data.len() * T::SIZE, "encode buffer size mismatch");
+    assert_eq!(
+        out.len(),
+        data.len() * T::SIZE,
+        "encode buffer size mismatch"
+    );
     for (v, chunk) in data.iter().zip(out.chunks_exact_mut(T::SIZE)) {
         v.write_le(chunk);
     }

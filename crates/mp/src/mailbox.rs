@@ -7,11 +7,32 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::msg::{Match, Message};
 
+/// Default for how long a blocking receive waits before declaring a
+/// deadlock: generous in production builds, short under `cfg(test)` so a
+/// deadlocked test fails in seconds instead of hanging CI for five
+/// minutes per rank.
+#[cfg(not(test))]
+const DEFAULT_DEADLOCK_TIMEOUT_SECS: u64 = 300;
+#[cfg(test)]
+const DEFAULT_DEADLOCK_TIMEOUT_SECS: u64 = 20;
+
 /// How long a blocking receive waits before declaring a deadlock.
 ///
 /// A correct SPMD program never waits this long for an in-process message;
-/// the timeout converts silent test hangs into actionable panics.
-const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(300);
+/// the timeout converts silent hangs into actionable panics. Overridable
+/// via the `MP_DEADLOCK_TIMEOUT_SECS` environment variable (read once,
+/// then cached); unparsable values fall back to the default.
+fn deadlock_timeout() -> Duration {
+    use std::sync::OnceLock;
+    static TIMEOUT_SECS: OnceLock<u64> = OnceLock::new();
+    let secs = *TIMEOUT_SECS.get_or_init(|| {
+        std::env::var("MP_DEADLOCK_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_DEADLOCK_TIMEOUT_SECS)
+    });
+    Duration::from_secs(secs)
+}
 
 /// A rank's incoming-message queue.
 #[derive(Default)]
@@ -43,15 +64,14 @@ impl Mailbox {
             if let Some(pos) = q.iter().position(|m| filter.accepts(m)) {
                 return q.remove(pos).expect("position just found");
             }
-            let timed_out = self
-                .arrived
-                .wait_for(&mut q, DEADLOCK_TIMEOUT)
-                .timed_out();
+            let timeout = deadlock_timeout();
+            let timed_out = self.arrived.wait_for(&mut q, timeout).timed_out();
             if timed_out {
                 panic!(
                     "mp: receive waited {}s for a message matching {filter:?}; \
-                     likely deadlock ({} unmatched messages queued)",
-                    DEADLOCK_TIMEOUT.as_secs(),
+                     likely deadlock ({} unmatched messages queued). Tune via \
+                     MP_DEADLOCK_TIMEOUT_SECS.",
+                    timeout.as_secs(),
                     q.len(),
                 );
             }
@@ -81,11 +101,20 @@ mod tests {
     use std::sync::Arc;
 
     fn msg(src: usize, tag: u32, data: Vec<u8>) -> Message {
-        Message { src, full_tag: pack_tag(0, tag), data, arrival: None }
+        Message {
+            src,
+            full_tag: pack_tag(0, tag),
+            data,
+            arrival: None,
+        }
     }
 
     fn exact(src: usize, tag: u32) -> Match {
-        Match { comm_id: 0, src: Some(src), tag: Some(tag) }
+        Match {
+            comm_id: 0,
+            src: Some(src),
+            tag: Some(tag),
+        }
     }
 
     #[test]
@@ -126,11 +155,26 @@ mod tests {
     }
 
     #[test]
+    fn deadlock_timeout_honours_env_or_test_default() {
+        // Under cfg(test) the default is 20 s; an MP_DEADLOCK_TIMEOUT_SECS
+        // override (read once at first use) takes precedence.
+        let expect = std::env::var("MP_DEADLOCK_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        assert_eq!(super::deadlock_timeout().as_secs(), expect);
+    }
+
+    #[test]
     fn wildcard_receive_takes_first_arrival() {
         let mb = Mailbox::new();
         mb.push(msg(7, 3, vec![7]));
         mb.push(msg(8, 4, vec![8]));
-        let any = Match { comm_id: 0, src: None, tag: None };
+        let any = Match {
+            comm_id: 0,
+            src: None,
+            tag: None,
+        };
         assert_eq!(mb.recv(any).src, 7);
         assert_eq!(mb.recv(any).src, 8);
     }

@@ -77,25 +77,58 @@ mod tests {
     #[test]
     fn exact_match() {
         let m = msg(3, 7, 42);
-        let f = Match { comm_id: 7, src: Some(3), tag: Some(42) };
+        let f = Match {
+            comm_id: 7,
+            src: Some(3),
+            tag: Some(42),
+        };
         assert!(f.accepts(&m));
     }
 
     #[test]
     fn comm_id_always_matched() {
         let m = msg(3, 7, 42);
-        let f = Match { comm_id: 8, src: None, tag: None };
+        let f = Match {
+            comm_id: 8,
+            src: None,
+            tag: None,
+        };
         assert!(!f.accepts(&m));
     }
 
     #[test]
     fn wildcards() {
         let m = msg(3, 7, 42);
-        assert!(Match { comm_id: 7, src: None, tag: Some(42) }.accepts(&m));
-        assert!(Match { comm_id: 7, src: Some(3), tag: None }.accepts(&m));
-        assert!(Match { comm_id: 7, src: None, tag: None }.accepts(&m));
-        assert!(!Match { comm_id: 7, src: Some(4), tag: None }.accepts(&m));
-        assert!(!Match { comm_id: 7, src: None, tag: Some(41) }.accepts(&m));
+        assert!(Match {
+            comm_id: 7,
+            src: None,
+            tag: Some(42)
+        }
+        .accepts(&m));
+        assert!(Match {
+            comm_id: 7,
+            src: Some(3),
+            tag: None
+        }
+        .accepts(&m));
+        assert!(Match {
+            comm_id: 7,
+            src: None,
+            tag: None
+        }
+        .accepts(&m));
+        assert!(!Match {
+            comm_id: 7,
+            src: Some(4),
+            tag: None
+        }
+        .accepts(&m));
+        assert!(!Match {
+            comm_id: 7,
+            src: None,
+            tag: Some(41)
+        }
+        .accepts(&m));
     }
 
     #[test]

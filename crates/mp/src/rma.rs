@@ -153,7 +153,8 @@ impl<'c> Window<'c> {
     /// that this origin's accesses are done.
     pub fn complete(&self, targets: &[usize]) {
         for &t in targets {
-            self.comm.send_bytes_public(Vec::new(), t, self.complete_tag);
+            self.comm
+                .send_bytes_public(Vec::new(), t, self.complete_tag);
         }
     }
 
@@ -267,7 +268,11 @@ mod tests {
         run(3, |comm| {
             let win = Window::create::<u64>(comm, 4);
             let me = comm.rank() as u64;
-            win.put(&[me * 10, me * 10 + 1, me * 10 + 2, me * 10 + 3], comm.rank(), 0);
+            win.put(
+                &[me * 10, me * 10 + 1, me * 10 + 2, me * 10 + 3],
+                comm.rank(),
+                0,
+            );
             win.fence();
             // Read the right neighbour's region; it does nothing special.
             let right = (comm.rank() + 1) % 3;

@@ -131,7 +131,9 @@ where
             .map(|(rank, h)| h.join().unwrap_or_else(|_| panic!("rank {rank} panicked")))
             .collect()
     });
-    let world = Arc::try_unwrap(world).ok().expect("all rank threads joined");
+    let world = Arc::try_unwrap(world)
+        .ok()
+        .expect("all rank threads joined");
     let clocks = world
         .virtual_clocks
         .into_iter()
@@ -223,6 +225,13 @@ mod tests {
             }
         });
         assert_eq!(trace.len(), 1);
-        assert_eq!(trace[0], Transfer { src: 0, dst: 1, bytes: 16 });
+        assert_eq!(
+            trace[0],
+            Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 16
+            }
+        );
     }
 }

@@ -11,7 +11,11 @@ pub fn ring(n: usize, block_bytes: u64) -> Schedule {
     for _ in 0..n.saturating_sub(1) {
         s.push(Round::of(
             (0..n)
-                .map(|i| Transfer { src: i, dst: (i + 1) % n, bytes: block_bytes })
+                .map(|i| Transfer {
+                    src: i,
+                    dst: (i + 1) % n,
+                    bytes: block_bytes,
+                })
                 .collect(),
         ));
     }

@@ -7,12 +7,20 @@ use crate::coll::LONG_MSG_THRESHOLD;
 /// The non-power-of-two fold parameters (mirrors the private `Fold` in the
 /// real implementation).
 fn fold_params(n: usize) -> (usize, usize) {
-    let pow2 = if n.is_power_of_two() { n } else { n.next_power_of_two() / 2 };
+    let pow2 = if n.is_power_of_two() {
+        n
+    } else {
+        n.next_power_of_two() / 2
+    };
     (pow2, n - pow2)
 }
 
 fn oldrank(newrank: usize, rem: usize) -> usize {
-    if newrank < rem { 2 * newrank + 1 } else { newrank + rem }
+    if newrank < rem {
+        2 * newrank + 1
+    } else {
+        newrank + rem
+    }
 }
 
 /// Fold-in round: even ranks below `2*rem` donate their vector to their odd
@@ -20,10 +28,17 @@ fn oldrank(newrank: usize, rem: usize) -> usize {
 fn fold_in_round(rem: usize, bytes: u64) -> Round {
     Round {
         transfers: (0..rem)
-            .map(|j| Transfer { src: 2 * j, dst: 2 * j + 1, bytes })
+            .map(|j| Transfer {
+                src: 2 * j,
+                dst: 2 * j + 1,
+                bytes,
+            })
             .collect(),
         work: (0..rem)
-            .map(|j| LocalWork { rank: 2 * j + 1, bytes })
+            .map(|j| LocalWork {
+                rank: 2 * j + 1,
+                bytes,
+            })
             .collect(),
     }
 }
@@ -32,7 +47,11 @@ fn fold_in_round(rem: usize, bytes: u64) -> Round {
 fn fold_out_round(rem: usize, bytes: u64) -> Round {
     Round::of(
         (0..rem)
-            .map(|j| Transfer { src: 2 * j + 1, dst: 2 * j, bytes })
+            .map(|j| Transfer {
+                src: 2 * j + 1,
+                dst: 2 * j,
+                bytes,
+            })
             .collect(),
     )
 }
@@ -59,7 +78,10 @@ pub fn recursive_doubling(n: usize, bytes: u64) -> Schedule {
                 })
                 .collect(),
             work: (0..pow2)
-                .map(|p| LocalWork { rank: oldrank(p, rem), bytes })
+                .map(|p| LocalWork {
+                    rank: oldrank(p, rem),
+                    bytes,
+                })
                 .collect(),
         });
         span <<= 1;
@@ -94,11 +116,18 @@ pub fn rabenseifner(n: usize, bytes: u64) -> Schedule {
             transfers: (0..pow2)
                 .map(|v| {
                     let partner = if v & half == 0 { v + half } else { v - half };
-                    Transfer { src: oldrank(v, rem), dst: oldrank(partner, rem), bytes: chunk }
+                    Transfer {
+                        src: oldrank(v, rem),
+                        dst: oldrank(partner, rem),
+                        bytes: chunk,
+                    }
                 })
                 .collect(),
             work: (0..pow2)
-                .map(|v| LocalWork { rank: oldrank(v, rem), bytes: chunk })
+                .map(|v| LocalWork {
+                    rank: oldrank(v, rem),
+                    bytes: chunk,
+                })
                 .collect(),
         });
         group /= 2;

@@ -10,8 +10,16 @@ pub fn pairwise(n: usize, block_bytes: u64) -> Schedule {
         s.push(Round::of(
             (0..n)
                 .map(|i| {
-                    let dst = if n.is_power_of_two() { i ^ step } else { (i + step) % n };
-                    Transfer { src: i, dst, bytes: block_bytes }
+                    let dst = if n.is_power_of_two() {
+                        i ^ step
+                    } else {
+                        (i + step) % n
+                    };
+                    Transfer {
+                        src: i,
+                        dst,
+                        bytes: block_bytes,
+                    }
                 })
                 .collect(),
         ));
@@ -76,7 +84,11 @@ mod tests {
     use crate::coll;
     use crate::runtime::run_traced;
 
-    fn trace_of(n: usize, block: usize, algo: fn(&crate::Comm, &[u64], &mut [u64])) -> Vec<simnet::Transfer> {
+    fn trace_of(
+        n: usize,
+        block: usize,
+        algo: fn(&crate::Comm, &[u64], &mut [u64]),
+    ) -> Vec<simnet::Transfer> {
         let (_, trace) = run_traced(n, |comm| {
             let send = vec![comm.rank() as u64; n * block];
             let mut recv = vec![0u64; n * block];

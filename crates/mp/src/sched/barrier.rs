@@ -13,7 +13,11 @@ pub fn dissemination(n: usize) -> Schedule {
     while k < n {
         s.push(Round::of(
             (0..n)
-                .map(|i| Transfer { src: i, dst: (i + k) % n, bytes: 0 })
+                .map(|i| Transfer {
+                    src: i,
+                    dst: (i + k) % n,
+                    bytes: 0,
+                })
                 .collect(),
         ));
         k <<= 1;
@@ -32,7 +36,11 @@ pub fn tree(n: usize) -> Schedule {
         s.push(Round::of(
             round
                 .iter()
-                .map(|&(parent, child)| Transfer { src: child, dst: parent, bytes: 0 })
+                .map(|&(parent, child)| Transfer {
+                    src: child,
+                    dst: parent,
+                    bytes: 0,
+                })
                 .collect(),
         ));
     }
@@ -40,7 +48,11 @@ pub fn tree(n: usize) -> Schedule {
         s.push(Round::of(
             round
                 .iter()
-                .map(|&(parent, child)| Transfer { src: parent, dst: child, bytes: 0 })
+                .map(|&(parent, child)| Transfer {
+                    src: parent,
+                    dst: child,
+                    bytes: 0,
+                })
                 .collect(),
         ));
     }

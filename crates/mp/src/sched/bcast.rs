@@ -125,6 +125,9 @@ mod tests {
         let s = super::scatter_allgather(8, 0, 8000);
         // Scatter moves (n-1)/n of the payload total; ring moves (n-1)x blocks.
         let per_rank_equiv = s.total_bytes() as f64 / 8000.0;
-        assert!(per_rank_equiv > 7.0 && per_rank_equiv < 9.0, "{per_rank_equiv}");
+        assert!(
+            per_rank_equiv > 7.0 && per_rank_equiv < 9.0,
+            "{per_rank_equiv}"
+        );
     }
 }

@@ -11,7 +11,11 @@ pub fn linear(n: usize, root: usize, block_bytes: u64) -> Schedule {
         s.push(Round::of(
             (0..n)
                 .filter(|&r| r != root)
-                .map(|r| Transfer { src: r, dst: root, bytes: block_bytes })
+                .map(|r| Transfer {
+                    src: r,
+                    dst: root,
+                    bytes: block_bytes,
+                })
                 .collect(),
         ));
     }
@@ -55,7 +59,11 @@ fn scatter_schedule_reversed(n: usize, root: usize, block_bytes: u64) -> simnet:
             round
                 .transfers
                 .iter()
-                .map(|t| simnet::Transfer { src: t.dst, dst: t.src, bytes: t.bytes })
+                .map(|t| simnet::Transfer {
+                    src: t.dst,
+                    dst: t.src,
+                    bytes: t.bytes,
+                })
                 .collect(),
         ));
     }

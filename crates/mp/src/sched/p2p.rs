@@ -6,8 +6,16 @@ use simnet::{Round, Schedule, Transfer};
 /// IMB PingPong: rank 0 sends `bytes` to rank 1, which sends them back.
 pub fn ping_pong(bytes: u64) -> Schedule {
     let mut s = Schedule::new(2);
-    s.push(Round::of(vec![Transfer { src: 0, dst: 1, bytes }]));
-    s.push(Round::of(vec![Transfer { src: 1, dst: 0, bytes }]));
+    s.push(Round::of(vec![Transfer {
+        src: 0,
+        dst: 1,
+        bytes,
+    }]));
+    s.push(Round::of(vec![Transfer {
+        src: 1,
+        dst: 0,
+        bytes,
+    }]));
     s
 }
 
@@ -16,8 +24,16 @@ pub fn ping_pong(bytes: u64) -> Schedule {
 pub fn ping_ping(bytes: u64) -> Schedule {
     let mut s = Schedule::new(2);
     s.push(Round::of(vec![
-        Transfer { src: 0, dst: 1, bytes },
-        Transfer { src: 1, dst: 0, bytes },
+        Transfer {
+            src: 0,
+            dst: 1,
+            bytes,
+        },
+        Transfer {
+            src: 1,
+            dst: 0,
+            bytes,
+        },
     ]));
     s
 }
@@ -29,7 +45,11 @@ pub fn sendrecv(n: usize, bytes: u64) -> Schedule {
     if n > 1 {
         s.push(Round::of(
             (0..n)
-                .map(|i| Transfer { src: i, dst: (i + 1) % n, bytes })
+                .map(|i| Transfer {
+                    src: i,
+                    dst: (i + 1) % n,
+                    bytes,
+                })
                 .collect(),
         ));
     }
@@ -45,8 +65,16 @@ pub fn exchange(n: usize, bytes: u64) -> Schedule {
             (0..n)
                 .flat_map(|i| {
                     [
-                        Transfer { src: i, dst: (i + 1) % n, bytes },
-                        Transfer { src: i, dst: (i + n - 1) % n, bytes },
+                        Transfer {
+                            src: i,
+                            dst: (i + 1) % n,
+                            bytes,
+                        },
+                        Transfer {
+                            src: i,
+                            dst: (i + n - 1) % n,
+                            bytes,
+                        },
                     ]
                 })
                 .collect(),
@@ -68,8 +96,16 @@ pub fn random_ring(perm: &[usize], bytes: u64) -> Schedule {
                     let a = perm[i];
                     let b = perm[(i + 1) % n];
                     [
-                        Transfer { src: a, dst: b, bytes },
-                        Transfer { src: b, dst: a, bytes },
+                        Transfer {
+                            src: a,
+                            dst: b,
+                            bytes,
+                        },
+                        Transfer {
+                            src: b,
+                            dst: a,
+                            bytes,
+                        },
                     ]
                 })
                 .collect(),

@@ -20,7 +20,10 @@ pub fn binomial(n: usize, root: usize, bytes: u64) -> Schedule {
                 .collect(),
             work: round
                 .iter()
-                .map(|&(parent, _)| LocalWork { rank: unvrank(parent, root, n), bytes })
+                .map(|&(parent, _)| LocalWork {
+                    rank: unvrank(parent, root, n),
+                    bytes,
+                })
                 .collect(),
         });
     }
@@ -55,7 +58,10 @@ pub fn rabenseifner(n: usize, root: usize, bytes: u64) -> Schedule {
                 })
                 .collect(),
             work: (0..n)
-                .map(|v| LocalWork { rank: unvrank(v, root, n), bytes: chunk })
+                .map(|v| LocalWork {
+                    rank: unvrank(v, root, n),
+                    bytes: chunk,
+                })
                 .collect(),
         });
         group /= 2;

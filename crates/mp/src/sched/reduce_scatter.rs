@@ -13,11 +13,18 @@ pub fn pairwise(counts_bytes: &[u64]) -> Schedule {
             transfers: (0..n)
                 .map(|i| {
                     let dst = (i + step) % n;
-                    Transfer { src: i, dst, bytes: counts_bytes[dst] }
+                    Transfer {
+                        src: i,
+                        dst,
+                        bytes: counts_bytes[dst],
+                    }
                 })
                 .collect(),
             work: (0..n)
-                .map(|i| LocalWork { rank: i, bytes: counts_bytes[i] })
+                .map(|i| LocalWork {
+                    rank: i,
+                    bytes: counts_bytes[i],
+                })
                 .collect(),
         });
     }
@@ -38,10 +45,19 @@ pub fn recursive_halving(n: usize, bytes: u64) -> Schedule {
             transfers: (0..n)
                 .map(|v| {
                     let partner = if v & half == 0 { v + half } else { v - half };
-                    Transfer { src: v, dst: partner, bytes: chunk }
+                    Transfer {
+                        src: v,
+                        dst: partner,
+                        bytes: chunk,
+                    }
                 })
                 .collect(),
-            work: (0..n).map(|v| LocalWork { rank: v, bytes: chunk }).collect(),
+            work: (0..n)
+                .map(|v| LocalWork {
+                    rank: v,
+                    bytes: chunk,
+                })
+                .collect(),
         });
         group /= 2;
     }

@@ -7,7 +7,11 @@ pub fn linear(n: usize, bytes: u64) -> Schedule {
     let mut s = Schedule::new(n);
     for i in 0..n.saturating_sub(1) {
         s.push(Round {
-            transfers: vec![Transfer { src: i, dst: i + 1, bytes }],
+            transfers: vec![Transfer {
+                src: i,
+                dst: i + 1,
+                bytes,
+            }],
             work: vec![LocalWork { rank: i + 1, bytes }],
         });
     }
@@ -22,10 +26,17 @@ pub fn recursive_doubling(n: usize, bytes: u64) -> Schedule {
     while d < n {
         s.push(Round {
             transfers: (0..n - d)
-                .map(|i| Transfer { src: i, dst: i + d, bytes })
+                .map(|i| Transfer {
+                    src: i,
+                    dst: i + d,
+                    bytes,
+                })
                 .collect(),
             work: (d..n)
-                .map(|i| LocalWork { rank: i, bytes: 2 * bytes })
+                .map(|i| LocalWork {
+                    rank: i,
+                    bytes: 2 * bytes,
+                })
                 .collect(),
         });
         d <<= 1;

@@ -12,7 +12,11 @@ pub fn linear(n: usize, root: usize, block_bytes: u64) -> Schedule {
         s.push(Round::of(
             (0..n)
                 .filter(|&r| r != root)
-                .map(|r| Transfer { src: root, dst: r, bytes: block_bytes })
+                .map(|r| Transfer {
+                    src: root,
+                    dst: r,
+                    bytes: block_bytes,
+                })
                 .collect(),
         ));
     }
@@ -58,8 +62,7 @@ mod tests {
         for n in [1, 2, 3, 5, 8, 11] {
             for root in [0, n - 1] {
                 let (_, trace) = run_traced(n, |comm| {
-                    let send: Option<Vec<u64>> =
-                        (comm.rank() == root).then(|| vec![7u64; 3 * n]);
+                    let send: Option<Vec<u64>> = (comm.rank() == root).then(|| vec![7u64; 3 * n]);
                     let mut recv = vec![0u64; 3];
                     coll::scatter::binomial(comm, send.as_deref(), &mut recv, root);
                 });

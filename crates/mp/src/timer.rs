@@ -11,7 +11,9 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Starts timing now.
     pub fn start() -> Stopwatch {
-        Stopwatch { start: Instant::now() }
+        Stopwatch {
+            start: Instant::now(),
+        }
     }
 
     /// Seconds elapsed since start.

@@ -100,7 +100,10 @@ mod tests {
     impl VirtualNet for TestNet {
         fn p2p(&self, _s: usize, _d: usize, bytes: u64, ready: Time) -> P2pCost {
             let dur = Time::from_us(10.0) + Time::from_secs(bytes as f64 / 1e9);
-            P2pCost { sender_done: ready + Time::from_us(1.0), arrival: ready + dur }
+            P2pCost {
+                sender_done: ready + Time::from_us(1.0),
+                arrival: ready + dur,
+            }
         }
         fn compute(&self, flops: f64, eff: f64) -> Time {
             Time::from_secs(flops / (1e9 * eff))
@@ -151,7 +154,10 @@ mod tests {
             x
         });
         assert_eq!(native, virt);
-        assert!(clocks.iter().all(|c| c.as_us() > 0.0), "allreduce costs time");
+        assert!(
+            clocks.iter().all(|c| c.as_us() > 0.0),
+            "allreduce costs time"
+        );
     }
 
     #[test]
@@ -211,8 +217,9 @@ mod tests {
         }
         let shared = Arc::new(TestNet);
         for _ in 0..3 {
-            let (_, clocks) =
-                run_virtual(2, Box::new(ArcNet(Arc::clone(&shared))), |comm| comm.barrier());
+            let (_, clocks) = run_virtual(2, Box::new(ArcNet(Arc::clone(&shared))), |comm| {
+                comm.barrier()
+            });
             assert!(clocks[0].as_us() > 0.0);
         }
     }

@@ -127,8 +127,7 @@ impl Fabric {
 
     /// Pure latency (no occupancy) of a message from `src` to `dst`.
     pub fn latency(&self, src: NodeId, dst: NodeId) -> Time {
-        self.params.base_latency
-            + self.params.per_hop_latency * self.topo.hops(src, dst) as f64
+        self.params.base_latency + self.params.per_hop_latency * self.topo.hops(src, dst) as f64
     }
 
     /// Simulates an inter-node message: `bytes` from `src` to `dst`, ready
@@ -314,7 +313,10 @@ mod tests {
             worst_full = worst_full.max(ff.transfer(i, i + 4, 1_000_000, Time::ZERO));
             worst_thin = worst_thin.max(ft.transfer(i, i + 4, 1_000_000, Time::ZERO));
         }
-        assert!(worst_thin > worst_full, "oversubscription slows core traffic");
+        assert!(
+            worst_thin > worst_full,
+            "oversubscription slows core traffic"
+        );
     }
 
     #[test]

@@ -213,7 +213,12 @@ mod tests {
         }
         granted.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in granted.windows(2) {
-            assert!(w[0].1 <= w[1].0 + 1e-15, "overlap: {:?} vs {:?}", w[0], w[1]);
+            assert!(
+                w[0].1 <= w[1].0 + 1e-15,
+                "overlap: {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
 

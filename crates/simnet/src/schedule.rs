@@ -192,10 +192,7 @@ where
 mod tests {
     use super::*;
 
-    fn fixed_cost(
-        latency_us: f64,
-        bw: f64,
-    ) -> impl FnMut(usize, usize, u64, Time) -> P2pCost {
+    fn fixed_cost(latency_us: f64, bw: f64) -> impl FnMut(usize, usize, u64, Time) -> P2pCost {
         move |_s, _d, bytes, ready| {
             let dur = Time::from_secs(bytes as f64 / bw) + Time::from_us(latency_us);
             P2pCost {
@@ -213,10 +210,22 @@ mod tests {
     fn schedule_accounting() {
         let mut s = Schedule::new(4);
         s.push(Round::of(vec![
-            Transfer { src: 0, dst: 1, bytes: 100 },
-            Transfer { src: 2, dst: 3, bytes: 200 },
+            Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 100,
+            },
+            Transfer {
+                src: 2,
+                dst: 3,
+                bytes: 200,
+            },
         ]));
-        s.push(Round::of(vec![Transfer { src: 1, dst: 2, bytes: 50 }]));
+        s.push(Round::of(vec![Transfer {
+            src: 1,
+            dst: 2,
+            bytes: 50,
+        }]));
         assert_eq!(s.total_bytes(), 350);
         assert_eq!(s.total_messages(), 3);
         assert_eq!(s.num_rounds(), 2);
@@ -226,10 +235,18 @@ mod tests {
     #[test]
     fn validate_rejects_bad_entries() {
         let mut s = Schedule::new(2);
-        s.push(Round::of(vec![Transfer { src: 0, dst: 2, bytes: 1 }]));
+        s.push(Round::of(vec![Transfer {
+            src: 0,
+            dst: 2,
+            bytes: 1,
+        }]));
         assert!(s.validate().is_err());
         let mut s2 = Schedule::new(2);
-        s2.push(Round::of(vec![Transfer { src: 1, dst: 1, bytes: 1 }]));
+        s2.push(Round::of(vec![Transfer {
+            src: 1,
+            dst: 1,
+            bytes: 1,
+        }]));
         assert!(s2.validate().is_err());
     }
 
@@ -253,8 +270,16 @@ mod tests {
     fn parallel_transfers_overlap() {
         let mut s = Schedule::new(4);
         s.push(Round::of(vec![
-            Transfer { src: 0, dst: 1, bytes: 1_000_000 },
-            Transfer { src: 2, dst: 3, bytes: 1_000_000 },
+            Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 1_000_000,
+            },
+            Transfer {
+                src: 2,
+                dst: 3,
+                bytes: 1_000_000,
+            },
         ]));
         let mut clocks = vec![Time::ZERO; 4];
         let t = execute(&s, &mut clocks, fixed_cost(0.0, 1e9), no_work);
@@ -265,16 +290,20 @@ mod tests {
     fn work_extends_the_receiving_rank() {
         let mut s = Schedule::new(2);
         s.push(Round {
-            transfers: vec![Transfer { src: 0, dst: 1, bytes: 1000 }],
-            work: vec![LocalWork { rank: 1, bytes: 1000 }],
+            transfers: vec![Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 1000,
+            }],
+            work: vec![LocalWork {
+                rank: 1,
+                bytes: 1000,
+            }],
         });
         let mut clocks = vec![Time::ZERO; 2];
-        let t = execute(
-            &s,
-            &mut clocks,
-            fixed_cost(0.0, 1e9),
-            |_r, bytes, start| start + Time::from_secs(bytes as f64 / 1e8),
-        );
+        let t = execute(&s, &mut clocks, fixed_cost(0.0, 1e9), |_r, bytes, start| {
+            start + Time::from_secs(bytes as f64 / 1e8)
+        });
         let expected = 1000.0 / 1e9 + 1000.0 / 1e8;
         assert!((t.as_secs() - expected).abs() < 1e-12);
     }
@@ -283,12 +312,28 @@ mod tests {
     fn transfer_multiset_is_order_independent() {
         let mut a = Schedule::new(3);
         a.push(Round::of(vec![
-            Transfer { src: 0, dst: 1, bytes: 10 },
-            Transfer { src: 1, dst: 2, bytes: 20 },
+            Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 10,
+            },
+            Transfer {
+                src: 1,
+                dst: 2,
+                bytes: 20,
+            },
         ]));
         let mut b = Schedule::new(3);
-        b.push(Round::of(vec![Transfer { src: 1, dst: 2, bytes: 20 }]));
-        b.push(Round::of(vec![Transfer { src: 0, dst: 1, bytes: 10 }]));
+        b.push(Round::of(vec![Transfer {
+            src: 1,
+            dst: 2,
+            bytes: 20,
+        }]));
+        b.push(Round::of(vec![Transfer {
+            src: 0,
+            dst: 1,
+            bytes: 10,
+        }]));
         assert_eq!(a.transfer_multiset(), b.transfer_multiset());
     }
 }

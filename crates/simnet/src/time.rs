@@ -102,7 +102,12 @@ impl Sub for Time {
     /// would be negative, which indicates a causality violation.
     #[inline]
     fn sub(self, rhs: Time) -> Time {
-        debug_assert!(self.0 >= rhs.0, "negative time span: {} - {}", self.0, rhs.0);
+        debug_assert!(
+            self.0 >= rhs.0,
+            "negative time span: {} - {}",
+            self.0,
+            rhs.0
+        );
         Time((self.0 - rhs.0).max(0.0))
     }
 }

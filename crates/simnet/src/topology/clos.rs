@@ -23,7 +23,10 @@ impl Clos {
     /// makes the fabric rearrangeably non-blocking.
     pub fn new(n: usize, radix: usize) -> Clos {
         assert!(n > 0, "clos needs at least one node");
-        assert!(radix >= 2 && radix.is_multiple_of(2), "radix must be even and >= 2");
+        assert!(
+            radix >= 2 && radix.is_multiple_of(2),
+            "radix must be even and >= 2"
+        );
         let down = radix / 2;
         let num_edge = n.div_ceil(down);
         Clos {

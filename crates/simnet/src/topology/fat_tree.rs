@@ -251,9 +251,7 @@ mod tests {
         assert!((blocked.bisection_links() - 32.0 / 3.0).abs() < 1e-12);
         let route = full.route(0, 63);
         let top_link = route[route.len() / 2 - 1];
-        assert!(
-            blocked.link_capacity_scale(top_link) < full.link_capacity_scale(top_link)
-        );
+        assert!(blocked.link_capacity_scale(top_link) < full.link_capacity_scale(top_link));
     }
 
     #[test]

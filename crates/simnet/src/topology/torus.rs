@@ -21,8 +21,14 @@ impl Torus3D {
     /// the attached node count is smaller than the full grid) exist as
     /// routing points only.
     pub fn with_dims(n: usize, dims: [usize; 3]) -> Torus3D {
-        assert!(dims.iter().all(|&d| d >= 1), "torus dimensions must be >= 1");
-        assert!(n >= 1 && n <= dims.iter().product(), "node count exceeds the grid");
+        assert!(
+            dims.iter().all(|&d| d >= 1),
+            "torus dimensions must be >= 1"
+        );
+        assert!(
+            n >= 1 && n <= dims.iter().product(),
+            "node count exceeds the grid"
+        );
         Torus3D { n, dims }
     }
 

@@ -11,7 +11,10 @@ use hpcbench::figures::{self, FigureConfig};
 use hpcbench::ratios;
 
 fn main() {
-    let cfg = FigureConfig { max_procs: 256, imb_bytes: 1 << 20 };
+    let cfg = FigureConfig {
+        max_procs: 256,
+        imb_bytes: 1 << 20,
+    };
 
     println!("Communication/computation balance (Fig. 2): B/kFlop by CPUs\n");
     let sweeps = figures::hpcc_sweeps(&cfg);
@@ -55,7 +58,10 @@ fn main() {
     // "The Byte/Flop for NEC SX-8 is consistently above 2.67".
     for row in &sx8.rows {
         let b = ratios::balance_point(row);
-        assert!(b.stream_b_per_flop > 2.67, "SX-8 B/F fell below the paper's floor");
+        assert!(
+            b.stream_b_per_flop > 2.67,
+            "SX-8 B/F fell below the paper's floor"
+        );
     }
     println!("all headline balance findings reproduced");
 }

@@ -28,7 +28,11 @@ fn my_cluster() -> Machine {
             random_concurrency: 6.0,
         },
         net: NetworkModel {
-            topology: TopologyKind::FatTree { arity: 8, blocking: 1.0, blocking_from: 1 },
+            topology: TopologyKind::FatTree {
+                arity: 8,
+                blocking: 1.0,
+                blocking_from: 1,
+            },
             link_bw: 2.4e9,
             nic_duplex: true,
             mpi_latency_us: 3.5,

@@ -43,7 +43,10 @@ fn main() {
             .iter()
             .map(|&s| simulate(&m, ExtBenchmark::UnidirPut, s, 1 << 20).mbs)
             .collect();
-        println!("{:<30} {:>12.0} {:>12.0} {:>12.0}", m.name, v[0], v[1], v[2]);
+        println!(
+            "{:<30} {:>12.0} {:>12.0} {:>12.0}",
+            m.name, v[0], v[1], v[2]
+        );
     }
 
     // The put/get asymmetry the paper's Section 2.4 RDMA discussion

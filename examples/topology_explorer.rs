@@ -15,7 +15,10 @@ fn main() {
         .unwrap_or(64);
 
     let topologies: Vec<(&str, Box<dyn Topology>)> = vec![
-        ("fat-tree (ideal, arity 4)", Box::new(FatTree::new(nodes, 4))),
+        (
+            "fat-tree (ideal, arity 4)",
+            Box::new(FatTree::new(nodes, 4)),
+        ),
         (
             "fat-tree (3:1 blocked)",
             Box::new(FatTree::with_blocking(nodes, 4, 3.0)),
@@ -23,7 +26,10 @@ fn main() {
         ("hypercube", Box::new(Hypercube::new(nodes))),
         ("crossbar (IXS)", Box::new(Crossbar::new(nodes))),
         ("clos radix 16 (Myrinet)", Box::new(Clos::new(nodes, 16))),
-        ("clos radix 16, spine 2", Box::new(Clos::with_spine(nodes, 16, 2))),
+        (
+            "clos radix 16, spine 2",
+            Box::new(Clos::with_spine(nodes, 16, 2)),
+        ),
         ("3-D torus (BG/P, XT4)", Box::new(Torus3D::new(nodes))),
     ];
 

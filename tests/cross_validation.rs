@@ -26,19 +26,6 @@ fn imb_native_traces_match_sim_schedules() {
             _ => procs,
         };
         let one = imb::sim::schedule_for(bench, sched_procs, bytes);
-        if bench == imb::Benchmark::ReduceScatter {
-            // The native run spreads indivisible word counts across ranks
-            // (86/86/85/... words) while the schedule uses the flat
-            // `bytes/p` blocks; compare volume rather than exact bytes.
-            let native_bytes: u64 = trace.iter().map(|t| t.bytes).sum();
-            let sched_bytes = 2 * one.total_bytes(); // two iterations
-            let diff = (native_bytes as f64 - sched_bytes as f64).abs();
-            assert!(
-                diff / (sched_bytes as f64) < 0.05,
-                "{bench}: native {native_bytes} vs schedule {sched_bytes}"
-            );
-            continue;
-        }
         let mut expected = one.transfer_multiset();
         expected.extend(one.transfer_multiset());
         // Plus the barrier between warm-up and timed loop, plus the
@@ -49,12 +36,22 @@ fn imb_native_traces_match_sim_schedules() {
             .into_iter()
             .filter(|t| {
                 expected
-                    .binary_search_by(|e| {
-                        (e.src, e.dst, e.bytes).cmp(&(t.src, t.dst, t.bytes))
-                    })
+                    .binary_search_by(|e| (e.src, e.dst, e.bytes).cmp(&(t.src, t.dst, t.bytes)))
                     .is_ok()
             })
             .collect();
+        if bench == imb::Benchmark::ReduceScatter {
+            // The schedule now reproduces the native per-rank word split
+            // (e.g. 86/86/85/... words) exactly, and the payload sizes
+            // cannot collide with the 0-byte barrier or the 8-byte stat
+            // reductions — so demand exact multiset equality.
+            assert_eq!(
+                sorted(traced),
+                expected,
+                "{bench}: native payload transfers must equal the schedule's multiset"
+            );
+            continue;
+        }
         // Every expected transfer appears (the filter keeps only matching
         // shapes; counts must cover 2 iterations).
         assert!(
@@ -96,11 +93,7 @@ fn allreduce_dispatch_agreement_across_shapes() {
                 comm.allreduce(&mut buf, mp::Op::Sum);
             });
             let sched = mp::sched::allreduce::auto(n, (len * 8) as u64, 8);
-            assert_eq!(
-                sorted(trace),
-                sched.transfer_multiset(),
-                "n={n} len={len}"
-            );
+            assert_eq!(sorted(trace), sched.transfer_multiset(), "n={n} len={len}");
         }
     }
 }
@@ -117,11 +110,7 @@ fn simulated_times_are_monotone_in_message_size() {
             let p = 8.min(m.max_cpus);
             let small = imb::sim::simulate(&m, bench, p, 1024).t_max_us;
             let large = imb::sim::simulate(&m, bench, p, 1 << 20).t_max_us;
-            assert!(
-                large > small,
-                "{bench} on {}: {large} !> {small}",
-                m.name
-            );
+            assert!(large > small, "{bench} on {}: {large} !> {small}", m.name);
         }
     }
 }
@@ -178,6 +167,9 @@ fn hpcc_verifies_under_virtual_execution() {
     let (results, clocks) = mp::run_virtual(4, Box::new(net), |comm| {
         hpcc::ptrans::run(comm, &hpcc::ptrans::PtransConfig { n: 32 }).passed
     });
-    assert!(results.iter().all(|&ok| ok), "PTRANS must verify under virtual time");
+    assert!(
+        results.iter().all(|&ok| ok),
+        "PTRANS must verify under virtual time"
+    );
     assert!(clocks.iter().any(|c| c.as_us() > 0.0));
 }

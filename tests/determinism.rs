@@ -55,5 +55,9 @@ fn native_results_are_value_deterministic() {
             r.residual
         })[0]
     };
-    assert_eq!(run(), run(), "HPL residual must be bit-identical across runs");
+    assert_eq!(
+        run(),
+        run(),
+        "HPL residual must be bit-identical across runs"
+    );
 }

@@ -7,7 +7,10 @@ use hpcbench::ratios;
 use machines::systems;
 
 fn cfg() -> FigureConfig {
-    FigureConfig { max_procs: 16, imb_bytes: 1 << 20 }
+    FigureConfig {
+        max_procs: 16,
+        imb_bytes: 1 << 20,
+    }
 }
 
 fn series_value(fig: &hpcbench::Figure, name_part: &str, x: f64) -> f64 {
@@ -40,11 +43,7 @@ fn reductions_cluster_by_architecture() {
                 "{}: {scalar} at {t} vs vector {worst_vector}",
                 fig.id
             );
-            assert!(
-                t > 2.5 * sx8,
-                "{}: {scalar} at {t} vs SX-8 {sx8}",
-                fig.id
-            );
+            assert!(t > 2.5 * sx8, "{}: {scalar} at {t} vs SX-8 {sx8}", fig.id);
         }
         // "More than one order of magnitude difference between the
         // fastest and slowest platforms" (Fig. 7).
@@ -102,9 +101,9 @@ fn exchange_xeon_is_flat() {
         .skip(1) // drop the 2-proc shared-memory point
         .map(|p| p.1)
         .collect();
-    let (min, max) = xeon
-        .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (min, max) = xeon.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    });
     assert!(max / min < 2.5, "Xeon Exchange not flat: {xeon:?}");
 }
 
@@ -123,7 +122,10 @@ fn broadcast_ranking_matches_fig15() {
     let xeon = series_value(&fig, "Xeon", p);
     let opt = series_value(&fig, "Opteron", p);
     assert!(sx8 < bx2.min(x1), "SX-8 best: {sx8}");
-    assert!(bx2.max(x1) < xeon, "middle band beats the Xeon: {bx2}/{x1} vs {xeon}");
+    assert!(
+        bx2.max(x1) < xeon,
+        "middle band beats the Xeon: {bx2}/{x1} vs {xeon}"
+    );
     assert!(xeon < opt, "Opteron worst: {xeon} vs {opt}");
     // "The broadcast bandwidth of NEC SX-8 is more than an order of
     // magnitude higher than that of all other presented systems."
@@ -153,11 +155,23 @@ fn fig2_balance_crossover_story() {
     let sx8_big = b_per_kflop(&sx8, 576);
     let nl3_box = b_per_kflop(&nl3, 512);
 
-    assert!(bx2_box > 2.0 * sx8_big, "in-box Altix above SX-8: {bx2_box} vs {sx8_big}");
-    assert!(bx2_multi < sx8_big, "multi-box Altix collapses below SX-8: {bx2_multi}");
-    assert!(bx2_box > 3.0 * nl3_box, "NUMALINK4 ~4x NUMALINK3: {bx2_box} vs {nl3_box}");
+    assert!(
+        bx2_box > 2.0 * sx8_big,
+        "in-box Altix above SX-8: {bx2_box} vs {sx8_big}"
+    );
+    assert!(
+        bx2_multi < sx8_big,
+        "multi-box Altix collapses below SX-8: {bx2_multi}"
+    );
+    assert!(
+        bx2_box > 3.0 * nl3_box,
+        "NUMALINK4 ~4x NUMALINK3: {bx2_box} vs {nl3_box}"
+    );
     let flatness = sx8_mid.max(sx8_big) / sx8_mid.min(sx8_big);
-    assert!(flatness < 1.5, "SX-8 curve must be flat: {sx8_mid} vs {sx8_big}");
+    assert!(
+        flatness < 1.5,
+        "SX-8 curve must be flat: {sx8_mid} vs {sx8_big}"
+    );
 }
 
 /// Fig. 4: "the Byte/Flop for NEC SX-8 is consistently above 2.67, for

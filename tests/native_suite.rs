@@ -60,7 +60,11 @@ fn hpl_residual_quality_across_block_sizes() {
         let results = mp::run(4, |comm| {
             hpcc::hpl::run(comm, &hpcc::hpl::HplConfig { n: 120, nb })
         });
-        assert!(results[0].passed, "nb={nb}: residual {}", results[0].residual);
+        assert!(
+            results[0].passed,
+            "nb={nb}: residual {}",
+            results[0].residual
+        );
     }
 }
 

@@ -33,8 +33,16 @@ fn halo_exchange_with_put_and_fence() {
     for (r, got) in results.iter().enumerate() {
         let left_neighbor = (r + n - 1) % n;
         let right_neighbor = (r + 1) % n;
-        assert_eq!(got[0], (left_neighbor * width + width - 1) as f64, "rank {r} left ghost");
-        assert_eq!(got[width + 1], (right_neighbor * width) as f64, "rank {r} right ghost");
+        assert_eq!(
+            got[0],
+            (left_neighbor * width + width - 1) as f64,
+            "rank {r} left ghost"
+        );
+        assert_eq!(
+            got[width + 1],
+            (right_neighbor * width) as f64,
+            "rank {r} right ghost"
+        );
         for i in 0..width {
             assert_eq!(got[1 + i], (r * width + i) as f64);
         }
@@ -126,13 +134,21 @@ fn pscw_two_origin_epochs_serialise() {
             }
         }
     });
-    assert_eq!(results[0], 222, "the second exposure epoch's write is final");
+    assert_eq!(
+        results[0], 222,
+        "the second exposure epoch's write is final"
+    );
 }
 
 /// b_eff (the paper's [14]) runs natively and on every machine model.
 #[test]
 fn beff_native_and_simulated() {
-    let cfg = hpcc::beff::BeffConfig { l_max: 1 << 14, random_patterns: 1, iters: 2, seed: 3 };
+    let cfg = hpcc::beff::BeffConfig {
+        l_max: 1 << 14,
+        random_patterns: 1,
+        iters: 2,
+        seed: 3,
+    };
     let native = hpcc::beff::run_native(4, &cfg);
     assert!(native.b_eff > 0.0);
     assert_eq!(native.by_size.len(), 15); // 2^14 -> 21 capped by dedup
