@@ -8,6 +8,10 @@ use super::LONG_MSG_THRESHOLD;
 /// Ring allgather: `n-1` rounds; each round every rank passes one block to
 /// its right neighbour. Bandwidth-optimal for long blocks and valid for any
 /// group size.
+///
+/// A rank encodes only its own block; every later round forwards the
+/// payload that just arrived from the left (a shared-buffer handoff, not a
+/// re-encode), decoding a copy into the local result as it passes through.
 pub fn ring<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
@@ -24,15 +28,15 @@ pub fn ring<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
     }
     let right = (me + 1) % n;
     let left = (me + n - 1) % n;
+    let mut outgoing = crate::payload::Payload::from_vec(encode(send));
     for k in 0..n - 1 {
-        let send_block = (me + n - k) % n;
         let recv_block = (me + n - k - 1) % n;
-        let out = encode(&recv[send_block * block..(send_block + 1) * block]);
-        let bytes = comm.sendrecv_bytes_coll(out, right, left, tag);
+        let got = comm.sendrecv_payload_coll(outgoing, right, left, tag);
         decode_into(
-            &bytes,
+            &got,
             &mut recv[recv_block * block..(recv_block + 1) * block],
         );
+        outgoing = got;
     }
 }
 

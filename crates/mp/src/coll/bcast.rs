@@ -2,11 +2,15 @@
 
 use crate::comm::Comm;
 use crate::datatype::{decode_into, encode, Word};
+use crate::payload::Payload;
 
 use super::{binomial_node, halving_tree, unvrank, vrank, LONG_MSG_THRESHOLD};
 
 /// Binomial-tree broadcast: `ceil(log2 n)` rounds, the whole payload on
 /// every edge. Latency-optimal; the standard short-message algorithm.
+///
+/// Every child receives a clone of the *same* shared [`Payload`] — a
+/// refcount bump per edge, never a copy of the bytes.
 pub fn binomial<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
@@ -16,26 +20,19 @@ pub fn binomial<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
     let v = vrank(comm.rank(), root, n);
     let node = binomial_node(v);
 
-    let mut data = if let Some((parent, _)) = node.parent {
-        let bytes = comm.recv_bytes(unvrank(parent, root, n), tag);
-        decode_into(&bytes, buf);
-        bytes
+    let data = if let Some((parent, _)) = node.parent {
+        let payload = comm.recv_payload(unvrank(parent, root, n), tag);
+        decode_into(&payload, buf);
+        payload
     } else {
-        encode(buf)
+        Payload::from_vec(encode(buf))
     };
 
     let mut k = node.first_send_round;
     while (1usize << k) < n {
         let peer = v + (1 << k);
         if peer < n {
-            // The last send can donate the buffer instead of cloning.
-            let next = v + (1 << (k + 1)) < n && (1usize << (k + 1)) < n;
-            let payload = if next {
-                data.clone()
-            } else {
-                std::mem::take(&mut data)
-            };
-            comm.send_bytes(payload, unvrank(peer, root, n), tag);
+            comm.send_payload(data.clone(), unvrank(peer, root, n), tag);
         }
         k += 1;
     }
@@ -45,6 +42,12 @@ pub fn binomial<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
 /// payload followed by a ring allgather of the pieces. Moves
 /// `~2 * bytes * (n-1)/n` per rank instead of `bytes * log2 n`, which is
 /// why MPI libraries switch to it for large payloads.
+///
+/// Payload handling is zero-copy throughout the communication: scatter
+/// children receive sub-[`slice`](Payload::slice)s of the one buffer that
+/// arrived from the parent, and each ring round forwards the payload
+/// received the round before instead of re-encoding it. The only copies a
+/// rank pays are the writes into its final assembly buffer.
 pub fn scatter_allgather<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
     let n = comm.size();
     if n == 1 {
@@ -57,35 +60,46 @@ pub fn scatter_allgather<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
     let cut = |b: usize| -> usize { b * total / n };
 
     // Phase 1: binomial scatter down the halving tree (by vrank ranges).
+    // Everything except this rank's own block v is re-received during the
+    // ring phase, so only that block goes into the assembly buffer now.
     let (parent, children) = halving_tree(v, n);
-    let mut have: std::ops::Range<usize> = 0..n; // vrank-block range I hold
     let mut data = vec![0u8; total];
-    if let Some((p, range)) = parent {
-        let bytes = comm.recv_bytes(unvrank(p, root, n), tag);
-        data[cut(range.start)..cut(range.end)].copy_from_slice(&bytes);
-        have = range;
+    let own: Payload = if let Some((p, range)) = parent {
+        debug_assert_eq!(range.start, v, "halving tree keeps own block first");
+        let incoming = comm.recv_payload(unvrank(p, root, n), tag);
+        let base = cut(range.start);
+        for (child, crange) in children {
+            comm.send_payload(
+                incoming.slice(cut(crange.start) - base..cut(crange.end) - base),
+                unvrank(child, root, n),
+                tag,
+            );
+        }
+        incoming.slice(0..cut(v + 1) - base)
     } else {
-        crate::datatype::encode_into(buf, &mut data);
-    }
-    for (child, range) in children {
-        comm.send_bytes(
-            data[cut(range.start)..cut(range.end)].to_vec(),
-            unvrank(child, root, n),
-            tag,
-        );
-        have = have.start..range.start;
-    }
-    debug_assert_eq!(have, v..v + 1);
+        let full = Payload::from_vec(encode(buf));
+        for (child, crange) in children {
+            comm.send_payload(
+                full.slice(cut(crange.start)..cut(crange.end)),
+                unvrank(child, root, n),
+                tag,
+            );
+        }
+        full.slice(cut(v)..cut(v + 1))
+    };
+    data[cut(v)..cut(v + 1)].copy_from_slice(&own);
 
-    // Phase 2: ring allgather of the n blocks (vrank ring).
+    // Phase 2: ring allgather of the n blocks (vrank ring). Round k sends
+    // block (v - k) mod n — exactly the block received in round k-1 — so
+    // each round forwards the just-received payload unchanged.
     let right = unvrank((v + 1) % n, root, n);
     let left = unvrank((v + n - 1) % n, root, n);
+    let mut outgoing = own;
     for k in 0..n - 1 {
-        let send_block = (v + n - k) % n;
         let recv_block = (v + n - k - 1) % n;
-        let out = data[cut(send_block)..cut(send_block + 1)].to_vec();
-        let got = comm.sendrecv_bytes_coll(out, right, left, tag);
+        let got = comm.sendrecv_payload_coll(outgoing, right, left, tag);
         data[cut(recv_block)..cut(recv_block + 1)].copy_from_slice(&got);
+        outgoing = got;
     }
     decode_into(&data, buf);
 }

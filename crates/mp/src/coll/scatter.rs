@@ -29,7 +29,9 @@ pub fn linear<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: us
 }
 
 /// Binomial-tree scatter down the recursive-halving tree: `ceil(log2 n)`
-/// rounds; each internal node forwards the halves destined to its subtrees.
+/// rounds; each internal node forwards the halves destined to its subtrees
+/// as zero-copy sub-slices of the one buffer it received — internal nodes
+/// never copy payload bytes.
 pub fn binomial<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: usize) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
@@ -44,8 +46,8 @@ pub fn binomial<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: 
 
     // Hold the encoded blocks for my subtree, indexed by vrank.
     let bw = block * T::SIZE;
-    let (mut data, lo) = if let Some((p, range)) = parent {
-        (comm.recv_bytes(unvrank(p, root, n), tag), range.start)
+    let (data, lo) = if let Some((p, range)) = parent {
+        (comm.recv_payload(unvrank(p, root, n), tag), range.start)
     } else {
         // Root re-orders its buffer into vrank order once.
         let send = send.expect("root must supply a send buffer");
@@ -58,16 +60,15 @@ pub fn binomial<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: 
                 &mut d[vv * bw..(vv + 1) * bw],
             );
         }
-        (d, 0)
+        (crate::payload::Payload::from_vec(d), 0)
     };
 
     for (child, range) in children {
         let off = (range.start - lo) * bw;
         let len = (range.end - range.start) * bw;
-        comm.send_bytes(data[off..off + len].to_vec(), unvrank(child, root, n), tag);
-        data.truncate(off);
+        comm.send_payload(data.slice(off..off + len), unvrank(child, root, n), tag);
     }
-    // After all splits only my own block remains (lo == v).
+    // My own block sits first in the subtree range (lo == v).
     debug_assert_eq!(lo, v);
     decode_into(&data[..bw], recv);
 }

@@ -1,15 +1,26 @@
 //! Communicators: rank naming, point-to-point operations, splitting.
 //!
 //! A [`Comm`] is a rank's handle onto an ordered group of ranks, mirroring
-//! `MPI_Comm`. Point-to-point sends are *eager*: the payload is copied into
-//! the destination mailbox and the send completes locally, so symmetric
-//! exchange patterns (ring `sendrecv`, pairwise all-to-all) cannot deadlock.
+//! `MPI_Comm`. Point-to-point sends are *eager* below
+//! [`LONG_MSG_THRESHOLD`](crate::coll::LONG_MSG_THRESHOLD) — the payload
+//! is copied into the destination mailbox and the send completes locally,
+//! so symmetric exchange patterns (ring `sendrecv`, pairwise all-to-all)
+//! cannot deadlock. At and above the threshold, typed sends first try the
+//! *rendezvous* fast path: if the destination rank has already posted a
+//! matching receive of the right size, the sender encodes straight into
+//! that receive's buffer — one payload copy end to end and no
+//! intermediate allocation. When no receive is posted, large sends fall
+//! back to the eager path, preserving the no-deadlock property.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::coll::LONG_MSG_THRESHOLD;
 use crate::datatype::{decode_into, encode, Word};
+use crate::mailbox::PostedHandle;
 use crate::msg::{pack_tag, Match, Message, Tag, COLL_BIT, MAX_USER_TAG};
+use crate::payload::Payload;
 use crate::runtime::World;
 
 /// A communicator: this rank's view of an ordered group of ranks.
@@ -23,21 +34,38 @@ pub struct Comm {
     world: Arc<World>,
     /// Local rank -> global rank.
     group: Arc<Vec<usize>>,
+    /// Global rank -> local rank (the inverse of `group`), precomputed so
+    /// wildcard receives translate sources in O(1) instead of scanning.
+    inverse: Arc<HashMap<usize, usize>>,
     rank: usize,
     id: u32,
     coll_seq: Cell<u32>,
+    /// Recycled rendezvous receive buffer: posted with large blocking
+    /// receives so matching sends encode straight into it, then taken
+    /// back. Grows to the largest message received and is reused for the
+    /// rest of the communicator's life — steady-state large receives
+    /// allocate nothing.
+    scratch: RefCell<Vec<u8>>,
+}
+
+fn invert(group: &[usize]) -> Arc<HashMap<usize, usize>> {
+    Arc::new(group.iter().enumerate().map(|(l, &g)| (g, l)).collect())
 }
 
 impl Comm {
     /// The world communicator for `rank` (all ranks, identity mapping).
     pub(crate) fn world(world: Arc<World>, rank: usize) -> Comm {
         let n = world.n;
+        let group: Vec<usize> = (0..n).collect();
+        let inverse = invert(&group);
         Comm {
             world,
-            group: Arc::new((0..n).collect()),
+            group: Arc::new(group),
+            inverse,
             rank,
             id: 0,
             coll_seq: Cell::new(0),
+            scratch: RefCell::new(Vec::new()),
         }
     }
 
@@ -68,9 +96,9 @@ impl Comm {
     }
 
     fn local_of_global(&self, global: usize) -> usize {
-        self.group
-            .iter()
-            .position(|&g| g == global)
+        *self
+            .inverse
+            .get(&global)
             .expect("message from a rank outside this communicator")
     }
 
@@ -78,8 +106,10 @@ impl Comm {
     // Point-to-point
     // ------------------------------------------------------------------
 
-    /// Sends raw bytes to local rank `dst` with `tag`.
-    pub(crate) fn send_bytes(&self, data: Vec<u8>, dst: usize, tag: Tag) {
+    /// Sends a (possibly shared) payload to local rank `dst` with `tag`.
+    /// Cloning a [`Payload`] only bumps a refcount, so fan-out callers
+    /// deliver one buffer to many destinations without per-edge copies.
+    pub(crate) fn send_payload(&self, data: Payload, dst: usize, tag: Tag) {
         assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
         let (gsrc, gdst) = (self.group[self.rank], self.group[dst]);
         // Under virtual execution, price the message and stamp its
@@ -99,8 +129,14 @@ impl Comm {
         self.world.deliver(gdst, msg);
     }
 
-    /// Receives raw bytes from local rank `src` with `tag`.
-    pub(crate) fn recv_bytes(&self, src: usize, tag: Tag) -> Vec<u8> {
+    /// Sends raw bytes to local rank `dst` with `tag`.
+    pub(crate) fn send_bytes(&self, data: Vec<u8>, dst: usize, tag: Tag) {
+        self.send_payload(Payload::from_vec(data), dst, tag);
+    }
+
+    /// Receives a payload from local rank `src` with `tag`, without
+    /// forcing ownership of the bytes (zero-copy for forwarding).
+    pub(crate) fn recv_payload(&self, src: usize, tag: Tag) -> Payload {
         assert!(src < self.size(), "recv from rank {src} of {}", self.size());
         let filter = Match {
             comm_id: self.id,
@@ -110,6 +146,12 @@ impl Comm {
         let msg = self.world.mailboxes[self.group[self.rank]].recv(filter);
         self.observe_arrival(msg.arrival);
         msg.data
+    }
+
+    /// Receives raw bytes from local rank `src` with `tag`. Zero-copy when
+    /// the sender's buffer has no other holders (the point-to-point norm).
+    pub(crate) fn recv_bytes(&self, src: usize, tag: Tag) -> Vec<u8> {
+        self.recv_payload(src, tag).into_vec()
     }
 
     /// Advances this rank's virtual clock to a received message's
@@ -125,7 +167,25 @@ impl Comm {
     /// (< [`MAX_USER_TAG`]).
     pub fn send<T: Word>(&self, buf: &[T], dst: usize, tag: Tag) {
         assert!(tag < MAX_USER_TAG, "tag {tag:#x} is in the reserved range");
-        self.send_bytes(encode(buf), dst, tag);
+        self.send_words(buf, dst, tag);
+    }
+
+    /// Typed send with the rendezvous fast path for large messages (see
+    /// the module docs). Virtual execution always takes the eager path so
+    /// that message pricing stays in one place.
+    pub(crate) fn send_words<T: Word>(&self, words: &[T], dst: usize, tag: Tag) {
+        assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
+        let bytes = words.len() * T::SIZE;
+        if bytes >= LONG_MSG_THRESHOLD && self.world.virtual_net.is_none() {
+            let (gsrc, gdst) = (self.group[self.rank], self.group[dst]);
+            if self
+                .world
+                .rendezvous_words(gsrc, gdst, pack_tag(self.id, tag), words)
+            {
+                return;
+            }
+        }
+        self.send_payload(Payload::from_vec(encode(words)), dst, tag);
     }
 
     /// Receives exactly `buf.len()` words from local rank `src` with `tag`.
@@ -133,8 +193,81 @@ impl Comm {
     /// raise `MPI_ERR_TRUNCATE`).
     pub fn recv<T: Word>(&self, buf: &mut [T], src: usize, tag: Tag) {
         assert!(tag < MAX_USER_TAG, "tag {tag:#x} is in the reserved range");
-        let data = self.recv_bytes(src, tag);
-        decode_into(&data, buf);
+        assert!(src < self.size(), "recv from rank {src} of {}", self.size());
+        let filter = Match {
+            comm_id: self.id,
+            src: Some(self.group[src]),
+            tag: Some(tag),
+        };
+        self.recv_words_into(filter, buf);
+    }
+
+    /// Blocking typed receive; posts a rendezvous buffer for large
+    /// messages so a matching send can encode straight into it.
+    fn recv_words_into<T: Word>(&self, filter: Match, buf: &mut [T]) -> (usize, Tag) {
+        let bytes = buf.len() * T::SIZE;
+        let mailbox = &self.world.mailboxes[self.group[self.rank]];
+        let (msg, spare) = if bytes >= LONG_MSG_THRESHOLD {
+            let posted = self.take_scratch(bytes);
+            mailbox.recv_posting(filter, Some(posted))
+        } else {
+            mailbox.recv_posting(filter, None)
+        };
+        self.observe_arrival(msg.arrival);
+        decode_into(&msg.data, buf);
+        let envelope = (
+            self.local_of_global(msg.src),
+            (msg.full_tag & 0xFFFF_FFFF) as Tag,
+        );
+        // Recycle for the next large receive: the unused posted buffer,
+        // or the payload itself when we are its only holder.
+        if let Some(v) = spare {
+            self.put_scratch(v);
+        } else if let Some(v) = msg.data.try_into_unique_vec() {
+            self.put_scratch(v);
+        }
+        envelope
+    }
+
+    /// Takes the recycled receive buffer, sized to exactly `len` bytes.
+    fn take_scratch(&self, len: usize) -> Vec<u8> {
+        let mut v = self.scratch.take();
+        v.resize(len, 0);
+        v
+    }
+
+    fn put_scratch(&self, v: Vec<u8>) {
+        // Keep the larger allocation so alternating message sizes still
+        // converge on an allocation-free steady state.
+        if v.capacity() > self.scratch.borrow().capacity() {
+            self.scratch.replace(v);
+        }
+    }
+
+    /// Sends an untyped byte buffer (`MPI_BYTE`) to local rank `dst`. The
+    /// entire transfer costs exactly one copy: the bytes are captured into
+    /// a payload here (into a buffer recycled from this rank's previous
+    /// receives, so steady-state traffic allocates nothing) and the
+    /// receiver takes ownership of that payload.
+    pub fn send_raw(&self, data: &[u8], dst: usize, tag: Tag) {
+        assert!(tag < MAX_USER_TAG, "tag {tag:#x} is in the reserved range");
+        let mut v = self.scratch.take();
+        v.clear();
+        v.extend_from_slice(data);
+        self.send_bytes(v, dst, tag);
+    }
+
+    /// Receives an untyped byte message from local rank `src`, replacing
+    /// `buf`'s contents (and length) with the payload. Zero-copy on the
+    /// receive side: ownership of the payload allocation moves into `buf`
+    /// whenever the sender's buffer has no other holders, which is always
+    /// the case for point-to-point [`send_raw`](Comm::send_raw) traffic.
+    /// The displaced buffer is kept for recycling by later sends and
+    /// rendezvous receives.
+    pub fn recv_raw(&self, buf: &mut Vec<u8>, src: usize, tag: Tag) {
+        assert!(tag < MAX_USER_TAG, "tag {tag:#x} is in the reserved range");
+        let old = std::mem::replace(buf, self.recv_payload(src, tag).into_vec());
+        self.put_scratch(old);
     }
 
     /// Receives a message of any length, optionally constrained by source
@@ -150,14 +283,15 @@ impl Comm {
         };
         let msg = self.world.mailboxes[self.group[self.rank]].recv(filter);
         self.observe_arrival(msg.arrival);
-        let mut out = vec![T::read_le(&vec![0u8; T::SIZE][..]); msg.data.len() / T::SIZE];
-        decode_into(&msg.data, &mut out);
+        let out = crate::datatype::decode(&msg.data);
         let tag = (msg.full_tag & 0xFFFF_FFFF) as Tag;
         (out, self.local_of_global(msg.src), tag)
     }
 
     /// Combined send+receive (both with tag `tag`), the workhorse of ring
-    /// and exchange patterns. Deadlock-free because sends are eager.
+    /// and exchange patterns. Deadlock-free because sends are eager (the
+    /// large-message rendezvous path only fires when the matching receive
+    /// is already posted, so it cannot introduce a send-send wait cycle).
     pub fn sendrecv<T: Word>(&self, sbuf: &[T], dst: usize, rbuf: &mut [T], src: usize, tag: Tag) {
         self.send(sbuf, dst, tag);
         self.recv(rbuf, src, tag);
@@ -175,20 +309,47 @@ impl Comm {
         self.recv_bytes(src, tag)
     }
 
-    /// Posts a nonblocking receive. The returned handle is matched when
-    /// [`RecvHandle::wait`] is called.
+    /// Payload-level sendrecv on a collective tag: the received payload
+    /// stays shared, so ring pipelines can forward it to the next peer
+    /// without re-encoding or copying.
+    pub(crate) fn sendrecv_payload_coll(
+        &self,
+        sdata: Payload,
+        dst: usize,
+        src: usize,
+        tag: Tag,
+    ) -> Payload {
+        self.send_payload(sdata, dst, tag);
+        self.recv_payload(src, tag)
+    }
+
+    /// Posts a nonblocking receive into the mailbox's posted-receive
+    /// table. An already-queued matching message is claimed immediately;
+    /// otherwise any matching send from now on — including sends that
+    /// happen before [`RecvHandle::wait`] — completes the receive
+    /// directly, exactly as if the wait were already in progress.
     pub fn irecv<T: Word>(&self, src: usize, tag: Tag) -> RecvHandle<T> {
         assert!(tag < MAX_USER_TAG, "tag {tag:#x} is in the reserved range");
+        assert!(src < self.size(), "recv from rank {src} of {}", self.size());
+        let filter = Match {
+            comm_id: self.id,
+            src: Some(self.group[src]),
+            tag: Some(tag),
+        };
+        let grank = self.group[self.rank];
+        let posted = self.world.mailboxes[grank].post(filter, None);
         RecvHandle {
-            src,
-            tag,
+            world: Arc::clone(&self.world),
+            grank,
+            filter,
+            posted: Some(posted),
             _marker: std::marker::PhantomData,
         }
     }
 
-    /// Nonblocking send. With the eager protocol the payload is already
-    /// delivered when this returns, so there is no send handle to wait on;
-    /// the name exists for API parity with MPI-style code.
+    /// Nonblocking send. With the eager/rendezvous protocol the payload is
+    /// already delivered when this returns, so there is no send handle to
+    /// wait on; the name exists for API parity with MPI-style code.
     pub fn isend<T: Word>(&self, buf: &[T], dst: usize, tag: Tag) {
         self.send(buf, dst, tag);
     }
@@ -222,12 +383,15 @@ impl Comm {
         let seq = self.coll_seq.get();
         let id = mix32(self.id, seq, color);
 
+        let inverse = invert(&group);
         Comm {
             world: Arc::clone(&self.world),
             group: Arc::new(group),
+            inverse,
             rank,
             id,
             coll_seq: Cell::new(0),
+            scratch: RefCell::new(Vec::new()),
         }
     }
 
@@ -241,9 +405,11 @@ impl Comm {
         Comm {
             world: Arc::clone(&self.world),
             group: Arc::clone(&self.group),
+            inverse: Arc::clone(&self.inverse),
             rank: self.rank,
             id: mix32(self.id, seq, DUP_MARKER),
             coll_seq: Cell::new(0),
+            scratch: RefCell::new(Vec::new()),
         }
     }
 }
@@ -332,15 +498,168 @@ impl Comm {
 }
 
 /// A posted nonblocking receive; call [`wait`](RecvHandle::wait) to match it.
+///
+/// The receive is live in the mailbox's posted-receive table from the
+/// moment [`Comm::irecv`] returns: a matching send completes it whether
+/// it lands before or after `wait` is called, and both orders observe the
+/// same message. Dropping an unawaited handle cancels the posting; a
+/// message it had already claimed is restored to the queue unreordered.
 pub struct RecvHandle<T> {
-    src: usize,
-    tag: Tag,
+    world: Arc<World>,
+    grank: usize,
+    filter: Match,
+    posted: Option<PostedHandle>,
     _marker: std::marker::PhantomData<T>,
 }
 
 impl<T: Word> RecvHandle<T> {
     /// Blocks until the receive matches; fills `buf` (exact length).
-    pub fn wait(self, comm: &Comm, buf: &mut [T]) {
-        comm.recv(buf, self.src, self.tag);
+    /// `comm` must be the communicator the receive was posted on.
+    pub fn wait(mut self, comm: &Comm, buf: &mut [T]) {
+        let posted = self.posted.take().expect("posting survives until wait");
+        let (msg, _) = self.world.mailboxes[self.grank].complete(posted, self.filter);
+        comm.observe_arrival(msg.arrival);
+        decode_into(&msg.data, buf);
+    }
+}
+
+impl<T> Drop for RecvHandle<T> {
+    fn drop(&mut self) {
+        if let Some(posted) = self.posted.take() {
+            self.world.mailboxes[self.grank].cancel(posted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::{run, run_traced};
+
+    const DATA_TAG: crate::msg::Tag = 7;
+    const SYNC_TAG: crate::msg::Tag = 8;
+
+    /// Satellite: a pre-posted `irecv` must observe exactly the same
+    /// message whether the matching send lands before or after the post.
+    #[test]
+    fn irecv_post_before_send_and_send_before_post_agree() {
+        let expect: Vec<u32> = (0..257).map(|i| i * 3 + 1).collect();
+        let results = run(2, |comm| {
+            if comm.rank() == 0 {
+                // Case A: rank 1 posts first (it tells us once it has).
+                let mut ready = [0u8];
+                comm.recv(&mut ready, 1, SYNC_TAG);
+                comm.send(
+                    &(0..257).map(|i| i * 3 + 1).collect::<Vec<u32>>(),
+                    1,
+                    DATA_TAG,
+                );
+                // Case B: the payload is delivered (and a marker behind it
+                // in program order) before rank 1 posts its receive.
+                comm.send(
+                    &(0..257).map(|i| i * 3 + 1).collect::<Vec<u32>>(),
+                    1,
+                    DATA_TAG,
+                );
+                comm.send(&[1u8], 1, SYNC_TAG);
+                Vec::new()
+            } else {
+                // Case A: post, signal, then let the send complete it.
+                let handle = comm.irecv::<u32>(0, DATA_TAG);
+                comm.send(&[1u8], 0, SYNC_TAG);
+                let mut a = vec![0u32; 257];
+                handle.wait(comm, &mut a);
+                // Case B: the marker on SYNC_TAG was sent *after* the data,
+                // so once it arrives the data message is already queued and
+                // the posting takes the eager-claimed path.
+                let mut marker = [0u8];
+                comm.recv(&mut marker, 0, SYNC_TAG);
+                let handle = comm.irecv::<u32>(0, DATA_TAG);
+                let mut b = vec![0u32; 257];
+                handle.wait(comm, &mut b);
+                assert_eq!(a, b, "both orders must observe the same message");
+                a
+            }
+        });
+        assert_eq!(results[1], expect);
+    }
+
+    /// Dropping an unawaited `irecv` must not lose a message it had
+    /// already claimed: a later receive still sees it, in order.
+    #[test]
+    fn dropping_an_irecv_requeues_its_message() {
+        run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(&[10u8], 1, DATA_TAG);
+                comm.send(&[20u8], 1, DATA_TAG);
+            } else {
+                let mut sync = [0u8; 1];
+                // Wait until both messages are queued (non-overtaking per
+                // lane: the second send is behind the first).
+                comm.recv_any::<u8>(Some(0), Some(DATA_TAG)); // takes the 10
+                {
+                    let _claimed = comm.irecv::<u8>(0, DATA_TAG); // claims the 20
+                } // dropped unawaited -> message restored
+                comm.recv(&mut sync, 0, DATA_TAG);
+                assert_eq!(sync[0], 20, "requeued message must come back");
+            }
+        });
+    }
+
+    /// Large typed messages take the rendezvous path when the receive is
+    /// already posted and the eager path otherwise; the observable result
+    /// (data and trace) is identical either way.
+    #[test]
+    fn large_messages_roundtrip_on_both_paths() {
+        let n_words = crate::coll::LONG_MSG_THRESHOLD / 8 + 13;
+        let expect: Vec<u64> = (0..n_words as u64)
+            .map(|i| i.wrapping_mul(0x9E37))
+            .collect();
+        for sender_delay in [false, true] {
+            let ((), trace) = {
+                let expect = expect.clone();
+                let (mut results, trace) = run_traced(2, move |comm| {
+                    if comm.rank() == 0 {
+                        let mut ready = [0u8];
+                        comm.recv(&mut ready, 1, SYNC_TAG);
+                        if sender_delay {
+                            // Give the receiver time to block in recv() so
+                            // the rendezvous path can fire.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                        }
+                        comm.send(&expect, 1, DATA_TAG);
+                    } else {
+                        comm.send(&[1u8], 0, SYNC_TAG);
+                        if !sender_delay {
+                            // Let the send land first -> eager fallback.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                        }
+                        let mut buf = vec![0u64; expect.len()];
+                        comm.recv(&mut buf, 0, DATA_TAG);
+                        assert_eq!(buf, expect);
+                    }
+                });
+                (results.pop().map(|_| ()).unwrap(), trace)
+            };
+            let data_bytes = (n_words * 8) as u64;
+            assert!(
+                trace
+                    .iter()
+                    .any(|t| t.src == 0 && t.dst == 1 && t.bytes == data_bytes),
+                "large transfer must be traced identically on both paths"
+            );
+        }
+    }
+
+    /// `recv_any` returns the actual envelope alongside well-formed data.
+    #[test]
+    fn recv_any_reports_envelope() {
+        run(3, |comm| {
+            if comm.rank() == 1 {
+                comm.send(&[0.5f64, 1.5], 2, 11);
+            } else if comm.rank() == 2 {
+                let (data, src, tag) = comm.recv_any::<f64>(None, None);
+                assert_eq!((data.as_slice(), src, tag), ([0.5, 1.5].as_slice(), 1, 11));
+            }
+        });
     }
 }

@@ -2,24 +2,56 @@
 //!
 //! Messages travel as byte vectors; a [`Word`] is a fixed-size scalar with
 //! an explicit little-endian wire encoding. Explicit encode/decode (rather
-//! than transmutation) keeps the crate free of `unsafe` while remaining a
-//! simple chunked copy that optimises to a `memcpy`-like loop in release
-//! builds.
+//! than transmutation) keeps the crate free of `unsafe`. The whole-slice
+//! [`Word::encode_slice`]/[`Word::decode_slice`] hooks give every type an
+//! optimiser-friendly fixed-width-chunk loop, and `u8` — the payload type
+//! of the byte-oriented IMB transfer benchmarks — a literal `memcpy`.
 
 /// A fixed-size scalar that can be carried in a message.
 pub trait Word: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
     /// Encoded size in bytes.
     const SIZE: usize;
+    /// The all-zero-bytes value of the type (what a freshly-posted MPI
+    /// receive buffer holds). Lets callers build receive buffers without
+    /// decoding a dummy zero from a scratch allocation.
+    const ZERO: Self;
     /// Writes the little-endian encoding into `out` (exactly `SIZE` bytes).
     fn write_le(self, out: &mut [u8]);
     /// Reads a value from the little-endian encoding in `inp`.
     fn read_le(inp: &[u8]) -> Self;
+
+    /// Encodes a whole slice into `out` (`out.len() == data.len() * SIZE`).
+    /// Implementations specialise this into a memcpy-like loop; the
+    /// default chunks through [`write_le`](Word::write_le).
+    fn encode_slice(data: &[Self], out: &mut [u8]) {
+        for (v, chunk) in data.iter().zip(out.chunks_exact_mut(Self::SIZE)) {
+            v.write_le(chunk);
+        }
+    }
+
+    /// Decodes a whole byte slice into `out`
+    /// (`bytes.len() == out.len() * SIZE`). See [`encode_slice`](Word::encode_slice).
+    fn decode_slice(bytes: &[u8], out: &mut [Self]) {
+        for (v, chunk) in out.iter_mut().zip(bytes.chunks_exact(Self::SIZE)) {
+            *v = Self::read_le(chunk);
+        }
+    }
+
+    /// Encodes a whole slice into a fresh byte vector. The default
+    /// zero-fills then overwrites; `u8` overrides it with `to_vec` so wire
+    /// payloads are written exactly once.
+    fn encode_vec(data: &[Self]) -> Vec<u8> {
+        let mut out = vec![0u8; data.len() * Self::SIZE];
+        Self::encode_slice(data, &mut out);
+        out
+    }
 }
 
 macro_rules! impl_word {
     ($($t:ty),*) => {$(
         impl Word for $t {
             const SIZE: usize = std::mem::size_of::<$t>();
+            const ZERO: Self = 0 as $t;
             #[inline]
             fn write_le(self, out: &mut [u8]) {
                 out.copy_from_slice(&self.to_le_bytes());
@@ -28,17 +60,63 @@ macro_rules! impl_word {
             fn read_le(inp: &[u8]) -> Self {
                 <$t>::from_le_bytes(inp.try_into().expect("word size mismatch"))
             }
+            fn encode_slice(data: &[Self], out: &mut [u8]) {
+                // Fixed-size array stores: no per-chunk length checks, so
+                // the loop vectorises to a straight copy in release builds.
+                for (v, chunk) in data
+                    .iter()
+                    .zip(out.chunks_exact_mut(std::mem::size_of::<$t>()))
+                {
+                    let arr: &mut [u8; std::mem::size_of::<$t>()] =
+                        chunk.try_into().expect("exact chunk");
+                    *arr = v.to_le_bytes();
+                }
+            }
+            fn decode_slice(bytes: &[u8], out: &mut [Self]) {
+                for (v, chunk) in out
+                    .iter_mut()
+                    .zip(bytes.chunks_exact(std::mem::size_of::<$t>()))
+                {
+                    let arr: &[u8; std::mem::size_of::<$t>()] =
+                        chunk.try_into().expect("exact chunk");
+                    *v = <$t>::from_le_bytes(*arr);
+                }
+            }
         }
     )*};
 }
 
-impl_word!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64, usize, isize);
+impl_word!(u16, u32, u64, i8, i16, i32, i64, f32, f64, usize, isize);
+
+// `u8` payloads are already in wire format: encode/decode are memcpys.
+impl Word for u8 {
+    const SIZE: usize = 1;
+    const ZERO: u8 = 0;
+    #[inline]
+    fn write_le(self, out: &mut [u8]) {
+        out[0] = self;
+    }
+    #[inline]
+    fn read_le(inp: &[u8]) -> u8 {
+        inp[0]
+    }
+    #[inline]
+    fn encode_slice(data: &[u8], out: &mut [u8]) {
+        out.copy_from_slice(data);
+    }
+    #[inline]
+    fn decode_slice(bytes: &[u8], out: &mut [u8]) {
+        out.copy_from_slice(bytes);
+    }
+    #[inline]
+    fn encode_vec(data: &[u8]) -> Vec<u8> {
+        data.to_vec()
+    }
+}
 
 /// Encodes a slice of words into a fresh byte vector.
 pub fn encode<T: Word>(data: &[T]) -> Vec<u8> {
-    let mut out = vec![0u8; data.len() * T::SIZE];
-    encode_into(data, &mut out);
-    out
+    T::encode_vec(data)
 }
 
 /// Encodes a slice of words into a preallocated byte buffer
@@ -49,9 +127,7 @@ pub fn encode_into<T: Word>(data: &[T], out: &mut [u8]) {
         data.len() * T::SIZE,
         "encode buffer size mismatch"
     );
-    for (v, chunk) in data.iter().zip(out.chunks_exact_mut(T::SIZE)) {
-        v.write_le(chunk);
-    }
+    T::encode_slice(data, out);
 }
 
 /// Decodes a byte buffer into a preallocated word slice
@@ -65,9 +141,7 @@ pub fn decode_into<T: Word>(bytes: &[u8], out: &mut [T]) {
         out.len(),
         T::SIZE,
     );
-    for (v, chunk) in out.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
-        *v = T::read_le(chunk);
-    }
+    T::decode_slice(bytes, out);
 }
 
 /// Decodes a byte buffer into a fresh vector of words.
@@ -76,7 +150,9 @@ pub fn decode<T: Word>(bytes: &[u8]) -> Vec<T> {
         bytes.len().is_multiple_of(T::SIZE),
         "byte length not a multiple of word size"
     );
-    bytes.chunks_exact(T::SIZE).map(T::read_le).collect()
+    let mut out = vec![T::ZERO; bytes.len() / T::SIZE];
+    T::decode_slice(bytes, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -130,5 +206,39 @@ mod tests {
     fn encoding_is_little_endian() {
         let bytes = encode(&[0x0102_0304u32]);
         assert_eq!(bytes, vec![0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn zero_is_all_zero_bytes() {
+        fn check<T: Word>() {
+            let bytes = encode(&[T::ZERO]);
+            assert!(bytes.iter().all(|&b| b == 0), "{:?}", T::ZERO);
+        }
+        check::<u8>();
+        check::<u16>();
+        check::<u32>();
+        check::<u64>();
+        check::<i8>();
+        check::<i32>();
+        check::<i64>();
+        check::<f32>();
+        check::<f64>();
+        check::<usize>();
+        check::<isize>();
+    }
+
+    #[test]
+    fn slice_paths_match_word_at_a_time_paths() {
+        let data: Vec<f64> = (0..37).map(|i| i as f64 * 1.25 - 3.0).collect();
+        let mut fast = vec![0u8; data.len() * 8];
+        f64::encode_slice(&data, &mut fast);
+        let mut slow = vec![0u8; data.len() * 8];
+        for (v, chunk) in data.iter().zip(slow.chunks_exact_mut(8)) {
+            v.write_le(chunk);
+        }
+        assert_eq!(fast, slow);
+        let mut out = vec![0.0f64; data.len()];
+        f64::decode_slice(&fast, &mut out);
+        assert_eq!(out, data);
     }
 }

@@ -35,6 +35,7 @@ mod comm;
 pub mod datatype;
 mod mailbox;
 mod msg;
+mod payload;
 pub mod reduce;
 pub mod rma;
 mod runtime;

@@ -1,11 +1,30 @@
-//! Per-rank unexpected-message queues with MPI-style (source, tag) matching.
+//! Per-rank incoming-message queues with MPI-style (source, tag) matching.
+//!
+//! The mailbox is *indexed*: messages live in per-`(source, comm, tag)`
+//! lanes (hash-addressed, FIFO within a lane — MPI's non-overtaking
+//! guarantee by construction) and every message carries a global arrival
+//! sequence number, so wildcard receives fall back to a scan over lane
+//! fronts in true arrival order. Blocked receivers register in a
+//! posted-receive table; a matching send hands its message directly to the
+//! oldest matching posted receive and wakes *that receiver only* (each
+//! posted receive owns its condvar), replacing the previous linear rescans
+//! of one shared queue under `notify_all` thundering-herd wakeups.
+//!
+//! Posted receives may also carry a destination byte buffer sized to the
+//! expected message: a large send that finds such a posted receive encodes
+//! its payload straight into that buffer — the rendezvous fast path (see
+//! [`rendezvous_send`](Mailbox::rendezvous_send)).
 
-use std::collections::VecDeque;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::datatype::Word;
 use crate::msg::{Match, Message};
+use crate::payload::Payload;
 
 /// Default for how long a blocking receive waits before declaring a
 /// deadlock: generous in production builds, short under `cfg(test)` so a
@@ -34,63 +53,370 @@ fn deadlock_timeout() -> Duration {
     Duration::from_secs(secs)
 }
 
-/// A rank's incoming-message queue.
+/// Lane address: (global source rank, packed comm id + tag).
+type LaneKey = (usize, u64);
+
+/// A queued message stamped with its global arrival order.
+pub(crate) struct Arrived {
+    seq: u64,
+    msg: Message,
+}
+
+/// Hand-off cell owned by one posted receive. The sender fills it while
+/// holding the mailbox lock and wakes exactly this receiver.
+pub(crate) struct Handoff {
+    state: Mutex<HandoffState>,
+    ready: Condvar,
+}
+
 #[derive(Default)]
+struct HandoffState {
+    /// The matched message, once a sender delivers it.
+    arrived: Option<Arrived>,
+    /// A rendezvous buffer returned unused (the message arrived through
+    /// the eager path instead); the receiver recycles it.
+    spare: Option<Vec<u8>>,
+}
+
+impl Handoff {
+    fn new() -> Arc<Handoff> {
+        Arc::new(Handoff {
+            state: Mutex::new(HandoffState::default()),
+            ready: Condvar::new(),
+        })
+    }
+}
+
+/// One entry in the posted-receive table.
+struct PostedRecv {
+    id: u64,
+    filter: Match,
+    /// Rendezvous destination: a buffer of exactly the expected encoded
+    /// size that a matching large send writes into directly.
+    buf: Option<Vec<u8>>,
+    slot: Arc<Handoff>,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Per-(source, comm+tag) FIFO lanes of unexpected messages.
+    lanes: HashMap<LaneKey, VecDeque<Arrived>>,
+    /// Global arrival counter (stamps wildcard ordering).
+    seq: u64,
+    /// Queued message count across all lanes.
+    queued: usize,
+    /// Posted receives in posting order (the MPI matching order).
+    posted: Vec<PostedRecv>,
+    next_posted_id: u64,
+}
+
+impl Inner {
+    /// Removes and returns the oldest queued message matching `filter`:
+    /// O(1) lane pop for exact filters, arrival-ordered scan over lane
+    /// fronts for wildcards.
+    fn take_queued(&mut self, filter: Match) -> Option<Arrived> {
+        let key: LaneKey = if filter.is_exact() {
+            let src = filter.src.expect("exact filter");
+            let tag = filter.tag.expect("exact filter");
+            let key = (src, crate::msg::pack_tag(filter.comm_id, tag));
+            if !self.lanes.contains_key(&key) {
+                return None;
+            }
+            key
+        } else {
+            // Wildcard: the oldest matching message overall is the oldest
+            // among matching lanes' fronts (lanes are FIFO).
+            let key = self
+                .lanes
+                .iter()
+                .filter(|((src, full_tag), q)| {
+                    !q.is_empty() && filter.accepts_parts(*src, *full_tag)
+                })
+                .min_by_key(|(_, q)| q.front().expect("non-empty lane").seq)
+                .map(|(key, _)| *key)?;
+            key
+        };
+        match self.lanes.entry(key) {
+            Entry::Occupied(mut lane) => {
+                let arrived = lane.get_mut().pop_front()?;
+                if lane.get().is_empty() {
+                    lane.remove();
+                }
+                self.queued -= 1;
+                Some(arrived)
+            }
+            Entry::Vacant(_) => None,
+        }
+    }
+
+    /// Reinserts a previously-matched message at the front of its lane;
+    /// its original arrival stamp keeps wildcard ordering exact. Only
+    /// valid for a message that was the oldest match of its filter (which
+    /// every [`take_queued`](Inner::take_queued)/hand-off result is).
+    fn requeue_front(&mut self, arrived: Arrived) {
+        let key = (arrived.msg.src, arrived.msg.full_tag);
+        self.lanes.entry(key).or_default().push_front(arrived);
+        self.queued += 1;
+    }
+
+    /// Registers a posted receive and returns its table id.
+    fn register(&mut self, filter: Match, buf: Option<Vec<u8>>, slot: Arc<Handoff>) -> u64 {
+        let id = self.next_posted_id;
+        self.next_posted_id += 1;
+        self.posted.push(PostedRecv {
+            id,
+            filter,
+            buf,
+            slot,
+        });
+        id
+    }
+
+    /// Removes a posted receive by id; false if a sender already matched
+    /// (and therefore filled) it.
+    fn deregister(&mut self, id: u64) -> bool {
+        match self.posted.iter().position(|p| p.id == id) {
+            Some(idx) => {
+                self.posted.remove(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Delivers `arrived` to the oldest matching posted receive, if any.
+    /// Must be called before lane insertion so posted receives match in
+    /// MPI order. Fills the hand-off (returning any unused rendezvous
+    /// buffer with it) and wakes exactly that receiver.
+    fn try_handoff(&mut self, arrived: Arrived) -> Result<(), Arrived> {
+        let Some(idx) = self
+            .posted
+            .iter()
+            .position(|p| p.filter.accepts(&arrived.msg))
+        else {
+            return Err(arrived);
+        };
+        let p = self.posted.remove(idx);
+        let mut st = p.slot.state.lock();
+        st.arrived = Some(arrived);
+        st.spare = p.buf;
+        drop(st);
+        p.slot.ready.notify_one();
+        Ok(())
+    }
+
+    fn enqueue(&mut self, msg: Message) {
+        self.seq += 1;
+        let arrived = Arrived { seq: self.seq, msg };
+        if let Err(arrived) = self.try_handoff(arrived) {
+            let key = (arrived.msg.src, arrived.msg.full_tag);
+            self.lanes.entry(key).or_default().push_back(arrived);
+            self.queued += 1;
+        }
+    }
+}
+
+/// A rank's incoming-message queue (see the module docs).
 pub(crate) struct Mailbox {
-    queue: Mutex<VecDeque<Message>>,
-    arrived: Condvar,
+    inner: Mutex<Inner>,
+}
+
+/// A registered nonblocking receive: either the message was already
+/// queued (taken immediately, arrival stamp kept so cancellation can
+/// restore it exactly), or a table entry now waits for it. Opaque to
+/// callers; resolve with [`Mailbox::complete`] or [`Mailbox::cancel`].
+pub(crate) enum PostedHandle {
+    Ready(Arrived),
+    Pending(Ticket),
+}
+
+/// Claim ticket for a pending posted receive.
+pub(crate) struct Ticket {
+    id: u64,
+    slot: Arc<Handoff>,
 }
 
 impl Mailbox {
     pub fn new() -> Mailbox {
-        Mailbox::default()
+        Mailbox {
+            inner: Mutex::new(Inner::default()),
+        }
     }
 
-    /// Delivers a message (called from the sending rank's thread).
+    /// Delivers a message (called from the sending rank's thread): direct
+    /// hand-off to the oldest matching posted receive, else lane-enqueue.
     pub fn push(&self, msg: Message) {
-        let mut q = self.queue.lock();
-        q.push_back(msg);
-        // notify_all: several receives with different filters may be blocked
-        // (e.g. wildcard receives in tests); all must re-scan.
-        self.arrived.notify_all();
+        self.inner.lock().enqueue(msg);
     }
 
-    /// Removes and returns the first message matching `filter`, blocking
-    /// until one arrives. FIFO per (source, tag) pair, preserving MPI's
-    /// non-overtaking guarantee.
+    /// Rendezvous fast path for large typed sends: if the oldest posted
+    /// receive matching `(src, full_tag)` carries a destination buffer of
+    /// exactly `words.len() * T::SIZE` bytes, encode `words` straight into
+    /// it — one copy, no intermediate allocation — and wake that receiver.
+    /// Returns false (and performs nothing) when no such posted receive
+    /// exists; the caller then falls back to the eager path.
+    ///
+    /// Ordering safety: a matching posted receive exists only if no queued
+    /// message matched its filter at post time, and any later matching
+    /// arrival would itself have been handed to it — so the table entry
+    /// found here cannot be overtaking queued traffic.
+    pub fn rendezvous_send<T: Word>(
+        &self,
+        src: usize,
+        full_tag: u64,
+        words: &[T],
+        arrival: Option<simnet::Time>,
+    ) -> bool {
+        let bytes = words.len() * T::SIZE;
+        let mut inner = self.inner.lock();
+        // The *oldest* matching entry is the one MPI matching would pick;
+        // if it cannot take a rendezvous delivery we must not skip past it.
+        let Some(idx) = inner
+            .posted
+            .iter()
+            .position(|p| p.filter.accepts_parts(src, full_tag))
+        else {
+            return false;
+        };
+        if inner.posted[idx].buf.as_ref().map(Vec::len) != Some(bytes) {
+            return false;
+        }
+        let p = inner.posted.remove(idx);
+        let mut buf = p.buf.expect("checked above");
+        T::encode_slice(words, &mut buf);
+        inner.seq += 1;
+        let arrived = Arrived {
+            seq: inner.seq,
+            msg: Message {
+                src,
+                full_tag,
+                data: Payload::from_vec(buf),
+                arrival,
+            },
+        };
+        let mut st = p.slot.state.lock();
+        st.arrived = Some(arrived);
+        drop(st);
+        p.slot.ready.notify_one();
+        true
+    }
+
+    /// Removes and returns the oldest message matching `filter`, blocking
+    /// until one arrives. FIFO per (source, tag) pair (non-overtaking);
+    /// wildcard filters match in global arrival order.
     pub fn recv(&self, filter: Match) -> Message {
-        let mut q = self.queue.lock();
+        self.recv_posting(filter, None).0
+    }
+
+    /// Like [`recv`](Mailbox::recv), but posts `buf` as a rendezvous
+    /// destination while waiting (see
+    /// [`rendezvous_send`](Mailbox::rendezvous_send)). Returns the message
+    /// and, if the rendezvous buffer went unused, the buffer itself for
+    /// recycling.
+    pub fn recv_posting(&self, filter: Match, buf: Option<Vec<u8>>) -> (Message, Option<Vec<u8>>) {
+        let mut inner = self.inner.lock();
+        if let Some(arrived) = inner.take_queued(filter) {
+            return (arrived.msg, buf);
+        }
+        let slot = Handoff::new();
+        let id = inner.register(filter, buf, Arc::clone(&slot));
+        drop(inner);
+        self.wait_ticket(Ticket { id, slot }, filter)
+    }
+
+    /// Registers a nonblocking receive: takes an already-queued match
+    /// immediately, otherwise enters the posted-receive table so a future
+    /// send (including a rendezvous send, when the caller supplies `buf`)
+    /// can complete it before the receiver waits.
+    pub fn post(&self, filter: Match, buf: Option<Vec<u8>>) -> PostedHandle {
+        let mut inner = self.inner.lock();
+        if let Some(arrived) = inner.take_queued(filter) {
+            return PostedHandle::Ready(arrived);
+        }
+        let slot = Handoff::new();
+        let id = inner.register(filter, buf, Arc::clone(&slot));
+        PostedHandle::Pending(Ticket { id, slot })
+    }
+
+    /// Resolves a posted receive: immediate for an already-matched one,
+    /// blocking until a sender matches it otherwise.
+    pub fn complete(&self, handle: PostedHandle, filter: Match) -> (Message, Option<Vec<u8>>) {
+        match handle {
+            PostedHandle::Ready(arrived) => (arrived.msg, None),
+            PostedHandle::Pending(ticket) => self.wait_ticket(ticket, filter),
+        }
+    }
+
+    /// Cancels a posted receive. Any message it already matched is put
+    /// back at the front of its lane with its original arrival stamp, as
+    /// if the receive had never been posted.
+    pub fn cancel(&self, handle: PostedHandle) {
+        match handle {
+            PostedHandle::Ready(arrived) => self.inner.lock().requeue_front(arrived),
+            PostedHandle::Pending(ticket) => self.cancel_ticket(ticket),
+        }
+    }
+
+    /// Blocks until the posted receive behind `ticket` is matched.
+    /// `filter` is only used for the deadlock diagnostic.
+    pub fn wait_ticket(&self, ticket: Ticket, filter: Match) -> (Message, Option<Vec<u8>>) {
+        let Ticket { id, slot } = ticket;
+        let mut st = slot.state.lock();
         loop {
-            if let Some(pos) = q.iter().position(|m| filter.accepts(m)) {
-                return q.remove(pos).expect("position just found");
+            if let Some(arrived) = st.arrived.take() {
+                return (arrived.msg, st.spare.take());
             }
             let timeout = deadlock_timeout();
-            let timed_out = self.arrived.wait_for(&mut q, timeout).timed_out();
-            if timed_out {
-                panic!(
-                    "mp: receive waited {}s for a message matching {filter:?}; \
-                     likely deadlock ({} unmatched messages queued). Tune via \
-                     MP_DEADLOCK_TIMEOUT_SECS.",
-                    timeout.as_secs(),
-                    q.len(),
-                );
+            if slot.ready.wait_for(&mut st, timeout).timed_out() {
+                drop(st);
+                let mut inner = self.inner.lock();
+                if inner.deregister(id) {
+                    // Still unmatched after the timeout: declare deadlock.
+                    panic!(
+                        "mp: receive waited {}s for a message matching {filter:?}; \
+                         likely deadlock ({} unmatched messages queued). Tune via \
+                         MP_DEADLOCK_TIMEOUT_SECS.",
+                        timeout.as_secs(),
+                        inner.queued,
+                    );
+                }
+                // A sender matched us concurrently with the timeout; the
+                // fill happened under the mailbox lock we just held, so
+                // the hand-off is complete.
+                drop(inner);
+                st = slot.state.lock();
             }
         }
     }
 
-    /// Non-blocking variant: removes the first matching message if present.
+    /// Cancels a pending posted receive. If a sender matched it in the
+    /// meantime, the message is put back at the front of its lane (its
+    /// original arrival stamp preserved), exactly as if it had never been
+    /// matched.
+    pub fn cancel_ticket(&self, ticket: Ticket) {
+        let Ticket { id, slot } = ticket;
+        let mut inner = self.inner.lock();
+        if inner.deregister(id) {
+            return;
+        }
+        let mut st = slot.state.lock();
+        if let Some(arrived) = st.arrived.take() {
+            drop(st);
+            inner.requeue_front(arrived);
+        }
+    }
+
+    /// Non-blocking variant: removes the oldest matching message if present.
     /// Exercised by tests and kept for `iprobe`-style extensions.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn try_recv(&self, filter: Match) -> Option<Message> {
-        let mut q = self.queue.lock();
-        let pos = q.iter().position(|m| filter.accepts(m))?;
-        q.remove(pos)
+        self.inner.lock().take_queued(filter).map(|a| a.msg)
     }
 
     /// Number of queued (unmatched) messages.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn pending(&self) -> usize {
-        self.queue.lock().len()
+        self.inner.lock().queued
     }
 }
 
@@ -98,13 +424,14 @@ impl Mailbox {
 mod tests {
     use super::*;
     use crate::msg::pack_tag;
+    use proptest::prelude::*;
     use std::sync::Arc;
 
     fn msg(src: usize, tag: u32, data: Vec<u8>) -> Message {
         Message {
             src,
             full_tag: pack_tag(0, tag),
-            data,
+            data: Payload::from_vec(data),
             arrival: None,
         }
     }
@@ -117,13 +444,21 @@ mod tests {
         }
     }
 
+    fn any() -> Match {
+        Match {
+            comm_id: 0,
+            src: None,
+            tag: None,
+        }
+    }
+
     #[test]
     fn fifo_within_matching_pair() {
         let mb = Mailbox::new();
         mb.push(msg(1, 5, vec![1]));
         mb.push(msg(1, 5, vec![2]));
-        assert_eq!(mb.recv(exact(1, 5)).data, vec![1]);
-        assert_eq!(mb.recv(exact(1, 5)).data, vec![2]);
+        assert_eq!(mb.recv(exact(1, 5)).data.as_slice(), &[1]);
+        assert_eq!(mb.recv(exact(1, 5)).data.as_slice(), &[2]);
     }
 
     #[test]
@@ -131,9 +466,9 @@ mod tests {
         let mb = Mailbox::new();
         mb.push(msg(2, 9, vec![9]));
         mb.push(msg(1, 5, vec![5]));
-        assert_eq!(mb.recv(exact(1, 5)).data, vec![5]);
+        assert_eq!(mb.recv(exact(1, 5)).data.as_slice(), &[5]);
         assert_eq!(mb.pending(), 1);
-        assert_eq!(mb.recv(exact(2, 9)).data, vec![9]);
+        assert_eq!(mb.recv(exact(2, 9)).data.as_slice(), &[9]);
     }
 
     #[test]
@@ -148,7 +483,7 @@ mod tests {
     fn blocking_recv_wakes_on_push() {
         let mb = Arc::new(Mailbox::new());
         let mb2 = Arc::clone(&mb);
-        let t = std::thread::spawn(move || mb2.recv(exact(3, 1)).data);
+        let t = std::thread::spawn(move || mb2.recv(exact(3, 1)).data.into_vec());
         std::thread::sleep(Duration::from_millis(20));
         mb.push(msg(3, 1, vec![42]));
         assert_eq!(t.join().unwrap(), vec![42]);
@@ -170,12 +505,243 @@ mod tests {
         let mb = Mailbox::new();
         mb.push(msg(7, 3, vec![7]));
         mb.push(msg(8, 4, vec![8]));
-        let any = Match {
-            comm_id: 0,
-            src: None,
-            tag: None,
+        assert_eq!(mb.recv(any()).src, 7);
+        assert_eq!(mb.recv(any()).src, 8);
+    }
+
+    #[test]
+    fn wildcard_arrival_order_across_lanes() {
+        let mb = Mailbox::new();
+        // Interleave three lanes; wildcard receives must replay exactly
+        // the arrival order regardless of lane hashing.
+        let order = [(4, 1), (2, 9), (4, 1), (9, 9), (2, 9), (4, 2)];
+        for (i, (src, tag)) in order.iter().enumerate() {
+            mb.push(msg(*src, *tag, vec![i as u8]));
+        }
+        for (i, (src, tag)) in order.iter().enumerate() {
+            let m = mb.recv(any());
+            assert_eq!(m.src, *src);
+            assert_eq!((m.full_tag & 0xFFFF_FFFF) as u32, *tag);
+            assert_eq!(m.data.as_slice(), &[i as u8]);
+        }
+    }
+
+    #[test]
+    fn posted_receive_gets_direct_handoff() {
+        let mb = Mailbox::new();
+        let PostedHandle::Pending(ticket) = mb.post(exact(1, 7), None) else {
+            panic!("nothing queued yet");
         };
-        assert_eq!(mb.recv(any).src, 7);
-        assert_eq!(mb.recv(any).src, 8);
+        mb.push(msg(1, 7, vec![3]));
+        assert_eq!(mb.pending(), 0, "message must go to the posted receive");
+        let (m, spare) = mb.wait_ticket(ticket, exact(1, 7));
+        assert_eq!(m.data.as_slice(), &[3]);
+        assert!(spare.is_none());
+    }
+
+    #[test]
+    fn post_takes_already_queued_message() {
+        let mb = Mailbox::new();
+        mb.push(msg(1, 7, vec![4]));
+        match mb.post(exact(1, 7), None) {
+            PostedHandle::Ready(a) => assert_eq!(a.msg.data.as_slice(), &[4]),
+            PostedHandle::Pending(_) => panic!("should match the queued message"),
+        }
+    }
+
+    #[test]
+    fn cancelling_a_ready_posted_receive_restores_order() {
+        let mb = Mailbox::new();
+        mb.push(msg(1, 7, vec![1]));
+        mb.push(msg(1, 7, vec![2]));
+        let handle = mb.post(exact(1, 7), None);
+        assert!(matches!(handle, PostedHandle::Ready(_)));
+        mb.cancel(handle);
+        assert_eq!(mb.recv(exact(1, 7)).data.as_slice(), &[1]);
+        assert_eq!(mb.recv(exact(1, 7)).data.as_slice(), &[2]);
+    }
+
+    #[test]
+    fn posted_receives_match_in_posting_order() {
+        let mb = Mailbox::new();
+        let PostedHandle::Pending(t1) = mb.post(exact(1, 7), None) else {
+            panic!()
+        };
+        let PostedHandle::Pending(t2) = mb.post(exact(1, 7), None) else {
+            panic!()
+        };
+        mb.push(msg(1, 7, vec![1]));
+        mb.push(msg(1, 7, vec![2]));
+        assert_eq!(mb.wait_ticket(t1, exact(1, 7)).0.data.as_slice(), &[1]);
+        assert_eq!(mb.wait_ticket(t2, exact(1, 7)).0.data.as_slice(), &[2]);
+    }
+
+    #[test]
+    fn cancelled_posted_receive_requeues_its_message() {
+        let mb = Mailbox::new();
+        let PostedHandle::Pending(ticket) = mb.post(any(), None) else {
+            panic!()
+        };
+        mb.push(msg(5, 1, vec![10]));
+        mb.push(msg(5, 1, vec![11]));
+        assert_eq!(mb.pending(), 1, "first message went to the posted receive");
+        mb.cancel_ticket(ticket);
+        assert_eq!(mb.pending(), 2);
+        // Order restored: the handed-off message is back at the front.
+        assert_eq!(mb.recv(exact(5, 1)).data.as_slice(), &[10]);
+        assert_eq!(mb.recv(exact(5, 1)).data.as_slice(), &[11]);
+    }
+
+    #[test]
+    fn rendezvous_send_fills_posted_buffer() {
+        let mb = Mailbox::new();
+        let PostedHandle::Pending(ticket) = mb.post(exact(2, 4), Some(vec![0u8; 8])) else {
+            panic!()
+        };
+        let words = [0x0102_0304_0506_0708u64];
+        assert!(mb.rendezvous_send(2, pack_tag(0, 4), &words, None));
+        let (m, spare) = mb.wait_ticket(ticket, exact(2, 4));
+        assert!(spare.is_none(), "buffer was consumed by the rendezvous");
+        assert_eq!(m.data.as_slice(), &[8, 7, 6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn rendezvous_send_refuses_without_matching_posted_buffer() {
+        let mb = Mailbox::new();
+        // No posted receive at all.
+        assert!(!mb.rendezvous_send(2, pack_tag(0, 4), &[1u64], None));
+        // Posted receive without a buffer.
+        let PostedHandle::Pending(t1) = mb.post(exact(2, 4), None) else {
+            panic!()
+        };
+        assert!(!mb.rendezvous_send(2, pack_tag(0, 4), &[1u64], None));
+        // Eager delivery still reaches it, returning no spare.
+        mb.push(msg(2, 4, vec![1]));
+        let (m, spare) = mb.wait_ticket(t1, exact(2, 4));
+        assert_eq!(m.data.as_slice(), &[1]);
+        assert!(spare.is_none());
+        // Posted buffer of the wrong size: rendezvous declines.
+        let PostedHandle::Pending(t2) = mb.post(exact(2, 4), Some(vec![0u8; 4])) else {
+            panic!()
+        };
+        assert!(!mb.rendezvous_send(2, pack_tag(0, 4), &[1u64], None));
+        mb.push(msg(2, 4, vec![9; 8]));
+        let (m, spare) = mb.wait_ticket(t2, exact(2, 4));
+        assert_eq!(m.data.len(), 8);
+        assert_eq!(spare, Some(vec![0u8; 4]), "unused buffer comes back");
+    }
+
+    #[test]
+    fn eager_delivery_returns_spare_rendezvous_buffer() {
+        let mb = Mailbox::new();
+        let (m, spare) = {
+            let mb = &mb;
+            std::thread::scope(|s| {
+                let h = s.spawn(move || mb.recv_posting(exact(1, 2), Some(vec![0u8; 16])));
+                std::thread::sleep(Duration::from_millis(20));
+                mb.push(msg(1, 2, vec![5; 4]));
+                h.join().unwrap()
+            })
+        };
+        assert_eq!(m.data.as_slice(), &[5; 4]);
+        assert_eq!(spare, Some(vec![0u8; 16]));
+    }
+
+    /// Reference model: the legacy single linear-scan queue the indexed
+    /// mailbox replaced. Matching takes the first (oldest) message in
+    /// arrival order satisfying the filter.
+    #[derive(Default)]
+    struct LinearModel {
+        queue: Vec<(usize, u64, Vec<u8>)>,
+    }
+
+    impl LinearModel {
+        fn push(&mut self, src: usize, tag: u32, data: Vec<u8>) {
+            self.queue.push((src, pack_tag(0, tag), data));
+        }
+        fn try_recv(&mut self, filter: Match) -> Option<(usize, u64, Vec<u8>)> {
+            let pos = self
+                .queue
+                .iter()
+                .position(|(src, full_tag, _)| filter.accepts_parts(*src, *full_tag))?;
+            Some(self.queue.remove(pos))
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The indexed mailbox is observationally equivalent to the legacy
+        /// linear scan: same matched envelope and payload for every
+        /// interleaving of pushes with exact, half-wildcard and full
+        /// wildcard receives — FIFO per (src, tag), non-overtaking,
+        /// wildcard receives in global arrival order.
+        #[test]
+        fn indexed_mailbox_matches_linear_scan_semantics(
+            ops in prop::collection::vec((0u8..6, 0usize..3, 0u32..3), 1..120),
+        ) {
+            let mb = Mailbox::new();
+            let mut model = LinearModel::default();
+            let mut payload = 0u8;
+            for (kind, src, tag) in ops {
+                match kind {
+                    // Push: both sides enqueue the same message.
+                    0..=2 => {
+                        payload = payload.wrapping_add(1);
+                        mb.push(msg(src, tag, vec![payload]));
+                        model.push(src, tag, vec![payload]);
+                    }
+                    // Exact receive.
+                    3 => {
+                        let f = exact(src, tag);
+                        let got = mb.try_recv(f);
+                        let want = model.try_recv(f);
+                        prop_assert_eq!(got.is_some(), want.is_some());
+                        if let (Some(g), Some(w)) = (got, want) {
+                            prop_assert_eq!(g.src, w.0);
+                            prop_assert_eq!(g.full_tag, w.1);
+                            prop_assert_eq!(g.data.as_slice(), &w.2[..]);
+                        }
+                    }
+                    // Wildcard source (tag pinned).
+                    4 => {
+                        let f = Match { comm_id: 0, src: None, tag: Some(tag) };
+                        let got = mb.try_recv(f);
+                        let want = model.try_recv(f);
+                        prop_assert_eq!(got.is_some(), want.is_some());
+                        if let (Some(g), Some(w)) = (got, want) {
+                            prop_assert_eq!(g.src, w.0);
+                            prop_assert_eq!(g.full_tag, w.1);
+                            prop_assert_eq!(g.data.as_slice(), &w.2[..]);
+                        }
+                    }
+                    // Full wildcard.
+                    _ => {
+                        let got = mb.try_recv(any());
+                        let want = model.try_recv(any());
+                        prop_assert_eq!(got.is_some(), want.is_some());
+                        if let (Some(g), Some(w)) = (got, want) {
+                            prop_assert_eq!(g.src, w.0);
+                            prop_assert_eq!(g.full_tag, w.1);
+                            prop_assert_eq!(g.data.as_slice(), &w.2[..]);
+                        }
+                    }
+                }
+            }
+            // Drain both completely; remainders must agree.
+            loop {
+                let got = mb.try_recv(any());
+                let want = model.try_recv(any());
+                prop_assert_eq!(got.is_some(), want.is_some());
+                match (got, want) {
+                    (Some(g), Some(w)) => {
+                        prop_assert_eq!(g.src, w.0);
+                        prop_assert_eq!(g.full_tag, w.1);
+                        prop_assert_eq!(g.data.as_slice(), &w.2[..]);
+                    }
+                    _ => break,
+                }
+            }
+        }
     }
 }

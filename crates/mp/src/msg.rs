@@ -14,11 +14,13 @@ pub(crate) const COLL_BIT: Tag = 1 << 31;
 /// A message in flight. `src` is the *global* rank of the sender; `tag`
 /// packs the communicator id (high 32 bits) with the in-communicator tag
 /// (low 32 bits) so that traffic on different communicators never matches.
+/// The payload is shared ([`Payload`]), so fan-out sends of one buffer to
+/// many destinations never copy it per edge.
 #[derive(Debug)]
 pub(crate) struct Message {
     pub src: usize,
     pub full_tag: u64,
-    pub data: Vec<u8>,
+    pub data: crate::payload::Payload,
     /// Simulated arrival time under virtual execution (None otherwise).
     pub arrival: Option<simnet::Time>,
 }
@@ -44,20 +46,36 @@ impl Match {
     /// Whether `msg` satisfies this filter.
     #[inline]
     pub fn accepts(&self, msg: &Message) -> bool {
-        if (msg.full_tag >> 32) as u32 != self.comm_id {
+        self.accepts_parts(msg.src, msg.full_tag)
+    }
+
+    /// Whether a message with the given envelope (global source + packed
+    /// tag) satisfies this filter — the key-level form the indexed mailbox
+    /// matches lanes and posted receives against without needing a
+    /// materialised [`Message`].
+    #[inline]
+    pub fn accepts_parts(&self, src: usize, full_tag: u64) -> bool {
+        if (full_tag >> 32) as u32 != self.comm_id {
             return false;
         }
-        if let Some(src) = self.src {
-            if msg.src != src {
+        if let Some(want) = self.src {
+            if src != want {
                 return false;
             }
         }
         if let Some(tag) = self.tag {
-            if (msg.full_tag & 0xFFFF_FFFF) as Tag != tag {
+            if (full_tag & 0xFFFF_FFFF) as Tag != tag {
                 return false;
             }
         }
         true
+    }
+
+    /// Whether source and tag are both pinned, making the filter a direct
+    /// lane address (O(1) lookup) rather than a wildcard scan.
+    #[inline]
+    pub fn is_exact(&self) -> bool {
+        self.src.is_some() && self.tag.is_some()
     }
 }
 
@@ -69,7 +87,7 @@ mod tests {
         Message {
             src,
             full_tag: pack_tag(comm, tag),
-            data: Vec::new(),
+            data: crate::payload::Payload::from_vec(Vec::new()),
             arrival: None,
         }
     }

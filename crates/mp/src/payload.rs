@@ -1,0 +1,161 @@
+//! Cheaply-cloneable message payloads.
+//!
+//! A [`Payload`] is a view into reference-counted bytes: cloning it (or
+//! taking a sub-[`slice`](Payload::slice)) bumps a refcount instead of
+//! copying data. This is what lets collective fan-out — a binomial
+//! broadcast sending the same buffer to every child, a scatter splitting
+//! one buffer into per-subtree ranges — deliver to any number of peers
+//! with zero per-edge payload copies. Ownership is copy-on-write:
+//! [`into_vec`](Payload::into_vec) hands the underlying allocation back
+//! without copying when this view is the only holder and covers the whole
+//! buffer, and degrades to a copy otherwise.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A shared, sliceable byte payload (see the module docs).
+#[derive(Clone, Debug)]
+pub(crate) struct Payload {
+    buf: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Payload {
+    /// Wraps an owned byte vector without copying it.
+    pub fn from_vec(buf: Vec<u8>) -> Payload {
+        let len = buf.len();
+        Payload {
+            buf: Arc::new(buf),
+            off: 0,
+            len,
+        }
+    }
+
+    /// The viewed bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.off..self.off + self.len]
+    }
+
+    /// Length of the view in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// A zero-copy sub-view of this payload (`range` is relative to the
+    /// view, not the underlying buffer).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Payload {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "payload slice {range:?} out of bounds (len {})",
+            self.len
+        );
+        Payload {
+            buf: Arc::clone(&self.buf),
+            off: self.off + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// Recovers the owned vector. Zero-copy when this is the sole holder
+    /// of the allocation and the view covers all of it (the common case
+    /// for point-to-point traffic); otherwise copies the viewed bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        if self.off == 0 {
+            match Arc::try_unwrap(self.buf) {
+                Ok(v) if v.len() == self.len => return v,
+                Ok(v) => return v[..self.len].to_vec(),
+                Err(arc) => return arc[..self.len].to_vec(),
+            }
+        }
+        self.as_slice().to_vec()
+    }
+
+    /// Like [`into_vec`](Payload::into_vec), but only when zero-copy is
+    /// possible; used to recycle rendezvous buffers without ever paying a
+    /// copy for the privilege.
+    pub fn try_into_unique_vec(self) -> Option<Vec<u8>> {
+        if self.off != 0 {
+            return None;
+        }
+        match Arc::try_unwrap(self.buf) {
+            Ok(v) if v.len() == self.len => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(buf: Vec<u8>) -> Payload {
+        Payload::from_vec(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let p = Payload::from_vec(vec![1, 2, 3, 4]);
+        let q = p.clone();
+        assert_eq!(p.as_slice(), q.as_slice());
+        assert!(Arc::ptr_eq(&p.buf, &q.buf));
+    }
+
+    #[test]
+    fn slice_is_a_view() {
+        let p = Payload::from_vec(vec![10, 11, 12, 13, 14]);
+        let s = p.slice(1..4);
+        assert_eq!(s.as_slice(), &[11, 12, 13]);
+        let ss = s.slice(2..3);
+        assert_eq!(ss.as_slice(), &[13]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn into_vec_is_zero_copy_when_unique() {
+        let v = vec![7u8; 32];
+        let addr = v.as_ptr() as usize;
+        let p = Payload::from_vec(v);
+        let back = p.into_vec();
+        assert_eq!(back.as_ptr() as usize, addr, "unique full view must move");
+        assert_eq!(back, vec![7u8; 32]);
+    }
+
+    #[test]
+    fn into_vec_copies_when_shared_or_partial() {
+        let p = Payload::from_vec(vec![1, 2, 3, 4]);
+        let q = p.clone();
+        assert_eq!(q.into_vec(), vec![1, 2, 3, 4]); // shared -> copy
+        assert_eq!(p.slice(1..3).into_vec(), vec![2, 3]); // partial -> copy
+    }
+
+    #[test]
+    fn try_into_unique_vec() {
+        let p = Payload::from_vec(vec![5, 6]);
+        let q = p.clone();
+        assert!(q.try_into_unique_vec().is_none());
+        assert_eq!(p.try_into_unique_vec(), Some(vec![5, 6]));
+        let r = Payload::from_vec(vec![1, 2, 3]);
+        assert!(r.slice(0..2).try_into_unique_vec().is_none());
+    }
+
+    #[test]
+    fn empty_payload() {
+        let p = Payload::from_vec(Vec::new());
+        assert_eq!(p.len(), 0);
+        assert!(p.as_slice().is_empty());
+        assert!(p.slice(0..0).into_vec().is_empty());
+    }
+}

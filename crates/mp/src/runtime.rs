@@ -64,6 +64,31 @@ impl World {
         }
         self.mailboxes[dst].push(msg);
     }
+
+    /// Rendezvous attempt for a large typed send: if rank `dst` has a
+    /// matching posted receive with a right-sized buffer, encode `words`
+    /// directly into it and complete the transfer (one copy end to end).
+    /// Returns false — and performs nothing — when no such receive is
+    /// posted; the caller falls back to the eager path.
+    pub fn rendezvous_words<T: crate::datatype::Word>(
+        &self,
+        src: usize,
+        dst: usize,
+        full_tag: u64,
+        words: &[T],
+    ) -> bool {
+        if !self.mailboxes[dst].rendezvous_send(src, full_tag, words, None) {
+            return false;
+        }
+        if let Some(trace) = &self.trace {
+            trace.lock().push(Transfer {
+                src,
+                dst,
+                bytes: (words.len() * T::SIZE) as u64,
+            });
+        }
+        true
+    }
 }
 
 /// Runs `f` as an SPMD program over `n` ranks and returns the per-rank
