@@ -1,0 +1,337 @@
+//! Perf baseline for the FFT subsystem: times the table-driven
+//! cache-blocked local kernel and the distributed G-FFT against the
+//! seed's radix-2 implementations (reproduced here verbatim as the
+//! frozen baseline) and writes `BENCH_fft.json`.
+//!
+//! ```text
+//! cargo run -p bench --bin bench_fft --release             # writes BENCH_fft.json
+//! cargo run -p bench --bin bench_fft --release -- --smoke  # fast CI mode
+//! cargo run -p bench --bin bench_fft --release -- --out F
+//! ```
+//!
+//! Measurements are *interleaved within the same window*: every
+//! repetition times the seed kernel and the current kernel back to back
+//! on the same data, so frequency scaling or background load biases both
+//! sides equally and the speedup column stays honest.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hpcc::fft_dist::{self, FftConfig};
+use hpcc::kernels::fft::{fft, fft_flops, Complex};
+use mp::Comm;
+
+// ----------------------------------------------------------------------
+// The seed kernels (PR 0), frozen as the fixed reference point.
+// ----------------------------------------------------------------------
+
+/// The seed's local FFT: iterative radix-2 with a `w = w * wlen` twiddle
+/// recurrence per butterfly run.
+fn seed_fft(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two());
+    if n <= 1 {
+        return;
+    }
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// The seed's local DIF stages: `sin`/`cos` evaluated inside the inner
+/// butterfly loop.
+fn seed_dif_local(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = n;
+    while len >= 2 {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        for start in (0..n).step_by(len) {
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2];
+                data[start + k] = a + b;
+                data[start + k + len / 2] = (a - b) * Complex::cis(ang * k as f64);
+            }
+        }
+        len >>= 1;
+    }
+}
+
+/// The seed's distributed transform: typed `sendrecv` with a fresh
+/// flatten per stage, trig in the cross-rank butterflies.
+fn seed_distributed_fft(comm: &Comm, local: &mut [Complex], inverse: bool) {
+    let p = comm.size();
+    let me = comm.rank();
+    let ln = local.len();
+    let n = ln * p;
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut flat: Vec<f64> = vec![0.0; 2 * ln];
+    let mut incoming = vec![0.0f64; 2 * ln];
+    let mut span = n;
+    while span > ln {
+        let dist_ranks = span / 2 / ln;
+        let partner = me ^ dist_ranks;
+        for (i, c) in local.iter().enumerate() {
+            flat[2 * i] = c.re;
+            flat[2 * i + 1] = c.im;
+        }
+        comm.sendrecv(&flat, partner, &mut incoming, partner, 19);
+        let low = me & dist_ranks == 0;
+        let ang = sign * 2.0 * std::f64::consts::PI / span as f64;
+        for l in 0..ln {
+            let other = Complex::new(incoming[2 * l], incoming[2 * l + 1]);
+            if low {
+                local[l] = local[l] + other;
+            } else {
+                let g = me * ln + l;
+                let k = g % (span / 2);
+                local[l] = (other - local[l]) * Complex::cis(ang * k as f64);
+            }
+        }
+        span /= 2;
+    }
+    seed_dif_local(local, inverse);
+}
+
+// ----------------------------------------------------------------------
+// Harness
+// ----------------------------------------------------------------------
+
+struct Record {
+    name: String,
+    value: f64,
+    unit: &'static str,
+}
+
+fn signal(n: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            Complex::new((t * 0.7).sin() + 0.3, (t * 1.3).cos() * 0.5)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_fft.json");
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument: {other}\nusage: bench_fft [--smoke] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut records: Vec<Record> = Vec::new();
+
+    // --- Local FFT: table-driven kernel vs the seed radix-2 ------------
+    let local_bits: &[u32] = if smoke {
+        &[10, 12, 14]
+    } else {
+        &[10, 12, 14, 16, 18, 20, 22]
+    };
+    for &bits in local_bits {
+        let n = 1usize << bits;
+        let input = signal(n);
+        let mut work = input.clone();
+        let reps = if smoke {
+            3
+        } else {
+            (1 << 25 >> bits).clamp(6, 50)
+        };
+
+        // Correctness cross-check once per size before timing.
+        let mut a = input.clone();
+        seed_fft(&mut a, false);
+        let mut b = input.clone();
+        fft(&mut b, false);
+        let worst = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            worst < 1e-6 * n as f64,
+            "kernels disagree at n=2^{bits}: {worst}"
+        );
+
+        // Interleaved same-window best-of: each repetition times both
+        // seed kernels then the table kernel back to back on the same
+        // buffer. `seed_fft` is the radix-2 twiddle-recurrence baseline;
+        // `seed_dif_local` is the trig-in-the-inner-loop kernel the
+        // cross-rank G-FFT stages were built on.
+        let (mut t_seed, mut t_seed_dif, mut t_table) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            work.copy_from_slice(&input);
+            let t = Instant::now();
+            seed_fft(&mut work, false);
+            t_seed = t_seed.min(t.elapsed().as_secs_f64()).max(1e-9);
+
+            work.copy_from_slice(&input);
+            let t = Instant::now();
+            seed_dif_local(&mut work, false);
+            t_seed_dif = t_seed_dif.min(t.elapsed().as_secs_f64()).max(1e-9);
+
+            work.copy_from_slice(&input);
+            let t = Instant::now();
+            fft(&mut work, false);
+            t_table = t_table.min(t.elapsed().as_secs_f64()).max(1e-9);
+        }
+        let flops = fft_flops(n);
+        println!(
+            "fft n=2^{bits}: table {:.2} Gflop/s, seed {:.2} Gflop/s ({:.2}x), \
+             seed-dif {:.2} Gflop/s ({:.2}x)",
+            flops / t_table / 1e9,
+            flops / t_seed / 1e9,
+            t_seed / t_table,
+            flops / t_seed_dif / 1e9,
+            t_seed_dif / t_table
+        );
+        records.push(Record {
+            name: format!("fft_table_log2_{bits}_gflops"),
+            value: flops / t_table / 1e9,
+            unit: "Gflop/s",
+        });
+        records.push(Record {
+            name: format!("fft_seed_log2_{bits}_gflops"),
+            value: flops / t_seed / 1e9,
+            unit: "Gflop/s",
+        });
+        records.push(Record {
+            name: format!("fft_speedup_vs_seed_log2_{bits}"),
+            value: t_seed / t_table,
+            unit: "x",
+        });
+        records.push(Record {
+            name: format!("fft_seed_dif_log2_{bits}_gflops"),
+            value: flops / t_seed_dif / 1e9,
+            unit: "Gflop/s",
+        });
+        records.push(Record {
+            name: format!("fft_speedup_vs_seed_dif_log2_{bits}"),
+            value: t_seed_dif / t_table,
+            unit: "x",
+        });
+    }
+
+    // --- G-FFT: distributed transform at p = 1, 2, 4, 8 ----------------
+    let gfft_bits: u32 = if smoke { 14 } else { 20 };
+    for p in [1usize, 2, 4, 8] {
+        let n = 1usize << gfft_bits;
+        let ln = n / p;
+        let reps = if smoke { 2 } else { 5 };
+
+        // Interleaved seed-vs-current timing of the bare transform.
+        let times = mp::run(p, move |comm| {
+            let base = (comm.rank() * ln) as u64;
+            let input: Vec<Complex> = (0..ln as u64)
+                .map(|l| {
+                    let t = (base + l) as f64;
+                    Complex::new((t * 0.7).sin() + 0.3, (t * 1.3).cos() * 0.5)
+                })
+                .collect();
+            let mut work = input.clone();
+            let (mut best_seed, mut best_cur) = (f64::INFINITY, f64::INFINITY);
+            for _ in 0..reps {
+                work.copy_from_slice(&input);
+                comm.barrier();
+                let t = mp::timer::Stopwatch::start();
+                seed_distributed_fft(comm, &mut work, false);
+                comm.barrier();
+                best_seed = best_seed.min(t.elapsed_secs().max(1e-9));
+
+                work.copy_from_slice(&input);
+                comm.barrier();
+                let t = mp::timer::Stopwatch::start();
+                fft_dist::distributed_fft(comm, &mut work, false);
+                comm.barrier();
+                best_cur = best_cur.min(t.elapsed_secs().max(1e-9));
+            }
+            (best_seed, best_cur)
+        });
+        let (t_seed, t_cur) = times[0];
+        let flops = fft_flops(n);
+        println!(
+            "gfft p={p} n=2^{gfft_bits}: table {:.2} Gflop/s, seed {:.2} Gflop/s, speedup {:.2}x",
+            flops / t_cur / 1e9,
+            flops / t_seed / 1e9,
+            t_seed / t_cur
+        );
+        records.push(Record {
+            name: format!("gfft_p{p}_gflops"),
+            value: flops / t_cur / 1e9,
+            unit: "Gflop/s",
+        });
+        records.push(Record {
+            name: format!("gfft_seed_p{p}_gflops"),
+            value: flops / t_seed / 1e9,
+            unit: "Gflop/s",
+        });
+        records.push(Record {
+            name: format!("gfft_speedup_vs_seed_p{p}"),
+            value: t_seed / t_cur,
+            unit: "x",
+        });
+
+        // Full benchmark run (with its distributed round-trip check) for
+        // the reported error bound.
+        let results = mp::run(p, move |comm| {
+            fft_dist::run(comm, &FftConfig { log2_n: gfft_bits })
+        });
+        let r = results[0];
+        assert!(
+            r.passed,
+            "G-FFT p={p} failed verification: max error {}",
+            r.max_error
+        );
+        println!("gfft p={p} verification: max error {:.3e}", r.max_error);
+        records.push(Record {
+            name: format!("gfft_p{p}_max_error"),
+            value: r.max_error,
+            unit: "abs",
+        });
+    }
+
+    // --- Write BENCH_fft.json -------------------------------------------
+    let mut json = String::from("{\n  \"suite\": \"hpcc-fft\",\n  \"metrics\": {\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    \"{}\": {{ \"value\": {:.6}, \"unit\": \"{}\" }}{comma}",
+            r.name, r.value, r.unit
+        )
+        .unwrap();
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

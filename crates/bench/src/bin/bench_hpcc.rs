@@ -1,6 +1,6 @@
-//! Perf baseline for the compute hot path: times DGEMM and HPL at fixed
-//! sizes and writes `BENCH_hpcc.json`, establishing the trajectory every
-//! later PR is measured against.
+//! Perf baseline for the compute hot path: times DGEMM, the STREAM
+//! bandwidth kernels and HPL at fixed sizes and writes `BENCH_hpcc.json`,
+//! establishing the trajectory every later PR is measured against.
 //!
 //! ```text
 //! cargo run -p bench --bin bench_hpcc --release            # writes BENCH_hpcc.json
@@ -18,6 +18,7 @@ use std::time::Instant;
 use hpcc::hpl::{self, HplConfig};
 use hpcc::hpl2d::{self, Hpl2dConfig};
 use hpcc::kernels::dgemm::{dgemm, dgemm_flops};
+use hpcc::kernels::stream::{StreamArrays, StreamKernel};
 
 /// The seed's DGEMM (PR 0): cache-tiled triple loop, no packing, no
 /// register blocking. Kept as the fixed reference point for speedups.
@@ -127,6 +128,34 @@ fn main() {
         });
     }
 
+    // --- STREAM: sustainable bandwidth of the four kernels ---------------
+    // 2^24 doubles per array (128 MiB each, three arrays) so the working
+    // set of every kernel exceeds the last-level cache.
+    {
+        let len = 1usize << 24;
+        let mut arrays = StreamArrays::new(len);
+        // One untimed canonical sequence to fault the pages in.
+        for k in StreamKernel::ALL {
+            arrays.run(k);
+        }
+        for k in StreamKernel::ALL {
+            let secs = best_secs(5, || arrays.run(k));
+            let gbs = (k.bytes_per_element() * len) as f64 / secs / 1e9;
+            let name = match k {
+                StreamKernel::Copy => "stream_copy_gbs",
+                StreamKernel::Scale => "stream_scale_gbs",
+                StreamKernel::Add => "stream_add_gbs",
+                StreamKernel::Triad => "stream_triad_gbs",
+            };
+            println!("stream {k:?} n=2^24: {gbs:.2} GB/s");
+            records.push(Record {
+                name: name.into(),
+                value: gbs,
+                unit: "GB/s",
+            });
+        }
+    }
+
     // --- HPL: single-rank and small multi-rank factorisations -----------
     let r1 = mp::run(1, |comm| hpl::run(comm, &HplConfig { n: 512, nb: 32 }))[0];
     assert!(
@@ -183,6 +212,25 @@ fn main() {
         name: "hpl2d_2x2_n512_gflops".into(),
         value: r2d.gflops,
         unit: "Gflop/s",
+    });
+
+    // Explicit scaling metrics so the known parallel-efficiency regression
+    // (p=4 below p=1 at this problem size) is tracked side by side rather
+    // than buried in two separate absolute numbers.
+    println!(
+        "hpl scaling n=512: p4/p1 {:.3}, 2d-2x2/1d-p4 {:.3}",
+        r4.gflops / r1.gflops,
+        r2d.gflops / r4.gflops
+    );
+    records.push(Record {
+        name: "hpl1d_scaling_p4_over_p1".into(),
+        value: r4.gflops / r1.gflops,
+        unit: "ratio",
+    });
+    records.push(Record {
+        name: "hpl2d_2x2_over_hpl1d_p4".into(),
+        value: r2d.gflops / r4.gflops,
+        unit: "ratio",
     });
 
     // --- Write BENCH_hpcc.json ------------------------------------------
