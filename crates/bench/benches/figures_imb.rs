@@ -45,7 +45,7 @@ fn bench_native_imb(c: &mut Criterion) {
         c.bench_function(&name, |b| {
             b.iter(|| {
                 let m = imb::run_native(black_box(bench), 8, 1 << 20, 2);
-                black_box(m.t_max_us)
+                black_box(m.t_max_us())
             })
         });
     }

@@ -14,9 +14,7 @@
 //! on the same data, so frequency scaling or background load biases both
 //! sides equally and the speedup column stays honest.
 
-use std::fmt::Write as _;
-use std::time::Instant;
-
+use harness::{metrics::MetricSink, BestOf, Runner};
 use hpcc::fft_dist::{self, FftConfig};
 use hpcc::kernels::fft::{fft, fft_flops, Complex};
 use mp::Comm;
@@ -119,12 +117,6 @@ fn seed_distributed_fft(comm: &Comm, local: &mut [Complex], inverse: bool) {
 // Harness
 // ----------------------------------------------------------------------
 
-struct Record {
-    name: String,
-    value: f64,
-    unit: &'static str,
-}
-
 fn signal(n: usize) -> Vec<Complex> {
     (0..n)
         .map(|i| {
@@ -136,20 +128,21 @@ fn signal(n: usize) -> Vec<Complex> {
 
 fn main() {
     let mut out_path = String::from("BENCH_fft.json");
-    let mut smoke = false;
+    let mut runner = Runner::standard();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
-            "--smoke" => smoke = true,
+            "--smoke" => runner = Runner::smoke(),
             other => {
                 eprintln!("unknown argument: {other}\nusage: bench_fft [--smoke] [--out FILE]");
                 std::process::exit(2);
             }
         }
     }
+    let smoke = runner.policy.is_smoke();
 
-    let mut records: Vec<Record> = Vec::new();
+    let mut sink = MetricSink::new("hpcc-fft");
 
     // --- Local FFT: table-driven kernel vs the seed radix-2 ------------
     let local_bits: &[u32] = if smoke {
@@ -161,11 +154,7 @@ fn main() {
         let n = 1usize << bits;
         let input = signal(n);
         let mut work = input.clone();
-        let reps = if smoke {
-            3
-        } else {
-            (1 << 25 >> bits).clamp(6, 50)
-        };
+        let reps = runner.policy.best_reps((1 << 25 >> bits).clamp(6, 50));
 
         // Correctness cross-check once per size before timing.
         let mut a = input.clone();
@@ -187,24 +176,18 @@ fn main() {
         // buffer. `seed_fft` is the radix-2 twiddle-recurrence baseline;
         // `seed_dif_local` is the trig-in-the-inner-loop kernel the
         // cross-rank G-FFT stages were built on.
-        let (mut t_seed, mut t_seed_dif, mut t_table) =
-            (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut best = BestOf::new(3);
         for _ in 0..reps {
             work.copy_from_slice(&input);
-            let t = Instant::now();
-            seed_fft(&mut work, false);
-            t_seed = t_seed.min(t.elapsed().as_secs_f64()).max(1e-9);
+            best.time(0, || seed_fft(&mut work, false));
 
             work.copy_from_slice(&input);
-            let t = Instant::now();
-            seed_dif_local(&mut work, false);
-            t_seed_dif = t_seed_dif.min(t.elapsed().as_secs_f64()).max(1e-9);
+            best.time(1, || seed_dif_local(&mut work, false));
 
             work.copy_from_slice(&input);
-            let t = Instant::now();
-            fft(&mut work, false);
-            t_table = t_table.min(t.elapsed().as_secs_f64()).max(1e-9);
+            best.time(2, || fft(&mut work, false));
         }
+        let (t_seed, t_seed_dif, t_table) = (best.secs(0), best.secs(1), best.secs(2));
         let flops = fft_flops(n);
         println!(
             "fft n=2^{bits}: table {:.2} Gflop/s, seed {:.2} Gflop/s ({:.2}x), \
@@ -215,31 +198,31 @@ fn main() {
             flops / t_seed_dif / 1e9,
             t_seed_dif / t_table
         );
-        records.push(Record {
-            name: format!("fft_table_log2_{bits}_gflops"),
-            value: flops / t_table / 1e9,
-            unit: "Gflop/s",
-        });
-        records.push(Record {
-            name: format!("fft_seed_log2_{bits}_gflops"),
-            value: flops / t_seed / 1e9,
-            unit: "Gflop/s",
-        });
-        records.push(Record {
-            name: format!("fft_speedup_vs_seed_log2_{bits}"),
-            value: t_seed / t_table,
-            unit: "x",
-        });
-        records.push(Record {
-            name: format!("fft_seed_dif_log2_{bits}_gflops"),
-            value: flops / t_seed_dif / 1e9,
-            unit: "Gflop/s",
-        });
-        records.push(Record {
-            name: format!("fft_speedup_vs_seed_dif_log2_{bits}"),
-            value: t_seed_dif / t_table,
-            unit: "x",
-        });
+        sink.push(
+            format!("fft_table_log2_{bits}_gflops"),
+            flops / t_table / 1e9,
+            "Gflop/s",
+        );
+        sink.push(
+            format!("fft_seed_log2_{bits}_gflops"),
+            flops / t_seed / 1e9,
+            "Gflop/s",
+        );
+        sink.push(
+            format!("fft_speedup_vs_seed_log2_{bits}"),
+            t_seed / t_table,
+            "x",
+        );
+        sink.push(
+            format!("fft_seed_dif_log2_{bits}_gflops"),
+            flops / t_seed_dif / 1e9,
+            "Gflop/s",
+        );
+        sink.push(
+            format!("fft_speedup_vs_seed_dif_log2_{bits}"),
+            t_seed_dif / t_table,
+            "x",
+        );
     }
 
     // --- G-FFT: distributed transform at p = 1, 2, 4, 8 ----------------
@@ -247,7 +230,7 @@ fn main() {
     for p in [1usize, 2, 4, 8] {
         let n = 1usize << gfft_bits;
         let ln = n / p;
-        let reps = if smoke { 2 } else { 5 };
+        let reps = runner.policy.best_reps(5);
 
         // Interleaved seed-vs-current timing of the bare transform.
         let times = mp::run(p, move |comm| {
@@ -259,23 +242,17 @@ fn main() {
                 })
                 .collect();
             let mut work = input.clone();
-            let (mut best_seed, mut best_cur) = (f64::INFINITY, f64::INFINITY);
+            let mut best = BestOf::new(2);
             for _ in 0..reps {
                 work.copy_from_slice(&input);
-                comm.barrier();
-                let t = mp::timer::Stopwatch::start();
-                seed_distributed_fft(comm, &mut work, false);
-                comm.barrier();
-                best_seed = best_seed.min(t.elapsed_secs().max(1e-9));
+                best.time_collective(comm, 0, || seed_distributed_fft(comm, &mut work, false));
 
                 work.copy_from_slice(&input);
-                comm.barrier();
-                let t = mp::timer::Stopwatch::start();
-                fft_dist::distributed_fft(comm, &mut work, false);
-                comm.barrier();
-                best_cur = best_cur.min(t.elapsed_secs().max(1e-9));
+                best.time_collective(comm, 1, || {
+                    fft_dist::distributed_fft(comm, &mut work, false)
+                });
             }
-            (best_seed, best_cur)
+            (best.secs(0), best.secs(1))
         });
         let (t_seed, t_cur) = times[0];
         let flops = fft_flops(n);
@@ -285,21 +262,13 @@ fn main() {
             flops / t_seed / 1e9,
             t_seed / t_cur
         );
-        records.push(Record {
-            name: format!("gfft_p{p}_gflops"),
-            value: flops / t_cur / 1e9,
-            unit: "Gflop/s",
-        });
-        records.push(Record {
-            name: format!("gfft_seed_p{p}_gflops"),
-            value: flops / t_seed / 1e9,
-            unit: "Gflop/s",
-        });
-        records.push(Record {
-            name: format!("gfft_speedup_vs_seed_p{p}"),
-            value: t_seed / t_cur,
-            unit: "x",
-        });
+        sink.push(format!("gfft_p{p}_gflops"), flops / t_cur / 1e9, "Gflop/s");
+        sink.push(
+            format!("gfft_seed_p{p}_gflops"),
+            flops / t_seed / 1e9,
+            "Gflop/s",
+        );
+        sink.push(format!("gfft_speedup_vs_seed_p{p}"), t_seed / t_cur, "x");
 
         // Full benchmark run (with its distributed round-trip check) for
         // the reported error bound.
@@ -313,25 +282,9 @@ fn main() {
             r.max_error
         );
         println!("gfft p={p} verification: max error {:.3e}", r.max_error);
-        records.push(Record {
-            name: format!("gfft_p{p}_max_error"),
-            value: r.max_error,
-            unit: "abs",
-        });
+        sink.push(format!("gfft_p{p}_max_error"), r.max_error, "abs");
     }
 
-    // --- Write BENCH_fft.json -------------------------------------------
-    let mut json = String::from("{\n  \"suite\": \"hpcc-fft\",\n  \"metrics\": {\n");
-    for (i, r) in records.iter().enumerate() {
-        let comma = if i + 1 < records.len() { "," } else { "" };
-        writeln!(
-            json,
-            "    \"{}\": {{ \"value\": {:.6}, \"unit\": \"{}\" }}{comma}",
-            r.name, r.value, r.unit
-        )
-        .unwrap();
-    }
-    json.push_str("  }\n}\n");
-    std::fs::write(&out_path, json).expect("write benchmark json");
+    sink.write(&out_path);
     println!("wrote {out_path}");
 }

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! cargo run -p bench --bin bench_hpcc --release            # writes BENCH_hpcc.json
+//! cargo run -p bench --bin bench_hpcc --release -- --smoke # fast CI mode
 //! cargo run -p bench --bin bench_hpcc --release -- --out F
 //! ```
 //!
@@ -12,9 +13,7 @@
 //! baseline), so the speedup column stays meaningful as the kernel
 //! evolves.
 
-use std::fmt::Write as _;
-use std::time::Instant;
-
+use harness::{metrics::MetricSink, Runner};
 use hpcc::hpl::{self, HplConfig};
 use hpcc::hpl2d::{self, Hpl2dConfig};
 use hpcc::kernels::dgemm::{dgemm, dgemm_flops};
@@ -57,50 +56,38 @@ fn fill(len: usize, seed: u64) -> Vec<f64> {
         .collect()
 }
 
-/// Best-of-`reps` wall time of one invocation of `f`.
-fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t = Instant::now();
-        f();
-        best = best.min(t.elapsed().as_secs_f64());
-    }
-    best.max(1e-9)
-}
-
-struct Record {
-    name: String,
-    value: f64,
-    unit: &'static str,
-}
-
 fn main() {
     let mut out_path = String::from("BENCH_hpcc.json");
+    let mut runner = Runner::standard();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--smoke" => runner = Runner::smoke(),
             other => {
-                eprintln!("unknown argument: {other}\nusage: bench_hpcc [--out FILE]");
+                eprintln!("unknown argument: {other}\nusage: bench_hpcc [--smoke] [--out FILE]");
                 std::process::exit(2);
             }
         }
     }
+    let smoke = runner.policy.is_smoke();
+    let reps = runner.policy.best_reps(5);
 
-    let mut records: Vec<Record> = Vec::new();
+    let mut sink = MetricSink::new("hpcc-compute-baseline");
 
     // --- DGEMM: packed kernel vs the seed's tiled loop ------------------
-    for n in [256usize, 512] {
+    let dgemm_sizes: &[usize] = if smoke { &[256] } else { &[256, 512] };
+    for &n in dgemm_sizes {
         let a = fill(n * n, 1);
         let b = fill(n * n, 2);
         let mut c = vec![0.0f64; n * n];
         let flops = dgemm_flops(n);
 
-        let t_packed = best_secs(5, || {
+        let t_packed = Runner::best_secs(reps, || {
             c.iter_mut().for_each(|v| *v = 0.0);
             dgemm(n, &a, &b, &mut c);
         });
-        let t_tiled = best_secs(5, || {
+        let t_tiled = Runner::best_secs(reps, || {
             c.iter_mut().for_each(|v| *v = 0.0);
             tiled_baseline(n, &a, &b, &mut c);
         });
@@ -111,35 +98,36 @@ fn main() {
             flops / t_tiled / 1e9,
             t_tiled / t_packed
         );
-        records.push(Record {
-            name: format!("dgemm_packed_n{n}_gflops"),
-            value: flops / t_packed / 1e9,
-            unit: "Gflop/s",
-        });
-        records.push(Record {
-            name: format!("dgemm_tiled_seed_n{n}_gflops"),
-            value: flops / t_tiled / 1e9,
-            unit: "Gflop/s",
-        });
-        records.push(Record {
-            name: format!("dgemm_speedup_vs_seed_n{n}"),
-            value: t_tiled / t_packed,
-            unit: "x",
-        });
+        sink.push(
+            format!("dgemm_packed_n{n}_gflops"),
+            flops / t_packed / 1e9,
+            "Gflop/s",
+        );
+        sink.push(
+            format!("dgemm_tiled_seed_n{n}_gflops"),
+            flops / t_tiled / 1e9,
+            "Gflop/s",
+        );
+        sink.push(
+            format!("dgemm_speedup_vs_seed_n{n}"),
+            t_tiled / t_packed,
+            "x",
+        );
     }
 
     // --- STREAM: sustainable bandwidth of the four kernels ---------------
     // 2^24 doubles per array (128 MiB each, three arrays) so the working
-    // set of every kernel exceeds the last-level cache.
+    // set of every kernel exceeds the last-level cache; smoke mode keeps
+    // the sweep structure at a cache-sized fraction of the cost.
     {
-        let len = 1usize << 24;
+        let len = 1usize << if smoke { 21 } else { 24 };
         let mut arrays = StreamArrays::new(len);
         // One untimed canonical sequence to fault the pages in.
         for k in StreamKernel::ALL {
             arrays.run(k);
         }
         for k in StreamKernel::ALL {
-            let secs = best_secs(5, || arrays.run(k));
+            let secs = Runner::best_secs(reps, || arrays.run(k));
             let gbs = (k.bytes_per_element() * len) as f64 / secs / 1e9;
             let name = match k {
                 StreamKernel::Copy => "stream_copy_gbs",
@@ -147,53 +135,46 @@ fn main() {
                 StreamKernel::Add => "stream_add_gbs",
                 StreamKernel::Triad => "stream_triad_gbs",
             };
-            println!("stream {k:?} n=2^24: {gbs:.2} GB/s");
-            records.push(Record {
-                name: name.into(),
-                value: gbs,
-                unit: "GB/s",
-            });
+            println!("stream {k:?} len=2^{}: {gbs:.2} GB/s", len.trailing_zeros());
+            sink.push(name, gbs, "GB/s");
         }
     }
 
     // --- HPL: single-rank and small multi-rank factorisations -----------
-    let r1 = mp::run(1, |comm| hpl::run(comm, &HplConfig { n: 512, nb: 32 }))[0];
+    let hpl_n = if smoke { 256 } else { 512 };
+    let r1 = mp::run(1, move |comm| {
+        hpl::run(comm, &HplConfig { n: hpl_n, nb: 32 })
+    })[0];
     assert!(
         r1.passed,
-        "HPL n=512 failed verification: residual {}",
+        "HPL n={hpl_n} failed verification: residual {}",
         r1.residual
     );
     println!(
-        "hpl 1d p=1 n=512: {:.2} Gflop/s (residual {:.3})",
+        "hpl 1d p=1 n={hpl_n}: {:.2} Gflop/s (residual {:.3})",
         r1.gflops, r1.residual
     );
-    records.push(Record {
-        name: "hpl1d_p1_n512_gflops".into(),
-        value: r1.gflops,
-        unit: "Gflop/s",
-    });
+    sink.push(format!("hpl1d_p1_n{hpl_n}_gflops"), r1.gflops, "Gflop/s");
 
-    let r4 = mp::run(4, |comm| hpl::run(comm, &HplConfig { n: 512, nb: 32 }))[0];
+    let r4 = mp::run(4, move |comm| {
+        hpl::run(comm, &HplConfig { n: hpl_n, nb: 32 })
+    })[0];
     assert!(
         r4.passed,
         "HPL p=4 failed verification: residual {}",
         r4.residual
     );
     println!(
-        "hpl 1d p=4 n=512: {:.2} Gflop/s (residual {:.3})",
+        "hpl 1d p=4 n={hpl_n}: {:.2} Gflop/s (residual {:.3})",
         r4.gflops, r4.residual
     );
-    records.push(Record {
-        name: "hpl1d_p4_n512_gflops".into(),
-        value: r4.gflops,
-        unit: "Gflop/s",
-    });
+    sink.push(format!("hpl1d_p4_n{hpl_n}_gflops"), r4.gflops, "Gflop/s");
 
-    let r2d = mp::run(4, |comm| {
+    let r2d = mp::run(4, move |comm| {
         hpl2d::run(
             comm,
             &Hpl2dConfig {
-                n: 512,
+                n: hpl_n,
                 nb: 32,
                 p_rows: 2,
             },
@@ -205,46 +186,22 @@ fn main() {
         r2d.residual
     );
     println!(
-        "hpl 2d 2x2 n=512: {:.2} Gflop/s (residual {:.3})",
+        "hpl 2d 2x2 n={hpl_n}: {:.2} Gflop/s (residual {:.3})",
         r2d.gflops, r2d.residual
     );
-    records.push(Record {
-        name: "hpl2d_2x2_n512_gflops".into(),
-        value: r2d.gflops,
-        unit: "Gflop/s",
-    });
+    sink.push(format!("hpl2d_2x2_n{hpl_n}_gflops"), r2d.gflops, "Gflop/s");
 
     // Explicit scaling metrics so the known parallel-efficiency regression
     // (p=4 below p=1 at this problem size) is tracked side by side rather
     // than buried in two separate absolute numbers.
     println!(
-        "hpl scaling n=512: p4/p1 {:.3}, 2d-2x2/1d-p4 {:.3}",
+        "hpl scaling n={hpl_n}: p4/p1 {:.3}, 2d-2x2/1d-p4 {:.3}",
         r4.gflops / r1.gflops,
         r2d.gflops / r4.gflops
     );
-    records.push(Record {
-        name: "hpl1d_scaling_p4_over_p1".into(),
-        value: r4.gflops / r1.gflops,
-        unit: "ratio",
-    });
-    records.push(Record {
-        name: "hpl2d_2x2_over_hpl1d_p4".into(),
-        value: r2d.gflops / r4.gflops,
-        unit: "ratio",
-    });
+    sink.push("hpl1d_scaling_p4_over_p1", r4.gflops / r1.gflops, "ratio");
+    sink.push("hpl2d_2x2_over_hpl1d_p4", r2d.gflops / r4.gflops, "ratio");
 
-    // --- Write BENCH_hpcc.json ------------------------------------------
-    let mut json = String::from("{\n  \"suite\": \"hpcc-compute-baseline\",\n  \"metrics\": {\n");
-    for (i, r) in records.iter().enumerate() {
-        let comma = if i + 1 < records.len() { "," } else { "" };
-        writeln!(
-            json,
-            "    \"{}\": {{ \"value\": {:.4}, \"unit\": \"{}\" }}{comma}",
-            r.name, r.value, r.unit
-        )
-        .unwrap();
-    }
-    json.push_str("  }\n}\n");
-    std::fs::write(&out_path, json).expect("write benchmark json");
+    sink.write(&out_path);
     println!("wrote {out_path}");
 }

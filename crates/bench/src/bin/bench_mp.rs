@@ -13,88 +13,38 @@
 //! the prior run is re-emitted as `<name>_baseline` and the headline
 //! PingPong/Bcast/Alltoall numbers get `<name>_speedup` ratios, so a
 //! single JSON documents before vs after a transport change.
+//!
+//! Repetition counts, warm-up and best-of come from the shared
+//! [`harness::Runner`] policy — the same one the native IMB paths use.
 
-use std::fmt::Write as _;
-
+use harness::{metrics, Record, Runner};
 use imb::benchmark::Benchmark;
-use imb::native::run_native;
+use imb::native::run_native_with;
 
-struct Record {
-    name: String,
-    value: f64,
-    unit: &'static str,
-}
-
-/// Iteration count for a message size: enough repetitions for a stable
-/// average without making the large sizes take minutes (IMB's own
-/// schedule shrinks the same way).
-fn iters_for(bytes: u64, smoke: bool) -> usize {
-    let full = match bytes {
-        0..=1024 => 4000,
-        1025..=65536 => 1000,
-        65537..=262144 => 300,
-        _ => 100,
-    };
-    if smoke {
-        (full / 50).max(3)
-    } else {
-        full
-    }
-}
-
-/// Best-of-`reps` measurement of one benchmark configuration; transport
-/// timings are noisy under thread scheduling, so keep the best run.
-fn best_run(b: Benchmark, procs: usize, bytes: u64, smoke: bool) -> imb::native::Measurement {
-    let reps = if smoke { 1 } else { 3 };
-    let mut best: Option<imb::native::Measurement> = None;
-    for _ in 0..reps {
-        let m = run_native(b, procs, bytes, iters_for(bytes, smoke));
-        if best.is_none() || m.t_max_us < best.as_ref().unwrap().t_max_us {
+/// Best-of measurement of one benchmark configuration; transport timings
+/// are noisy under thread scheduling, so keep the run with the lowest
+/// t_max.
+fn best_run(b: Benchmark, procs: usize, bytes: u64, runner: &Runner) -> Record {
+    let mut best: Option<Record> = None;
+    for _ in 0..runner.policy.measure_repetitions() {
+        let m = run_native_with(b, procs, bytes, runner);
+        if best.is_none_or(|prev| m.t_max_us() < prev.t_max_us()) {
             best = Some(m);
         }
     }
     best.unwrap()
 }
 
-/// Extracts `"name": { "value": X` pairs from a prior `BENCH_mp.json`
-/// (the exact format this binary writes; no general JSON parser needed).
-fn parse_baseline(text: &str) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    for line in text.lines() {
-        let line = line.trim();
-        let Some(rest) = line.strip_prefix('"') else {
-            continue;
-        };
-        let Some((name, rest)) = rest.split_once('"') else {
-            continue;
-        };
-        let Some(idx) = rest.find("\"value\":") else {
-            continue;
-        };
-        let tail = rest[idx + 8..].trim_start();
-        let num: String = tail
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
-            .collect();
-        if let Ok(v) = num.parse::<f64>() {
-            if !name.ends_with("_baseline") && !name.ends_with("_speedup") {
-                out.push((name.to_string(), v));
-            }
-        }
-    }
-    out
-}
-
 fn main() {
     let mut out_path = String::from("BENCH_mp.json");
     let mut baseline_path: Option<String> = None;
-    let mut smoke = false;
+    let mut runner = Runner::standard();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
-            "--smoke" => smoke = true,
+            "--smoke" => runner = Runner::smoke(),
             other => {
                 eprintln!(
                     "unknown argument: {other}\n\
@@ -105,26 +55,18 @@ fn main() {
         }
     }
 
-    let mut records: Vec<Record> = Vec::new();
+    let mut sink = metrics::MetricSink::new("mp-transport");
 
     // --- PingPong: latency at 8 B, bandwidth across sizes ---------------
-    let small = best_run(Benchmark::PingPong, 2, 8, smoke);
-    println!("pingpong 8B: {:.3} us round trip", small.t_max_us);
-    records.push(Record {
-        name: "pingpong_8b_latency_us".into(),
-        value: small.t_max_us,
-        unit: "us",
-    });
+    let small = best_run(Benchmark::PingPong, 2, 8, &runner);
+    println!("pingpong 8B: {:.3} us round trip", small.t_max_us());
+    sink.push("pingpong_8b_latency_us", small.t_max_us(), "us");
 
     for bytes in [4096u64, 65536, 1 << 20] {
-        let m = best_run(Benchmark::PingPong, 2, bytes, smoke);
-        let bw = m.bandwidth_mbs.expect("pingpong reports bandwidth");
-        println!("pingpong {bytes}B: {:.1} MB/s", bw);
-        records.push(Record {
-            name: format!("pingpong_{bytes}b_bw_mbs"),
-            value: bw,
-            unit: "MB/s",
-        });
+        let m = best_run(Benchmark::PingPong, 2, bytes, &runner);
+        let bw = m.bandwidth_mbs().expect("pingpong reports bandwidth");
+        println!("pingpong {bytes}B: {bw:.1} MB/s");
+        sink.push(format!("pingpong_{bytes}b_bw_mbs"), bw, "MB/s");
     }
 
     // --- Collective fan-out/exchange paths on 8 ranks -------------------
@@ -134,13 +76,9 @@ fn main() {
         (Benchmark::Sendrecv, "sendrecv", [1024, 1 << 20]),
     ] {
         for bytes in sizes {
-            let m = best_run(bench, 8, bytes, smoke);
-            println!("{name} p=8 {bytes}B: {:.2} us", m.t_max_us);
-            records.push(Record {
-                name: format!("{name}_p8_{bytes}b_us"),
-                value: m.t_max_us,
-                unit: "us",
-            });
+            let m = best_run(bench, 8, bytes, &runner);
+            println!("{name} p=8 {bytes}B: {:.2} us", m.t_max_us());
+            sink.push(format!("{name}_p8_{bytes}b_us"), m.t_max_us(), "us");
         }
     }
 
@@ -148,45 +86,12 @@ fn main() {
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        let baseline = parse_baseline(&text);
-        let current: Vec<(String, f64)> =
-            records.iter().map(|r| (r.name.clone(), r.value)).collect();
-        for (name, value) in &baseline {
-            let unit = if name.ends_with("_us") { "us" } else { "MB/s" };
-            records.push(Record {
-                name: format!("{name}_baseline"),
-                value: *value,
-                unit,
-            });
-            if let Some((_, now)) = current.iter().find(|(n, _)| n == name) {
-                // Higher-is-better for bandwidth, lower-is-better for time.
-                let speedup = if name.ends_with("_us") {
-                    value / now
-                } else {
-                    now / value
-                };
-                records.push(Record {
-                    name: format!("{name}_speedup"),
-                    value: speedup,
-                    unit: "x",
-                });
-                println!("{name}: {speedup:.2}x vs baseline");
-            }
+        let baseline = metrics::parse_baseline(&text);
+        for (name, speedup) in sink.merge_baseline(&baseline) {
+            println!("{name}: {speedup:.2}x vs baseline");
         }
     }
 
-    // --- Write BENCH_mp.json --------------------------------------------
-    let mut json = String::from("{\n  \"suite\": \"mp-transport\",\n  \"metrics\": {\n");
-    for (i, r) in records.iter().enumerate() {
-        let comma = if i + 1 < records.len() { "," } else { "" };
-        writeln!(
-            json,
-            "    \"{}\": {{ \"value\": {:.4}, \"unit\": \"{}\" }}{comma}",
-            r.name, r.value, r.unit
-        )
-        .unwrap();
-    }
-    json.push_str("  }\n}\n");
-    std::fs::write(&out_path, json).expect("write benchmark json");
+    sink.write(&out_path);
     println!("wrote {out_path}");
 }

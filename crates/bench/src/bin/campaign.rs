@@ -1,0 +1,146 @@
+//! The campaign driver: one invocation runs {machines x modes x
+//! workloads x proc counts} through the unified workload registry and
+//! writes the resulting record stream as JSON.
+//!
+//! ```text
+//! cargo run -p bench --bin campaign --release               # paper campaign + figures
+//! cargo run -p bench --bin campaign -- --smoke              # fast CI sweep, all 3 modes
+//! cargo run -p bench --bin campaign -- --records FILE       # records JSON path
+//! cargo run -p bench --bin campaign -- --out DIR            # artefact directory
+//! cargo run -p bench --bin campaign -- --no-figures         # records only
+//! ```
+//!
+//! Full mode replays the paper's simulated campaign over every machine
+//! variant and regenerates all tables and figures from the same registry
+//! (`hpcbench::output::write_all`). Smoke mode exercises every execution
+//! path — native, simulated and virtual — on a small cross product so CI
+//! proves all three routes stay wired through the registry and Runner.
+
+use std::path::PathBuf;
+
+use harness::{records_json, Mode, ProcGrid, Record, RunPlan, Runner};
+use hpcbench::figures::FigureConfig;
+use hpcbench::output::{self, OutputConfig};
+use machines::systems;
+
+fn smoke_records() -> Vec<Record> {
+    let reg = hpcbench::registry();
+    let plan = RunPlan {
+        modes: vec![Mode::Native, Mode::Simulated, Mode::Virtual],
+        machines: vec![systems::dell_xeon(), systems::nec_sx8()],
+        procs: ProcGrid::List(vec![2, 4]),
+        bytes: vec![1024, 65536],
+        workloads: None,
+        runner: Runner::smoke(),
+    };
+    plan.execute(&reg)
+}
+
+fn paper_records(max_procs: usize) -> Vec<Record> {
+    let reg = hpcbench::registry();
+    let plan = RunPlan {
+        modes: vec![Mode::Simulated],
+        machines: systems::all_variants(),
+        procs: ProcGrid::per_workload(move |m, _| {
+            let m = m.expect("simulated grids resolve per machine");
+            let limit = m.max_cpus.min(max_procs);
+            let mut grid = Vec::new();
+            let mut p = 2;
+            while p <= limit {
+                grid.push(p);
+                p *= 2;
+            }
+            // The paper's odd installation endpoint (SX-8 at 576 CPUs).
+            if m.max_cpus == 576 && limit >= 576 {
+                grid.push(576);
+            }
+            grid
+        }),
+        bytes: vec![simnet::units::MIB],
+        workloads: None,
+        runner: Runner::standard(),
+    };
+    plan.execute(&reg)
+}
+
+fn main() {
+    let mut out_dir = PathBuf::from("out");
+    let mut records_path: Option<PathBuf> = None;
+    let mut smoke = false;
+    let mut with_figures = true;
+    let mut max_procs = 2048usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--no-figures" => with_figures = false,
+            "--out" => out_dir = PathBuf::from(args.next().expect("--out needs a path")),
+            "--records" => {
+                records_path = Some(PathBuf::from(args.next().expect("--records needs a path")));
+            }
+            "--max-procs" => {
+                max_procs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-procs needs a number");
+            }
+            other => {
+                eprintln!(
+                    "unknown argument: {other}\n\
+                     usage: campaign [--smoke] [--no-figures] [--max-procs N] \
+                     [--out DIR] [--records FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let records = if smoke {
+        println!("campaign --smoke: native + simulated + virtual on a reduced cross product");
+        smoke_records()
+    } else {
+        println!(
+            "campaign: simulated paper sweep over every machine variant (max_procs = {max_procs})"
+        );
+        paper_records(max_procs)
+    };
+
+    let mut by_mode = [0usize; 3];
+    for r in &records {
+        by_mode[r.mode as usize] += 1;
+    }
+    println!(
+        "{} records ({} native, {} simulated, {} virtual), all passed: {}",
+        records.len(),
+        by_mode[Mode::Native as usize],
+        by_mode[Mode::Simulated as usize],
+        by_mode[Mode::Virtual as usize],
+        records.iter().all(|r| r.passed)
+    );
+    assert!(
+        records.iter().all(|r| r.passed),
+        "campaign contains failed records"
+    );
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let records_path = records_path.unwrap_or_else(|| out_dir.join("records.json"));
+    std::fs::write(&records_path, records_json(&records)).expect("write records json");
+    println!("wrote {}", records_path.display());
+
+    // Smoke keeps CI fast: records only, the figure sweep has its own test
+    // coverage. The full campaign regenerates the paper artefacts from the
+    // same registry the records came from.
+    if with_figures && !smoke {
+        let cfg = OutputConfig {
+            out_dir,
+            figures: FigureConfig {
+                max_procs,
+                ..FigureConfig::default()
+            },
+            with_extensions: true,
+            verbose: true,
+        };
+        let report = output::write_all(&cfg).expect("write figure artefacts");
+        println!("done: {}", report.display());
+    }
+}

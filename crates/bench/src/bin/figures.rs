@@ -7,30 +7,29 @@
 //! ```
 //!
 //! Writes one CSV per figure/table plus a combined `report.md`, and
-//! prints a short summary to stdout.
+//! prints a short summary to stdout. This is a thin wrapper over
+//! `hpcbench::output::write_all`; the campaign driver (`campaign`)
+//! produces the same artefacts alongside the unified records JSON.
 
-use std::fs;
 use std::path::PathBuf;
 
-use hpcbench::extensions;
-use hpcbench::figures::{self, FigureConfig};
+use hpcbench::figures::FigureConfig;
+use hpcbench::output::{self, OutputConfig};
 
 fn main() {
-    let mut out_dir = PathBuf::from("out");
-    let mut cfg = FigureConfig::default();
-    let mut with_extensions = true;
+    let mut cfg = OutputConfig::new(PathBuf::from("out"));
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--quick" => cfg = FigureConfig::quick(),
-            "--no-extensions" => with_extensions = false,
+            "--quick" => cfg.figures = FigureConfig::quick(),
+            "--no-extensions" => cfg.with_extensions = false,
             "--max-procs" => {
-                cfg.max_procs = args
+                cfg.figures.max_procs = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--max-procs needs a number");
             }
-            "--out" => out_dir = PathBuf::from(args.next().expect("--out needs a path")),
+            "--out" => cfg.out_dir = PathBuf::from(args.next().expect("--out needs a path")),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!("usage: figures [--quick] [--max-procs N] [--out DIR] [--no-extensions]");
@@ -39,58 +38,6 @@ fn main() {
         }
     }
 
-    fs::create_dir_all(&out_dir).expect("create output directory");
-    let mut report = String::from(
-        "# Regenerated tables and figures\n\nSaini et al., *Performance evaluation of \
-         supercomputers using HPCC and IMB Benchmarks* — simulated reproduction.\n\n",
-    );
-
-    println!("writing tables ...");
-    for table in figures::all_tables(&cfg) {
-        fs::write(out_dir.join(format!("{}.csv", table.id)), table.to_csv())
-            .expect("write table csv");
-        report.push_str(&table.to_markdown());
-        report.push('\n');
-        println!("  {} ({} rows)", table.id, table.rows.len());
-    }
-
-    println!("writing figures (max_procs = {}) ...", cfg.max_procs);
-    for fig in figures::all_figures(&cfg) {
-        fs::write(out_dir.join(format!("{}.csv", fig.id)), fig.to_csv()).expect("write figure csv");
-        fs::write(
-            out_dir.join(format!("{}.svg", fig.id)),
-            hpcbench::svg::render(&fig),
-        )
-        .expect("write figure svg");
-        report.push_str(&fig.to_markdown());
-        report.push('\n');
-        let points: usize = fig.series.iter().map(|s| s.points.len()).sum();
-        println!(
-            "  {} ({} series, {points} points)",
-            fig.id,
-            fig.series.len()
-        );
-    }
-
-    if with_extensions {
-        println!("writing extension studies (the paper's announced future work) ...");
-        let mut ext_figs = extensions::all_msgsize_figures(&cfg);
-        ext_figs.extend(extensions::all_onesided_figures());
-        ext_figs.push(extensions::future_systems_figure(&cfg));
-        for fig in ext_figs {
-            fs::write(out_dir.join(format!("{}.csv", fig.id)), fig.to_csv())
-                .expect("write extension csv");
-            fs::write(
-                out_dir.join(format!("{}.svg", fig.id)),
-                hpcbench::svg::render(&fig),
-            )
-            .expect("write extension svg");
-            report.push_str(&fig.to_markdown());
-            report.push('\n');
-            println!("  {}", fig.id);
-        }
-    }
-
-    fs::write(out_dir.join("report.md"), &report).expect("write report.md");
-    println!("done: {}", out_dir.join("report.md").display());
+    let report = output::write_all(&cfg).expect("write artefacts");
+    println!("done: {}", report.display());
 }

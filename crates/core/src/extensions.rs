@@ -11,6 +11,7 @@
 //! Output ids are prefixed `ext_` to keep them distinct from the paper's
 //! own figures.
 
+use harness::MetricKind;
 use machines::systems;
 
 use crate::figures::FigureConfig;
@@ -48,8 +49,8 @@ pub fn msgsize_figure(benchmark: imb::Benchmark, cfg: &FigureConfig) -> Figure {
                     .map(|&bytes| {
                         let meas = imb::sim::simulate(m, benchmark, p, bytes);
                         let y = match benchmark.metric() {
-                            imb::Metric::TimeUs => meas.t_max_us,
-                            imb::Metric::Bandwidth => meas.bandwidth_mbs.unwrap_or(0.0),
+                            MetricKind::BandwidthMBs => meas.bandwidth_mbs().unwrap_or(0.0),
+                            _ => meas.t_max_us(),
                         };
                         (bytes as f64, y)
                     })
@@ -62,8 +63,8 @@ pub fn msgsize_figure(benchmark: imb::Benchmark, cfg: &FigureConfig) -> Figure {
         title: format!("[extension] {benchmark} versus message size (1 B .. 2 MB)"),
         xlabel: "message bytes".into(),
         ylabel: match benchmark.metric() {
-            imb::Metric::TimeUs => "time per call (us)".into(),
-            imb::Metric::Bandwidth => "bandwidth (MB/s)".into(),
+            MetricKind::BandwidthMBs => "bandwidth (MB/s)".into(),
+            _ => "time per call (us)".into(),
         },
         series,
     }
@@ -202,7 +203,7 @@ pub fn future_systems_figure(cfg: &FigureConfig) -> Figure {
             let mut p = 2;
             while p <= m.max_cpus.min(cfg.max_procs).min(512) {
                 let meas = imb::sim::simulate(m, imb::Benchmark::Alltoall, p, cfg.imb_bytes);
-                points.push((p as f64, meas.t_max_us));
+                points.push((p as f64, meas.t_max_us()));
                 p *= 2;
             }
             Series {

@@ -6,12 +6,18 @@
 //! | fig01-fig04 | random-ring / STREAM balance vs HPL | `hpcc::sim` sweeps |
 //! | fig05, table3 | HPL-normalised benchmark comparison | `ratios::kiviat_row` |
 //! | fig06-fig15 | IMB collectives / transfers at 1 MB | `imb::sim` sweeps |
+//!
+//! Every sweep routes through the unified workload registry
+//! ([`crate::registry`]) and the harness campaign driver
+//! ([`harness::RunPlan`]); the figures are projections of the resulting
+//! [`harness::Record`] streams.
 
+use harness::{MetricKind, Mode, ProcGrid, RunPlan, Runner};
 use machines::{systems, Machine};
 use simnet::units::MIB;
 
 use crate::ratios;
-use crate::report::{fmt_num, Figure, Series, Table};
+use crate::report::{figure_from_records, fmt_num, Figure, Series, Table};
 
 /// Sweep scale configuration. The default regenerates the paper's full
 /// processor ranges; tests use a smaller cap.
@@ -90,12 +96,26 @@ pub struct HpccSweep {
 /// Runs the HPCC model sweep for every machine variant of Figs. 1-4
 /// (including the Altix NUMALINK3 configuration).
 pub fn hpcc_sweeps(cfg: &FigureConfig) -> Vec<HpccSweep> {
+    let reg = crate::registry::registry();
     systems::all_variants()
         .into_iter()
         .map(|machine| {
-            let rows = hpcc_grid(&machine, cfg.max_procs)
-                .into_iter()
-                .map(|p| hpcc::sim::summary(&machine, p))
+            let grid = hpcc_grid(&machine, cfg.max_procs);
+            let plan = RunPlan {
+                modes: vec![Mode::Simulated],
+                machines: vec![machine.clone()],
+                procs: ProcGrid::List(grid.clone()),
+                bytes: vec![],
+                workloads: Some(crate::registry::hpcc_names()),
+                runner: Runner::standard(),
+            };
+            let records = plan.execute(&reg);
+            let rows = grid
+                .iter()
+                .map(|&p| {
+                    let at_p: Vec<_> = records.iter().filter(|r| r.procs == p).copied().collect();
+                    hpcc::HpccSummary::from_records(&at_p)
+                })
                 .collect();
             HpccSweep { machine, rows }
         })
@@ -310,30 +330,26 @@ fn imb_figure(
     title: &str,
     cfg: &FigureConfig,
 ) -> Figure {
-    let bytes = if benchmark.sized() { cfg.imb_bytes } else { 0 };
-    let (ylabel, extract): (&str, fn(&imb::Measurement) -> f64) = match benchmark.metric() {
-        imb::Metric::TimeUs => ("time per call (us)", |m| m.t_max_us),
-        imb::Metric::Bandwidth => ("bandwidth (MB/s)", |m| m.bandwidth_mbs.unwrap_or(0.0)),
+    let reg = crate::registry::registry();
+    let cap = cfg.max_procs;
+    let plan = RunPlan {
+        modes: vec![Mode::Simulated],
+        machines: imb_machines(),
+        procs: ProcGrid::per_workload(move |m, _| {
+            imb_grid(m.expect("simulated sweeps resolve per machine"), cap)
+        }),
+        bytes: vec![cfg.imb_bytes],
+        workloads: Some(vec![benchmark.name()]),
+        runner: Runner::standard(),
     };
-    Figure {
-        id,
-        title: title.to_string(),
-        xlabel: "processes".into(),
-        ylabel: ylabel.into(),
-        series: imb_machines()
-            .iter()
-            .map(|m| Series {
-                name: m.name.to_string(),
-                points: imb_grid(m, cfg.max_procs)
-                    .into_iter()
-                    .map(|p| {
-                        let meas = imb::sim::simulate(m, benchmark, p, bytes);
-                        (p as f64, extract(&meas))
-                    })
-                    .collect(),
-            })
-            .collect(),
-    }
+    let records = plan.execute(&reg);
+    let ylabel = match benchmark.metric() {
+        MetricKind::BandwidthMBs => "bandwidth (MB/s)",
+        _ => "time per call (us)",
+    };
+    // For TimeUs records `value` is t_max; for bandwidth records it is the
+    // MB/s figure itself — so the projection is uniform.
+    figure_from_records(id, title, "processes", ylabel, &records, |r| r.value)
 }
 
 /// Fig. 6: execution time of the Barrier benchmark.
@@ -503,6 +519,41 @@ mod tests {
                 assert_eq!(x1, x2);
                 let expect = y1 / x1 * 1000.0;
                 assert!((y2 - expect).abs() < 1e-6 * expect, "{} vs {expect}", y2);
+            }
+        }
+    }
+
+    #[test]
+    fn registry_routed_figures_match_direct_simulation() {
+        let cfg = FigureConfig::quick();
+        for (fig, bench) in [
+            (fig12(&cfg), imb::Benchmark::Alltoall),
+            (fig13(&cfg), imb::Benchmark::Sendrecv),
+            (fig06(&cfg), imb::Benchmark::Barrier),
+        ] {
+            for s in &fig.series {
+                let m = imb_machines()
+                    .into_iter()
+                    .find(|m| m.name == s.name)
+                    .unwrap();
+                for (x, y) in &s.points {
+                    let bytes = if bench.sized() { cfg.imb_bytes } else { 0 };
+                    let direct = imb::sim::simulate(&m, bench, *x as usize, bytes);
+                    assert_eq!(*y, direct.value, "{} {} p={}", fig.id, s.name, x);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_driven_sweeps_match_direct_models() {
+        let cfg = FigureConfig::quick();
+        for sw in &hpcc_sweeps(&cfg) {
+            for row in &sw.rows {
+                let direct = hpcc::sim::summary(&sw.machine, row.cpus);
+                assert_eq!(row.ghpl, direct.ghpl, "{} p={}", sw.machine.name, row.cpus);
+                assert_eq!(row.stream_copy, direct.stream_copy);
+                assert_eq!(row.ring_bw, direct.ring_bw);
             }
         }
     }

@@ -2,18 +2,22 @@
 //! *"Performance evaluation of supercomputers using HPCC and IMB
 //! Benchmarks"* (J. Computer and System Sciences 74, 2008).
 //!
-//! Three layers:
+//! Layers:
 //!
-//! * [`figures`] regenerates every table and figure of the paper from the
-//!   machine models (`machines`) and the benchmark simulations
-//!   (`hpcc::sim`, `imb::sim`).
+//! * [`registry`] declares the unified workload table — one entry per
+//!   HPCC component and per IMB benchmark — wiring each to its native,
+//!   simulated and virtual execution paths through the `harness` crate.
+//! * [`figures`] regenerates every table and figure of the paper by
+//!   executing [`harness::RunPlan`] campaigns against the registry and
+//!   projecting the resulting [`harness::Record`] streams.
 //! * [`ratios`] implements the paper's ratio-based analysis (Section
 //!   4.1): communication/computation balance and the HPL-normalised
 //!   Kiviat comparison.
-//! * [`report`] renders figures and tables to CSV and markdown.
+//! * [`report`] renders figures and tables to CSV and markdown;
+//!   [`output`] writes the full artefact set to a directory.
 //!
 //! Native benchmark execution (real runs on this host) lives in the
-//! `hpcc` and `imb` crates; this crate consumes their summaries.
+//! `hpcc` and `imb` crates; this crate consumes their record streams.
 //!
 //! ```
 //! use hpcbench::figures::{fig06, FigureConfig};
@@ -27,8 +31,11 @@
 
 pub mod extensions;
 pub mod figures;
+pub mod output;
 pub mod ratios;
+pub mod registry;
 pub mod report;
 pub mod svg;
 
+pub use registry::registry;
 pub use report::{Figure, Series, Table};

@@ -1,0 +1,135 @@
+//! Output stage shared by the `figures` and `campaign` binaries: writes
+//! every regenerated table and figure (CSV + SVG + combined markdown
+//! report) into a directory. The logic used to live in the `figures`
+//! binary; hoisting it here lets the campaign driver regenerate the
+//! paper's artefacts from one invocation.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::extensions;
+use crate::figures::{self, FigureConfig};
+
+/// What [`write_all`] should produce.
+#[derive(Clone, Debug)]
+pub struct OutputConfig {
+    /// Destination directory (created if missing).
+    pub out_dir: PathBuf,
+    /// Sweep scale.
+    pub figures: FigureConfig,
+    /// Also write the extension studies (message-size sweeps, one-sided
+    /// schemes, future systems).
+    pub with_extensions: bool,
+    /// Print a one-line progress note per artefact.
+    pub verbose: bool,
+}
+
+impl OutputConfig {
+    /// Full paper-scale output into `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> OutputConfig {
+        OutputConfig {
+            out_dir: dir.into(),
+            figures: FigureConfig::default(),
+            with_extensions: true,
+            verbose: true,
+        }
+    }
+}
+
+/// Writes all tables, figures, extensions and the combined `report.md`.
+/// Returns the path of the written report.
+pub fn write_all(cfg: &OutputConfig) -> io::Result<PathBuf> {
+    fs::create_dir_all(&cfg.out_dir)?;
+    let mut report = String::from(
+        "# Regenerated tables and figures\n\nSaini et al., *Performance evaluation of \
+         supercomputers using HPCC and IMB Benchmarks* — simulated reproduction.\n\n",
+    );
+
+    if cfg.verbose {
+        println!("writing tables ...");
+    }
+    for table in figures::all_tables(&cfg.figures) {
+        fs::write(
+            cfg.out_dir.join(format!("{}.csv", table.id)),
+            table.to_csv(),
+        )?;
+        report.push_str(&table.to_markdown());
+        report.push('\n');
+        if cfg.verbose {
+            println!("  {} ({} rows)", table.id, table.rows.len());
+        }
+    }
+
+    if cfg.verbose {
+        println!(
+            "writing figures (max_procs = {}) ...",
+            cfg.figures.max_procs
+        );
+    }
+    for fig in figures::all_figures(&cfg.figures) {
+        write_figure(&cfg.out_dir, &fig)?;
+        report.push_str(&fig.to_markdown());
+        report.push('\n');
+        if cfg.verbose {
+            let points: usize = fig.series.iter().map(|s| s.points.len()).sum();
+            println!(
+                "  {} ({} series, {points} points)",
+                fig.id,
+                fig.series.len()
+            );
+        }
+    }
+
+    if cfg.with_extensions {
+        if cfg.verbose {
+            println!("writing extension studies (the paper's announced future work) ...");
+        }
+        let mut ext_figs = extensions::all_msgsize_figures(&cfg.figures);
+        ext_figs.extend(extensions::all_onesided_figures());
+        ext_figs.push(extensions::future_systems_figure(&cfg.figures));
+        for fig in ext_figs {
+            write_figure(&cfg.out_dir, &fig)?;
+            report.push_str(&fig.to_markdown());
+            report.push('\n');
+            if cfg.verbose {
+                println!("  {}", fig.id);
+            }
+        }
+    }
+
+    let report_path = cfg.out_dir.join("report.md");
+    fs::write(&report_path, &report)?;
+    Ok(report_path)
+}
+
+fn write_figure(dir: &Path, fig: &crate::Figure) -> io::Result<()> {
+    fs::write(dir.join(format!("{}.csv", fig.id)), fig.to_csv())?;
+    fs::write(dir.join(format!("{}.svg", fig.id)), crate::svg::render(fig))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_output_writes_report_and_core_artefacts() {
+        let dir = std::env::temp_dir().join(format!("hpcbench-out-{}", std::process::id()));
+        let cfg = OutputConfig {
+            out_dir: dir.clone(),
+            figures: FigureConfig::quick(),
+            with_extensions: false,
+            verbose: false,
+        };
+        let report = write_all(&cfg).unwrap();
+        assert!(report.ends_with("report.md"));
+        let text = fs::read_to_string(&report).unwrap();
+        assert!(text.contains("fig12"));
+        for id in ["table1", "table2", "fig05", "table3", "fig06", "fig15"] {
+            assert!(dir.join(format!("{id}.csv")).exists(), "{id}.csv missing");
+        }
+        assert!(dir.join("fig12.svg").exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -2,6 +2,8 @@
 
 use std::fmt::Write as _;
 
+use harness::Record;
+
 /// One plotted series: a named list of (x, y) points.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Series {
@@ -75,6 +77,38 @@ impl Figure {
         }
         let _ = writeln!(out, "\n*y: {}*", self.ylabel);
         out
+    }
+}
+
+/// Builds a figure from a unified record stream: one series per machine
+/// (in first-appearance order), x = processor count, y extracted per
+/// record. This is how the paper's IMB figures consume the campaign
+/// driver's output.
+pub fn figure_from_records(
+    id: &'static str,
+    title: impl Into<String>,
+    xlabel: impl Into<String>,
+    ylabel: impl Into<String>,
+    records: &[Record],
+    y: impl Fn(&Record) -> f64,
+) -> Figure {
+    let mut series: Vec<Series> = Vec::new();
+    for r in records {
+        let point = (r.procs as f64, y(r));
+        match series.iter_mut().find(|s| s.name == r.machine) {
+            Some(s) => s.points.push(point),
+            None => series.push(Series {
+                name: r.machine.to_string(),
+                points: vec![point],
+            }),
+        }
+    }
+    Figure {
+        id,
+        title: title.into(),
+        xlabel: xlabel.into(),
+        ylabel: ylabel.into(),
+        series,
     }
 }
 

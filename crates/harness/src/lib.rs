@@ -1,0 +1,38 @@
+//! The unified benchmark harness.
+//!
+//! This crate is the layer every execution path in the workspace routes
+//! through:
+//!
+//! - [`Record`] — one structured result schema (benchmark, mode,
+//!   machine, procs, bytes, statistics) shared by the HPCC and IMB
+//!   suites across native, simulated and virtual execution.
+//! - [`Runner`] — owns warm-up, the IMB-2.3 repetition rule and the
+//!   cross-rank min/avg/max statistics, replacing hand-rolled timing
+//!   loops.
+//! - [`Workload`] / [`Registry`] — one entry per benchmark declaring
+//!   metadata plus native/simulated/virtual closures, replacing
+//!   per-crate dispatch.
+//! - [`RunPlan`] — the campaign driver: {machines x modes x workloads x
+//!   proc counts} executed against a registry, yielding one record
+//!   stream that regenerates every paper table and figure.
+//! - [`metrics`] — the `BENCH_*.json` named-metric sink and baseline
+//!   parser shared by the bench binaries.
+//!
+//! The harness sits below `hpcc`/`imb` (it depends only on `mp`,
+//! `simnet` and `machines`); the registry wiring the suites' closures
+//! together lives above them, in `hpcbench::registry`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+mod plan;
+mod record;
+mod runner;
+mod workload;
+
+pub use metrics::{Metric, MetricSink};
+pub use plan::{GridFn, ProcGrid, RunPlan};
+pub use record::{records_json, MetricKind, Mode, Record, Stats, Suite};
+pub use runner::{BestOf, RepetitionPolicy, Runner};
+pub use workload::{Registry, Workload, WorkloadMeta};

@@ -1,0 +1,223 @@
+//! The campaign driver: a [`RunPlan`] describes {machines x modes x
+//! workloads x proc counts x message sizes} and executes it against a
+//! [`Registry`](crate::Registry), producing one unified record stream.
+//! One plan regenerates the inputs for every paper table and figure.
+
+use machines::Machine;
+
+use crate::record::{Mode, Record};
+use crate::runner::Runner;
+use crate::workload::{Registry, WorkloadMeta};
+
+/// A per-workload grid function: called with the machine (`None` in
+/// native mode) and the workload's metadata.
+pub type GridFn = dyn Fn(Option<&Machine>, &WorkloadMeta) -> Vec<usize> + Send + Sync;
+
+/// The processor counts a plan sweeps.
+pub enum ProcGrid {
+    /// One explicit list, shared by every workload and machine (capped
+    /// at each machine's installation size).
+    List(Vec<usize>),
+    /// A per-workload grid: this is how the figure campaign reproduces
+    /// the paper's per-machine grids.
+    PerWorkload(Box<GridFn>),
+}
+
+impl ProcGrid {
+    /// Convenience constructor for the closure variant.
+    pub fn per_workload(
+        f: impl Fn(Option<&Machine>, &WorkloadMeta) -> Vec<usize> + Send + Sync + 'static,
+    ) -> ProcGrid {
+        ProcGrid::PerWorkload(Box::new(f))
+    }
+
+    fn resolve(&self, machine: Option<&Machine>, meta: &WorkloadMeta) -> Vec<usize> {
+        match self {
+            ProcGrid::List(list) => list.clone(),
+            ProcGrid::PerWorkload(f) => f(machine, meta),
+        }
+    }
+}
+
+/// A full campaign description: which workloads to run, in which modes,
+/// on which machines, at which scales.
+pub struct RunPlan {
+    /// Execution modes, in order.
+    pub modes: Vec<Mode>,
+    /// Machine models for the simulated and virtual modes (ignored by
+    /// native execution, which runs on the host).
+    pub machines: Vec<Machine>,
+    /// Processor counts.
+    pub procs: ProcGrid,
+    /// Message sizes for sized workloads (unsized workloads run once per
+    /// proc count regardless).
+    pub bytes: Vec<u64>,
+    /// Workload-name filter; `None` runs the whole registry.
+    pub workloads: Option<Vec<&'static str>>,
+    /// The runner (warm-up + repetition policy) shared by every
+    /// measurement.
+    pub runner: Runner,
+}
+
+impl RunPlan {
+    /// Executes the plan, returning every record it produced, in
+    /// deterministic (workload, mode, machine, procs, bytes) order.
+    pub fn execute(&self, registry: &Registry) -> Vec<Record> {
+        let mut out = Vec::new();
+        for workload in registry.iter() {
+            if let Some(filter) = &self.workloads {
+                if !filter.contains(&workload.meta.name) {
+                    continue;
+                }
+            }
+            for &mode in &self.modes {
+                match mode {
+                    Mode::Native => {
+                        for p in self.procs.resolve(None, &workload.meta) {
+                            for bytes in self.bytes_for(&workload.meta) {
+                                if let Some(recs) = workload.run(mode, &self.runner, None, p, bytes)
+                                {
+                                    out.extend(recs);
+                                }
+                            }
+                        }
+                    }
+                    Mode::Simulated | Mode::Virtual => {
+                        for machine in &self.machines {
+                            for p in self.procs.resolve(Some(machine), &workload.meta) {
+                                if p > machine.max_cpus {
+                                    continue;
+                                }
+                                for bytes in self.bytes_for(&workload.meta) {
+                                    if let Some(recs) =
+                                        workload.run(mode, &self.runner, Some(machine), p, bytes)
+                                    {
+                                        out.extend(recs);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn bytes_for(&self, meta: &WorkloadMeta) -> Vec<Option<u64>> {
+        if meta.sized {
+            if self.bytes.is_empty() {
+                vec![None]
+            } else {
+                self.bytes.iter().map(|&b| Some(b)).collect()
+            }
+        } else {
+            vec![None]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{MetricKind, Stats, Suite};
+    use crate::workload::Workload;
+
+    fn reg() -> Registry {
+        let mut reg = Registry::new();
+        let rec = |name: &'static str, mode: Mode, machine: &'static str, p: usize, b| Record {
+            benchmark: name,
+            suite: Suite::Imb,
+            mode,
+            machine,
+            procs: p,
+            bytes: b,
+            metric: MetricKind::TimeUs,
+            value: 1.0,
+            stats: Stats::deterministic(1.0),
+            passed: true,
+        };
+        reg.register(
+            Workload::new(WorkloadMeta {
+                name: "sized",
+                suite: Suite::Imb,
+                metric: MetricKind::TimeUs,
+                min_procs: 2,
+                pow2_procs: false,
+                sized: true,
+            })
+            .native(move |_, p, b| vec![rec("sized", Mode::Native, "host", p, b)])
+            .simulated(move |m, p, b| vec![rec("sized", Mode::Simulated, m.name, p, b)]),
+        );
+        reg.register(
+            Workload::new(WorkloadMeta {
+                name: "unsized",
+                suite: Suite::Imb,
+                metric: MetricKind::TimeUs,
+                min_procs: 1,
+                pow2_procs: false,
+                sized: false,
+            })
+            .native(move |_, p, b| vec![rec("unsized", Mode::Native, "host", p, b)]),
+        );
+        reg
+    }
+
+    #[test]
+    fn plan_crosses_workloads_modes_procs_and_bytes() {
+        let plan = RunPlan {
+            modes: vec![Mode::Native, Mode::Simulated],
+            machines: vec![machines::systems::dell_xeon()],
+            procs: ProcGrid::List(vec![2, 4]),
+            bytes: vec![256, 1024],
+            workloads: None,
+            runner: Runner::smoke(),
+        };
+        let records = plan.execute(&reg());
+        // sized: native 2 procs x 2 bytes + sim 2 procs x 2 bytes = 8;
+        // unsized: native 2 procs x 1 (no sim closure) = 2.
+        assert_eq!(records.len(), 10);
+        assert!(records.iter().any(|r| r.mode == Mode::Simulated));
+        assert!(records
+            .iter()
+            .filter(|r| r.benchmark == "unsized")
+            .all(|r| r.bytes.is_none()));
+    }
+
+    #[test]
+    fn plan_caps_at_installation_size_and_filters() {
+        let mut x1 = machines::systems::cray_x1_msp();
+        x1.max_cpus = 2;
+        let plan = RunPlan {
+            modes: vec![Mode::Simulated],
+            machines: vec![x1],
+            procs: ProcGrid::List(vec![2, 64]),
+            bytes: vec![64],
+            workloads: Some(vec!["sized"]),
+            runner: Runner::smoke(),
+        };
+        let records = plan.execute(&reg());
+        assert_eq!(
+            records.len(),
+            1,
+            "p=64 exceeds max_cpus, 'unsized' filtered"
+        );
+        assert_eq!(records[0].procs, 2);
+    }
+
+    #[test]
+    fn per_workload_grids_see_the_machine() {
+        let plan = RunPlan {
+            modes: vec![Mode::Simulated],
+            machines: vec![machines::systems::dell_xeon()],
+            procs: ProcGrid::per_workload(|m, _| {
+                assert!(m.is_some());
+                vec![4]
+            }),
+            bytes: vec![64],
+            workloads: Some(vec!["sized"]),
+            runner: Runner::smoke(),
+        };
+        assert_eq!(plan.execute(&reg()).len(), 1);
+    }
+}

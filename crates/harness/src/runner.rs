@@ -1,0 +1,313 @@
+//! The mode-agnostic runner: warm-up, repetition policy and IMB-style
+//! statistics live here, so neither the benchmark crates nor the bench
+//! binaries hand-roll timing loops or iteration tables.
+
+use mp::{Comm, Op};
+
+use crate::record::Stats;
+
+/// How many timed repetitions a measurement runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepetitionPolicy {
+    /// IMB 2.3's rule: 1000 iterations, scaled down for large messages.
+    Imb,
+    /// The IMB rule divided by 50 (floor 3): the fast CI mode every
+    /// bench binary's `--smoke` flag maps to.
+    Smoke,
+    /// An explicit iteration count, regardless of message size.
+    Fixed(usize),
+}
+
+impl RepetitionPolicy {
+    /// Timed repetitions for a message of `bytes`.
+    pub fn repetitions(&self, bytes: u64) -> usize {
+        let full = match bytes {
+            0..=4096 => 1000,
+            4097..=65536 => 640,
+            65537..=1048576 => 80,
+            _ => 20,
+        };
+        match self {
+            RepetitionPolicy::Imb => full,
+            RepetitionPolicy::Smoke => (full / 50).max(3),
+            RepetitionPolicy::Fixed(n) => *n,
+        }
+    }
+
+    /// Best-of outer repetitions for noisy native measurements (the
+    /// whole timed loop repeated, minimum kept).
+    pub fn measure_repetitions(&self) -> usize {
+        match self {
+            RepetitionPolicy::Smoke => 1,
+            _ => 3,
+        }
+    }
+
+    /// Scales a bench binary's full-mode best-of count: unchanged at
+    /// full fidelity, clamped to 2 in smoke mode.
+    pub fn best_reps(&self, full: usize) -> usize {
+        match self {
+            RepetitionPolicy::Smoke => full.clamp(1, 2),
+            RepetitionPolicy::Fixed(n) => (*n).max(1),
+            RepetitionPolicy::Imb => full.max(1),
+        }
+    }
+
+    /// Whether this is the smoke policy.
+    pub fn is_smoke(&self) -> bool {
+        *self == RepetitionPolicy::Smoke
+    }
+}
+
+/// Owns warm-up and repetition policy for every execution path. One
+/// `Runner` drives native HPCC components, native IMB loops, virtual
+/// runs and the bench binaries alike.
+#[derive(Clone, Copy, Debug)]
+pub struct Runner {
+    /// Untimed warm-up iterations before the timed loop.
+    pub warmup: usize,
+    /// Repetition policy for the timed loop.
+    pub policy: RepetitionPolicy,
+}
+
+impl Runner {
+    /// Full-fidelity runner: one warm-up pass, IMB repetition rule.
+    pub fn standard() -> Runner {
+        Runner {
+            warmup: 1,
+            policy: RepetitionPolicy::Imb,
+        }
+    }
+
+    /// Fast-CI runner: one warm-up pass, smoke repetition rule.
+    pub fn smoke() -> Runner {
+        Runner {
+            warmup: 1,
+            policy: RepetitionPolicy::Smoke,
+        }
+    }
+
+    /// A runner with an explicit iteration count.
+    pub fn fixed(iters: usize) -> Runner {
+        Runner {
+            warmup: 1,
+            policy: RepetitionPolicy::Fixed(iters),
+        }
+    }
+
+    /// Timed repetitions for a message of `bytes` (unsized workloads
+    /// pass `None`, which follows the small-message rule).
+    pub fn repetitions(&self, bytes: Option<u64>) -> usize {
+        self.policy.repetitions(bytes.unwrap_or(0)).max(1)
+    }
+
+    /// The collective timed loop, IMB convention: `warmup` untimed
+    /// passes, a barrier, then `iters` timed passes. Returns this rank's
+    /// per-call time in microseconds.
+    pub fn time_collective(&self, comm: &Comm, iters: usize, mut body: impl FnMut(usize)) -> f64 {
+        assert!(iters > 0, "need at least one iteration");
+        for w in 0..self.warmup {
+            body(w);
+        }
+        comm.barrier();
+        let clock = mp::timer::Stopwatch::start();
+        for it in 0..iters {
+            body(it);
+        }
+        clock.elapsed_secs() / iters as f64 * 1e6
+    }
+
+    /// IMB cross-rank statistics: min/avg/max over the participating
+    /// ranks' per-call averages. Collective; every rank returns the same
+    /// stats.
+    pub fn rank_stats(comm: &Comm, per_call_us: f64, participated: bool, iters: usize) -> Stats {
+        let mut maxv = [if participated { per_call_us } else { 0.0 }];
+        let mut minv = [if participated {
+            per_call_us
+        } else {
+            f64::INFINITY
+        }];
+        let mut sums = [
+            if participated { per_call_us } else { 0.0 },
+            if participated { 1.0 } else { 0.0 },
+        ];
+        comm.allreduce(&mut maxv, Op::Max);
+        comm.allreduce(&mut minv, Op::Min);
+        comm.allreduce(&mut sums, Op::Sum);
+        Stats {
+            repetitions: iters,
+            t_min_us: minv[0],
+            t_avg_us: sums[0] / sums[1].max(1.0),
+            t_max_us: maxv[0],
+        }
+    }
+
+    /// Best-of-`reps` wall time of one invocation of `f`, in seconds
+    /// (floored at 1 ns so rates stay finite).
+    pub fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let t = std::time::Instant::now();
+            f();
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best.max(1e-9)
+    }
+
+    /// Times one collective invocation of `f`, returning its result
+    /// together with IMB-style cross-rank wall-time statistics
+    /// (repetitions = 1, no warm-up — suited to one-shot components
+    /// whose re-execution would be prohibitively expensive).
+    pub fn timed_stats<T>(comm: &Comm, f: impl FnOnce() -> T) -> (T, Stats) {
+        let clock = mp::timer::Stopwatch::start();
+        let out = f();
+        let elapsed_us = clock.elapsed_secs() * 1e6;
+        (out, Runner::rank_stats(comm, elapsed_us, true, 1))
+    }
+}
+
+/// Interleaved best-of accumulator for same-window A/B comparisons. The
+/// caller's repetition loop prepares inputs, then times each competing
+/// kernel back to back through one of the `time*` methods; the per-lane
+/// minimum is kept, so all lanes see the same thermal/cache window.
+pub struct BestOf {
+    best: Vec<f64>,
+}
+
+impl BestOf {
+    /// An accumulator comparing `lanes` competing kernels.
+    pub fn new(lanes: usize) -> BestOf {
+        BestOf {
+            best: vec![f64::INFINITY; lanes],
+        }
+    }
+
+    /// Times one invocation of `f` and folds it into `lane`'s minimum.
+    pub fn time(&mut self, lane: usize, f: impl FnOnce()) {
+        let t = std::time::Instant::now();
+        f();
+        let secs = t.elapsed().as_secs_f64();
+        self.best[lane] = self.best[lane].min(secs);
+    }
+
+    /// Collective variant: barrier, stopwatch, `f`, barrier — every rank
+    /// times the same window, including the slowest rank's finish.
+    pub fn time_collective(&mut self, comm: &Comm, lane: usize, f: impl FnOnce()) {
+        comm.barrier();
+        let clock = mp::timer::Stopwatch::start();
+        f();
+        comm.barrier();
+        let secs = clock.elapsed_secs();
+        self.best[lane] = self.best[lane].min(secs);
+    }
+
+    /// The lane's best time in seconds, floored at 1 ns so derived rates
+    /// stay finite.
+    pub fn secs(&self, lane: usize) -> f64 {
+        self.best[lane].max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imb_repetition_rule() {
+        assert_eq!(RepetitionPolicy::Imb.repetitions(1024), 1000);
+        assert_eq!(RepetitionPolicy::Imb.repetitions(65536), 640);
+        assert_eq!(RepetitionPolicy::Imb.repetitions(1 << 20), 80);
+        assert_eq!(RepetitionPolicy::Imb.repetitions(4 << 20), 20);
+    }
+
+    #[test]
+    fn smoke_scales_down_with_floor() {
+        assert_eq!(RepetitionPolicy::Smoke.repetitions(1024), 20);
+        assert_eq!(RepetitionPolicy::Smoke.repetitions(4 << 20), 3);
+        assert_eq!(RepetitionPolicy::Smoke.measure_repetitions(), 1);
+        assert_eq!(RepetitionPolicy::Imb.measure_repetitions(), 3);
+        assert_eq!(RepetitionPolicy::Smoke.best_reps(5), 2);
+        assert_eq!(RepetitionPolicy::Imb.best_reps(5), 5);
+    }
+
+    #[test]
+    fn fixed_ignores_bytes() {
+        assert_eq!(RepetitionPolicy::Fixed(7).repetitions(0), 7);
+        assert_eq!(RepetitionPolicy::Fixed(7).repetitions(4 << 20), 7);
+    }
+
+    #[test]
+    fn timed_loop_runs_warmup_and_iters() {
+        let counts = mp::run(2, |comm| {
+            let runner = Runner::fixed(4);
+            let mut calls = 0usize;
+            let per_call = runner.time_collective(comm, 4, |_| calls += 1);
+            assert!(per_call >= 0.0);
+            calls
+        });
+        // 1 warm-up + 4 timed.
+        assert_eq!(counts, vec![5, 5]);
+    }
+
+    #[test]
+    fn rank_stats_cover_all_ranks() {
+        let stats = mp::run(4, |comm| {
+            let per_call = (comm.rank() + 1) as f64;
+            Runner::rank_stats(comm, per_call, true, 10)
+        });
+        for s in stats {
+            assert_eq!(s.t_min_us, 1.0);
+            assert_eq!(s.t_max_us, 4.0);
+            assert!((s.t_avg_us - 2.5).abs() < 1e-12);
+            assert_eq!(s.repetitions, 10);
+            assert!(s.is_ordered());
+        }
+    }
+
+    #[test]
+    fn best_of_keeps_per_lane_minima() {
+        let mut best = BestOf::new(2);
+        for rep in 0..3 {
+            best.time(0, || {
+                std::thread::sleep(std::time::Duration::from_micros(50))
+            });
+            // Lane 1 is instantaneous on one rep only; the fold keeps it.
+            if rep == 1 {
+                best.time(1, || {});
+            } else {
+                best.time(1, || {
+                    std::thread::sleep(std::time::Duration::from_micros(200))
+                });
+            }
+        }
+        assert!(best.secs(0) >= 40e-6);
+        assert!(best.secs(1) < best.secs(0));
+        assert!(best.secs(1) >= 1e-9, "floored at 1 ns");
+    }
+
+    #[test]
+    fn timed_stats_times_one_collective_region() {
+        let stats = mp::run(2, |comm| {
+            let (value, stats) = Runner::timed_stats(comm, || 42usize);
+            assert_eq!(value, 42);
+            stats
+        });
+        for s in stats {
+            assert_eq!(s.repetitions, 1);
+            assert!(s.is_ordered());
+            assert!(s.t_min_us >= 0.0);
+        }
+    }
+
+    #[test]
+    fn rank_stats_ignore_non_participants() {
+        let stats = mp::run(4, |comm| {
+            let participated = comm.rank() < 2;
+            Runner::rank_stats(comm, 3.0, participated, 1)
+        });
+        for s in stats {
+            assert_eq!(s.t_min_us, 3.0, "idle ranks must not drag the min to 0");
+            assert_eq!(s.t_max_us, 3.0);
+        }
+    }
+}

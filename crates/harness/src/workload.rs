@@ -1,0 +1,250 @@
+//! The workload registry: one entry per benchmark, each declaring its
+//! metadata (metric kind, minimum processes, sized/unsized) and closures
+//! for native, simulated and virtual execution. The registry replaces
+//! the per-crate ad-hoc dispatch that previously lived in `hpcc/suite.rs`,
+//! `hpcc/sim.rs`, `imb/native.rs`, `imb/sim.rs` and `imb/virtual_run.rs`.
+
+use machines::Machine;
+
+use crate::record::{MetricKind, Mode, Record, Suite};
+use crate::runner::Runner;
+
+/// Static metadata for one workload entry.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadMeta {
+    /// Workload name; the primary record a run emits carries this name.
+    pub name: &'static str,
+    /// Which suite the workload belongs to.
+    pub suite: Suite,
+    /// What the workload's headline value measures (native/simulated).
+    pub metric: MetricKind,
+    /// Minimum number of processes.
+    pub min_procs: usize,
+    /// Whether *executing* modes (native, virtual) require a
+    /// power-of-two rank count (G-RandomAccess, G-FFT). The closed-form
+    /// simulation handles any rank count.
+    pub pow2_procs: bool,
+    /// Whether the workload takes a message-size sweep (IMB benchmarks
+    /// except Barrier). Unsized workloads run once per proc count.
+    pub sized: bool,
+}
+
+impl WorkloadMeta {
+    /// Whether `procs` is admissible in `mode`.
+    pub fn admits(&self, procs: usize, mode: Mode) -> bool {
+        procs >= self.min_procs
+            && (mode == Mode::Simulated || !self.pow2_procs || procs.is_power_of_two())
+    }
+}
+
+type NativeFn = Box<dyn Fn(&Runner, usize, Option<u64>) -> Vec<Record> + Send + Sync>;
+type SimFn = Box<dyn Fn(&Machine, usize, Option<u64>) -> Vec<Record> + Send + Sync>;
+type VirtFn = Box<dyn Fn(&Runner, &Machine, usize, Option<u64>) -> Vec<Record> + Send + Sync>;
+
+/// One registry entry: metadata plus up to three execution closures.
+/// A run may emit several records (EP-STREAM reports copy and triad);
+/// the first record carries the workload's name.
+pub struct Workload {
+    /// The workload's static metadata.
+    pub meta: WorkloadMeta,
+    native: Option<NativeFn>,
+    sim: Option<SimFn>,
+    virt: Option<VirtFn>,
+}
+
+impl Workload {
+    /// A new entry with no execution closures yet.
+    pub fn new(meta: WorkloadMeta) -> Workload {
+        Workload {
+            meta,
+            native: None,
+            sim: None,
+            virt: None,
+        }
+    }
+
+    /// Attaches the native-execution closure.
+    pub fn native(
+        mut self,
+        f: impl Fn(&Runner, usize, Option<u64>) -> Vec<Record> + Send + Sync + 'static,
+    ) -> Workload {
+        self.native = Some(Box::new(f));
+        self
+    }
+
+    /// Attaches the simulated-execution closure.
+    pub fn simulated(
+        mut self,
+        f: impl Fn(&Machine, usize, Option<u64>) -> Vec<Record> + Send + Sync + 'static,
+    ) -> Workload {
+        self.sim = Some(Box::new(f));
+        self
+    }
+
+    /// Attaches the virtual-execution closure.
+    pub fn virtual_mode(
+        mut self,
+        f: impl Fn(&Runner, &Machine, usize, Option<u64>) -> Vec<Record> + Send + Sync + 'static,
+    ) -> Workload {
+        self.virt = Some(Box::new(f));
+        self
+    }
+
+    /// Whether this entry can run in `mode`.
+    pub fn supports(&self, mode: Mode) -> bool {
+        match mode {
+            Mode::Native => self.native.is_some(),
+            Mode::Simulated => self.sim.is_some(),
+            Mode::Virtual => self.virt.is_some(),
+        }
+    }
+
+    /// Runs the entry in `mode`. `machine` is required for the simulated
+    /// and virtual modes and ignored natively. Returns `None` when the
+    /// mode has no closure or the proc count is inadmissible.
+    pub fn run(
+        &self,
+        mode: Mode,
+        runner: &Runner,
+        machine: Option<&Machine>,
+        procs: usize,
+        bytes: Option<u64>,
+    ) -> Option<Vec<Record>> {
+        if !self.meta.admits(procs, mode) {
+            return None;
+        }
+        let bytes = if self.meta.sized { bytes } else { None };
+        match mode {
+            Mode::Native => self.native.as_ref().map(|f| f(runner, procs, bytes)),
+            Mode::Simulated => {
+                let m = machine.expect("simulated mode needs a machine");
+                self.sim.as_ref().map(|f| f(m, procs, bytes))
+            }
+            Mode::Virtual => {
+                let m = machine.expect("virtual mode needs a machine");
+                self.virt.as_ref().map(|f| f(runner, m, procs, bytes))
+            }
+        }
+    }
+}
+
+/// The registry: every workload of the campaign, looked up by name.
+#[derive(Default)]
+pub struct Registry {
+    workloads: Vec<Workload>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds an entry. Panics on a duplicate name: the registry is the
+    /// single source of truth, and two entries with one name would make
+    /// record identities ambiguous.
+    pub fn register(&mut self, workload: Workload) {
+        assert!(
+            self.get(workload.meta.name).is_none(),
+            "duplicate workload {}",
+            workload.meta.name
+        );
+        self.workloads.push(workload);
+    }
+
+    /// Looks an entry up by name.
+    pub fn get(&self, name: &str) -> Option<&Workload> {
+        self.workloads.iter().find(|w| w.meta.name == name)
+    }
+
+    /// All entries, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Workload> {
+        self.workloads.iter()
+    }
+
+    /// Entries of one suite, in registration order.
+    pub fn suite(&self, suite: Suite) -> impl Iterator<Item = &Workload> {
+        self.workloads.iter().filter(move |w| w.meta.suite == suite)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Stats;
+
+    fn dummy_record(name: &'static str, procs: usize) -> Record {
+        Record {
+            benchmark: name,
+            suite: Suite::Imb,
+            mode: Mode::Native,
+            machine: "host",
+            procs,
+            bytes: None,
+            metric: MetricKind::TimeUs,
+            value: 1.0,
+            stats: Stats::deterministic(1.0),
+            passed: true,
+        }
+    }
+
+    fn entry(name: &'static str, pow2: bool) -> Workload {
+        Workload::new(WorkloadMeta {
+            name,
+            suite: Suite::Imb,
+            metric: MetricKind::TimeUs,
+            min_procs: 2,
+            pow2_procs: pow2,
+            sized: false,
+        })
+        .native(move |_, p, _| vec![dummy_record(name, p)])
+    }
+
+    #[test]
+    fn registry_lookup_and_iteration() {
+        let mut reg = Registry::new();
+        reg.register(entry("A", false));
+        reg.register(entry("B", false));
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get("A").is_some());
+        assert!(reg.get("C").is_none());
+        assert_eq!(reg.iter().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate workload")]
+    fn duplicate_names_are_rejected() {
+        let mut reg = Registry::new();
+        reg.register(entry("A", false));
+        reg.register(entry("A", false));
+    }
+
+    #[test]
+    fn admissibility_gates_execution() {
+        let w = entry("A", true);
+        let runner = Runner::smoke();
+        assert!(
+            w.run(Mode::Native, &runner, None, 1, None).is_none(),
+            "min_procs"
+        );
+        assert!(
+            w.run(Mode::Native, &runner, None, 3, None).is_none(),
+            "pow2"
+        );
+        let recs = w.run(Mode::Native, &runner, None, 4, None).unwrap();
+        assert_eq!(recs[0].procs, 4);
+        // Simulated mode has no closure here and no pow2 restriction.
+        assert!(w.meta.admits(6, Mode::Simulated));
+        assert!(!w.supports(Mode::Simulated));
+    }
+}

@@ -34,5 +34,7 @@ pub mod random_access;
 pub mod ring;
 pub mod sim;
 pub mod suite;
+pub mod virtual_run;
 
-pub use suite::{HpccSummary, SuiteConfig};
+pub use suite::{Component, HpccSummary, SuiteConfig};
+pub use virtual_run::run_virtual_records;

@@ -3,6 +3,7 @@
 //! [`machines::Machine`] model instead of a native run. This is what the
 //! figure harness uses for Figs. 1-5 and Table 3.
 
+use harness::{MetricKind, Mode, Record, Stats, Suite};
 use machines::{ClusterSim, Machine};
 use mp::sched;
 use simnet::Time;
@@ -154,22 +155,66 @@ pub fn random_ring(m: &Machine, p: usize) -> (f64, f64) {
     (4.0 * bytes as f64 / bw_t / 1e9, lat_t / 2.0 * 1e6)
 }
 
-/// The full modelled HPCC summary for `machine` at `p` CPUs.
+/// The modelled record rows for one suite component on `machine` at `p`
+/// CPUs: the same benchmark names as a native run (identity fields
+/// match), with model-derived values and deterministic statistics.
+pub fn component_records(m: &Machine, p: usize, c: crate::suite::Component) -> Vec<Record> {
+    use crate::suite::Component;
+    let rows: Vec<(&'static str, MetricKind, f64)> = match c {
+        Component::Hpl => vec![("G-HPL", MetricKind::RateGflops, hpl(m, p))],
+        Component::Ptrans => vec![("G-PTRANS", MetricKind::RateGBs, ptrans(m, p))],
+        Component::RandomAccess => vec![("G-RandomAccess", MetricKind::RateGups, gups(m, p))],
+        Component::Stream => vec![
+            ("EP-STREAM", MetricKind::RateGBs, m.node.stream_bw / 1e9),
+            (
+                "EP-STREAM-triad",
+                MetricKind::RateGBs,
+                m.node.stream_bw * 1.05 / 1e9,
+            ),
+        ],
+        Component::Fft => vec![("G-FFT", MetricKind::RateGflops, gfft(m, p))],
+        Component::Dgemm => vec![(
+            "EP-DGEMM",
+            MetricKind::RateGflops,
+            m.node.peak_gflops * m.node.dgemm_eff,
+        )],
+        Component::RandomRing => {
+            let (ring_bw, ring_latency_us) = random_ring(m, p);
+            vec![
+                ("RandomRing", MetricKind::RateGBs, ring_bw),
+                ("RandomRing-latency", MetricKind::LatencyUs, ring_latency_us),
+            ]
+        }
+    };
+    rows.iter()
+        .map(|&(name, metric, value)| Record {
+            benchmark: name,
+            suite: Suite::Hpcc,
+            mode: Mode::Simulated,
+            machine: m.name,
+            procs: p,
+            bytes: None,
+            metric,
+            value,
+            stats: Stats::deterministic(0.0),
+            passed: true,
+        })
+        .collect()
+}
+
+/// The full modelled HPCC record stream for `machine` at `p` CPUs: every
+/// component's rows, in the paper's presentation order.
+pub fn records(m: &Machine, p: usize) -> Vec<Record> {
+    crate::suite::Component::ALL
+        .into_iter()
+        .flat_map(|c| component_records(m, p, c))
+        .collect()
+}
+
+/// The full modelled HPCC summary for `machine` at `p` CPUs (summary
+/// view over [`records`]).
 pub fn summary(m: &Machine, p: usize) -> HpccSummary {
-    let (ring_bw, ring_latency_us) = random_ring(m, p);
-    HpccSummary {
-        cpus: p,
-        ghpl: hpl(m, p),
-        ptrans: ptrans(m, p),
-        gups: gups(m, p),
-        stream_copy: m.node.stream_bw / 1e9,
-        stream_triad: m.node.stream_bw * 1.05 / 1e9,
-        gfft: gfft(m, p),
-        ep_dgemm: m.node.peak_gflops * m.node.dgemm_eff,
-        ring_bw,
-        ring_latency_us,
-        all_passed: true,
-    }
+    HpccSummary::from_records(&records(m, p))
 }
 
 /// Convenience: `Time` for a schedule on a fresh cluster (used by tests).
@@ -238,6 +283,20 @@ mod tests {
         assert!(s.ghpl > 0.0 && s.ptrans > 0.0 && s.gups > 0.0);
         assert!(s.gfft > 0.0 && s.ring_bw > 0.0 && s.ring_latency_us > 0.0);
         assert_eq!(s.cpus, 16);
+    }
+
+    #[test]
+    fn record_stream_matches_component_models() {
+        let m = dell_xeon();
+        let p = 16;
+        let recs = records(&m, p);
+        assert_eq!(recs.len(), 9);
+        let val = |name: &str| recs.iter().find(|r| r.benchmark == name).unwrap().value;
+        assert_eq!(val("G-HPL"), hpl(&m, p));
+        assert_eq!(val("G-PTRANS"), ptrans(&m, p));
+        assert_eq!(val("G-FFT"), gfft(&m, p));
+        assert_eq!(val("G-RandomAccess"), gups(&m, p));
+        assert!(recs.iter().all(|r| r.machine == m.name && r.procs == p));
     }
 
     #[test]

@@ -1,6 +1,9 @@
-//! Full-suite orchestration: runs every HPCC benchmark natively on the
-//! `mp` runtime and collects the summary the paper's analysis consumes.
+//! Full-suite orchestration as a component table: every HPCC benchmark
+//! is one [`Component`] entry that executes natively on the `mp` runtime
+//! and emits unified [`harness::Record`]s. The paper-facing
+//! [`HpccSummary`] is a derived view over a record stream.
 
+use harness::{MetricKind, Mode, Record, Runner, Suite};
 use mp::Comm;
 
 use crate::{ep, fft_dist, hpl, ptrans, random_access, ring};
@@ -46,6 +49,246 @@ impl SuiteConfig {
     }
 }
 
+/// One HPCC suite component (paper Section 4 naming).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Component {
+    /// G-HPL: global LU solve.
+    Hpl,
+    /// G-PTRANS: global matrix transpose.
+    Ptrans,
+    /// G-RandomAccess: global random updates.
+    RandomAccess,
+    /// EP-STREAM: embarrassingly-parallel memory bandwidth.
+    Stream,
+    /// G-FFT: global 1-D FFT.
+    Fft,
+    /// EP-DGEMM: embarrassingly-parallel matrix multiply.
+    Dgemm,
+    /// Random-ring bandwidth and latency.
+    RandomRing,
+}
+
+impl Component {
+    /// All components, in the paper's presentation order.
+    pub const ALL: [Component; 7] = [
+        Component::Hpl,
+        Component::Ptrans,
+        Component::RandomAccess,
+        Component::Stream,
+        Component::Fft,
+        Component::Dgemm,
+        Component::RandomRing,
+    ];
+
+    /// The component's HPCC name (also its primary [`Record`] identity).
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Hpl => "G-HPL",
+            Component::Ptrans => "G-PTRANS",
+            Component::RandomAccess => "G-RandomAccess",
+            Component::Stream => "EP-STREAM",
+            Component::Fft => "G-FFT",
+            Component::Dgemm => "EP-DGEMM",
+            Component::RandomRing => "RandomRing",
+        }
+    }
+
+    /// What the component's primary record measures.
+    pub fn metric(self) -> MetricKind {
+        match self {
+            Component::Hpl | Component::Fft | Component::Dgemm => MetricKind::RateGflops,
+            Component::Ptrans | Component::Stream | Component::RandomRing => MetricKind::RateGBs,
+            Component::RandomAccess => MetricKind::RateGups,
+        }
+    }
+
+    /// Whether native/virtual execution needs a power-of-two rank count
+    /// (the closed-form model handles any count).
+    pub fn pow2_procs(self) -> bool {
+        matches!(self, Component::RandomAccess | Component::Fft)
+    }
+
+    /// Executes the component's real benchmark code on `comm`, returning
+    /// `(name, metric, value)` rows plus the verification verdict. The
+    /// first row carries the component's primary name.
+    fn execute(self, comm: &Comm, cfg: &SuiteConfig) -> ComponentOutput {
+        match self {
+            Component::Hpl => {
+                let r = if cfg.hpl_2d {
+                    crate::hpl2d::run(
+                        comm,
+                        &crate::hpl2d::Hpl2dConfig::near_square(cfg.hpl_n, cfg.hpl_nb, comm.size()),
+                    )
+                } else {
+                    hpl::run(
+                        comm,
+                        &hpl::HplConfig {
+                            n: cfg.hpl_n,
+                            nb: cfg.hpl_nb,
+                        },
+                    )
+                };
+                ComponentOutput {
+                    values: vec![("G-HPL", MetricKind::RateGflops, r.gflops)],
+                    passed: r.passed,
+                }
+            }
+            Component::Ptrans => {
+                let r = ptrans::run(comm, &ptrans::PtransConfig { n: cfg.ptrans_n });
+                ComponentOutput {
+                    values: vec![("G-PTRANS", MetricKind::RateGBs, r.gb_per_s)],
+                    passed: r.passed,
+                }
+            }
+            Component::RandomAccess => {
+                let r = random_access::run(
+                    comm,
+                    &random_access::RandomAccessConfig {
+                        log2_size: cfg.ra_log2_size,
+                        updates_per_entry: 1,
+                        batch: 512,
+                    },
+                );
+                ComponentOutput {
+                    values: vec![("G-RandomAccess", MetricKind::RateGups, r.gups)],
+                    passed: r.passed,
+                }
+            }
+            Component::Stream => {
+                let r = ep::stream(
+                    comm,
+                    &ep::StreamConfig {
+                        len: cfg.stream_len,
+                        iters: 2,
+                    },
+                );
+                ComponentOutput {
+                    values: vec![
+                        ("EP-STREAM", MetricKind::RateGBs, r.copy),
+                        ("EP-STREAM-triad", MetricKind::RateGBs, r.triad),
+                    ],
+                    passed: r.passed,
+                }
+            }
+            Component::Fft => {
+                let r = fft_dist::run(
+                    comm,
+                    &fft_dist::FftConfig {
+                        log2_n: cfg.fft_log2_n,
+                    },
+                );
+                ComponentOutput {
+                    values: vec![("G-FFT", MetricKind::RateGflops, r.gflops)],
+                    passed: r.passed,
+                }
+            }
+            Component::Dgemm => {
+                let r = ep::ep_dgemm(
+                    comm,
+                    &ep::DgemmConfig {
+                        n: cfg.dgemm_n,
+                        iters: 1,
+                    },
+                );
+                ComponentOutput {
+                    values: vec![("EP-DGEMM", MetricKind::RateGflops, r.gflops)],
+                    passed: r.passed,
+                }
+            }
+            Component::RandomRing => {
+                let r = ring::run(
+                    comm,
+                    &ring::RingConfig {
+                        bw_bytes: cfg.ring_bytes,
+                        patterns: 2,
+                        iters: 2,
+                        seed: 0xBEEF,
+                    },
+                );
+                ComponentOutput {
+                    values: vec![
+                        ("RandomRing", MetricKind::RateGBs, r.random_bw),
+                        (
+                            "RandomRing-latency",
+                            MetricKind::LatencyUs,
+                            r.random_latency_us,
+                        ),
+                    ],
+                    passed: true,
+                }
+            }
+        }
+    }
+}
+
+/// The rows one component execution produced.
+struct ComponentOutput {
+    values: Vec<(&'static str, MetricKind, f64)>,
+    passed: bool,
+}
+
+/// Runs one component natively on an existing communicator, emitting its
+/// records. Collective; the records' stats are the cross-rank min/avg/max
+/// of the component's wall time.
+pub fn run_component_on(comm: &Comm, component: Component, cfg: &SuiteConfig) -> Vec<Record> {
+    let (out, stats) = Runner::timed_stats(comm, || component.execute(comm, cfg));
+    out.values
+        .iter()
+        .map(|&(name, metric, value)| Record {
+            benchmark: name,
+            suite: Suite::Hpcc,
+            mode: Mode::Native,
+            machine: "host",
+            procs: comm.size(),
+            bytes: None,
+            metric,
+            value,
+            stats,
+            passed: out.passed,
+        })
+        .collect()
+}
+
+/// Spawns `p` ranks and runs one component natively on the host,
+/// returning its records (rank 0's view).
+pub fn run_component_native(p: usize, component: Component, cfg: &SuiteConfig) -> Vec<Record> {
+    let mut results = mp::run(p, |comm| run_component_on(comm, component, cfg));
+    results.swap_remove(0)
+}
+
+/// Runs every admissible component on an existing communicator: the
+/// power-of-two-only components (G-RandomAccess, G-FFT) are skipped on
+/// other world sizes, exactly as the HPCC harness does.
+pub fn run_records_on(comm: &Comm, cfg: &SuiteConfig) -> Vec<Record> {
+    let p = comm.size();
+    let mut records = Vec::new();
+    for c in Component::ALL {
+        if c.pow2_procs() && !p.is_power_of_two() {
+            continue;
+        }
+        records.extend(run_component_on(comm, c, cfg));
+    }
+    records
+}
+
+/// Runs the complete HPCC suite on an existing communicator (summary
+/// view over [`run_records_on`]).
+pub fn run_on(comm: &Comm, cfg: &SuiteConfig) -> HpccSummary {
+    HpccSummary::from_records(&run_records_on(comm, cfg))
+}
+
+/// Spawns `p` ranks and runs the complete suite natively on the host,
+/// returning the record stream.
+pub fn run_native_records(p: usize, cfg: &SuiteConfig) -> Vec<Record> {
+    let mut results = mp::run(p, |comm| run_records_on(comm, cfg));
+    results.swap_remove(0)
+}
+
+/// Spawns `p` ranks and runs the complete suite natively on the host.
+pub fn run_native(p: usize, cfg: &SuiteConfig) -> HpccSummary {
+    HpccSummary::from_records(&run_native_records(p, cfg))
+}
+
 /// The suite summary: one row of the paper's analysis per configuration.
 /// All rates follow HPCC conventions (global values for G-*, per-CPU
 /// means for EP-*).
@@ -75,94 +318,34 @@ pub struct HpccSummary {
     pub all_passed: bool,
 }
 
-/// Runs the complete HPCC suite on an existing communicator.
-pub fn run_on(comm: &Comm, cfg: &SuiteConfig) -> HpccSummary {
-    let p = comm.size();
-    let hplr = if cfg.hpl_2d {
-        crate::hpl2d::run(
-            comm,
-            &crate::hpl2d::Hpl2dConfig::near_square(cfg.hpl_n, cfg.hpl_nb, p),
-        )
-    } else {
-        hpl::run(
-            comm,
-            &hpl::HplConfig {
-                n: cfg.hpl_n,
-                nb: cfg.hpl_nb,
-            },
-        )
-    };
-    let ptr = ptrans::run(comm, &ptrans::PtransConfig { n: cfg.ptrans_n });
-    let rar = if p.is_power_of_two() {
-        Some(random_access::run(
-            comm,
-            &random_access::RandomAccessConfig {
-                log2_size: cfg.ra_log2_size,
-                updates_per_entry: 1,
-                batch: 512,
-            },
-        ))
-    } else {
-        None
-    };
-    let str = ep::stream(
-        comm,
-        &ep::StreamConfig {
-            len: cfg.stream_len,
-            iters: 2,
-        },
-    );
-    let fftr = if p.is_power_of_two() {
-        Some(fft_dist::run(
-            comm,
-            &fft_dist::FftConfig {
-                log2_n: cfg.fft_log2_n,
-            },
-        ))
-    } else {
-        None
-    };
-    let dg = ep::ep_dgemm(
-        comm,
-        &ep::DgemmConfig {
-            n: cfg.dgemm_n,
-            iters: 1,
-        },
-    );
-    let rg = ring::run(
-        comm,
-        &ring::RingConfig {
-            bw_bytes: cfg.ring_bytes,
-            patterns: 2,
-            iters: 2,
-            seed: 0xBEEF,
-        },
-    );
-
-    HpccSummary {
-        cpus: p,
-        ghpl: hplr.gflops,
-        ptrans: ptr.gb_per_s,
-        gups: rar.map(|r| r.gups).unwrap_or(0.0),
-        stream_copy: str.copy,
-        stream_triad: str.triad,
-        gfft: fftr.map(|r| r.gflops).unwrap_or(0.0),
-        ep_dgemm: dg.gflops,
-        ring_bw: rg.random_bw,
-        ring_latency_us: rg.random_latency_us,
-        all_passed: hplr.passed
-            && ptr.passed
-            && rar.map(|r| r.passed).unwrap_or(true)
-            && str.passed
-            && fftr.map(|r| r.passed).unwrap_or(true)
-            && dg.passed,
+impl HpccSummary {
+    /// Derives the summary view from a record stream: each known
+    /// benchmark name fills its field (missing components stay 0.0, as
+    /// with the skipped power-of-two benchmarks), `cpus` comes from the
+    /// records, and `all_passed` holds over the records present.
+    pub fn from_records(records: &[Record]) -> HpccSummary {
+        let mut s = HpccSummary {
+            all_passed: !records.is_empty(),
+            ..HpccSummary::default()
+        };
+        for r in records {
+            s.cpus = r.procs;
+            s.all_passed &= r.passed;
+            match r.benchmark {
+                "G-HPL" => s.ghpl = r.value,
+                "G-PTRANS" => s.ptrans = r.value,
+                "G-RandomAccess" => s.gups = r.value,
+                "EP-STREAM" => s.stream_copy = r.value,
+                "EP-STREAM-triad" => s.stream_triad = r.value,
+                "G-FFT" => s.gfft = r.value,
+                "EP-DGEMM" => s.ep_dgemm = r.value,
+                "RandomRing" => s.ring_bw = r.value,
+                "RandomRing-latency" => s.ring_latency_us = r.value,
+                _ => {}
+            }
+        }
+        s
     }
-}
-
-/// Spawns `p` ranks and runs the complete suite natively on the host.
-pub fn run_native(p: usize, cfg: &SuiteConfig) -> HpccSummary {
-    let results = mp::run(p, |comm| run_on(comm, cfg));
-    results[0]
 }
 
 #[cfg(test)]
@@ -200,5 +383,24 @@ mod tests {
         assert_eq!(s.gups, 0.0);
         assert_eq!(s.gfft, 0.0);
         assert!(s.ghpl > 0.0);
+    }
+
+    #[test]
+    fn record_stream_names_every_component() {
+        let records = run_native_records(4, &SuiteConfig::small(4));
+        // 7 components, with STREAM and RandomRing each emitting a
+        // secondary row (triad, latency).
+        assert_eq!(records.len(), 9);
+        for c in Component::ALL {
+            let r = records
+                .iter()
+                .find(|r| r.benchmark == c.name())
+                .unwrap_or_else(|| panic!("{} missing", c.name()));
+            assert_eq!(r.metric, c.metric());
+            assert_eq!(r.mode, Mode::Native);
+            assert_eq!(r.procs, 4);
+            assert!(r.stats.is_ordered());
+            assert!(r.stats.t_max_us > 0.0);
+        }
     }
 }

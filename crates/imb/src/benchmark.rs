@@ -4,6 +4,8 @@
 
 use std::fmt;
 
+use harness::{MetricKind, Mode, Record, Stats, Suite};
+
 /// An Intel MPI Benchmark.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Benchmark {
@@ -44,15 +46,6 @@ pub enum Class {
     Collective,
 }
 
-/// What the benchmark reports.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Metric {
-    /// Time per call in microseconds (the smaller the better).
-    TimeUs,
-    /// Bandwidth in MB/s.
-    Bandwidth,
-}
-
 impl Benchmark {
     /// All benchmarks, in the paper's presentation order (the "11 MPI
     /// communication functions", plus PingPing which IMB bundles with
@@ -82,13 +75,13 @@ impl Benchmark {
     }
 
     /// What the paper's figure for this benchmark plots.
-    pub fn metric(self) -> Metric {
+    pub fn metric(self) -> MetricKind {
         match self {
             Benchmark::PingPong
             | Benchmark::PingPing
             | Benchmark::Sendrecv
-            | Benchmark::Exchange => Metric::Bandwidth,
-            _ => Metric::TimeUs,
+            | Benchmark::Exchange => MetricKind::BandwidthMBs,
+            _ => MetricKind::TimeUs,
         }
     }
 
@@ -115,11 +108,10 @@ impl Benchmark {
             _ => 0.0,
         }
     }
-}
 
-impl fmt::Display for Benchmark {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
+    /// The benchmark's IMB name (also the [`Record::benchmark`] identity).
+    pub fn name(self) -> &'static str {
+        match self {
             Benchmark::PingPong => "PingPong",
             Benchmark::PingPing => "PingPing",
             Benchmark::Sendrecv => "Sendrecv",
@@ -132,8 +124,55 @@ impl fmt::Display for Benchmark {
             Benchmark::Reduce => "Reduce",
             Benchmark::Allreduce => "Allreduce",
             Benchmark::ReduceScatter => "Reduce_scatter",
-        };
-        f.write_str(name)
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// IMB's bandwidth accounting for one call time: the transferred payload
+/// (times the benchmark's factor) over the one-way time, in MB/s.
+/// PingPong's reported time is the full round trip, so IMB halves it.
+pub(crate) fn bandwidth_mbs_from_secs(benchmark: Benchmark, bytes: u64, t_secs: f64) -> f64 {
+    let t_one_way = if benchmark == Benchmark::PingPong {
+        t_secs / 2.0
+    } else {
+        t_secs
+    };
+    benchmark.bandwidth_factor().max(1.0) * bytes as f64 / t_one_way / 1e6
+}
+
+/// Builds the unified [`Record`] for one IMB measurement: the headline
+/// value is the max-rank time for time-metric benchmarks and the IMB
+/// bandwidth (computed from the max-rank time) for transfer benchmarks.
+pub(crate) fn record(
+    benchmark: Benchmark,
+    mode: Mode,
+    machine: &'static str,
+    procs: usize,
+    bytes: u64,
+    stats: Stats,
+) -> Record {
+    let metric = benchmark.metric();
+    let value = match metric {
+        MetricKind::BandwidthMBs => bandwidth_mbs_from_secs(benchmark, bytes, stats.t_max_us / 1e6),
+        _ => stats.t_max_us,
+    };
+    Record {
+        benchmark: benchmark.name(),
+        suite: Suite::Imb,
+        mode,
+        machine,
+        procs,
+        bytes: benchmark.sized().then_some(bytes),
+        metric,
+        value,
+        stats,
+        passed: true,
     }
 }
 
@@ -149,14 +188,10 @@ pub fn standard_sizes() -> Vec<u64> {
 }
 
 /// IMB's repetition-count rule: 1000 iterations, scaled down for large
-/// messages to bound total time.
+/// messages to bound total time. Delegates to the harness policy so the
+/// rule has one definition.
 pub fn default_repetitions(bytes: u64) -> usize {
-    match bytes {
-        0..=4096 => 1000,
-        4097..=65536 => 640,
-        65537..=1048576 => 80,
-        _ => 20,
-    }
+    harness::RepetitionPolicy::Imb.repetitions(bytes)
 }
 
 #[cfg(test)]
@@ -176,10 +211,10 @@ mod tests {
     #[test]
     fn metrics_match_figures() {
         // Figs. 13-14 plot MB/s; Figs. 6-12 and 15 plot us/call.
-        assert_eq!(Benchmark::Sendrecv.metric(), Metric::Bandwidth);
-        assert_eq!(Benchmark::Exchange.metric(), Metric::Bandwidth);
-        assert_eq!(Benchmark::Alltoall.metric(), Metric::TimeUs);
-        assert_eq!(Benchmark::Barrier.metric(), Metric::TimeUs);
+        assert_eq!(Benchmark::Sendrecv.metric(), MetricKind::BandwidthMBs);
+        assert_eq!(Benchmark::Exchange.metric(), MetricKind::BandwidthMBs);
+        assert_eq!(Benchmark::Alltoall.metric(), MetricKind::TimeUs);
+        assert_eq!(Benchmark::Barrier.metric(), MetricKind::TimeUs);
     }
 
     #[test]
@@ -203,5 +238,29 @@ mod tests {
         assert_eq!(Benchmark::Exchange.bandwidth_factor(), 4.0);
         assert_eq!(Benchmark::Sendrecv.bandwidth_factor(), 2.0);
         assert_eq!(Benchmark::PingPong.bandwidth_factor(), 1.0);
+    }
+
+    #[test]
+    fn record_identity_uses_imb_names() {
+        let r = record(
+            Benchmark::ReduceScatter,
+            Mode::Native,
+            "host",
+            4,
+            1024,
+            Stats::deterministic(2.0),
+        );
+        assert_eq!(r.benchmark, "Reduce_scatter");
+        assert_eq!(r.bytes, Some(1024));
+        assert_eq!(r.value, 2.0);
+        let b = record(
+            Benchmark::Barrier,
+            Mode::Native,
+            "host",
+            4,
+            0,
+            Stats::deterministic(2.0),
+        );
+        assert_eq!(b.bytes, None, "Barrier is unsized");
     }
 }

@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use harness::Runner;
 use mp::{Comm, Op, Window};
 
 /// An IMB-EXT benchmark.
@@ -155,18 +156,13 @@ pub fn run_on(
     };
     let participant = me < 2;
 
-    // Warm up, synchronise, time.
-    if participant || scheme == SyncScheme::Fence {
-        epoch(&win, active && participant);
-    }
-    comm.barrier();
-    let clock = mp::timer::Stopwatch::start();
-    for _ in 0..iters {
+    // Warm up, synchronise, time — the harness runner's IMB convention.
+    let per_call_us = Runner::fixed(iters).time_collective(comm, iters, |_| {
         if participant || scheme == SyncScheme::Fence {
             epoch(&win, active && participant);
         }
-    }
-    let t = clock.elapsed_secs() / iters as f64;
+    });
+    let t = per_call_us / 1e6;
 
     let mut reduced = [if participant { t } else { 0.0 }];
     comm.allreduce(&mut reduced, Op::Max);

@@ -6,13 +6,14 @@
 //! ([`native::run_native`], IMB timing conventions: warm-up, synchronised
 //! timed loop, min/avg/max over ranks, root rotation) and is *simulated*
 //! against any [`machines::Machine`] model ([`sim::simulate`]) to
-//! regenerate the paper's Figs. 6-15.
+//! regenerate the paper's Figs. 6-15. Every mode returns the workspace's
+//! unified [`harness::Record`].
 //!
 //! ```
 //! use imb::{Benchmark, native};
 //!
 //! let m = native::run_native(Benchmark::Allreduce, 4, 4096, 5);
-//! assert!(m.t_max_us > 0.0);
+//! assert!(m.t_max_us() > 0.0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -24,7 +25,8 @@ pub mod native;
 pub mod sim;
 pub mod virtual_run;
 
-pub use benchmark::{default_repetitions, standard_sizes, Benchmark, Class, Metric};
+pub use benchmark::{default_repetitions, standard_sizes, Benchmark, Class};
 pub use ext::{ExtBenchmark, ExtMeasurement, SyncScheme};
-pub use native::{run_native, Measurement};
-pub use virtual_run::run_virtual;
+pub use harness::{MetricKind, Mode, Record, Stats};
+pub use native::{run_native, run_native_with};
+pub use virtual_run::{run_virtual, run_virtual_with};

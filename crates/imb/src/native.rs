@@ -1,106 +1,53 @@
 //! Native execution of the IMB benchmarks on the `mp` runtime, following
-//! IMB's measurement conventions: warm-up, barrier-synchronised timed
-//! loop, per-rank average with min/avg/max reported across ranks, and
-//! root rotation for rooted collectives.
+//! IMB's measurement conventions via the shared [`harness::Runner`]:
+//! warm-up, barrier-synchronised timed loop, per-rank average with
+//! min/avg/max reported across ranks, and root rotation for rooted
+//! collectives. Results come back as unified [`Record`]s.
 
+use harness::{Mode, Record, Runner};
 use mp::{Comm, Op};
 
-use crate::benchmark::{Benchmark, Metric};
+use crate::benchmark::{record, Benchmark};
 
-/// One measurement row, as IMB prints it.
-#[derive(Clone, Copy, Debug)]
-pub struct Measurement {
-    /// Which benchmark.
-    pub benchmark: Benchmark,
-    /// Number of processes.
-    pub procs: usize,
-    /// Message size in bytes.
-    pub bytes: u64,
-    /// Timed iterations.
-    pub iterations: usize,
-    /// Minimum per-rank average time, microseconds.
-    pub t_min_us: f64,
-    /// Mean per-rank average time, microseconds.
-    pub t_avg_us: f64,
-    /// Maximum per-rank average time, microseconds (the figure metric).
-    pub t_max_us: f64,
-    /// Bandwidth in MB/s for the transfer benchmarks.
-    pub bandwidth_mbs: Option<f64>,
+/// Runs one benchmark natively over a fresh `procs`-rank world with an
+/// explicit iteration count.
+pub fn run_native(benchmark: Benchmark, procs: usize, bytes: u64, iters: usize) -> Record {
+    assert!(iters > 0, "need at least one iteration");
+    run_native_with(benchmark, procs, bytes, &Runner::fixed(iters))
 }
 
-/// Runs one benchmark natively over a fresh `procs`-rank world.
-pub fn run_native(benchmark: Benchmark, procs: usize, bytes: u64, iters: usize) -> Measurement {
+/// Runs one benchmark natively over a fresh `procs`-rank world, with the
+/// iteration count chosen by `runner`'s repetition policy.
+pub fn run_native_with(benchmark: Benchmark, procs: usize, bytes: u64, runner: &Runner) -> Record {
     assert!(
         procs >= benchmark.min_procs(),
         "{benchmark} needs more ranks"
     );
-    let results = mp::run(procs, |comm| run_on(comm, benchmark, bytes, iters));
+    let runner = *runner;
+    let results = mp::run(procs, move |comm| {
+        run_on_with(comm, benchmark, bytes, &runner)
+    });
     results[0]
 }
 
-/// Runs one benchmark on an existing communicator. Collective across the
-/// communicator; every rank returns the same measurement.
-pub fn run_on(comm: &Comm, benchmark: Benchmark, bytes: u64, iters: usize) -> Measurement {
+/// Runs one benchmark on an existing communicator with an explicit
+/// iteration count. Collective across the communicator; every rank
+/// returns the same record.
+pub fn run_on(comm: &Comm, benchmark: Benchmark, bytes: u64, iters: usize) -> Record {
     assert!(iters > 0, "need at least one iteration");
-    let me = comm.rank();
+    run_on_with(comm, benchmark, bytes, &Runner::fixed(iters))
+}
 
-    // One untimed warm-up round, then a barrier, then the timed loop.
+/// Runs one benchmark on an existing communicator, with the iteration
+/// count chosen by `runner`'s repetition policy (IMB's 1000/640/80/20
+/// rule under [`Runner::standard`], scaled down under [`Runner::smoke`]).
+pub fn run_on_with(comm: &Comm, benchmark: Benchmark, bytes: u64, runner: &Runner) -> Record {
+    let iters = runner.repetitions(benchmark.sized().then_some(bytes));
     let mut state = BenchState::new(comm, benchmark, bytes);
-    state.iterate(comm, 0);
-    comm.barrier();
-    let clock = mp::timer::Stopwatch::start();
-    for it in 0..iters {
-        state.iterate(comm, it);
-    }
-    let elapsed = clock.elapsed_secs();
+    let per_call = runner.time_collective(comm, iters, |it| state.iterate(comm, it));
     let participated = state.participates(comm);
-    let per_call = elapsed / iters as f64 * 1e6;
-
-    // IMB prints min/avg/max of the per-rank averages.
-    let mut maxv = [if participated { per_call } else { 0.0 }];
-    let mut minv = [if participated {
-        per_call
-    } else {
-        f64::INFINITY
-    }];
-    let mut sums = [
-        if participated { per_call } else { 0.0 },
-        if participated { 1.0 } else { 0.0 },
-    ];
-    comm.allreduce(&mut maxv, Op::Max);
-    comm.allreduce(&mut minv, Op::Min);
-    comm.allreduce(&mut sums, Op::Sum);
-    let t_max = maxv[0];
-    let t_min = minv[0];
-    let t_avg = sums[0] / sums[1].max(1.0);
-
-    let bandwidth = match benchmark.metric() {
-        Metric::Bandwidth => {
-            let factor = benchmark.bandwidth_factor();
-            let per_call_s = t_max / 1e6;
-            // PingPong's reported time is the full round trip; IMB
-            // divides by 2 for the one-way bandwidth.
-            let t_one_way = if benchmark == Benchmark::PingPong {
-                per_call_s / 2.0
-            } else {
-                per_call_s
-            };
-            Some(factor.max(1.0) * bytes as f64 / t_one_way / 1e6)
-        }
-        Metric::TimeUs => None,
-    };
-
-    let _ = me;
-    Measurement {
-        benchmark,
-        procs: comm.size(),
-        bytes,
-        iterations: iters,
-        t_min_us: t_min,
-        t_avg_us: t_avg,
-        t_max_us: t_max,
-        bandwidth_mbs: bandwidth,
-    }
+    let stats = Runner::rank_stats(comm, per_call, participated, iters);
+    record(benchmark, Mode::Native, "host", comm.size(), bytes, stats)
 }
 
 /// Builds the preallocated state for one benchmark (shared with the
@@ -264,18 +211,21 @@ impl BenchState {
 mod tests {
     use super::*;
     use crate::benchmark::Benchmark;
+    use harness::MetricKind;
 
     #[test]
     fn every_benchmark_runs_natively() {
         for b in Benchmark::ALL {
             let p = b.min_procs().max(4);
             let m = run_native(b, p, 4096, 3);
-            assert!(m.t_max_us > 0.0, "{b}: zero time");
-            assert!(m.t_min_us <= m.t_avg_us && m.t_avg_us <= m.t_max_us, "{b}");
+            assert!(m.t_max_us() > 0.0, "{b}: zero time");
+            assert!(m.stats.is_ordered(), "{b}");
             assert_eq!(m.procs, p);
+            assert_eq!(m.mode, Mode::Native);
+            assert_eq!(m.benchmark, b.name());
             match b.metric() {
-                Metric::Bandwidth => assert!(m.bandwidth_mbs.unwrap() > 0.0, "{b}"),
-                Metric::TimeUs => assert!(m.bandwidth_mbs.is_none(), "{b}"),
+                MetricKind::BandwidthMBs => assert!(m.bandwidth_mbs().unwrap() > 0.0, "{b}"),
+                _ => assert!(m.bandwidth_mbs().is_none(), "{b}"),
             }
         }
     }
@@ -284,7 +234,7 @@ mod tests {
     fn zero_byte_messages_work() {
         for b in [Benchmark::PingPong, Benchmark::Bcast, Benchmark::Alltoall] {
             let m = run_native(b, 2, 0, 2);
-            assert!(m.t_max_us >= 0.0);
+            assert!(m.t_max_us() >= 0.0);
         }
     }
 
@@ -292,18 +242,25 @@ mod tests {
     fn reduce_scatter_with_indivisible_sizes() {
         // 100 words over 3 ranks: counts 34/33/33.
         let m = run_native(Benchmark::ReduceScatter, 3, 800, 2);
-        assert!(m.t_max_us > 0.0);
+        assert!(m.t_max_us() > 0.0);
     }
 
     #[test]
     fn barrier_ignores_message_size() {
         let m = run_native(Benchmark::Barrier, 4, 0, 5);
-        assert!(m.t_max_us > 0.0);
+        assert!(m.t_max_us() > 0.0);
+        assert_eq!(m.bytes, None);
     }
 
     #[test]
     fn pingpong_only_times_first_two_ranks() {
         let m = run_native(Benchmark::PingPong, 4, 1024, 3);
-        assert!(m.t_min_us > 0.0, "idle ranks must not drag the min to 0");
+        assert!(m.t_min_us() > 0.0, "idle ranks must not drag the min to 0");
+    }
+
+    #[test]
+    fn runner_policy_sets_the_iteration_count() {
+        let m = run_native_with(Benchmark::Bcast, 2, 4 << 20, &Runner::smoke());
+        assert_eq!(m.stats.repetitions, 3, "smoke rule at 4 MiB");
     }
 }

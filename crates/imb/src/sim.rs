@@ -2,12 +2,12 @@
 //! [`machines::Machine`] model via the schedule generators. This is what
 //! regenerates Figs. 6-15.
 
+use harness::{MetricKind, Mode, Record, Stats, Suite};
 use machines::{ClusterSim, Machine};
 use mp::sched;
 use simnet::Schedule;
 
-use crate::benchmark::{Benchmark, Metric};
-use crate::native::Measurement;
+use crate::benchmark::{bandwidth_mbs_from_secs, Benchmark};
 
 /// The communication schedule of one benchmark invocation.
 pub fn schedule_for(benchmark: Benchmark, procs: usize, bytes: u64) -> Schedule {
@@ -40,9 +40,9 @@ pub fn schedule_for(benchmark: Benchmark, procs: usize, bytes: u64) -> Schedule 
 }
 
 /// Prices one benchmark invocation on `machine` at `procs` ranks.
-/// Returns a [`Measurement`] in the same shape as a native run (per-call
+/// Returns a [`Record`] in the same shape as a native run (per-call
 /// time; min = avg = max since the model is deterministic).
-pub fn simulate(machine: &Machine, benchmark: Benchmark, procs: usize, bytes: u64) -> Measurement {
+pub fn simulate(machine: &Machine, benchmark: Benchmark, procs: usize, bytes: u64) -> Record {
     assert!(
         procs >= benchmark.min_procs(),
         "{benchmark} needs more ranks"
@@ -61,27 +61,26 @@ pub fn simulate(machine: &Machine, benchmark: Benchmark, procs: usize, bytes: u6
     let t = sim.run(&schedule) - warm;
     let t_us = t.as_us();
 
-    let bandwidth = match benchmark.metric() {
-        Metric::Bandwidth => {
-            let t_one_way = if benchmark == Benchmark::PingPong {
-                t.as_secs() / 2.0
-            } else {
-                t.as_secs()
-            };
-            Some(benchmark.bandwidth_factor().max(1.0) * bytes as f64 / t_one_way / 1e6)
-        }
-        Metric::TimeUs => None,
+    // The headline bandwidth is computed from `t.as_secs()` directly (not
+    // the us-scaled stats) so the figure CSVs stay bit-identical with the
+    // pre-harness outputs.
+    let metric = benchmark.metric();
+    let value = match metric {
+        MetricKind::BandwidthMBs => bandwidth_mbs_from_secs(benchmark, bytes, t.as_secs()),
+        _ => t_us,
     };
 
-    Measurement {
-        benchmark,
+    Record {
+        benchmark: benchmark.name(),
+        suite: Suite::Imb,
+        mode: Mode::Simulated,
+        machine: machine.name,
         procs,
-        bytes,
-        iterations: 1,
-        t_min_us: t_us,
-        t_avg_us: t_us,
-        t_max_us: t_us,
-        bandwidth_mbs: bandwidth,
+        bytes: benchmark.sized().then_some(bytes),
+        metric,
+        value,
+        stats: Stats::deterministic(t_us),
+        passed: true,
     }
 }
 
@@ -113,7 +112,7 @@ mod tests {
             for b in Benchmark::ALL {
                 let p = 8.min(m.max_cpus);
                 let meas = simulate(&m, b, p, 4096);
-                assert!(meas.t_max_us > 0.0, "{b} on {}", m.name);
+                assert!(meas.t_max_us() > 0.0, "{b} on {}", m.name);
             }
         }
     }
@@ -123,10 +122,10 @@ mod tests {
         // "Both vector systems are clearly the winner, with NEC SX-8
         // superior to Cray X1" (Fig. 7); worst is the Opteron/Myrinet.
         let p = 16;
-        let sx8 = simulate(&nec_sx8(), Benchmark::Allreduce, p, MIB).t_max_us;
-        let x1 = simulate(&cray_x1_msp(), Benchmark::Allreduce, p, MIB).t_max_us;
-        let opteron = simulate(&cray_opteron(), Benchmark::Allreduce, p, MIB).t_max_us;
-        let xeon = simulate(&dell_xeon(), Benchmark::Allreduce, p, MIB).t_max_us;
+        let sx8 = simulate(&nec_sx8(), Benchmark::Allreduce, p, MIB).t_max_us();
+        let x1 = simulate(&cray_x1_msp(), Benchmark::Allreduce, p, MIB).t_max_us();
+        let opteron = simulate(&cray_opteron(), Benchmark::Allreduce, p, MIB).t_max_us();
+        let xeon = simulate(&dell_xeon(), Benchmark::Allreduce, p, MIB).t_max_us();
         assert!(sx8 < x1, "SX-8 {sx8} !< X1 {x1}");
         assert!(x1 < xeon, "X1 {x1} !< Xeon {xeon}");
         assert!(xeon < opteron, "Xeon {xeon} !< Opteron {opteron}");
@@ -137,7 +136,7 @@ mod tests {
         // Fig. 12: NEC SX-8 > Cray X1 > SGI Altix BX2 > Dell Xeon >
         // Cray Opteron (time: smaller is better in that order).
         let p = 16;
-        let t = |m: &machines::Machine| simulate(m, Benchmark::Alltoall, p, MIB).t_max_us;
+        let t = |m: &machines::Machine| simulate(m, Benchmark::Alltoall, p, MIB).t_max_us();
         let sx8 = t(&nec_sx8());
         let x1 = t(&cray_x1_msp());
         let bx2 = t(&altix_bx2());
@@ -153,11 +152,11 @@ mod tests {
     fn fig13_sendrecv_two_proc_anchors() {
         // Paper: SX-8 47.4 GB/s, Cray X1 (SSP) 7.6 GB/s at 2 processes.
         let sx8 = simulate(&nec_sx8(), Benchmark::Sendrecv, 2, MIB)
-            .bandwidth_mbs
+            .bandwidth_mbs()
             .unwrap();
         assert!((sx8 - 47_400.0).abs() / 47_400.0 < 0.2, "SX-8 {sx8} MB/s");
         let x1 = simulate(&cray_x1_ssp(), Benchmark::Sendrecv, 2, MIB)
-            .bandwidth_mbs
+            .bandwidth_mbs()
             .unwrap();
         assert!((x1 - 7_600.0).abs() / 7_600.0 < 0.25, "X1 SSP {x1} MB/s");
     }
@@ -165,8 +164,8 @@ mod tests {
     #[test]
     fn fig6_barrier_grows_with_procs() {
         let m = dell_xeon();
-        let t8 = simulate(&m, Benchmark::Barrier, 8, 0).t_max_us;
-        let t128 = simulate(&m, Benchmark::Barrier, 128, 0).t_max_us;
+        let t8 = simulate(&m, Benchmark::Barrier, 8, 0).t_max_us();
+        let t128 = simulate(&m, Benchmark::Barrier, 128, 0).t_max_us();
         assert!(t128 > t8);
     }
 

@@ -7,30 +7,47 @@
 //! [`crate::sim::simulate`], closing the loop between "what the program
 //! does" and "what the model prices".
 
+use harness::{Mode, Record, Runner, Stats};
 use machines::{Machine, SharedClusterNet};
 
-use crate::benchmark::{Benchmark, Metric};
-use crate::native::Measurement;
+use crate::benchmark::{record, Benchmark};
 
-/// Runs `benchmark` on `procs` ranks of the modelled `machine`,
-/// executing the real benchmark code under virtual time.
+/// Runs `benchmark` on `procs` ranks of the modelled `machine` with an
+/// explicit iteration count.
 pub fn run_virtual(
     machine: &Machine,
     benchmark: Benchmark,
     procs: usize,
     bytes: u64,
     iters: usize,
-) -> Measurement {
+) -> Record {
+    assert!(iters > 0);
+    run_virtual_with(machine, benchmark, procs, bytes, &Runner::fixed(iters))
+}
+
+/// Runs `benchmark` on `procs` ranks of the modelled `machine`,
+/// executing the real benchmark code under virtual time, with the
+/// iteration count chosen by `runner`'s repetition policy.
+pub fn run_virtual_with(
+    machine: &Machine,
+    benchmark: Benchmark,
+    procs: usize,
+    bytes: u64,
+    runner: &Runner,
+) -> Record {
     assert!(
         procs >= benchmark.min_procs(),
         "{benchmark} needs more ranks"
     );
-    assert!(iters > 0);
+    let iters = runner.repetitions(benchmark.sized().then_some(bytes));
+    let warmup = runner.warmup.max(1);
     let net = SharedClusterNet::new(machine, procs);
-    let (per_rank, _clocks) = mp::run_virtual(procs, Box::new(net), |comm| {
+    let (per_rank, _clocks) = mp::run_virtual(procs, Box::new(net), move |comm| {
         let mut state = crate::native::bench_state(comm, benchmark, bytes);
-        // Warm-up pass, then align clocks and time the loop virtually.
-        crate::native::bench_iterate(&mut state, comm, 0);
+        // Warm-up pass(es), then align clocks and time the loop virtually.
+        for w in 0..warmup {
+            crate::native::bench_iterate(&mut state, comm, w);
+        }
         let t0 = comm.v_sync();
         for it in 0..iters {
             crate::native::bench_iterate(&mut state, comm, it);
@@ -38,31 +55,8 @@ pub fn run_virtual(
         let t1 = comm.v_sync();
         (t1 - t0).as_us() / iters as f64
     });
-    let t_max = per_rank.iter().copied().fold(0.0, f64::max);
-    let t_min = per_rank.iter().copied().fold(f64::INFINITY, f64::min);
-    let t_avg = per_rank.iter().sum::<f64>() / per_rank.len() as f64;
-
-    let bandwidth = match benchmark.metric() {
-        Metric::Bandwidth => {
-            let t_one_way = if benchmark == Benchmark::PingPong {
-                t_max / 2.0
-            } else {
-                t_max
-            } / 1e6;
-            Some(benchmark.bandwidth_factor().max(1.0) * bytes as f64 / t_one_way / 1e6)
-        }
-        Metric::TimeUs => None,
-    };
-    Measurement {
-        benchmark,
-        procs,
-        bytes,
-        iterations: iters,
-        t_min_us: t_min,
-        t_avg_us: t_avg,
-        t_max_us: t_max,
-        bandwidth_mbs: bandwidth,
-    }
+    let stats = Stats::across(&per_rank, iters);
+    record(benchmark, Mode::Virtual, machine.name, procs, bytes, stats)
 }
 
 #[cfg(test)]
@@ -76,7 +70,9 @@ mod tests {
         for b in Benchmark::ALL {
             let p = b.min_procs().max(4);
             let meas = run_virtual(&m, b, p, 8192, 2);
-            assert!(meas.t_max_us > 0.0, "{b}");
+            assert!(meas.t_max_us() > 0.0, "{b}");
+            assert_eq!(meas.mode, Mode::Virtual);
+            assert_eq!(meas.machine, m.name);
         }
     }
 
@@ -87,10 +83,10 @@ mod tests {
         let sx8 = run_virtual(&nec_sx8(), Benchmark::Allreduce, 8, 1 << 20, 2);
         let xeon = run_virtual(&dell_xeon(), Benchmark::Allreduce, 8, 1 << 20, 2);
         assert!(
-            sx8.t_max_us < xeon.t_max_us / 2.0,
+            sx8.t_max_us() < xeon.t_max_us() / 2.0,
             "SX-8 {} vs Xeon {}",
-            sx8.t_max_us,
-            xeon.t_max_us
+            sx8.t_max_us(),
+            xeon.t_max_us()
         );
     }
 
@@ -101,13 +97,21 @@ mod tests {
         // differences come from cold-start and thread interleaving).
         let m = dell_xeon();
         for b in [Benchmark::Allreduce, Benchmark::Alltoall, Benchmark::Bcast] {
-            let executed = run_virtual(&m, b, 8, 1 << 20, 3).t_max_us;
-            let scheduled = crate::sim::simulate(&m, b, 8, 1 << 20).t_max_us;
+            let executed = run_virtual(&m, b, 8, 1 << 20, 3).t_max_us();
+            let scheduled = crate::sim::simulate(&m, b, 8, 1 << 20).t_max_us();
             let ratio = executed / scheduled;
             assert!(
                 (0.4..2.5).contains(&ratio),
                 "{b}: executed {executed} vs scheduled {scheduled} (ratio {ratio})"
             );
         }
+    }
+
+    #[test]
+    fn native_and_virtual_records_share_identity() {
+        let native = crate::native::run_native(Benchmark::PingPong, 2, 1024, 2);
+        let virt = run_virtual(&dell_xeon(), Benchmark::PingPong, 2, 1024, 2);
+        assert_eq!(native.identity(), virt.identity());
+        assert_ne!(native.mode, virt.mode);
     }
 }

@@ -7,7 +7,7 @@
 //! cargo run --example five_machines --release -- Alltoall 1048576
 //! ```
 
-use imb::{Benchmark, Metric};
+use imb::{Benchmark, MetricKind};
 
 fn parse_benchmark(name: &str) -> Option<Benchmark> {
     Benchmark::ALL
@@ -29,8 +29,8 @@ fn main() {
 
     println!("{bench} at {bytes} bytes (simulated on the paper's machines)");
     let unit = match bench.metric() {
-        Metric::TimeUs => "us/call",
-        Metric::Bandwidth => "MB/s",
+        MetricKind::BandwidthMBs => "MB/s",
+        _ => "us/call",
     };
     print!("{:>6}", "procs");
     for m in &machines {
@@ -44,8 +44,8 @@ fn main() {
             if p <= m.max_cpus && p >= bench.min_procs() {
                 let s = imb::sim::simulate(m, bench, p, bytes);
                 let v = match bench.metric() {
-                    Metric::TimeUs => s.t_max_us,
-                    Metric::Bandwidth => s.bandwidth_mbs.unwrap_or(0.0),
+                    MetricKind::BandwidthMBs => s.bandwidth_mbs().unwrap_or(0.0),
+                    _ => s.t_max_us(),
                 };
                 print!(" {v:>26.1}");
             } else {

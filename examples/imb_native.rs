@@ -6,7 +6,7 @@
 //! cargo run --example imb_native --release -- [ranks] [max_log2_bytes]
 //! ```
 
-use imb::{default_repetitions, Benchmark, Metric};
+use imb::{default_repetitions, Benchmark, MetricKind};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -24,13 +24,13 @@ fn main() {
         println!("# Benchmarking {bench}  ({p} processes)");
         println!("#--------------------------------------------------");
         match bench.metric() {
-            Metric::TimeUs => println!(
-                "{:>10} {:>8} {:>12} {:>12} {:>12}",
-                "#bytes", "#reps", "t_min[us]", "t_avg[us]", "t_max[us]"
-            ),
-            Metric::Bandwidth => println!(
+            MetricKind::BandwidthMBs => println!(
                 "{:>10} {:>8} {:>12} {:>12}",
                 "#bytes", "#reps", "t_max[us]", "MB/s"
+            ),
+            _ => println!(
+                "{:>10} {:>8} {:>12} {:>12} {:>12}",
+                "#bytes", "#reps", "t_min[us]", "t_avg[us]", "t_max[us]"
             ),
         }
         let bench_sizes: &[u64] = if bench.sized() { &sizes } else { &[0] };
@@ -39,16 +39,20 @@ fn main() {
             let reps = (default_repetitions(bytes) / 20).max(3);
             let m = imb::run_native(bench, p, bytes, reps);
             match bench.metric() {
-                Metric::TimeUs => println!(
-                    "{:>10} {:>8} {:>12.2} {:>12.2} {:>12.2}",
-                    bytes, reps, m.t_min_us, m.t_avg_us, m.t_max_us
-                ),
-                Metric::Bandwidth => println!(
+                MetricKind::BandwidthMBs => println!(
                     "{:>10} {:>8} {:>12.2} {:>12.2}",
                     bytes,
                     reps,
-                    m.t_max_us,
-                    m.bandwidth_mbs.unwrap_or(0.0)
+                    m.t_max_us(),
+                    m.bandwidth_mbs().unwrap_or(0.0)
+                ),
+                _ => println!(
+                    "{:>10} {:>8} {:>12.2} {:>12.2} {:>12.2}",
+                    bytes,
+                    reps,
+                    m.t_min_us(),
+                    m.t_avg_us(),
+                    m.t_max_us()
                 ),
             }
         }

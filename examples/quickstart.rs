@@ -19,14 +19,14 @@ fn main() {
     let meas = imb::run_native(imb::Benchmark::Allreduce, 4, 1 << 20, 10);
     println!(
         "native IMB Allreduce, 4 ranks, 1 MiB: {:.1} us/call",
-        meas.t_max_us
+        meas.t_max_us()
     );
 
     // 3. The same benchmark on the paper's machines, simulated.
     println!("simulated IMB Allreduce, 16 CPUs, 1 MiB:");
     for m in machines::systems::paper_systems() {
         let s = imb::sim::simulate(&m, imb::Benchmark::Allreduce, 16, 1 << 20);
-        println!("  {:<28} {:>10.1} us/call", m.name, s.t_max_us);
+        println!("  {:<28} {:>10.1} us/call", m.name, s.t_max_us());
     }
 
     // 4. One figure of the paper, regenerated at reduced scale.

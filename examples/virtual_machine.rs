@@ -32,7 +32,8 @@ fn main() {
     let native = imb::run_native(bench, procs, bytes, 5);
     println!(
         "{:<30} {:>12.1} us/call   (this host, wall clock)",
-        "native", native.t_max_us
+        "native",
+        native.t_max_us()
     );
 
     println!();
@@ -44,7 +45,9 @@ fn main() {
         let sched = imb::sim::simulate(&m, bench, procs, bytes);
         println!(
             "{:<30} {:>12.1} us/call (virtual exec)  {:>12.1} us/call (schedule replay)",
-            m.name, virt.t_max_us, sched.t_max_us
+            m.name,
+            virt.t_max_us(),
+            sched.t_max_us()
         );
     }
 

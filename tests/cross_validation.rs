@@ -108,8 +108,8 @@ fn simulated_times_are_monotone_in_message_size() {
                 continue;
             }
             let p = 8.min(m.max_cpus);
-            let small = imb::sim::simulate(&m, bench, p, 1024).t_max_us;
-            let large = imb::sim::simulate(&m, bench, p, 1 << 20).t_max_us;
+            let small = imb::sim::simulate(&m, bench, p, 1024).t_max_us();
+            let large = imb::sim::simulate(&m, bench, p, 1 << 20).t_max_us();
             assert!(large > small, "{bench} on {}: {large} !> {small}", m.name);
         }
     }
@@ -125,8 +125,8 @@ fn simulated_times_grow_with_procs() {
         imb::Benchmark::Allgather,
         imb::Benchmark::Bcast,
     ] {
-        let t16 = imb::sim::simulate(&m, bench, 16, 1 << 20).t_max_us;
-        let t128 = imb::sim::simulate(&m, bench, 128, 1 << 20).t_max_us;
+        let t16 = imb::sim::simulate(&m, bench, 16, 1 << 20).t_max_us();
+        let t128 = imb::sim::simulate(&m, bench, 128, 1 << 20).t_max_us();
         assert!(t128 > t16, "{bench}: {t128} !> {t16}");
     }
 }
@@ -147,8 +147,8 @@ fn virtual_execution_agrees_with_schedule_replay() {
             imb::Benchmark::Bcast,
             imb::Benchmark::ReduceScatter,
         ] {
-            let executed = imb::run_virtual(&machine, bench, 8, 1 << 18, 3).t_max_us;
-            let replayed = imb::sim::simulate(&machine, bench, 8, 1 << 18).t_max_us;
+            let executed = imb::run_virtual(&machine, bench, 8, 1 << 18, 3).t_max_us();
+            let replayed = imb::sim::simulate(&machine, bench, 8, 1 << 18).t_max_us();
             let ratio = executed / replayed;
             assert!(
                 (0.4..2.5).contains(&ratio),

@@ -42,7 +42,7 @@ fn simulated_measurements_are_deterministic() {
     for m in machines::systems::paper_systems() {
         let a = imb::sim::simulate(&m, imb::Benchmark::Alltoall, 8, 1 << 20);
         let b = imb::sim::simulate(&m, imb::Benchmark::Alltoall, 8, 1 << 20);
-        assert_eq!(a.t_max_us, b.t_max_us, "{}", m.name);
+        assert_eq!(a.t_max_us(), b.t_max_us(), "{}", m.name);
     }
 }
 

@@ -34,8 +34,8 @@ fn imb_full_subset_runs_at_1mib() {
         let p = bench.min_procs().max(4);
         let bytes = if bench.sized() { 1 << 20 } else { 0 };
         let m = imb::run_native(bench, p, bytes, 2);
-        assert!(m.t_max_us > 0.0, "{bench}");
-        assert!(m.t_min_us <= m.t_max_us, "{bench}");
+        assert!(m.t_max_us() > 0.0, "{bench}");
+        assert!(m.t_min_us() <= m.t_max_us(), "{bench}");
     }
 }
 
@@ -47,11 +47,11 @@ fn imb_size_sweep_is_monotone_in_time() {
     let small = imb::run_native(imb::Benchmark::Sendrecv, 4, 1 << 10, 20);
     let large = imb::run_native(imb::Benchmark::Sendrecv, 4, 1 << 20, 5);
     assert!(
-        large.t_max_us > small.t_max_us,
+        large.t_max_us() > small.t_max_us(),
         "1 MiB should take longer than 1 KiB: {large:?} vs {small:?}"
     );
-    assert!(small.bandwidth_mbs.unwrap() > 0.0);
-    assert!(large.bandwidth_mbs.unwrap() > 0.0);
+    assert!(small.bandwidth_mbs().unwrap() > 0.0);
+    assert!(large.bandwidth_mbs().unwrap() > 0.0);
 }
 
 #[test]

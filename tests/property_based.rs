@@ -71,8 +71,8 @@ proptest! {
         let p = (2 * m.node.cpus).min(m.max_cpus);
         for bench in [imb::Benchmark::Allreduce, imb::Benchmark::Alltoall,
                       imb::Benchmark::Sendrecv] {
-            let t1 = imb::sim::simulate(&m, bench, p, bytes).t_max_us;
-            let t2 = imb::sim::simulate(&m, bench, p, bytes * 4).t_max_us;
+            let t1 = imb::sim::simulate(&m, bench, p, bytes).t_max_us();
+            let t2 = imb::sim::simulate(&m, bench, p, bytes * 4).t_max_us();
             prop_assert!(t1.is_finite() && t1 > 0.0, "{bench}: {t1}");
             prop_assert!(t2 > t1, "{bench} not monotone: {t2} !> {t1}");
         }
