@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Architectural lints the compiler cannot express. Run from the repo root:
+#
+#   ci/arch_lint.sh
+#
+# Enforced invariants:
+#
+#   1. Wall-clock time (`std::time::Instant`) appears only in
+#      `crates/harness` (plus the vendored criterion shim, which times
+#      bench iterations by design). The runtime and kernel crates must
+#      stay wall-clock-free so simulated and virtual execution remain
+#      deterministic and the mpcheck schedule perturbation stays
+#      reproducible.
+#   2. Every workspace crate opts into the shared `[workspace.lints]`
+#      policy via `[lints] workspace = true`, so a new crate cannot
+#      silently skip `forbid(unsafe_code)`.
+#   3. No crate re-enables unsafe code locally.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+    echo "arch_lint: $1" >&2
+    fail=1
+}
+
+# --- 1. Instant stays inside the harness (and the criterion shim) -------
+offenders=$(grep -rnE 'time::Instant|Instant::now' crates \
+    --include='*.rs' \
+    | grep -v '^crates/harness/' \
+    | grep -v '^crates/criterion/' || true)
+if [ -n "$offenders" ]; then
+    err "std::time::Instant outside crates/harness (wall-clock belongs to the harness only):
+$offenders"
+fi
+
+# --- 2. Every manifest opts into the workspace lint policy --------------
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    if ! grep -q '^\[lints\]' "$manifest" \
+        || ! grep -A1 '^\[lints\]' "$manifest" | grep -q '^workspace *= *true'; then
+        err "$manifest does not opt into [workspace.lints] ([lints] workspace = true)"
+    fi
+done
+
+# --- 3. The policy itself stays strict, and nothing opts back out ------
+if ! grep -q '^unsafe_code *= *"forbid"' Cargo.toml; then
+    err "root Cargo.toml must keep unsafe_code = \"forbid\" under [workspace.lints.rust]"
+fi
+optouts=$(grep -rnE 'allow\(unsafe_code\)' crates --include='*.rs' || true)
+if [ -n "$optouts" ]; then
+    err "allow(unsafe_code) found:
+$optouts"
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "arch_lint: ok"

@@ -8,6 +8,8 @@
 //! cargo run -p bench --bin campaign -- --records FILE       # records JSON path
 //! cargo run -p bench --bin campaign -- --out DIR            # artefact directory
 //! cargo run -p bench --bin campaign -- --no-figures         # records only
+//! cargo run -p bench --bin campaign -- --check              # mpcheck-verify native runs
+//! cargo run -p bench --bin campaign -- --check-report FILE  # mpcheck report JSON path
 //! ```
 //!
 //! Full mode replays the paper's simulated campaign over every machine
@@ -23,7 +25,7 @@ use hpcbench::figures::FigureConfig;
 use hpcbench::output::{self, OutputConfig};
 use machines::systems;
 
-fn smoke_records() -> Vec<Record> {
+fn smoke_records(check: bool) -> (Vec<Record>, Option<mpcheck::Report>) {
     let reg = hpcbench::registry();
     let plan = RunPlan {
         modes: vec![Mode::Native, Mode::Simulated, Mode::Virtual],
@@ -33,10 +35,15 @@ fn smoke_records() -> Vec<Record> {
         workloads: None,
         runner: Runner::smoke(),
     };
-    plan.execute(&reg)
+    if check {
+        let (records, report) = plan.execute_checked(&reg, mpcheck::Settings::default());
+        (records, Some(report))
+    } else {
+        (plan.execute(&reg), None)
+    }
 }
 
-fn paper_records(max_procs: usize) -> Vec<Record> {
+fn paper_records(max_procs: usize, check: bool) -> (Vec<Record>, Option<mpcheck::Report>) {
     let reg = hpcbench::registry();
     let plan = RunPlan {
         modes: vec![Mode::Simulated],
@@ -60,19 +67,33 @@ fn paper_records(max_procs: usize) -> Vec<Record> {
         workloads: None,
         runner: Runner::standard(),
     };
-    plan.execute(&reg)
+    if check {
+        let (records, report) = plan.execute_checked(&reg, mpcheck::Settings::default());
+        (records, Some(report))
+    } else {
+        (plan.execute(&reg), None)
+    }
 }
 
 fn main() {
     let mut out_dir = PathBuf::from("out");
     let mut records_path: Option<PathBuf> = None;
+    let mut check_report_path: Option<PathBuf> = None;
     let mut smoke = false;
+    let mut check = false;
     let mut with_figures = true;
     let mut max_procs = 2048usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--check" => check = true,
+            "--check-report" => {
+                check = true;
+                check_report_path = Some(PathBuf::from(
+                    args.next().expect("--check-report needs a path"),
+                ));
+            }
             "--no-figures" => with_figures = false,
             "--out" => out_dir = PathBuf::from(args.next().expect("--out needs a path")),
             "--records" => {
@@ -87,22 +108,22 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument: {other}\n\
-                     usage: campaign [--smoke] [--no-figures] [--max-procs N] \
-                     [--out DIR] [--records FILE]"
+                     usage: campaign [--smoke] [--check] [--no-figures] [--max-procs N] \
+                     [--out DIR] [--records FILE] [--check-report FILE]"
                 );
                 std::process::exit(2);
             }
         }
     }
 
-    let records = if smoke {
+    let (records, check_report) = if smoke {
         println!("campaign --smoke: native + simulated + virtual on a reduced cross product");
-        smoke_records()
+        smoke_records(check)
     } else {
         println!(
             "campaign: simulated paper sweep over every machine variant (max_procs = {max_procs})"
         );
-        paper_records(max_procs)
+        paper_records(max_procs, check)
     };
 
     let mut by_mode = [0usize; 3];
@@ -126,6 +147,20 @@ fn main() {
     let records_path = records_path.unwrap_or_else(|| out_dir.join("records.json"));
     std::fs::write(&records_path, records_json(&records)).expect("write records json");
     println!("wrote {}", records_path.display());
+
+    if let Some(report) = check_report {
+        print!("{report}");
+        let report_path = check_report_path.unwrap_or_else(|| out_dir.join("mpcheck-report.json"));
+        std::fs::write(&report_path, report.to_json()).expect("write mpcheck report json");
+        println!("wrote {}", report_path.display());
+        if !report.clean() {
+            eprintln!(
+                "campaign --check: {} finding(s), failing",
+                report.findings.len()
+            );
+            std::process::exit(1);
+        }
+    }
 
     // Smoke keeps CI fast: records only, the figure sweep has its own test
     // coverage. The full campaign regenerates the paper artefacts from the

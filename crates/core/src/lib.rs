@@ -26,9 +26,6 @@
 //! assert!(fig.to_csv().lines().count() > 5);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod extensions;
 pub mod figures;
 pub mod output;

@@ -22,17 +22,16 @@
 //! `simnet` and `machines`); the registry wiring the suites' closures
 //! together lives above them, in `hpcbench::registry`.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod metrics;
 mod plan;
 mod record;
 mod runner;
+pub mod timer;
 mod workload;
 
 pub use metrics::{Metric, MetricSink};
 pub use plan::{GridFn, ProcGrid, RunPlan};
 pub use record::{records_json, MetricKind, Mode, Record, Stats, Suite};
 pub use runner::{BestOf, RepetitionPolicy, Runner};
+pub use timer::Stopwatch;
 pub use workload::{Registry, Workload, WorkloadMeta};

@@ -104,6 +104,25 @@ impl RunPlan {
         out
     }
 
+    /// Executes the plan with `mpcheck` instrumentation installed on the
+    /// calling thread: every native-mode `mp::run` a workload performs is
+    /// verified as it runs (live wait-for-graph deadlock detection) and
+    /// its communication trace is linted afterwards. Simulated and
+    /// virtual execution are unaffected — they are already deterministic.
+    ///
+    /// Returns the records plus the accumulated verification report. A
+    /// detected deadlock panics out of the plan with the full cycle
+    /// diagnosis as the message; a deadlocked campaign cannot continue.
+    pub fn execute_checked(
+        &self,
+        registry: &Registry,
+        settings: mpcheck::Settings,
+    ) -> (Vec<Record>, mpcheck::Report) {
+        let session = mpcheck::Session::begin(settings);
+        let records = self.execute(registry);
+        (records, session.finish())
+    }
+
     fn bytes_for(&self, meta: &WorkloadMeta) -> Vec<Option<u64>> {
         if meta.sized {
             if self.bytes.is_empty() {
@@ -203,6 +222,49 @@ mod tests {
             "p=64 exceeds max_cpus, 'unsized' filtered"
         );
         assert_eq!(records[0].procs, 2);
+    }
+
+    #[test]
+    fn execute_checked_verifies_native_runs() {
+        let mut reg = Registry::new();
+        reg.register(
+            Workload::new(WorkloadMeta {
+                name: "chk",
+                suite: Suite::Imb,
+                metric: MetricKind::TimeUs,
+                min_procs: 2,
+                pow2_procs: false,
+                sized: false,
+            })
+            .native(|_, p, _| {
+                mp::run(p, |comm| comm.barrier());
+                vec![Record {
+                    benchmark: "chk",
+                    suite: Suite::Imb,
+                    mode: Mode::Native,
+                    machine: "host",
+                    procs: p,
+                    bytes: None,
+                    metric: MetricKind::TimeUs,
+                    value: 1.0,
+                    stats: Stats::deterministic(1.0),
+                    passed: true,
+                }]
+            }),
+        );
+        let plan = RunPlan {
+            modes: vec![Mode::Native],
+            machines: vec![],
+            procs: ProcGrid::List(vec![2]),
+            bytes: vec![],
+            workloads: None,
+            runner: Runner::smoke(),
+        };
+        let (records, report) = plan.execute_checked(&reg, mpcheck::Settings::default());
+        assert_eq!(records.len(), 1);
+        assert_eq!(report.runs, 1, "the native mp::run must be instrumented");
+        assert!(report.clean(), "unexpected findings:\n{report}");
+        assert!(report.events > 0);
     }
 
     #[test]

@@ -110,7 +110,7 @@ impl Runner {
             body(w);
         }
         comm.barrier();
-        let clock = mp::timer::Stopwatch::start();
+        let clock = crate::timer::Stopwatch::start();
         for it in 0..iters {
             body(it);
         }
@@ -159,7 +159,7 @@ impl Runner {
     /// (repetitions = 1, no warm-up — suited to one-shot components
     /// whose re-execution would be prohibitively expensive).
     pub fn timed_stats<T>(comm: &Comm, f: impl FnOnce() -> T) -> (T, Stats) {
-        let clock = mp::timer::Stopwatch::start();
+        let clock = crate::timer::Stopwatch::start();
         let out = f();
         let elapsed_us = clock.elapsed_secs() * 1e6;
         (out, Runner::rank_stats(comm, elapsed_us, true, 1))
@@ -194,7 +194,7 @@ impl BestOf {
     /// times the same window, including the slowest rank's finish.
     pub fn time_collective(&mut self, comm: &Comm, lane: usize, f: impl FnOnce()) {
         comm.barrier();
-        let clock = mp::timer::Stopwatch::start();
+        let clock = crate::timer::Stopwatch::start();
         f();
         comm.barrier();
         let secs = clock.elapsed_secs();

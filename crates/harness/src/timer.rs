@@ -1,4 +1,9 @@
 //! Wall-clock timing helpers for native benchmark runs.
+//!
+//! This is the workspace's only home for `std::time::Instant`: the
+//! runtime and benchmark-kernel crates must stay wall-clock-free so
+//! simulated and virtual execution remain deterministic (the invariant
+//! `ci/arch_lint.sh` enforces).
 
 use std::time::Instant;
 

@@ -71,7 +71,7 @@ fn ring_pass(comm: &Comm, perm: &[usize], bytes: usize, iters: usize) -> f64 {
     let sbuf = vec![1.0f64; words];
     let mut rbuf = vec![0.0f64; words];
     comm.barrier();
-    let clock = mp::timer::Stopwatch::start();
+    let clock = harness::Stopwatch::start();
     for _ in 0..iters {
         comm.sendrecv(&sbuf, right, &mut rbuf, left, 37);
         comm.sendrecv(&sbuf, left, &mut rbuf, right, 37);

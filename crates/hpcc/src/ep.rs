@@ -49,7 +49,7 @@ pub fn stream(comm: &Comm, cfg: &StreamConfig) -> StreamResult {
     comm.barrier();
     for _ in 0..cfg.iters {
         for (k, kernel) in StreamKernel::ALL.into_iter().enumerate() {
-            let t = mp::timer::Stopwatch::start();
+            let t = harness::Stopwatch::start();
             arrays.run(kernel);
             best[k] = best[k].min(t.elapsed_secs().max(1e-9));
         }
@@ -116,7 +116,7 @@ pub fn ep_dgemm(comm: &Comm, cfg: &DgemmConfig) -> DgemmResult {
         for v in c.iter_mut() {
             *v = 0.0;
         }
-        let t = mp::timer::Stopwatch::start();
+        let t = harness::Stopwatch::start();
         dgemm(n, &a, &b, &mut c);
         best = best.min(t.elapsed_secs().max(1e-9));
     }

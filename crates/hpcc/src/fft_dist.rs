@@ -231,7 +231,7 @@ pub fn run(comm: &Comm, cfg: &FftConfig) -> FftResult {
     let mut data: Vec<Complex> = (0..ln as u64).map(|l| input_element(base + l)).collect();
 
     comm.barrier();
-    let clock = mp::timer::Stopwatch::start();
+    let clock = harness::Stopwatch::start();
     distributed_fft(comm, &mut data, false);
     comm.barrier();
     let time_s = clock.elapsed_secs();

@@ -126,7 +126,7 @@ pub fn run(comm: &Comm, cfg: &HplConfig) -> HplResult {
     let mut pivots: Vec<usize> = Vec::with_capacity(n);
 
     comm.barrier();
-    let clock = mp::timer::Stopwatch::start();
+    let clock = harness::Stopwatch::start();
 
     for kb in 0..nblocks {
         let k0 = kb * nb;

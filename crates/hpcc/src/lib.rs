@@ -20,9 +20,6 @@
 //! assert!(s.all_passed);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod beff;
 pub mod ep;
 pub mod fft_dist;

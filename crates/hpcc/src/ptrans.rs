@@ -60,7 +60,7 @@ pub fn run(comm: &Comm, cfg: &PtransConfig) -> PtransResult {
     let b: Vec<f64> = (0..rows * n).map(|k| b_elem(my0 + k / n, k % n)).collect();
 
     comm.barrier();
-    let clock = mp::timer::Stopwatch::start();
+    let clock = harness::Stopwatch::start();
 
     // Pairwise tile exchange: in step s I trade tiles with partner
     // (me + s) mod p / (me - s) mod p.

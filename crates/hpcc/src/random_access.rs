@@ -132,7 +132,7 @@ pub fn run(comm: &Comm, cfg: &RandomAccessConfig) -> RandomAccessResult {
     let mut table: Vec<u64> = (0..local_size).map(|i| my_base + i).collect();
 
     comm.barrier();
-    let clock = mp::timer::Stopwatch::start();
+    let clock = harness::Stopwatch::start();
     apply_stream(
         comm,
         &mut table,

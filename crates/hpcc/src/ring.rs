@@ -78,7 +78,7 @@ fn ring_pass(comm: &Comm, perm: &[usize], words: usize, iters: usize) -> f64 {
     let sbuf = vec![1.0f64; words];
     let mut rbuf = vec![0.0f64; words];
     comm.barrier();
-    let clock = mp::timer::Stopwatch::start();
+    let clock = harness::Stopwatch::start();
     for _ in 0..iters {
         // Both directions, as in b_eff's ring pattern.
         comm.sendrecv(&sbuf, right, &mut rbuf, left, 23);

@@ -16,9 +16,6 @@
 //! assert!(m.t_max_us() > 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod benchmark;
 pub mod ext;
 pub mod native;

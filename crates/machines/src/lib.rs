@@ -19,9 +19,6 @@
 //! assert!(t.as_us() > 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cluster;
 pub mod model;
 pub mod systems;

@@ -15,7 +15,9 @@
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
+use crate::check::{CollSite, Event, Inspector, WaitOn};
 use crate::coll::LONG_MSG_THRESHOLD;
 use crate::datatype::{decode_into, encode, Word};
 use crate::mailbox::PostedHandle;
@@ -102,6 +104,40 @@ impl Comm {
             .expect("message from a rank outside this communicator")
     }
 
+    /// Schedule-perturbation hook: a deterministic yield/delay at this
+    /// instrumented point when a checked run asked for it, no-op otherwise.
+    #[inline]
+    fn perturb(&self) {
+        if let Some(insp) = &self.world.inspector {
+            insp.maybe_perturb(self.group[self.rank]);
+        }
+    }
+
+    /// Opens an instrumented collective scope (records `CollBegin`, and
+    /// `CollEnd` when the returned guard drops). `root`, when present, is
+    /// a *local* rank and is recorded as its global rank, so divergence
+    /// comparison across members is mapping-independent. No-op guard on
+    /// unchecked runs.
+    pub(crate) fn coll_scope(
+        &self,
+        op: &'static str,
+        root: Option<usize>,
+        shape: Option<u64>,
+    ) -> CollScope {
+        match &self.world.inspector {
+            None => CollScope { state: None },
+            Some(insp) => {
+                self.perturb();
+                let grank = self.group[self.rank];
+                let root = root.map(|r| self.group[r]);
+                let site = insp.coll_begin(grank, self.id, op, root, shape);
+                CollScope {
+                    state: Some((Arc::clone(insp), grank, site)),
+                }
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Point-to-point
     // ------------------------------------------------------------------
@@ -112,6 +148,18 @@ impl Comm {
     pub(crate) fn send_payload(&self, data: Payload, dst: usize, tag: Tag) {
         assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
         let (gsrc, gdst) = (self.group[self.rank], self.group[dst]);
+        if let Some(insp) = &self.world.inspector {
+            insp.maybe_perturb(gsrc);
+            insp.record(
+                gsrc,
+                Event::Send {
+                    dst: gdst,
+                    comm: self.id,
+                    tag,
+                    bytes: data.len(),
+                },
+            );
+        }
         // Under virtual execution, price the message and stamp its
         // simulated arrival before delivery.
         let arrival = self.world.virtual_net.as_ref().map(|net| {
@@ -138,6 +186,7 @@ impl Comm {
     /// forcing ownership of the bytes (zero-copy for forwarding).
     pub(crate) fn recv_payload(&self, src: usize, tag: Tag) -> Payload {
         assert!(src < self.size(), "recv from rank {src} of {}", self.size());
+        self.perturb();
         let filter = Match {
             comm_id: self.id,
             src: Some(self.group[src]),
@@ -205,6 +254,7 @@ impl Comm {
     /// Blocking typed receive; posts a rendezvous buffer for large
     /// messages so a matching send can encode straight into it.
     fn recv_words_into<T: Word>(&self, filter: Match, buf: &mut [T]) -> (usize, Tag) {
+        self.perturb();
         let bytes = buf.len() * T::SIZE;
         let mailbox = &self.world.mailboxes[self.group[self.rank]];
         let (msg, spare) = if bytes >= LONG_MSG_THRESHOLD {
@@ -276,6 +326,7 @@ impl Comm {
         if let Some(t) = tag {
             assert!(t < MAX_USER_TAG, "tag {t:#x} is in the reserved range");
         }
+        self.perturb();
         let filter = Match {
             comm_id: self.id,
             src: src.map(|s| self.group[s]),
@@ -361,6 +412,7 @@ impl Comm {
     /// Splits the communicator by `color`; ranks with equal color form a new
     /// communicator ordered by `(key, old rank)`. Mirrors `MPI_Comm_split`.
     pub fn split(&self, color: u32, key: i64) -> Comm {
+        let _scope = self.coll_scope("split", None, None);
         // Share (color, key) among all ranks via the existing allgather.
         let mine = [u64::from(color), key as u64, self.rank as u64];
         let mut all = vec![0u64; 3 * self.size()];
@@ -398,6 +450,7 @@ impl Comm {
     /// A duplicate communicator with the same group but an isolated tag
     /// space. Mirrors `MPI_Comm_dup`.
     pub fn dup(&self) -> Comm {
+        let _scope = self.coll_scope("dup", None, None);
         let seq = self.coll_seq.get();
         // Advance the parent's sequence so distinct dup() calls get
         // distinct ids.
@@ -477,7 +530,10 @@ impl Comm {
             }
             arc
         } else {
+            let grank = self.group[self.rank];
+            let insp = self.world.inspector.clone();
             let mut map = self.world.rendezvous.lock();
+            let mut registered = false;
             loop {
                 if let Some(entry) = map.get_mut(&key) {
                     let arc = entry
@@ -489,10 +545,48 @@ impl Comm {
                     if entry.1 == 0 {
                         map.remove(&key);
                     }
+                    drop(map);
+                    if registered {
+                        if let Some(insp) = &insp {
+                            insp.end_wait(grank);
+                        }
+                    }
                     return arc;
                 }
-                self.world.rendezvous_cv.wait(&mut map);
+                match &insp {
+                    None => self.world.rendezvous_cv.wait(&mut map),
+                    Some(insp) => {
+                        // Instrumented: publish the wait edge, park in
+                        // short slices and honour a detector poison.
+                        if !registered {
+                            insp.begin_wait(grank, WaitOn::Rendezvous { key }, None);
+                            registered = true;
+                        }
+                        if let Some(diagnosis) = insp.poisoned() {
+                            drop(map);
+                            panic!("{}{diagnosis}", crate::check::POISON_MARK);
+                        }
+                        self.world
+                            .rendezvous_cv
+                            .wait_for(&mut map, Duration::from_millis(25));
+                    }
+                }
             }
+        }
+    }
+}
+
+/// RAII guard of one instrumented collective call (see
+/// [`Comm::coll_scope`]); records `CollEnd` on drop. Inert on unchecked
+/// runs.
+pub(crate) struct CollScope {
+    state: Option<(Arc<Inspector>, usize, Option<CollSite>)>,
+}
+
+impl Drop for CollScope {
+    fn drop(&mut self) {
+        if let Some((insp, grank, site)) = self.state.take() {
+            insp.coll_end(grank, site);
         }
     }
 }

@@ -26,10 +26,8 @@
 //! executions ([`run_traced`]) move exactly the messages the generators
 //! predict.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod api;
+pub mod check;
 pub mod coll;
 mod comm;
 pub mod datatype;
@@ -40,7 +38,6 @@ pub mod reduce;
 pub mod rma;
 mod runtime;
 pub mod sched;
-pub mod timer;
 pub mod virt;
 
 pub use comm::{Comm, RecvHandle};

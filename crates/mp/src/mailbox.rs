@@ -22,9 +22,14 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::check::{Event, Inspector, LaneInfo, WaitOn};
 use crate::datatype::Word;
 use crate::msg::{Match, Message};
 use crate::payload::Payload;
+
+/// Wake interval of instrumented waits: short enough that a detector
+/// poison is noticed promptly, long enough to stay off the hot path.
+const INSTRUMENTED_WAIT_SLICE: Duration = Duration::from_millis(25);
 
 /// Default for how long a blocking receive waits before declaring a
 /// deadlock: generous in production builds, short under `cfg(test)` so a
@@ -39,17 +44,16 @@ const DEFAULT_DEADLOCK_TIMEOUT_SECS: u64 = 20;
 ///
 /// A correct SPMD program never waits this long for an in-process message;
 /// the timeout converts silent hangs into actionable panics. Overridable
-/// via the `MP_DEADLOCK_TIMEOUT_SECS` environment variable (read once,
-/// then cached); unparsable values fall back to the default.
+/// via the `MP_DEADLOCK_TIMEOUT_SECS` environment variable, which is read
+/// on *every* wait (not cached into a process-wide static): tests and
+/// long-running drivers may legitimately adjust the timeout between runs,
+/// and a stale first-read value would silently win. Unparsable values
+/// fall back to the default.
 fn deadlock_timeout() -> Duration {
-    use std::sync::OnceLock;
-    static TIMEOUT_SECS: OnceLock<u64> = OnceLock::new();
-    let secs = *TIMEOUT_SECS.get_or_init(|| {
-        std::env::var("MP_DEADLOCK_TIMEOUT_SECS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(DEFAULT_DEADLOCK_TIMEOUT_SECS)
-    });
+    let secs = std::env::var("MP_DEADLOCK_TIMEOUT_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_DEADLOCK_TIMEOUT_SECS);
     Duration::from_secs(secs)
 }
 
@@ -85,6 +89,12 @@ impl Handoff {
             ready: Condvar::new(),
         })
     }
+
+    /// Whether a sender has filled this slot (the deadlock detector
+    /// probes this to rule out a wake already in flight).
+    pub(crate) fn has_arrived(&self) -> bool {
+        self.state.lock().arrived.is_some()
+    }
 }
 
 /// One entry in the posted-receive table.
@@ -111,30 +121,41 @@ struct Inner {
 }
 
 impl Inner {
-    /// Removes and returns the oldest queued message matching `filter`:
-    /// O(1) lane pop for exact filters, arrival-ordered scan over lane
-    /// fronts for wildcards.
-    fn take_queued(&mut self, filter: Match) -> Option<Arrived> {
-        let key: LaneKey = if filter.is_exact() {
+    /// Removes and returns the oldest queued message matching `filter`,
+    /// together with the number of distinct nonempty lanes that matched:
+    /// O(1) lane pop for exact filters (candidates = 1), arrival-ordered
+    /// scan over lane fronts for wildcards. A wildcard match with two or
+    /// more candidate lanes depended on arrival order — the race the
+    /// trace lint flags.
+    fn take_queued(&mut self, filter: Match) -> Option<(Arrived, u32)> {
+        let (key, candidates): (LaneKey, u32) = if filter.is_exact() {
             let src = filter.src.expect("exact filter");
             let tag = filter.tag.expect("exact filter");
             let key = (src, crate::msg::pack_tag(filter.comm_id, tag));
             if !self.lanes.contains_key(&key) {
                 return None;
             }
-            key
+            (key, 1)
         } else {
             // Wildcard: the oldest matching message overall is the oldest
             // among matching lanes' fronts (lanes are FIFO).
-            let key = self
-                .lanes
-                .iter()
-                .filter(|((src, full_tag), q)| {
-                    !q.is_empty() && filter.accepts_parts(*src, *full_tag)
-                })
-                .min_by_key(|(_, q)| q.front().expect("non-empty lane").seq)
-                .map(|(key, _)| *key)?;
-            key
+            let mut candidates = 0u32;
+            let mut best: Option<(LaneKey, u64)> = None;
+            for ((src, full_tag), q) in &self.lanes {
+                let Some(front) = q.front() else { continue };
+                if !filter.accepts_parts(*src, *full_tag) {
+                    continue;
+                }
+                candidates += 1;
+                let older = match best {
+                    None => true,
+                    Some((_, seq)) => front.seq < seq,
+                };
+                if older {
+                    best = Some(((*src, *full_tag), front.seq));
+                }
+            }
+            (best?.0, candidates)
         };
         match self.lanes.entry(key) {
             Entry::Occupied(mut lane) => {
@@ -143,7 +164,7 @@ impl Inner {
                     lane.remove();
                 }
                 self.queued -= 1;
-                Some(arrived)
+                Some((arrived, candidates))
             }
             Entry::Vacant(_) => None,
         }
@@ -219,14 +240,19 @@ impl Inner {
 /// A rank's incoming-message queue (see the module docs).
 pub(crate) struct Mailbox {
     inner: Mutex<Inner>,
+    /// The owning rank (0 for standalone test mailboxes).
+    rank: usize,
+    /// Instrumentation registry of a checked run, if any.
+    inspector: Option<Arc<Inspector>>,
 }
 
 /// A registered nonblocking receive: either the message was already
 /// queued (taken immediately, arrival stamp kept so cancellation can
-/// restore it exactly), or a table entry now waits for it. Opaque to
-/// callers; resolve with [`Mailbox::complete`] or [`Mailbox::cancel`].
+/// restore it exactly, candidate-lane count alongside), or a table entry
+/// now waits for it. Opaque to callers; resolve with
+/// [`Mailbox::complete`] or [`Mailbox::cancel`].
 pub(crate) enum PostedHandle {
-    Ready(Arrived),
+    Ready(Arrived, u32),
     Pending(Ticket),
 }
 
@@ -237,9 +263,56 @@ pub(crate) struct Ticket {
 }
 
 impl Mailbox {
+    /// A standalone uninstrumented mailbox (unit tests).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn new() -> Mailbox {
+        Mailbox::with_inspector(0, None)
+    }
+
+    /// A mailbox owned by `rank`, instrumented when `inspector` is set.
+    pub fn with_inspector(rank: usize, inspector: Option<Arc<Inspector>>) -> Mailbox {
         Mailbox {
             inner: Mutex::new(Inner::default()),
+            rank,
+            inspector,
+        }
+    }
+
+    /// The queued-but-unmatched messages per lane (deadlock diagnoses and
+    /// the finalize leftover inventory), in deterministic order.
+    pub fn inventory(&self) -> Vec<LaneInfo> {
+        let inner = self.inner.lock();
+        let mut out: Vec<LaneInfo> = inner
+            .lanes
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|((src, full_tag), q)| LaneInfo {
+                dst: self.rank,
+                src: *src,
+                comm: (full_tag >> 32) as u32,
+                tag: (full_tag & 0xFFFF_FFFF) as u32,
+                queued: q.len(),
+                bytes: q.iter().map(|a| a.msg.data.len()).sum(),
+            })
+            .collect();
+        out.sort_by_key(|l| (l.src, l.comm, l.tag));
+        out
+    }
+
+    /// Records a matched receive into the event ring, if instrumented.
+    fn record_recv(&self, arrived: &Arrived, filter: Match, candidates: u32) {
+        if let Some(insp) = &self.inspector {
+            insp.record(
+                self.rank,
+                Event::Recv {
+                    src: arrived.msg.src,
+                    comm: (arrived.msg.full_tag >> 32) as u32,
+                    tag: (arrived.msg.full_tag & 0xFFFF_FFFF) as u32,
+                    bytes: arrived.msg.data.len(),
+                    wildcard: !filter.is_exact(),
+                    candidates,
+                },
+            );
         }
     }
 
@@ -315,7 +388,9 @@ impl Mailbox {
     /// recycling.
     pub fn recv_posting(&self, filter: Match, buf: Option<Vec<u8>>) -> (Message, Option<Vec<u8>>) {
         let mut inner = self.inner.lock();
-        if let Some(arrived) = inner.take_queued(filter) {
+        if let Some((arrived, candidates)) = inner.take_queued(filter) {
+            drop(inner);
+            self.record_recv(&arrived, filter, candidates);
             return (arrived.msg, buf);
         }
         let slot = Handoff::new();
@@ -330,8 +405,8 @@ impl Mailbox {
     /// can complete it before the receiver waits.
     pub fn post(&self, filter: Match, buf: Option<Vec<u8>>) -> PostedHandle {
         let mut inner = self.inner.lock();
-        if let Some(arrived) = inner.take_queued(filter) {
-            return PostedHandle::Ready(arrived);
+        if let Some((arrived, candidates)) = inner.take_queued(filter) {
+            return PostedHandle::Ready(arrived, candidates);
         }
         let slot = Handoff::new();
         let id = inner.register(filter, buf, Arc::clone(&slot));
@@ -342,7 +417,10 @@ impl Mailbox {
     /// blocking until a sender matches it otherwise.
     pub fn complete(&self, handle: PostedHandle, filter: Match) -> (Message, Option<Vec<u8>>) {
         match handle {
-            PostedHandle::Ready(arrived) => (arrived.msg, None),
+            PostedHandle::Ready(arrived, candidates) => {
+                self.record_recv(&arrived, filter, candidates);
+                (arrived.msg, None)
+            }
             PostedHandle::Pending(ticket) => self.wait_ticket(ticket, filter),
         }
     }
@@ -352,32 +430,85 @@ impl Mailbox {
     /// if the receive had never been posted.
     pub fn cancel(&self, handle: PostedHandle) {
         match handle {
-            PostedHandle::Ready(arrived) => self.inner.lock().requeue_front(arrived),
+            PostedHandle::Ready(arrived, _) => self.inner.lock().requeue_front(arrived),
             PostedHandle::Pending(ticket) => self.cancel_ticket(ticket),
         }
     }
 
     /// Blocks until the posted receive behind `ticket` is matched.
-    /// `filter` is only used for the deadlock diagnostic.
+    /// `filter` is only used for wait registration and the deadlock
+    /// diagnostic.
+    ///
+    /// Instrumented runs publish a wait edge first, then park in short
+    /// slices, checking the detector's poison flag on every wake: a
+    /// diagnosed deadlock unwinds this rank with the diagnosis instead of
+    /// waiting out the wall-clock timeout, which is demoted to a backstop.
     pub fn wait_ticket(&self, ticket: Ticket, filter: Match) -> (Message, Option<Vec<u8>>) {
         let Ticket { id, slot } = ticket;
+        if let Some(insp) = &self.inspector {
+            insp.begin_wait(
+                self.rank,
+                WaitOn::Recv {
+                    comm: filter.comm_id,
+                    src: filter.src,
+                    tag: filter.tag,
+                },
+                Some(Arc::clone(&slot)),
+            );
+        }
+        let mut waited = Duration::ZERO;
         let mut st = slot.state.lock();
         loop {
             if let Some(arrived) = st.arrived.take() {
-                return (arrived.msg, st.spare.take());
+                let spare = st.spare.take();
+                drop(st);
+                if let Some(insp) = &self.inspector {
+                    insp.end_wait(self.rank);
+                }
+                // A handed-off message is the only candidate by
+                // construction: had another queued message matched the
+                // filter, it would have been taken at post time.
+                self.record_recv(&arrived, filter, 1);
+                return (arrived.msg, spare);
+            }
+            if let Some(insp) = &self.inspector {
+                if let Some(diagnosis) = insp.poisoned() {
+                    drop(st);
+                    self.inner.lock().deregister(id);
+                    panic!("{}{diagnosis}", crate::check::POISON_MARK);
+                }
             }
             let timeout = deadlock_timeout();
-            if slot.ready.wait_for(&mut st, timeout).timed_out() {
+            let slice = if self.inspector.is_some() {
+                INSTRUMENTED_WAIT_SLICE.min(timeout)
+            } else {
+                timeout
+            };
+            if slot.ready.wait_for(&mut st, slice).timed_out() {
+                waited += slice;
+                if waited < timeout {
+                    continue;
+                }
                 drop(st);
                 let mut inner = self.inner.lock();
                 if inner.deregister(id) {
                     // Still unmatched after the timeout: declare deadlock.
+                    let queued = inner.queued;
+                    drop(inner);
+                    let mut lanes = String::new();
+                    for lane in self.inventory() {
+                        lanes.push_str("\n  ");
+                        lanes.push_str(&lane.to_string());
+                    }
                     panic!(
-                        "mp: receive waited {}s for a message matching {filter:?}; \
-                         likely deadlock ({} unmatched messages queued). Tune via \
+                        "mp: rank {} waited {}s for a message matching {filter:?}; \
+                         likely deadlock ({} unmatched messages queued{}{}). Tune via \
                          MP_DEADLOCK_TIMEOUT_SECS.",
+                        self.rank,
                         timeout.as_secs(),
-                        inner.queued,
+                        queued,
+                        if lanes.is_empty() { "" } else { ":" },
+                        lanes,
                     );
                 }
                 // A sender matched us concurrently with the timeout; the
@@ -410,7 +541,11 @@ impl Mailbox {
     /// Exercised by tests and kept for `iprobe`-style extensions.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn try_recv(&self, filter: Match) -> Option<Message> {
-        self.inner.lock().take_queued(filter).map(|a| a.msg)
+        let taken = self.inner.lock().take_queued(filter);
+        taken.map(|(arrived, candidates)| {
+            self.record_recv(&arrived, filter, candidates);
+            arrived.msg
+        })
     }
 
     /// Number of queued (unmatched) messages.
@@ -490,14 +625,52 @@ mod tests {
     }
 
     #[test]
-    fn deadlock_timeout_honours_env_or_test_default() {
-        // Under cfg(test) the default is 20 s; an MP_DEADLOCK_TIMEOUT_SECS
-        // override (read once at first use) takes precedence.
-        let expect = std::env::var("MP_DEADLOCK_TIMEOUT_SECS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(20);
-        assert_eq!(super::deadlock_timeout().as_secs(), expect);
+    fn deadlock_timeout_tracks_env_changes() {
+        // Regression: the timeout used to be read once into a process-wide
+        // OnceLock, so the *second* override below was silently ignored.
+        let original = std::env::var("MP_DEADLOCK_TIMEOUT_SECS").ok();
+        std::env::set_var("MP_DEADLOCK_TIMEOUT_SECS", "123");
+        assert_eq!(super::deadlock_timeout().as_secs(), 123);
+        std::env::set_var("MP_DEADLOCK_TIMEOUT_SECS", "77");
+        assert_eq!(super::deadlock_timeout().as_secs(), 77);
+        std::env::remove_var("MP_DEADLOCK_TIMEOUT_SECS");
+        assert_eq!(super::deadlock_timeout().as_secs(), 20, "cfg(test) default");
+        match original {
+            Some(v) => std::env::set_var("MP_DEADLOCK_TIMEOUT_SECS", v),
+            None => std::env::remove_var("MP_DEADLOCK_TIMEOUT_SECS"),
+        }
+    }
+
+    #[test]
+    fn wildcard_candidates_counted_for_race_detection() {
+        use crate::check::{Event, Inspector, Settings};
+        let insp = Arc::new(Inspector::new(1, Settings::default()));
+        let mb = Mailbox::with_inspector(0, Some(Arc::clone(&insp)));
+        mb.push(msg(1, 5, vec![1]));
+        mb.push(msg(2, 6, vec![2]));
+        assert_eq!(mb.recv(any()).src, 1, "oldest arrival wins");
+        assert_eq!(mb.recv(any()).src, 2);
+        let (events, _) = insp.drain_events();
+        assert!(
+            matches!(
+                events[0][0],
+                Event::Recv {
+                    wildcard: true,
+                    candidates: 2,
+                    ..
+                }
+            ),
+            "first wildcard receive had two candidate lanes: {:?}",
+            events[0][0]
+        );
+        assert!(matches!(
+            events[0][1],
+            Event::Recv {
+                wildcard: true,
+                candidates: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -544,7 +717,10 @@ mod tests {
         let mb = Mailbox::new();
         mb.push(msg(1, 7, vec![4]));
         match mb.post(exact(1, 7), None) {
-            PostedHandle::Ready(a) => assert_eq!(a.msg.data.as_slice(), &[4]),
+            PostedHandle::Ready(a, candidates) => {
+                assert_eq!(a.msg.data.as_slice(), &[4]);
+                assert_eq!(candidates, 1);
+            }
             PostedHandle::Pending(_) => panic!("should match the queued message"),
         }
     }
@@ -555,7 +731,7 @@ mod tests {
         mb.push(msg(1, 7, vec![1]));
         mb.push(msg(1, 7, vec![2]));
         let handle = mb.post(exact(1, 7), None);
-        assert!(matches!(handle, PostedHandle::Ready(_)));
+        assert!(matches!(handle, PostedHandle::Ready(..)));
         mb.cancel(handle);
         assert_eq!(mb.recv(exact(1, 7)).data.as_slice(), &[1]);
         assert_eq!(mb.recv(exact(1, 7)).data.as_slice(), &[2]);

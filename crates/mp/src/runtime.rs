@@ -17,6 +17,7 @@ use simnet::Transfer;
 
 use simnet::Time;
 
+use crate::check::{self, Checked, Inspector, RunLog, Settings};
 use crate::comm::Comm;
 use crate::mailbox::Mailbox;
 use crate::msg::Message;
@@ -38,18 +39,23 @@ pub(crate) struct World {
     pub virtual_net: Option<Box<dyn VirtualNet>>,
     /// Per-rank virtual clocks (empty for native runs).
     pub virtual_clocks: Vec<Mutex<Time>>,
+    /// Instrumentation registry of a checked run (None otherwise).
+    pub inspector: Option<Arc<Inspector>>,
 }
 
 impl World {
-    fn new(n: usize, traced: bool) -> World {
+    fn new(n: usize, traced: bool, inspector: Option<Arc<Inspector>>) -> World {
         World {
             n,
-            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            mailboxes: (0..n)
+                .map(|rank| Mailbox::with_inspector(rank, inspector.clone()))
+                .collect(),
             trace: traced.then(|| Mutex::new(Vec::new())),
             rendezvous: Mutex::new(HashMap::new()),
             rendezvous_cv: Condvar::new(),
             virtual_net: None,
             virtual_clocks: Vec::new(),
+            inspector,
         }
     }
 
@@ -79,6 +85,17 @@ impl World {
     ) -> bool {
         if !self.mailboxes[dst].rendezvous_send(src, full_tag, words, None) {
             return false;
+        }
+        if let Some(insp) = &self.inspector {
+            insp.record(
+                src,
+                crate::check::Event::Send {
+                    dst,
+                    comm: (full_tag >> 32) as u32,
+                    tag: (full_tag & 0xFFFF_FFFF) as u32,
+                    bytes: words.len() * T::SIZE,
+                },
+            );
         }
         if let Some(trace) = &self.trace {
             trace.lock().push(Transfer {
@@ -111,6 +128,26 @@ where
     R: Send,
     F: Fn(&Comm) -> R + Send + Sync,
 {
+    // An ambient check configuration (installed on *this* thread via
+    // `check::install_scoped`) reroutes the run through the instrumented
+    // path: deadlocks are diagnosed, the run log goes to the sink, and
+    // rank panics still propagate like the plain path's.
+    if let Some(scoped) = check::scoped() {
+        let Checked {
+            results,
+            panics,
+            log,
+        } = run_checked_inner(n, scoped.settings.clone(), &f);
+        let deadlock = log.deadlock.clone();
+        (scoped.sink)(log);
+        if let Some(d) = deadlock {
+            panic!("{}{d}", check::POISON_MARK);
+        }
+        if let Some((rank, msg)) = panics.first() {
+            panic!("rank {rank} panicked: {msg}");
+        }
+        return results.expect("no deadlock, no panics, so every rank completed");
+    }
     run_inner(n, false, f).0
 }
 
@@ -138,7 +175,7 @@ where
     F: Fn(&Comm) -> R + Send + Sync,
 {
     assert!(n > 0, "an SPMD world needs at least one rank");
-    let mut world = World::new(n, false);
+    let mut world = World::new(n, false, None);
     world.virtual_net = Some(net);
     world.virtual_clocks = (0..n).map(|_| Mutex::new(Time::ZERO)).collect();
     let world = Arc::new(world);
@@ -173,7 +210,7 @@ where
     F: Fn(&Comm) -> R + Send + Sync,
 {
     assert!(n > 0, "an SPMD world needs at least one rank");
-    let world = Arc::new(World::new(n, traced));
+    let world = Arc::new(World::new(n, traced, None));
     let f = &f;
     let results: Vec<R> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n)
@@ -207,6 +244,122 @@ where
         .trace
         .map(Mutex::into_inner);
     (results, trace)
+}
+
+/// The instrumented run path behind [`crate::check::run_checked`] (and,
+/// via a scoped install, [`run`]): an [`Inspector`] is attached to the
+/// world, every rank runs under `catch_unwind`, and a detector thread
+/// polls wait states — when activity is stable across several polls with
+/// every unfinished rank parked, it diagnoses the deadlock and poisons
+/// the run, unwinding the blocked ranks with the diagnosis.
+pub(crate) fn run_checked_inner<R, F>(n: usize, settings: Settings, f: &F) -> Checked<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    assert!(n > 0, "an SPMD world needs at least one rank");
+    let seed = settings.seed;
+    let inspector = Arc::new(Inspector::new(n, settings));
+    let world = Arc::new(World::new(n, false, Some(Arc::clone(&inspector))));
+    let done = AtomicBool::new(false);
+    let outcomes: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
+        let det_world = Arc::clone(&world);
+        let det_insp = Arc::clone(&inspector);
+        let det_done = &done;
+        scope.spawn(move || {
+            // Require several consecutive polls with no wait-state
+            // transitions and every unfinished rank parked before
+            // diagnosing: a notified-but-unscheduled thread looks blocked
+            // for one poll, never for three.
+            let mut last_activity = det_insp.activity();
+            let mut stable = 0u32;
+            while !det_done.load(Ordering::Acquire) {
+                std::thread::sleep(det_insp.settings().poll);
+                if det_done.load(Ordering::Acquire) {
+                    break;
+                }
+                let activity = det_insp.activity();
+                if activity == last_activity && det_insp.all_unfinished_waiting() {
+                    stable += 1;
+                } else {
+                    stable = 0;
+                }
+                last_activity = activity;
+                if stable >= 3 {
+                    match crate::check::diagnose(&det_world, &det_insp) {
+                        Some(diagnosis) => {
+                            det_insp.set_poison(diagnosis);
+                            break;
+                        }
+                        // A wake was in flight after all; start over.
+                        None => stable = 0,
+                    }
+                }
+            }
+        });
+        let handles: Vec<_> = (0..n)
+            .map(|rank| {
+                let world = Arc::clone(&world);
+                let insp = Arc::clone(&inspector);
+                scope.spawn(move || {
+                    let comm = Comm::world(world, rank);
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
+                    insp.finish(rank);
+                    out
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("rank bodies are caught, joins cannot fail"))
+            .collect();
+        done.store(true, Ordering::Release);
+        outcomes
+    });
+    let world = Arc::try_unwrap(world)
+        .ok()
+        .expect("all rank threads joined");
+    let mut leftover = Vec::new();
+    for mb in &world.mailboxes {
+        leftover.extend(mb.inventory());
+    }
+    let (events, dropped) = inspector.drain_events();
+    let deadlock = inspector.poisoned();
+    let mut results = Vec::with_capacity(n);
+    let mut panics = Vec::new();
+    let mut complete = true;
+    for (rank, out) in outcomes.into_iter().enumerate() {
+        match out {
+            Ok(r) => results.push(r),
+            Err(e) => {
+                complete = false;
+                let msg = e
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| e.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                // Poison unwinds are the detector's doing, not the
+                // program's; the deadlock diagnosis already carries them.
+                if !msg.starts_with(crate::check::POISON_MARK) {
+                    panics.push((rank, msg.to_string()));
+                }
+            }
+        }
+    }
+    Checked {
+        results: complete.then_some(results),
+        panics,
+        log: RunLog {
+            n,
+            seed,
+            events,
+            dropped,
+            leftover,
+            deadlock,
+        },
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,218 @@
+//! The structured finding report: classes, findings, and the
+//! `mpcheck-report-v1` JSON rendering (serde-free, mirroring the
+//! harness's `hpcbench-record-v1` emitter).
+
+use std::fmt::Write as _;
+
+/// The misuse classes the analyses diagnose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FindingClass {
+    /// A wait-for cycle (or global stall) among blocked ranks.
+    Deadlock,
+    /// Ranks disagreed on the collective call sequence: different
+    /// operation at the same call index, or mismatched root/shape.
+    CollectiveDivergence,
+    /// Messages still queued unmatched at finalize whose receiver did
+    /// receive on that (comm, tag) — a count mismatch.
+    UnmatchedSend,
+    /// Messages queued at finalize on a (comm, tag) the receiver never
+    /// received on at all — the tag (or communicator) leaked.
+    TagLeak,
+    /// A wildcard receive whose match depended on arrival order — two or
+    /// more candidate lanes were nonempty at match time, or matching
+    /// diverged across perturbed schedules.
+    WildcardRace,
+    /// A rank panicked for a reason other than deadlock poisoning.
+    RankPanic,
+}
+
+impl FindingClass {
+    /// Stable identifier used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FindingClass::Deadlock => "deadlock",
+            FindingClass::CollectiveDivergence => "collective-divergence",
+            FindingClass::UnmatchedSend => "unmatched-send",
+            FindingClass::TagLeak => "tag-leak",
+            FindingClass::WildcardRace => "wildcard-race",
+            FindingClass::RankPanic => "rank-panic",
+        }
+    }
+}
+
+impl std::fmt::Display for FindingClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnosed problem.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// The misuse class.
+    pub class: FindingClass,
+    /// World ranks involved (cycle members, diverging ranks, ...).
+    pub ranks: Vec<usize>,
+    /// One-line description.
+    pub summary: String,
+    /// Multi-line evidence (cycle listing, per-rank call sites,
+    /// pending-message inventory).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ranks: Vec<String> = self.ranks.iter().map(|r| r.to_string()).collect();
+        write!(
+            f,
+            "[{}] ranks {{{}}}: {}",
+            self.class,
+            ranks.join(", "),
+            self.summary
+        )?;
+        for line in self.detail.lines() {
+            write!(f, "\n    {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a check: every finding across all analyzed runs, plus
+/// run accounting.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Deduplicated findings across all runs/seeds, in detection order.
+    pub findings: Vec<Finding>,
+    /// Instrumented runs analyzed.
+    pub runs: usize,
+    /// Perturbation seeds exercised (deduplicated, in order).
+    pub seeds: Vec<u64>,
+    /// Total events recorded across all runs and ranks.
+    pub events: u64,
+    /// Total events dropped to ring-buffer overflow.
+    pub dropped: u64,
+}
+
+impl Report {
+    /// Whether the check found nothing.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the report as an `mpcheck-report-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"mpcheck-report-v1\",\n");
+        let _ = writeln!(out, "  \"runs\": {},", self.runs);
+        let seeds: Vec<String> = self.seeds.iter().map(|s| s.to_string()).collect();
+        let _ = writeln!(out, "  \"seeds\": [{}],", seeds.join(", "));
+        let _ = writeln!(out, "  \"events\": {},", self.events);
+        let _ = writeln!(out, "  \"dropped\": {},", self.dropped);
+        out.push_str("  \"findings\": [\n");
+        for (i, finding) in self.findings.iter().enumerate() {
+            let ranks: Vec<String> = finding.ranks.iter().map(|r| r.to_string()).collect();
+            let comma = if i + 1 < self.findings.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"class\": \"{}\", \"ranks\": [{}], \"summary\": {}, \"detail\": {}}}{comma}",
+                finding.class.name(),
+                ranks.join(", "),
+                json_string(&finding.summary),
+                json_string(&finding.detail),
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "mpcheck: {} finding(s) over {} run(s) ({} events, {} dropped)",
+            self.findings.len(),
+            self.runs,
+            self.events,
+            self.dropped
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn report_json_is_wellformed() {
+        let report = Report {
+            findings: vec![Finding {
+                class: FindingClass::Deadlock,
+                ranks: vec![0, 1],
+                summary: "cycle 0 -> 1 -> 0".into(),
+                detail: "rank 0: blocked\nrank 1: blocked".into(),
+            }],
+            runs: 3,
+            seeds: vec![0, 1, 2],
+            events: 42,
+            dropped: 0,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"mpcheck-report-v1\""));
+        assert!(json.contains("\"class\": \"deadlock\""));
+        assert!(json.contains("\"ranks\": [0, 1]"));
+        assert!(json.contains("\\n"), "newlines must be escaped");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert!(!report.clean());
+        assert!(Report::default().clean());
+    }
+
+    #[test]
+    fn display_renders_class_and_ranks() {
+        let finding = Finding {
+            class: FindingClass::WildcardRace,
+            ranks: vec![2],
+            summary: "arrival-order dependent match".into(),
+            detail: String::new(),
+        };
+        let text = finding.to_string();
+        assert!(text.contains("[wildcard-race]"));
+        assert!(text.contains("ranks {2}"));
+    }
+}

@@ -14,6 +14,8 @@
 //! failing case panics with the sampled inputs left in the assert
 //! message.
 
+// Vendored stand-in: item docs live with the real crate's API.
+#![allow(missing_docs)]
 use std::ops::{Range, RangeInclusive};
 
 /// Per-test configuration (`ProptestConfig::with_cases` subset).

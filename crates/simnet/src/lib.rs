@@ -13,9 +13,6 @@
 //! same fabric yields bit-identical timings, which keeps the regenerated
 //! figures stable across runs.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod fabric;
 pub mod resource;
 pub mod schedule;

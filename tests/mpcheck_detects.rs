@@ -1,0 +1,261 @@
+//! The misuse gallery: known-bad `mp` programs that `mpcheck` must
+//! diagnose *by class*, with concrete evidence (cycle members, diverging
+//! call sites), and fast — each diagnosis must land in well under two
+//! seconds, i.e. come from the wait-for graph or the trace, never from a
+//! wall-clock timeout.
+
+use std::time::Duration;
+
+use mpcheck::{check, CheckOptions, FindingClass, Settings};
+
+/// Single-seed options with a fast detector poll, so a deadlock diagnosis
+/// arrives in tens of milliseconds.
+fn fast() -> CheckOptions {
+    CheckOptions {
+        seeds: vec![0],
+        settings: Settings {
+            poll: Duration::from_millis(2),
+            ..Settings::default()
+        },
+    }
+}
+
+/// Multi-seed options (perturbation on for nonzero seeds).
+fn sweep() -> CheckOptions {
+    CheckOptions {
+        seeds: vec![0, 1, 2],
+        settings: Settings {
+            poll: Duration::from_millis(2),
+            ..Settings::default()
+        },
+    }
+}
+
+#[test]
+fn two_rank_head_to_head_receive_cycle() {
+    // The classic send/send deadlock: in mp, sends are eager (they buffer
+    // at the destination and complete immediately), so the textbook
+    // exchange-ordered-wrong bug manifests at the receives — both ranks
+    // block receiving before either sends.
+    let clock = harness::Stopwatch::start();
+    let report = check(2, &fast(), |comm| {
+        let peer = 1 - comm.rank();
+        let mut buf = [0u64];
+        comm.recv(&mut buf, peer, 42);
+        comm.send(&[comm.rank() as u64], peer, 42);
+    });
+    let elapsed = clock.elapsed_secs();
+    assert!(
+        elapsed < 2.0,
+        "diagnosis must come from the wait-for graph, not a timeout ({elapsed:.2}s)"
+    );
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.class == FindingClass::Deadlock)
+        .expect("deadlock finding");
+    assert_eq!(finding.ranks, vec![0, 1], "the actual cycle members");
+    assert!(
+        finding.summary.contains("cycle"),
+        "a 2-cycle, not a generic stall: {}",
+        finding.summary
+    );
+    // The diagnosis names what each rank blocks on.
+    assert!(finding.detail.contains("rank 0"), "{}", finding.detail);
+    assert!(finding.detail.contains("rank 1"), "{}", finding.detail);
+}
+
+#[test]
+fn three_rank_receive_ring_reports_full_cycle() {
+    let clock = harness::Stopwatch::start();
+    let report = check(3, &fast(), |comm| {
+        // Every rank receives from its left neighbor before anyone sends:
+        // a 3-cycle in the wait-for graph.
+        let left = (comm.rank() + comm.size() - 1) % comm.size();
+        let right = (comm.rank() + 1) % comm.size();
+        let mut buf = [0u64];
+        comm.recv(&mut buf, left, 7);
+        comm.send(&[1u64], right, 7);
+    });
+    assert!(clock.elapsed_secs() < 2.0);
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.class == FindingClass::Deadlock)
+        .expect("deadlock finding");
+    let mut ranks = finding.ranks.clone();
+    ranks.sort_unstable();
+    assert_eq!(ranks, vec![0, 1, 2], "all three ring members");
+}
+
+#[test]
+fn bcast_root_mismatch_is_collective_divergence() {
+    // Both ranks call bcast at the same call index but disagree on the
+    // root. With eager "root sends, leaves receive" semantics this can
+    // even complete — the misuse is only visible by comparing traces.
+    let report = check(2, &fast(), |comm| {
+        let mut buf = [comm.rank() as u64];
+        let root = comm.rank(); // everyone thinks they are the root
+        comm.bcast(&mut buf, root);
+    });
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.class == FindingClass::CollectiveDivergence)
+        .expect("collective-divergence finding:\n{report}");
+    assert!(
+        finding.summary.contains("bcast"),
+        "names the operation: {}",
+        finding.summary
+    );
+    assert!(
+        finding.summary.contains("root"),
+        "names the mismatched root: {}",
+        finding.summary
+    );
+}
+
+#[test]
+fn collective_order_divergence_barrier_vs_reduce() {
+    // Rank 0 calls barrier-then-allreduce, rank 1 allreduce-then-barrier.
+    // The traces disagree on which operation call #0 on the world
+    // communicator is.
+    let clock = harness::Stopwatch::start();
+    let report = check(2, &fast(), |comm| {
+        let mut x = [1u64];
+        if comm.rank() == 0 {
+            comm.barrier();
+            comm.allreduce(&mut x, mp::Op::Sum);
+        } else {
+            comm.allreduce(&mut x, mp::Op::Sum);
+            comm.barrier();
+        }
+    });
+    assert!(clock.elapsed_secs() < 2.0);
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.class == FindingClass::CollectiveDivergence)
+        .expect("collective-divergence finding");
+    assert!(
+        finding.summary.contains("barrier") && finding.summary.contains("allreduce"),
+        "names both diverging operations: {}",
+        finding.summary
+    );
+}
+
+#[test]
+fn unreceived_tag_is_a_tag_leak() {
+    // Rank 0 sends on tags 5 and 6; rank 1 only ever receives tag 6. The
+    // tag-5 message sits in its lane at finalize and rank 1's trace shows
+    // no receive on that tag at all: a leak, not a count mismatch.
+    let report = check(2, &fast(), |comm| {
+        if comm.rank() == 0 {
+            comm.send(&[10u64], 1, 5);
+            comm.send(&[20u64], 1, 6);
+        } else {
+            let mut buf = [0u64];
+            comm.recv(&mut buf, 0, 6);
+            assert_eq!(buf[0], 20);
+        }
+        comm.barrier();
+    });
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.class == FindingClass::TagLeak)
+        .expect("tag-leak finding");
+    assert_eq!(finding.ranks, vec![0, 1], "sender and receiver");
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.class == FindingClass::Deadlock),
+        "the program completes; this is a finalize-time lint"
+    );
+}
+
+#[test]
+fn excess_sends_on_a_received_tag_are_unmatched_sends() {
+    let report = check(2, &fast(), |comm| {
+        if comm.rank() == 0 {
+            comm.send(&[1u64], 1, 9);
+            comm.send(&[2u64], 1, 9);
+            comm.send(&[3u64], 1, 9);
+        } else {
+            let mut buf = [0u64];
+            comm.recv(&mut buf, 0, 9);
+        }
+        comm.barrier();
+    });
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.class == FindingClass::UnmatchedSend)
+        .expect("unmatched-send finding");
+    assert_eq!(finding.ranks, vec![0, 1]);
+    assert!(
+        finding.summary.contains("2 message(s)"),
+        "counts the queued leftovers: {}",
+        finding.summary
+    );
+}
+
+#[test]
+fn wildcard_receive_with_two_live_senders_is_a_race() {
+    // Ranks 1 and 2 both send to rank 0, which syncs (so both messages
+    // are definitely queued) and then receives with a wildcard source:
+    // at match time two candidate lanes are nonempty, so the result is
+    // arrival-order dependent.
+    let report = check(3, &sweep(), |comm| {
+        if comm.rank() == 0 {
+            let mut sync = [0u64];
+            comm.recv(&mut sync, 1, 99);
+            comm.recv(&mut sync, 2, 99);
+            let (_, src1, _) = comm.recv_any::<u64>(None, Some(1));
+            let (_, src2, _) = comm.recv_any::<u64>(None, Some(1));
+            assert_ne!(src1, src2);
+        } else {
+            comm.send(&[comm.rank() as u64], 0, 1);
+            comm.send(&[1u64], 0, 99); // sync AFTER the racy send
+        }
+        comm.barrier();
+    });
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.class == FindingClass::WildcardRace)
+        .expect("wildcard-race finding");
+    assert_eq!(finding.ranks, vec![0], "the receiving rank races");
+}
+
+#[test]
+fn exact_source_receives_are_not_flagged_as_races() {
+    // Same traffic as above but with pinned sources: deterministic, no
+    // finding of any class.
+    let report = check(3, &sweep(), |comm| {
+        if comm.rank() == 0 {
+            let mut buf = [0u64];
+            comm.recv(&mut buf, 1, 1);
+            comm.recv(&mut buf, 2, 1);
+        } else {
+            comm.send(&[comm.rank() as u64], 0, 1);
+        }
+        comm.barrier();
+    });
+    assert!(report.clean(), "unexpected findings:\n{report}");
+}
+
+#[test]
+fn report_json_carries_the_gallery_finding() {
+    let report = check(2, &fast(), |comm| {
+        let peer = 1 - comm.rank();
+        let mut buf = [0u64];
+        comm.recv(&mut buf, peer, 3);
+        comm.send(&buf, peer, 3);
+    });
+    let json = report.to_json();
+    assert!(json.contains("\"schema\": \"mpcheck-report-v1\""));
+    assert!(json.contains("\"class\": \"deadlock\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
