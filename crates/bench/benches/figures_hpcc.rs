@@ -12,6 +12,7 @@ fn cfg() -> FigureConfig {
     FigureConfig {
         max_procs: 32,
         imb_bytes: 1 << 20,
+        ..FigureConfig::default()
     }
 }
 

@@ -1,0 +1,121 @@
+//! Scheduler benchmark for the cooperative rank runtime: measures how
+//! fast the run queue can switch between rank tasks — the capacity
+//! limit behind 100k-rank virtual worlds — and writes
+//! `BENCH_sched.json`, so scheduler regressions are caught the same way
+//! `bench_mp` pins the transport paths.
+//!
+//! ```text
+//! cargo run -p bench --bin bench_sched --release                 # writes BENCH_sched.json
+//! cargo run -p bench --bin bench_sched --release -- --smoke      # fast CI mode
+//! cargo run -p bench --bin bench_sched --release -- --baseline F # merge a prior run
+//! ```
+//!
+//! Three metrics, all in events per second:
+//!
+//! * `spawn_teardown_ranks_per_s` — world construction: spawn a large
+//!   world of trivial rank tasks, run it to completion, tear it down.
+//! * `ring_switches_per_s` — steady-state switching under load: every
+//!   rank of a ring passes a token; each receive suspends the task and
+//!   each delivery resumes it, so switches = ranks x rounds.
+//! * `pingpong_switches_per_s` — the two-task minimum: the pure
+//!   suspend/resume round trip without fan-out effects.
+
+use harness::{metrics, Stopwatch};
+
+/// One context switch per (rank, round): each receive parks the task
+/// until its predecessor's token lands.
+fn ring_switch_rate(n: usize, rounds: usize) -> f64 {
+    let sw = Stopwatch::start();
+    mp::run_coop(n, move |comm| async move {
+        let r = comm.rank();
+        let n = comm.size();
+        let mut token = [r as u64];
+        for _ in 0..rounds {
+            comm.send(&token, (r + 1) % n, 7);
+            comm.recv_async(&mut token, (r + n - 1) % n, 7).await;
+        }
+    });
+    (n * rounds) as f64 / sw.elapsed_secs()
+}
+
+/// Two ranks bouncing one word: two switches per iteration.
+fn pingpong_switch_rate(iters: usize) -> f64 {
+    let sw = Stopwatch::start();
+    mp::run_coop(2, move |comm| async move {
+        let mut buf = [0u64];
+        for _ in 0..iters {
+            if comm.rank() == 0 {
+                comm.send(&buf, 1, 9);
+                comm.recv_async(&mut buf, 1, 9).await;
+            } else {
+                comm.recv_async(&mut buf, 0, 9).await;
+                comm.send(&buf, 0, 9);
+            }
+        }
+    });
+    (2 * iters) as f64 / sw.elapsed_secs()
+}
+
+/// Whole-world lifecycle rate for trivial rank tasks.
+fn spawn_teardown_rate(n: usize) -> f64 {
+    let sw = Stopwatch::start();
+    mp::run_coop(n, |comm| async move { comm.rank() });
+    n as f64 / sw.elapsed_secs()
+}
+
+fn best_of(reps: usize, f: impl Fn() -> f64) -> f64 {
+    (0..reps).map(|_| f()).fold(0.0f64, f64::max)
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_sched.json");
+    let mut baseline_path: Option<String> = None;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!(
+                    "unknown argument: {other}\n\
+                     usage: bench_sched [--smoke] [--out FILE] [--baseline FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (world, ring_n, rounds, iters, reps) = if smoke {
+        (4096, 256, 50, 2_000, 2)
+    } else {
+        (65_536, 1024, 200, 20_000, 3)
+    };
+
+    let mut sink = metrics::MetricSink::new("coop-sched");
+
+    let spawn = best_of(reps, || spawn_teardown_rate(world));
+    println!("spawn+teardown {world} ranks: {spawn:.0} ranks/s");
+    sink.push("spawn_teardown_ranks_per_s", spawn, "ranks/s");
+
+    let ring = best_of(reps, || ring_switch_rate(ring_n, rounds));
+    println!("ring {ring_n}x{rounds}: {ring:.0} switches/s");
+    sink.push("ring_switches_per_s", ring, "switch/s");
+
+    let pp = best_of(reps, || pingpong_switch_rate(iters));
+    println!("pingpong x{iters}: {pp:.0} switches/s");
+    sink.push("pingpong_switches_per_s", pp, "switch/s");
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = metrics::parse_baseline(&text);
+        for (name, speedup) in sink.merge_baseline(&baseline) {
+            println!("{name}: {speedup:.2}x vs baseline");
+        }
+    }
+
+    sink.write(&out_path);
+    println!("wrote {out_path}");
+}

@@ -10,6 +10,7 @@
 //! cargo run -p bench --bin campaign -- --no-figures         # records only
 //! cargo run -p bench --bin campaign -- --check              # mpcheck-verify native runs
 //! cargo run -p bench --bin campaign -- --check-report FILE  # mpcheck report JSON path
+//! cargo run -p bench --bin campaign -- --high-rank N        # virtual slice at N coop ranks
 //! ```
 //!
 //! Full mode replays the paper's simulated campaign over every machine
@@ -41,6 +42,23 @@ fn smoke_records(check: bool) -> (Vec<Record>, Option<mpcheck::Report>) {
     } else {
         (plan.execute(&reg), None)
     }
+}
+
+/// The high-rank virtual slice: real benchmark code at `procs`
+/// cooperative ranks on the exascale extension model — worlds far past
+/// the host's OS-thread budget. Barrier and the rooted collectives keep
+/// per-rank state O(bytes), so even 100k-rank worlds fit on one host.
+fn highrank_records(procs: usize) -> Vec<Record> {
+    let reg = hpcbench::registry();
+    let plan = RunPlan {
+        modes: vec![Mode::Virtual],
+        machines: vec![systems::exascale_cluster()],
+        procs: ProcGrid::List(vec![procs]),
+        bytes: vec![1024],
+        workloads: Some(vec!["PingPong", "Barrier", "Bcast", "Allreduce"]),
+        runner: Runner::fixed(1),
+    };
+    plan.execute(&reg)
 }
 
 fn paper_records(max_procs: usize, check: bool) -> (Vec<Record>, Option<mpcheck::Report>) {
@@ -83,6 +101,10 @@ fn main() {
     let mut check = false;
     let mut with_figures = true;
     let mut max_procs = 2048usize;
+    // Smoke runs a 16384-rank virtual slice by default; `--high-rank N`
+    // raises it (65536+ for the scaling acceptance run) or adds the
+    // slice to a full campaign. 0 disables it.
+    let mut high_rank: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -105,18 +127,25 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--max-procs needs a number");
             }
+            "--high-rank" => {
+                high_rank = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--high-rank needs a rank count (0 disables the slice)"),
+                );
+            }
             other => {
                 eprintln!(
                     "unknown argument: {other}\n\
                      usage: campaign [--smoke] [--check] [--no-figures] [--max-procs N] \
-                     [--out DIR] [--records FILE] [--check-report FILE]"
+                     [--high-rank N] [--out DIR] [--records FILE] [--check-report FILE]"
                 );
                 std::process::exit(2);
             }
         }
     }
 
-    let (records, check_report) = if smoke {
+    let (mut records, check_report) = if smoke {
         println!("campaign --smoke: native + simulated + virtual on a reduced cross product");
         smoke_records(check)
     } else {
@@ -125,6 +154,12 @@ fn main() {
         );
         paper_records(max_procs, check)
     };
+
+    let high_rank = high_rank.unwrap_or(if smoke { 16_384 } else { 0 });
+    if high_rank > 0 {
+        println!("high-rank slice: virtual IMB at {high_rank} cooperative ranks");
+        records.extend(highrank_records(high_rank));
+    }
 
     let mut by_mode = [0usize; 3];
     for r in &records {

@@ -28,6 +28,11 @@ pub struct FigureConfig {
     pub max_procs: usize,
     /// IMB message size (the paper reports 1 MB = 2^20 bytes).
     pub imb_bytes: u64,
+    /// Ceiling of the high-rank scaling figures (powers of two; the
+    /// grid runs over the top three octaves below it). These sweeps run
+    /// on the exascale extension model, far past any paper-era
+    /// installation — the axis the cooperative rank scheduler opened.
+    pub highrank_procs: usize,
 }
 
 impl Default for FigureConfig {
@@ -35,6 +40,7 @@ impl Default for FigureConfig {
         FigureConfig {
             max_procs: 2048,
             imb_bytes: MIB,
+            highrank_procs: 65_536,
         }
     }
 }
@@ -45,6 +51,7 @@ impl FigureConfig {
         FigureConfig {
             max_procs: 16,
             imb_bytes: 64 * 1024,
+            highrank_procs: 1024,
         }
     }
 }
@@ -452,6 +459,104 @@ pub fn fig15(cfg: &FigureConfig) -> Figure {
     )
 }
 
+/// The high-rank scaling grid: the top three octaves below the
+/// configured ceiling (e.g. 16384, 32768, 65536 for the default).
+fn highrank_grid(cfg: &FigureConfig) -> Vec<usize> {
+    let cap = cfg.highrank_procs.next_power_of_two().max(8);
+    vec![cap / 4, cap / 2, cap]
+}
+
+/// High-rank figure: IMB collectives *virtually executed* at 16k-64k
+/// cooperative ranks on the exascale extension model. Every point is
+/// the real benchmark code running as resumable rank tasks with the
+/// communication priced by virtual clocks — worlds this size are
+/// impossible with one OS thread per rank. One series per collective.
+pub fn fig_highrank_collectives(cfg: &FigureConfig) -> Figure {
+    let reg = crate::registry::registry();
+    let machine = systems::exascale_cluster();
+    let grid = highrank_grid(cfg);
+    let benches = ["Barrier", "Bcast", "Allreduce"];
+    let series = benches
+        .iter()
+        .map(|&name| {
+            let plan = RunPlan {
+                modes: vec![Mode::Virtual],
+                machines: vec![machine.clone()],
+                procs: ProcGrid::List(grid.clone()),
+                // Small payloads keep the footprint O(ranks), not
+                // O(ranks x message): the figure is about scaling the
+                // world, not the buffers.
+                bytes: vec![1024],
+                workloads: Some(vec![name]),
+                runner: Runner::fixed(2),
+            };
+            let records = plan.execute(&reg);
+            Series {
+                name: name.to_string(),
+                points: records.iter().map(|r| (r.procs as f64, r.value)).collect(),
+            }
+        })
+        .collect();
+    Figure {
+        id: "fig_highrank_collectives",
+        title: format!(
+            "IMB collectives virtually executed at up to {} cooperative ranks ({}, 1 KB)",
+            cfg.highrank_procs, machine.name
+        ),
+        xlabel: "processes".into(),
+        ylabel: "time per call (us)".into(),
+        series,
+    }
+}
+
+/// High-rank figure: G-FFT and G-PTRANS scaling on the exascale model
+/// at the same 16k-64k rank axis. The dense kernels hold O(n^2 / p) or
+/// n >= p^2 state per world, so these curves come from the calibrated
+/// closed-form models (`Mode::Simulated`) rather than virtual
+/// execution; the virtual G-FFT point at 4096 ranks lives in the hpcc
+/// release-scale tests.
+pub fn fig_highrank_hpcc(cfg: &FigureConfig) -> Figure {
+    let reg = crate::registry::registry();
+    let machine = systems::exascale_cluster();
+    let grid = highrank_grid(cfg);
+    let plan = RunPlan {
+        modes: vec![Mode::Simulated],
+        machines: vec![machine.clone()],
+        procs: ProcGrid::List(grid),
+        bytes: vec![],
+        workloads: Some(vec!["G-FFT", "G-PTRANS"]),
+        runner: Runner::standard(),
+    };
+    let records = plan.execute(&reg);
+    let series = ["G-FFT", "G-PTRANS"]
+        .iter()
+        .map(|&name| Series {
+            name: name.to_string(),
+            points: records
+                .iter()
+                .filter(|r| r.benchmark == name)
+                .map(|r| (r.procs as f64, r.value))
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "fig_highrank_hpcc",
+        title: format!(
+            "G-FFT and G-PTRANS modelled at up to {} ranks ({})",
+            cfg.highrank_procs, machine.name
+        ),
+        xlabel: "processes".into(),
+        ylabel: "Gflop/s / GB/s (model)".into(),
+        series,
+    }
+}
+
+/// The high-rank scaling figures (cooperative-scheduler extension
+/// study) — not part of the paper's own figure list.
+pub fn highrank_figures(cfg: &FigureConfig) -> Vec<Figure> {
+    vec![fig_highrank_collectives(cfg), fig_highrank_hpcc(cfg)]
+}
+
 /// Every figure of the paper, in order.
 pub fn all_figures(cfg: &FigureConfig) -> Vec<Figure> {
     let sweeps = hpcc_sweeps(cfg);
@@ -519,6 +624,33 @@ mod tests {
                 assert_eq!(x1, x2);
                 let expect = y1 / x1 * 1000.0;
                 assert!((y2 - expect).abs() < 1e-6 * expect, "{} vs {expect}", y2);
+            }
+        }
+    }
+
+    #[test]
+    fn highrank_figures_sweep_the_extension_model() {
+        let cfg = FigureConfig::quick();
+        let grid = highrank_grid(&cfg);
+        assert_eq!(grid, vec![256, 512, 1024]);
+
+        let coll = fig_highrank_collectives(&cfg);
+        assert_eq!(coll.series.len(), 3, "Barrier, Bcast, Allreduce");
+        for s in &coll.series {
+            let xs: Vec<f64> = s.points.iter().map(|&(x, _)| x).collect();
+            assert_eq!(xs, vec![256.0, 512.0, 1024.0], "{}", s.name);
+            // Bigger worlds can't make a collective cheaper.
+            for w in s.points.windows(2) {
+                assert!(w[1].1 >= w[0].1, "{}: {:?}", s.name, s.points);
+            }
+        }
+
+        let hpcc = fig_highrank_hpcc(&cfg);
+        assert_eq!(hpcc.series.len(), 2, "G-FFT and G-PTRANS");
+        for s in &hpcc.series {
+            assert_eq!(s.points.len(), 3, "{}", s.name);
+            for (_, y) in &s.points {
+                assert!(*y > 0.0, "{}", s.name);
             }
         }
     }

@@ -88,6 +88,7 @@ pub fn write_all(cfg: &OutputConfig) -> io::Result<PathBuf> {
         let mut ext_figs = extensions::all_msgsize_figures(&cfg.figures);
         ext_figs.extend(extensions::all_onesided_figures());
         ext_figs.push(extensions::future_systems_figure(&cfg.figures));
+        ext_figs.extend(figures::highrank_figures(&cfg.figures));
         for fig in ext_figs {
             write_figure(&cfg.out_dir, &fig)?;
             report.push_str(&fig.to_markdown());

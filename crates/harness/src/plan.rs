@@ -21,6 +21,13 @@ pub enum ProcGrid {
     /// A per-workload grid: this is how the figure campaign reproduces
     /// the paper's per-machine grids.
     PerWorkload(Box<GridFn>),
+    /// Powers of two from the workload's minimum rank count through the
+    /// given ceiling — the high-rank scaling axis the cooperative rank
+    /// scheduler opened up (virtual worlds are tasks, not OS threads, so
+    /// the ceiling can sit orders of magnitude past the host's thread
+    /// budget). Entries above a machine's installation size are still
+    /// skipped by the plan as usual.
+    Pow2Through(usize),
 }
 
 impl ProcGrid {
@@ -35,6 +42,15 @@ impl ProcGrid {
         match self {
             ProcGrid::List(list) => list.clone(),
             ProcGrid::PerWorkload(f) => f(machine, meta),
+            ProcGrid::Pow2Through(cap) => {
+                let mut grid = Vec::new();
+                let mut p = meta.min_procs.max(2).next_power_of_two();
+                while p <= *cap {
+                    grid.push(p);
+                    p *= 2;
+                }
+                grid
+            }
         }
     }
 }
@@ -222,6 +238,36 @@ mod tests {
             "p=64 exceeds max_cpus, 'unsized' filtered"
         );
         assert_eq!(records[0].procs, 2);
+    }
+
+    #[test]
+    fn pow2_grid_climbs_from_min_procs_to_the_cap() {
+        let plan = RunPlan {
+            modes: vec![Mode::Simulated],
+            machines: vec![machines::systems::dell_xeon()],
+            procs: ProcGrid::Pow2Through(16),
+            bytes: vec![64],
+            workloads: Some(vec!["sized"]),
+            runner: Runner::smoke(),
+        };
+        let records = plan.execute(&reg());
+        // "sized" has min_procs = 2, so the axis is 2, 4, 8, 16.
+        let procs: Vec<usize> = records.iter().map(|r| r.procs).collect();
+        assert_eq!(procs, vec![2, 4, 8, 16]);
+        // The cap can sit far above any installation: the plan still
+        // skips entries past max_cpus instead of failing.
+        let mut small = machines::systems::dell_xeon();
+        small.max_cpus = 4;
+        let capped = RunPlan {
+            modes: vec![Mode::Simulated],
+            machines: vec![small],
+            procs: ProcGrid::Pow2Through(1 << 20),
+            bytes: vec![64],
+            workloads: Some(vec!["sized"]),
+            runner: Runner::smoke(),
+        };
+        let procs: Vec<usize> = capped.execute(&reg()).iter().map(|r| r.procs).collect();
+        assert_eq!(procs, vec![2, 4]);
     }
 
     #[test]

@@ -142,6 +142,35 @@ impl Runner {
         }
     }
 
+    /// Awaitable mirror of [`rank_stats`](Runner::rank_stats), for
+    /// cooperative rank tasks.
+    pub async fn rank_stats_async(
+        comm: &Comm,
+        per_call_us: f64,
+        participated: bool,
+        iters: usize,
+    ) -> Stats {
+        let mut maxv = [if participated { per_call_us } else { 0.0 }];
+        let mut minv = [if participated {
+            per_call_us
+        } else {
+            f64::INFINITY
+        }];
+        let mut sums = [
+            if participated { per_call_us } else { 0.0 },
+            if participated { 1.0 } else { 0.0 },
+        ];
+        comm.allreduce_async(&mut maxv, Op::Max).await;
+        comm.allreduce_async(&mut minv, Op::Min).await;
+        comm.allreduce_async(&mut sums, Op::Sum).await;
+        Stats {
+            repetitions: iters,
+            t_min_us: minv[0],
+            t_avg_us: sums[0] / sums[1].max(1.0),
+            t_max_us: maxv[0],
+        }
+    }
+
     /// Best-of-`reps` wall time of one invocation of `f`, in seconds
     /// (floored at 1 ns so rates stay finite).
     pub fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -163,6 +192,22 @@ impl Runner {
         let out = f();
         let elapsed_us = clock.elapsed_secs() * 1e6;
         (out, Runner::rank_stats(comm, elapsed_us, true, 1))
+    }
+
+    /// Awaitable mirror of [`timed_stats`](Runner::timed_stats): times
+    /// one awaited region and reduces the cross-rank statistics without
+    /// blocking the cooperative executor.
+    pub async fn timed_stats_async<T, Fut>(comm: &Comm, f: impl FnOnce() -> Fut) -> (T, Stats)
+    where
+        Fut: std::future::Future<Output = T>,
+    {
+        let clock = crate::timer::Stopwatch::start();
+        let out = f().await;
+        let elapsed_us = clock.elapsed_secs() * 1e6;
+        (
+            out,
+            Runner::rank_stats_async(comm, elapsed_us, true, 1).await,
+        )
     }
 }
 

@@ -44,9 +44,14 @@ pub struct StreamResult {
 
 /// Runs EP-STREAM: every rank simultaneously, mean bandwidths reported.
 pub fn stream(comm: &Comm, cfg: &StreamConfig) -> StreamResult {
+    mp::block_on(stream_async(comm, cfg))
+}
+
+/// Awaitable mirror of [`stream`], for cooperative rank tasks.
+pub async fn stream_async(comm: &Comm, cfg: &StreamConfig) -> StreamResult {
     let mut arrays = StreamArrays::new(cfg.len);
     let mut best = [f64::INFINITY; 4]; // seconds per kernel
-    comm.barrier();
+    comm.barrier_async().await;
     for _ in 0..cfg.iters {
         for (k, kernel) in StreamKernel::ALL.into_iter().enumerate() {
             let t = harness::Stopwatch::start();
@@ -63,8 +68,8 @@ pub fn stream(comm: &Comm, cfg: &StreamConfig) -> StreamResult {
         .map(|(k, kernel)| cfg.len as f64 * kernel.bytes_per_element() as f64 / best[k] / 1e9)
         .collect();
     sums.push(if ok { 1.0 } else { 0.0 });
-    comm.allreduce(&mut sums[..4], mp::Op::Sum);
-    comm.allreduce(&mut sums[4..], mp::Op::Min);
+    comm.allreduce_async(&mut sums[..4], mp::Op::Sum).await;
+    comm.allreduce_async(&mut sums[4..], mp::Op::Min).await;
     let p = comm.size() as f64;
     StreamResult {
         copy: sums[0] / p,
@@ -101,6 +106,11 @@ pub struct DgemmResult {
 
 /// Runs EP-DGEMM: every rank multiplies its own `n x n` matrices.
 pub fn ep_dgemm(comm: &Comm, cfg: &DgemmConfig) -> DgemmResult {
+    mp::block_on(ep_dgemm_async(comm, cfg))
+}
+
+/// Awaitable mirror of [`ep_dgemm`], for cooperative rank tasks.
+pub async fn ep_dgemm_async(comm: &Comm, cfg: &DgemmConfig) -> DgemmResult {
     let n = cfg.n;
     let a: Vec<f64> = (0..n * n)
         .map(|k| crate::hpl::matrix_element(k / n, k % n))
@@ -110,7 +120,7 @@ pub fn ep_dgemm(comm: &Comm, cfg: &DgemmConfig) -> DgemmResult {
         .collect();
     let mut c = vec![0.0f64; n * n];
 
-    comm.barrier();
+    comm.barrier_async().await;
     let mut best = f64::INFINITY;
     for _ in 0..cfg.iters {
         for v in c.iter_mut() {
@@ -131,8 +141,8 @@ pub fn ep_dgemm(comm: &Comm, cfg: &DgemmConfig) -> DgemmResult {
     }
 
     let mut vals = [dgemm_flops(n) / best / 1e9, if ok { 1.0 } else { 0.0 }];
-    comm.allreduce(&mut vals[..1], mp::Op::Sum);
-    comm.allreduce(&mut vals[1..], mp::Op::Min);
+    comm.allreduce_async(&mut vals[..1], mp::Op::Sum).await;
+    comm.allreduce_async(&mut vals[1..], mp::Op::Min).await;
     DgemmResult {
         gflops: vals[0] / comm.size() as f64,
         passed: vals[1] > 0.5,

@@ -118,7 +118,7 @@ fn unpack(bytes: &[u8]) -> Complex {
 /// `send_raw` copies into the transport's recycled scratch and `recv_raw`
 /// transfers payload ownership into `recvbuf`, recycling the displaced
 /// allocation — so per-stage traffic allocates nothing in steady state.
-fn exchange_blocks(
+async fn exchange_blocks(
     comm: &Comm,
     local: &[Complex],
     partner: usize,
@@ -127,13 +127,18 @@ fn exchange_blocks(
 ) {
     pack(local, sendbuf);
     comm.send_raw(sendbuf, partner, EXCHANGE_TAG);
-    comm.recv_raw(recvbuf, partner, EXCHANGE_TAG);
+    comm.recv_raw_async(recvbuf, partner, EXCHANGE_TAG).await;
     debug_assert_eq!(recvbuf.len(), 16 * local.len(), "partner block length");
 }
 
 /// One distributed DIF transform over `comm`; `local` is this rank's
 /// block (length `n/p`). Output is globally bit-reversed in place.
 pub fn distributed_fft(comm: &Comm, local: &mut [Complex], inverse: bool) {
+    mp::block_on(distributed_fft_async(comm, local, inverse));
+}
+
+/// Awaitable mirror of [`distributed_fft`], for cooperative rank tasks.
+pub async fn distributed_fft_async(comm: &Comm, local: &mut [Complex], inverse: bool) {
     let p = comm.size();
     let me = comm.rank();
     assert!(p.is_power_of_two(), "G-FFT needs a power-of-two rank count");
@@ -147,7 +152,7 @@ pub fn distributed_fft(comm: &Comm, local: &mut [Complex], inverse: bool) {
         let mut recvbuf: Vec<u8> = Vec::new();
         for stage in &stages {
             let partner = me ^ (stage.span / 2 / ln);
-            exchange_blocks(comm, local, partner, &mut sendbuf, &mut recvbuf);
+            exchange_blocks(comm, local, partner, &mut sendbuf, &mut recvbuf).await;
             match &stage.twiddles {
                 // I hold `a`; partner holds `b`: a' = a + b.
                 None => {
@@ -175,6 +180,11 @@ pub fn distributed_fft(comm: &Comm, local: &mut [Complex], inverse: bool) {
 /// memory per rank (this is what the benchmark's verification uses
 /// instead of gathering the spectrum to rank 0).
 pub fn distributed_ifft_unscaled(comm: &Comm, local: &mut [Complex]) {
+    mp::block_on(distributed_ifft_unscaled_async(comm, local));
+}
+
+/// Awaitable mirror of [`distributed_ifft_unscaled`].
+pub async fn distributed_ifft_unscaled_async(comm: &Comm, local: &mut [Complex]) {
     let p = comm.size();
     let me = comm.rank();
     assert!(p.is_power_of_two(), "G-FFT needs a power-of-two rank count");
@@ -199,7 +209,7 @@ pub fn distributed_ifft_unscaled(comm: &Comm, local: &mut [Complex]) {
                     *c = *c * *w;
                 }
             }
-            exchange_blocks(comm, local, partner, &mut sendbuf, &mut recvbuf);
+            exchange_blocks(comm, local, partner, &mut sendbuf, &mut recvbuf).await;
             match &stage.twiddles {
                 None => {
                     for (c, bytes) in local.iter_mut().zip(recvbuf.chunks_exact(16)) {
@@ -219,6 +229,11 @@ pub fn distributed_ifft_unscaled(comm: &Comm, local: &mut [Complex]) {
 /// Runs G-FFT: forward transform (timed), then a *distributed* inverse
 /// round trip for verification — O(n/p) memory per rank, no gather.
 pub fn run(comm: &Comm, cfg: &FftConfig) -> FftResult {
+    mp::block_on(run_async(comm, cfg))
+}
+
+/// Awaitable mirror of [`run`], for cooperative rank tasks.
+pub async fn run_async(comm: &Comm, cfg: &FftConfig) -> FftResult {
     let p = comm.size();
     let me = comm.rank();
     let n = 1u64 << cfg.log2_n;
@@ -230,10 +245,10 @@ pub fn run(comm: &Comm, cfg: &FftConfig) -> FftResult {
     let base = (me * ln) as u64;
     let mut data: Vec<Complex> = (0..ln as u64).map(|l| input_element(base + l)).collect();
 
-    comm.barrier();
+    comm.barrier_async().await;
     let clock = harness::Stopwatch::start();
-    distributed_fft(comm, &mut data, false);
-    comm.barrier();
+    distributed_fft_async(comm, &mut data, false).await;
+    comm.barrier_async().await;
     let time_s = clock.elapsed_secs();
 
     // Round trip entirely in place: the inverse mirror returns n * input
@@ -241,7 +256,7 @@ pub fn run(comm: &Comm, cfg: &FftConfig) -> FftResult {
     // against the deterministic generator and only the scalar error is
     // reduced. (The old gather-to-rank-0 check needed O(n) memory on one
     // rank; it survives as a cross-check in the small-n tests.)
-    distributed_ifft_unscaled(comm, &mut data);
+    distributed_ifft_unscaled_async(comm, &mut data).await;
     let scale = 1.0 / n as f64;
     let mut max_err = 0.0f64;
     for (l, v) in data.iter().enumerate() {
@@ -250,7 +265,7 @@ pub fn run(comm: &Comm, cfg: &FftConfig) -> FftResult {
         max_err = max_err.max((scaled - expect).abs());
     }
     let mut stats = [max_err, time_s];
-    comm.allreduce(&mut stats, mp::Op::Max);
+    comm.allreduce_async(&mut stats, mp::Op::Max).await;
 
     FftResult {
         n,

@@ -116,6 +116,11 @@ impl LocalPanel {
 
 /// Runs G-HPL on `comm`. All ranks receive the same result.
 pub fn run(comm: &Comm, cfg: &HplConfig) -> HplResult {
+    mp::block_on(run_async(comm, cfg))
+}
+
+/// Awaitable mirror of [`run`], for cooperative rank tasks.
+pub async fn run_async(comm: &Comm, cfg: &HplConfig) -> HplResult {
     let (n, nb) = (cfg.n, cfg.nb);
     assert!(n > 0 && nb > 0, "HPL needs positive n and nb");
     let p = comm.size();
@@ -125,7 +130,7 @@ pub fn run(comm: &Comm, cfg: &HplConfig) -> HplResult {
     let nblocks = n.div_ceil(nb);
     let mut pivots: Vec<usize> = Vec::with_capacity(n);
 
-    comm.barrier();
+    comm.barrier_async().await;
     let clock = harness::Stopwatch::start();
 
     for kb in 0..nblocks {
@@ -185,7 +190,7 @@ pub fn run(comm: &Comm, cfg: &HplConfig) -> HplResult {
                 payload[kw + j * (n - k0)..kw + (j + 1) * (n - k0)].copy_from_slice(src);
             }
         }
-        comm.bcast(&mut payload, owner);
+        comm.bcast_async(&mut payload, owner).await;
 
         let panel_pivots: Vec<usize> = payload[..kw].iter().map(|&v| v as usize).collect();
         let panel = &payload[kw..];
@@ -260,7 +265,7 @@ pub fn run(comm: &Comm, cfg: &HplConfig) -> HplResult {
     }
 
     // --- Gather the factors to rank 0 and solve -------------------------
-    let x = solve_on_root(comm, &local, &pivots, n, nb);
+    let x = solve_on_root(comm, &local, &pivots, n, nb).await;
     let time_s = clock.elapsed_secs();
 
     // --- Verification on rank 0, result broadcast ----------------------
@@ -269,7 +274,7 @@ pub fn run(comm: &Comm, cfg: &HplConfig) -> HplResult {
         stats[0] = scaled_residual(n, &x);
         stats[1] = time_s;
     }
-    comm.bcast(&mut stats, 0);
+    comm.bcast_async(&mut stats, 0).await;
 
     let flops = 2.0 / 3.0 * (n as f64).powi(3) + 2.0 * (n as f64).powi(2);
     HplResult {
@@ -283,7 +288,7 @@ pub fn run(comm: &Comm, cfg: &HplConfig) -> HplResult {
 
 /// Gathers the factored columns to rank 0 and performs the P L U solve.
 /// Returns x on rank 0 (empty elsewhere).
-fn solve_on_root(
+async fn solve_on_root(
     comm: &Comm,
     local: &LocalPanel,
     pivots: &[usize],
@@ -309,7 +314,7 @@ fn solve_on_root(
     for r in 1..p {
         let cols = owned_columns(n, nb, p, r);
         let mut data = vec![0.0f64; cols.len() * n];
-        comm.recv(&mut data, r, TAG);
+        comm.recv_async(&mut data, r, TAG).await;
         place(&mut full, &cols, &data);
     }
 

@@ -137,7 +137,7 @@ impl Local {
 /// rank's columns selected by `col_filter`, using the column
 /// communicator. Owners of the two rows are process rows `(ga/nb)%P`
 /// and `(gb/nb)%P`; `col_comm` ranks are indexed by process row.
-fn swap_rows(
+async fn swap_rows(
     local: &mut Local,
     col_comm: &Comm,
     nb: usize,
@@ -172,13 +172,20 @@ fn swap_rows(
         let lr = local.lrow(mine).expect("own my row");
         let seg = local.row_segment(lr, col_filter);
         let mut incoming = vec![0.0f64; seg.len()];
-        col_comm.sendrecv(&seg, peer, &mut incoming, peer, 29);
+        col_comm
+            .sendrecv_async(&seg, peer, &mut incoming, peer, 29)
+            .await;
         local.set_row_segment(lr, col_filter, &incoming);
     }
 }
 
 /// Runs 2-D G-HPL on `comm`. All ranks receive the same result.
 pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
+    mp::block_on(run_async(comm, cfg))
+}
+
+/// Awaitable mirror of [`run`], for cooperative rank tasks.
+pub async fn run_async(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
     let (n, nb) = (cfg.n, cfg.nb);
     let size = comm.size();
     let grid_p = cfg.p_rows;
@@ -192,8 +199,8 @@ pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
     let me = comm.rank();
     let (pi, qj) = (me / grid_q, me % grid_q);
     // Communicators: all ranks in my process row / column.
-    let row_comm = comm.split(pi as u32, qj as i64);
-    let col_comm = comm.split((grid_p + qj) as u32, pi as i64);
+    let row_comm = comm.split_async(pi as u32, qj as i64).await;
+    let col_comm = comm.split_async((grid_p + qj) as u32, pi as i64).await;
     assert_eq!(row_comm.size(), grid_q);
     assert_eq!(col_comm.size(), grid_p);
 
@@ -201,7 +208,7 @@ pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
     let nblocks = n.div_ceil(nb);
     let mut pivots: Vec<usize> = Vec::with_capacity(n);
 
-    comm.barrier();
+    comm.barrier_async().await;
     let clock = harness::Stopwatch::start();
 
     for kb in 0..nblocks {
@@ -232,7 +239,9 @@ pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
                 }
                 // Global argmax across the process column.
                 let mut all = vec![0.0f64; 2 * grid_p];
-                col_comm.allgather(&[best, best_row as f64], &mut all);
+                col_comm
+                    .allgather_async(&[best, best_row as f64], &mut all)
+                    .await;
                 let (mut gbest, mut grow) = (-1.0, usize::MAX);
                 for c in 0..grid_p {
                     let (v, r) = (all[2 * c], all[2 * c + 1] as usize);
@@ -245,7 +254,7 @@ pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
                 panel_pivots[j] = grow;
 
                 // Swap rows gj <-> grow within the panel columns.
-                swap_rows(&mut local, &col_comm, nb, gj, grow, in_panel);
+                swap_rows(&mut local, &col_comm, nb, gj, grow, in_panel).await;
 
                 // Owner of (new) row gj broadcasts its panel segment.
                 let diag_owner = (gj / nb) % grid_p;
@@ -257,7 +266,7 @@ pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
                         urow[c] = local.at(lr, lc);
                     }
                 }
-                mp::coll::bcast::binomial(&col_comm, &mut urow, diag_owner);
+                mp::coll::bcast::binomial_async(&col_comm, &mut urow, diag_owner).await;
                 let ajj = urow[j];
 
                 // Scale my below-diagonal entries of column j and update
@@ -277,7 +286,7 @@ pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
 
         // --- 2. Share pivots; apply swaps outside the panel -------------
         let mut piv_f: Vec<f64> = panel_pivots.iter().map(|&p| p as f64).collect();
-        mp::coll::bcast::binomial(&row_comm, &mut piv_f, panel_q);
+        mp::coll::bcast::binomial_async(&row_comm, &mut piv_f, panel_q).await;
         let panel_pivots: Vec<usize> = piv_f.iter().map(|&v| v as usize).collect();
         for (j, &piv) in panel_pivots.iter().enumerate() {
             let gj = k0 + j;
@@ -287,7 +296,8 @@ pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
             // column communicator, keeping the exchanges matched.
             swap_rows(&mut local, &col_comm, nb, gj, piv, |gc| {
                 !in_panel_col || !in_panel(gc)
-            });
+            })
+            .await;
             pivots.push(piv);
         }
 
@@ -304,7 +314,7 @@ pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
                 }
             }
         }
-        mp::coll::bcast::auto(&row_comm, &mut panel_piece, panel_q);
+        mp::coll::bcast::auto_async(&row_comm, &mut panel_piece, panel_q).await;
 
         // --- 4. U12: solve L11 U12 = A12 on the pivot block rows --------
         // The rows k0..k1 are spread over process rows ((k0..k1)/nb = kb,
@@ -333,7 +343,7 @@ pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
                 }
             }
         }
-        mp::coll::bcast::auto(&col_comm, &mut u12, pi_k);
+        mp::coll::bcast::auto_async(&col_comm, &mut u12, pi_k).await;
 
         // --- 5. Trailing update: A22 -= L21 * U12 -----------------------
         // Rows and columns are sorted, so the trailing submatrix is the
@@ -363,7 +373,7 @@ pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
     }
 
     // --- Gather to rank 0, solve, verify --------------------------------
-    let x = solve_on_root(comm, &local, &pivots, n);
+    let x = solve_on_root(comm, &local, &pivots, n).await;
     let time_s = clock.elapsed_secs();
 
     let mut stats = [0.0f64; 2];
@@ -371,7 +381,7 @@ pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
         stats[0] = scaled_residual(n, &x);
         stats[1] = time_s;
     }
-    comm.bcast(&mut stats, 0);
+    comm.bcast_async(&mut stats, 0).await;
 
     let flops = 2.0 / 3.0 * (n as f64).powi(3) + 2.0 * (n as f64).powi(2);
     HplResult {
@@ -384,7 +394,7 @@ pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
 }
 
 /// Gathers the distributed factors to rank 0 and solves P L U x = b.
-fn solve_on_root(comm: &Comm, local: &Local, pivots: &[usize], n: usize) -> Vec<f64> {
+async fn solve_on_root(comm: &Comm, local: &Local, pivots: &[usize], n: usize) -> Vec<f64> {
     const TAG: mp::Tag = 31;
     let me = comm.rank();
 
@@ -410,13 +420,13 @@ fn solve_on_root(comm: &Comm, local: &Local, pivots: &[usize], n: usize) -> Vec<
     place(&local.rows, &local.cols, &local.data);
     for src in 1..comm.size() {
         let mut sizes = [0.0f64; 2];
-        comm.recv(&mut sizes, src, TAG);
+        comm.recv_async(&mut sizes, src, TAG).await;
         let mut rows_f = vec![0.0f64; sizes[0] as usize];
         let mut cols_f = vec![0.0f64; sizes[1] as usize];
-        comm.recv(&mut rows_f, src, TAG);
-        comm.recv(&mut cols_f, src, TAG);
+        comm.recv_async(&mut rows_f, src, TAG).await;
+        comm.recv_async(&mut cols_f, src, TAG).await;
         let mut data = vec![0.0f64; rows_f.len() * cols_f.len()];
-        comm.recv(&mut data, src, TAG);
+        comm.recv_async(&mut data, src, TAG).await;
         let rows: Vec<usize> = rows_f.iter().map(|&v| v as usize).collect();
         let cols: Vec<usize> = cols_f.iter().map(|&v| v as usize).collect();
         place(&rows, &cols, &data);

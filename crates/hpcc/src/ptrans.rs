@@ -45,6 +45,11 @@ fn b_elem(i: usize, j: usize) -> f64 {
 
 /// Runs G-PTRANS on `comm`.
 pub fn run(comm: &Comm, cfg: &PtransConfig) -> PtransResult {
+    mp::block_on(run_async(comm, cfg))
+}
+
+/// Awaitable mirror of [`run`], for cooperative rank tasks.
+pub async fn run_async(comm: &Comm, cfg: &PtransConfig) -> PtransResult {
     let n = cfg.n;
     let p = comm.size();
     let me = comm.rank();
@@ -59,7 +64,7 @@ pub fn run(comm: &Comm, cfg: &PtransConfig) -> PtransResult {
     let mut a: Vec<f64> = (0..rows * n).map(|k| a_elem(my0 + k / n, k % n)).collect();
     let b: Vec<f64> = (0..rows * n).map(|k| b_elem(my0 + k / n, k % n)).collect();
 
-    comm.barrier();
+    comm.barrier_async().await;
     let clock = harness::Stopwatch::start();
 
     // Pairwise tile exchange: in step s I trade tiles with partner
@@ -77,7 +82,7 @@ pub fn run(comm: &Comm, cfg: &PtransConfig) -> PtransResult {
         if dst == me {
             incoming.copy_from_slice(&tile);
         } else {
-            comm.sendrecv(&tile, dst, &mut incoming, src, 3);
+            comm.sendrecv_async(&tile, dst, &mut incoming, src, 3).await;
         }
         // incoming = B[rows_src][cols_me]; A[my rows][cols_src] += its
         // transpose.
@@ -99,7 +104,7 @@ pub fn run(comm: &Comm, cfg: &PtransConfig) -> PtransResult {
         }
     }
     let mut reduced = [max_err, time_s];
-    comm.allreduce(&mut reduced, mp::Op::Max);
+    comm.allreduce_async(&mut reduced, mp::Op::Max).await;
 
     let bytes = 8.0 * (n as f64) * (n as f64);
     PtransResult {

@@ -53,7 +53,7 @@ pub struct RandomAccessResult {
 
 /// One pass over this rank's update stream, exchanging buckets and
 /// applying XOR updates to the local table slice.
-fn apply_stream(
+async fn apply_stream(
     comm: &Comm,
     table: &mut [u64],
     my_base: u64,
@@ -92,7 +92,7 @@ fn apply_stream(
                 buckets[me].clone()
             } else {
                 comm.send(&buckets[dst], dst, 11);
-                let (data, _, _) = comm.recv_any::<u64>(Some(src), Some(11));
+                let (data, _, _) = comm.recv_any_async::<u64>(Some(src), Some(11)).await;
                 data
             };
             for v in incoming {
@@ -113,6 +113,11 @@ fn log2(x: u64) -> u32 {
 /// Runs G-RandomAccess on `comm`. Rank count must be a power of two (an
 /// HPCC-style restriction that keeps address-to-owner mapping a shift).
 pub fn run(comm: &Comm, cfg: &RandomAccessConfig) -> RandomAccessResult {
+    mp::block_on(run_async(comm, cfg))
+}
+
+/// Awaitable mirror of [`run`], for cooperative rank tasks.
+pub async fn run_async(comm: &Comm, cfg: &RandomAccessConfig) -> RandomAccessResult {
     let p = comm.size();
     let me = comm.rank();
     assert!(
@@ -131,7 +136,7 @@ pub fn run(comm: &Comm, cfg: &RandomAccessConfig) -> RandomAccessResult {
     // table[i] = global index, the official initialisation.
     let mut table: Vec<u64> = (0..local_size).map(|i| my_base + i).collect();
 
-    comm.barrier();
+    comm.barrier_async().await;
     let clock = harness::Stopwatch::start();
     apply_stream(
         comm,
@@ -140,8 +145,9 @@ pub fn run(comm: &Comm, cfg: &RandomAccessConfig) -> RandomAccessResult {
         local_size - 1,
         cfg,
         total_updates,
-    );
-    comm.barrier();
+    )
+    .await;
+    comm.barrier_async().await;
     let time_s = clock.elapsed_secs();
 
     // Verification: replay the identical stream; XOR self-inverts.
@@ -152,15 +158,16 @@ pub fn run(comm: &Comm, cfg: &RandomAccessConfig) -> RandomAccessResult {
         local_size - 1,
         cfg,
         total_updates,
-    );
+    )
+    .await;
     let ok = table
         .iter()
         .enumerate()
         .all(|(i, &v)| v == my_base + i as u64);
 
     let mut reduced = [time_s, if ok { 1.0 } else { 0.0 }];
-    comm.allreduce(&mut reduced[..1], mp::Op::Max);
-    comm.allreduce(&mut reduced[1..], mp::Op::Min);
+    comm.allreduce_async(&mut reduced[..1], mp::Op::Max).await;
+    comm.allreduce_async(&mut reduced[1..], mp::Op::Min).await;
 
     let updates = (total_updates / p as u64) * p as u64;
     RandomAccessResult {

@@ -68,7 +68,7 @@ pub fn ring_permutation(n: usize, seed: u64) -> Vec<usize> {
 /// One timed ring pass: every rank exchanges `words` f64s with both ring
 /// neighbours (`perm` defines the ring order). Returns seconds (max over
 /// ranks).
-fn ring_pass(comm: &Comm, perm: &[usize], words: usize, iters: usize) -> f64 {
+async fn ring_pass(comm: &Comm, perm: &[usize], words: usize, iters: usize) -> f64 {
     let me = comm.rank();
     let pos = perm.iter().position(|&r| r == me).expect("rank in ring");
     let n = perm.len();
@@ -77,33 +77,38 @@ fn ring_pass(comm: &Comm, perm: &[usize], words: usize, iters: usize) -> f64 {
 
     let sbuf = vec![1.0f64; words];
     let mut rbuf = vec![0.0f64; words];
-    comm.barrier();
+    comm.barrier_async().await;
     let clock = harness::Stopwatch::start();
     for _ in 0..iters {
         // Both directions, as in b_eff's ring pattern.
-        comm.sendrecv(&sbuf, right, &mut rbuf, left, 23);
-        comm.sendrecv(&sbuf, left, &mut rbuf, right, 23);
+        comm.sendrecv_async(&sbuf, right, &mut rbuf, left, 23).await;
+        comm.sendrecv_async(&sbuf, left, &mut rbuf, right, 23).await;
     }
     let mut t = [clock.elapsed_secs() / iters as f64];
-    comm.allreduce(&mut t, mp::Op::Max);
+    comm.allreduce_async(&mut t, mp::Op::Max).await;
     t[0]
 }
 
 /// Runs the ring benchmarks on `comm`.
 pub fn run(comm: &Comm, cfg: &RingConfig) -> RingResult {
+    mp::block_on(run_async(comm, cfg))
+}
+
+/// Awaitable mirror of [`run`], for cooperative rank tasks.
+pub async fn run_async(comm: &Comm, cfg: &RingConfig) -> RingResult {
     let n = comm.size();
     let words = cfg.bw_bytes / 8;
     let natural: Vec<usize> = (0..n).collect();
 
-    let nat_bw_t = ring_pass(comm, &natural, words, cfg.iters);
-    let nat_lat_t = ring_pass(comm, &natural, 1, cfg.iters.max(4));
+    let nat_bw_t = ring_pass(comm, &natural, words, cfg.iters).await;
+    let nat_lat_t = ring_pass(comm, &natural, 1, cfg.iters.max(4)).await;
 
     let mut rnd_bw_t = 0.0;
     let mut rnd_lat_t = 0.0;
     for k in 0..cfg.patterns {
         let perm = ring_permutation(n, cfg.seed.wrapping_add(k as u64));
-        rnd_bw_t += ring_pass(comm, &perm, words, cfg.iters);
-        rnd_lat_t += ring_pass(comm, &perm, 1, cfg.iters.max(4));
+        rnd_bw_t += ring_pass(comm, &perm, words, cfg.iters).await;
+        rnd_lat_t += ring_pass(comm, &perm, 1, cfg.iters.max(4)).await;
     }
     rnd_bw_t /= cfg.patterns as f64;
     rnd_lat_t /= cfg.patterns as f64;

@@ -111,22 +111,24 @@ impl Component {
     /// Executes the component's real benchmark code on `comm`, returning
     /// `(name, metric, value)` rows plus the verification verdict. The
     /// first row carries the component's primary name.
-    fn execute(self, comm: &Comm, cfg: &SuiteConfig) -> ComponentOutput {
+    async fn execute(self, comm: &Comm, cfg: &SuiteConfig) -> ComponentOutput {
         match self {
             Component::Hpl => {
                 let r = if cfg.hpl_2d {
-                    crate::hpl2d::run(
+                    crate::hpl2d::run_async(
                         comm,
                         &crate::hpl2d::Hpl2dConfig::near_square(cfg.hpl_n, cfg.hpl_nb, comm.size()),
                     )
+                    .await
                 } else {
-                    hpl::run(
+                    hpl::run_async(
                         comm,
                         &hpl::HplConfig {
                             n: cfg.hpl_n,
                             nb: cfg.hpl_nb,
                         },
                     )
+                    .await
                 };
                 ComponentOutput {
                     values: vec![("G-HPL", MetricKind::RateGflops, r.gflops)],
@@ -134,34 +136,36 @@ impl Component {
                 }
             }
             Component::Ptrans => {
-                let r = ptrans::run(comm, &ptrans::PtransConfig { n: cfg.ptrans_n });
+                let r = ptrans::run_async(comm, &ptrans::PtransConfig { n: cfg.ptrans_n }).await;
                 ComponentOutput {
                     values: vec![("G-PTRANS", MetricKind::RateGBs, r.gb_per_s)],
                     passed: r.passed,
                 }
             }
             Component::RandomAccess => {
-                let r = random_access::run(
+                let r = random_access::run_async(
                     comm,
                     &random_access::RandomAccessConfig {
                         log2_size: cfg.ra_log2_size,
                         updates_per_entry: 1,
                         batch: 512,
                     },
-                );
+                )
+                .await;
                 ComponentOutput {
                     values: vec![("G-RandomAccess", MetricKind::RateGups, r.gups)],
                     passed: r.passed,
                 }
             }
             Component::Stream => {
-                let r = ep::stream(
+                let r = ep::stream_async(
                     comm,
                     &ep::StreamConfig {
                         len: cfg.stream_len,
                         iters: 2,
                     },
-                );
+                )
+                .await;
                 ComponentOutput {
                     values: vec![
                         ("EP-STREAM", MetricKind::RateGBs, r.copy),
@@ -171,32 +175,34 @@ impl Component {
                 }
             }
             Component::Fft => {
-                let r = fft_dist::run(
+                let r = fft_dist::run_async(
                     comm,
                     &fft_dist::FftConfig {
                         log2_n: cfg.fft_log2_n,
                     },
-                );
+                )
+                .await;
                 ComponentOutput {
                     values: vec![("G-FFT", MetricKind::RateGflops, r.gflops)],
                     passed: r.passed,
                 }
             }
             Component::Dgemm => {
-                let r = ep::ep_dgemm(
+                let r = ep::ep_dgemm_async(
                     comm,
                     &ep::DgemmConfig {
                         n: cfg.dgemm_n,
                         iters: 1,
                     },
-                );
+                )
+                .await;
                 ComponentOutput {
                     values: vec![("EP-DGEMM", MetricKind::RateGflops, r.gflops)],
                     passed: r.passed,
                 }
             }
             Component::RandomRing => {
-                let r = ring::run(
+                let r = ring::run_async(
                     comm,
                     &ring::RingConfig {
                         bw_bytes: cfg.ring_bytes,
@@ -204,7 +210,8 @@ impl Component {
                         iters: 2,
                         seed: 0xBEEF,
                     },
-                );
+                )
+                .await;
                 ComponentOutput {
                     values: vec![
                         ("RandomRing", MetricKind::RateGBs, r.random_bw),
@@ -231,7 +238,16 @@ struct ComponentOutput {
 /// records. Collective; the records' stats are the cross-rank min/avg/max
 /// of the component's wall time.
 pub fn run_component_on(comm: &Comm, component: Component, cfg: &SuiteConfig) -> Vec<Record> {
-    let (out, stats) = Runner::timed_stats(comm, || component.execute(comm, cfg));
+    mp::block_on(run_component_on_async(comm, component, cfg))
+}
+
+/// Awaitable mirror of [`run_component_on`], for cooperative rank tasks.
+pub async fn run_component_on_async(
+    comm: &Comm,
+    component: Component,
+    cfg: &SuiteConfig,
+) -> Vec<Record> {
+    let (out, stats) = Runner::timed_stats_async(comm, || component.execute(comm, cfg)).await;
     out.values
         .iter()
         .map(|&(name, metric, value)| Record {

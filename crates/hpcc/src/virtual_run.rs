@@ -1,9 +1,13 @@
 //! Virtual execution of the HPCC components: the *real* suite code
 //! (same component table as [`crate::suite`]) running on a modelled
-//! machine via [`mp::run_virtual`], with communication priced by virtual
-//! clocks. This gives HPCC the same third execution mode the IMB suite
-//! has had, so the harness registry can run both suites natively,
-//! simulated and virtually.
+//! machine via [`mp::run_virtual_coop`], with communication priced by
+//! virtual clocks. Each rank is a resumable cooperative task, not an OS
+//! thread, so virtual worlds scale to tens of thousands of ranks; the
+//! thread-backed engine survives as [`run_virtual_components_threads`]
+//! and the parity tests assert both produce byte-identical records.
+//! This gives HPCC the same third execution mode the IMB suite has had,
+//! so the harness registry can run both suites natively, simulated and
+//! virtually.
 //!
 //! The emitted records carry the component's primary name with metric
 //! [`MetricKind::TimeUs`] — the max per-rank virtual time of the
@@ -29,28 +33,85 @@ pub fn run_virtual_records(machine: &Machine, procs: usize, cfg: &SuiteConfig) -
 }
 
 /// Runs the given components under virtual time, one record each.
+///
+/// Ranks are cooperative tasks on [`mp::run_virtual_coop`], so world
+/// sizes are bounded by memory rather than by OS threads.
 pub fn run_virtual_components(
     machine: &Machine,
     procs: usize,
     cfg: &SuiteConfig,
     components: &[Component],
 ) -> Vec<Record> {
+    run_virtual_engine(machine, procs, cfg, components, true).0
+}
+
+/// Thread-backed variant of [`run_virtual_components`]: one OS thread
+/// per rank, serialized by the run-queue baton. Kept as the reference
+/// engine for the cooperative/threaded parity tests; prefer
+/// [`run_virtual_components`] for real sweeps.
+pub fn run_virtual_components_threads(
+    machine: &Machine,
+    procs: usize,
+    cfg: &SuiteConfig,
+    components: &[Component],
+) -> Vec<Record> {
+    run_virtual_engine(machine, procs, cfg, components, false).0
+}
+
+/// Runs the given components under virtual time on the chosen engine
+/// and returns the records together with the per-rank final virtual
+/// clocks — the differential hook behind the cooperative/threaded
+/// parity tests.
+pub fn run_virtual_components_clocked(
+    machine: &Machine,
+    procs: usize,
+    cfg: &SuiteConfig,
+    components: &[Component],
+    cooperative: bool,
+) -> (Vec<Record>, Vec<simnet::Time>) {
+    run_virtual_engine(machine, procs, cfg, components, cooperative)
+}
+
+fn run_virtual_engine(
+    machine: &Machine,
+    procs: usize,
+    cfg: &SuiteConfig,
+    components: &[Component],
+    coop: bool,
+) -> (Vec<Record>, Vec<simnet::Time>) {
     let cfg = *cfg;
     let list: Vec<Component> = components.to_vec();
     let net = SharedClusterNet::new(machine, procs);
     // Each rank times every component between virtual-clock syncs.
-    let (per_rank, _clocks) = mp::run_virtual(procs, Box::new(net), move |comm| {
-        let mut times = Vec::with_capacity(list.len());
-        for &c in &list {
-            let t0 = comm.v_sync();
-            let recs = crate::suite::run_component_on(comm, c, &cfg);
-            let t1 = comm.v_sync();
-            let passed = recs.iter().all(|r| r.passed);
-            times.push(((t1 - t0).as_us(), passed));
-        }
-        times
-    });
-    components
+    let (per_rank, clocks) = if coop {
+        mp::run_virtual_coop(procs, Box::new(net), move |comm| {
+            let list = list.clone();
+            async move {
+                let mut times = Vec::with_capacity(list.len());
+                for &c in &list {
+                    let t0 = comm.v_sync_async().await;
+                    let recs = crate::suite::run_component_on_async(&comm, c, &cfg).await;
+                    let t1 = comm.v_sync_async().await;
+                    let passed = recs.iter().all(|r| r.passed);
+                    times.push(((t1 - t0).as_us(), passed));
+                }
+                times
+            }
+        })
+    } else {
+        mp::run_virtual(procs, Box::new(net), move |comm| {
+            let mut times = Vec::with_capacity(list.len());
+            for &c in &list {
+                let t0 = comm.v_sync();
+                let recs = crate::suite::run_component_on(comm, c, &cfg);
+                let t1 = comm.v_sync();
+                let passed = recs.iter().all(|r| r.passed);
+                times.push(((t1 - t0).as_us(), passed));
+            }
+            times
+        })
+    };
+    let records: Vec<Record> = components
         .iter()
         .enumerate()
         .map(|(i, &c)| {
@@ -70,7 +131,8 @@ pub fn run_virtual_components(
                 passed,
             }
         })
-        .collect()
+        .collect();
+    (records, clocks)
 }
 
 #[cfg(test)]
@@ -109,6 +171,21 @@ mod tests {
         let sx8 = t(&nec_sx8());
         let xeon = t(&dell_xeon());
         assert!(sx8 < xeon, "SX-8 {sx8} !< Xeon {xeon}");
+    }
+
+    #[test]
+    #[ignore = "release-scale: 4096 ranks, 16M-point FFT; run with --ignored --release"]
+    fn virtual_gfft_runs_at_4096_ranks() {
+        // High-rank smoke: the distributed FFT needs n >= p^2, so 4096
+        // ranks is the largest world a 2^24-point transform admits.
+        let m = machines::systems::exascale_cluster();
+        let mut cfg = SuiteConfig::small(4096);
+        cfg.fft_log2_n = 24;
+        let recs = run_virtual_components(&m, 4096, &cfg, &[Component::Fft]);
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].passed, "G-FFT residual failed at 4096 ranks");
+        assert!(recs[0].t_max_us() > 0.0);
+        assert_eq!(recs[0].procs, 4096);
     }
 
     #[test]

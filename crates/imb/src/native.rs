@@ -61,6 +61,11 @@ pub(crate) fn bench_iterate(state: &mut BenchState, comm: &Comm, iter: usize) {
     state.iterate(comm, iter);
 }
 
+/// Awaitable mirror of [`bench_iterate`], for cooperative rank tasks.
+pub(crate) async fn bench_iterate_async(state: &mut BenchState, comm: &Comm, iter: usize) {
+    state.iterate_async(comm, iter).await;
+}
+
 /// Preallocated buffers + the per-iteration body for one benchmark.
 pub(crate) struct BenchState {
     benchmark: Benchmark,
@@ -143,6 +148,10 @@ impl BenchState {
     }
 
     fn iterate(&mut self, comm: &Comm, iter: usize) {
+        mp::block_on(self.iterate_async(comm, iter));
+    }
+
+    async fn iterate_async(&mut self, comm: &Comm, iter: usize) {
         let n = comm.size();
         let me = comm.rank();
         const TAG: mp::Tag = 40;
@@ -153,9 +162,9 @@ impl BenchState {
             Benchmark::PingPong => {
                 if me == 0 {
                     comm.send_raw(&self.sbuf, 1, TAG);
-                    comm.recv_raw(&mut self.rbuf, 1, TAG);
+                    comm.recv_raw_async(&mut self.rbuf, 1, TAG).await;
                 } else if me == 1 {
-                    comm.recv_raw(&mut self.rbuf, 0, TAG);
+                    comm.recv_raw_async(&mut self.rbuf, 0, TAG).await;
                     comm.send_raw(&self.sbuf, 0, TAG);
                 }
             }
@@ -163,14 +172,14 @@ impl BenchState {
                 if me < 2 {
                     let peer = 1 - me;
                     comm.send_raw(&self.sbuf, peer, TAG);
-                    comm.recv_raw(&mut self.rbuf, peer, TAG);
+                    comm.recv_raw_async(&mut self.rbuf, peer, TAG).await;
                 }
             }
             Benchmark::Sendrecv => {
                 let right = (me + 1) % n;
                 let left = (me + n - 1) % n;
                 comm.send_raw(&self.sbuf, right, TAG);
-                comm.recv_raw(&mut self.rbuf, left, TAG);
+                comm.recv_raw_async(&mut self.rbuf, left, TAG).await;
             }
             Benchmark::Exchange => {
                 // IMB semantics: both receives are pre-posted before the
@@ -182,25 +191,29 @@ impl BenchState {
                 let from_right = comm.irecv(right, TAG);
                 comm.isend(&self.sbuf, left, TAG);
                 comm.isend(&self.sbuf, right, TAG);
-                from_left.wait(comm, &mut self.rbuf);
-                from_right.wait(comm, &mut self.rbuf);
+                from_left.wait_async(comm, &mut self.rbuf).await;
+                from_right.wait_async(comm, &mut self.rbuf).await;
             }
-            Benchmark::Barrier => comm.barrier(),
-            Benchmark::Bcast => comm.bcast(&mut self.sbuf, iter % n),
-            Benchmark::Allgather => comm.allgather(&self.sbuf, &mut self.rbuf),
-            Benchmark::Allgatherv => comm.allgatherv(&self.sbuf, &mut self.rbuf, &self.counts),
-            Benchmark::Alltoall => comm.alltoall(&self.sbuf, &mut self.rbuf),
+            Benchmark::Barrier => comm.barrier_async().await,
+            Benchmark::Bcast => comm.bcast_async(&mut self.sbuf, iter % n).await,
+            Benchmark::Allgather => comm.allgather_async(&self.sbuf, &mut self.rbuf).await,
+            Benchmark::Allgatherv => {
+                comm.allgatherv_async(&self.sbuf, &mut self.rbuf, &self.counts)
+                    .await
+            }
+            Benchmark::Alltoall => comm.alltoall_async(&self.sbuf, &mut self.rbuf).await,
             Benchmark::Reduce => {
                 let root = iter % n;
                 let recv = (me == root).then_some(self.frecv.as_mut_slice());
-                comm.reduce(&self.fsend, recv, root, Op::Sum);
+                comm.reduce_async(&self.fsend, recv, root, Op::Sum).await;
             }
             Benchmark::Allreduce => {
                 self.frecv.copy_from_slice(&self.fsend);
-                comm.allreduce(&mut self.frecv, Op::Sum);
+                comm.allreduce_async(&mut self.frecv, Op::Sum).await;
             }
             Benchmark::ReduceScatter => {
-                comm.reduce_scatter(&self.fsend, &mut self.frecv, &self.counts, Op::Sum);
+                comm.reduce_scatter_async(&self.fsend, &mut self.frecv, &self.counts, Op::Sum)
+                    .await;
             }
         }
         let _ = self.bytes;

@@ -171,6 +171,53 @@ pub fn linux_gige_cluster() -> Machine {
     }
 }
 
+/// An exascale-era capacity model: fat many-core nodes on a low-latency
+/// two-level fat tree, sized so virtual worlds can sweep the proc axis
+/// two to three orders of magnitude past the paper-era ceilings (the
+/// largest announced system above stops at 8192 CPUs). The parameters
+/// are representative of a 2020s leadership system — ~50 Gflop/s per
+/// core, HBM-class node memory, 200 Gb/s-class injection, ~1.5 us MPI
+/// latency — not calibrated to any one installation.
+///
+/// Deliberately **not** part of [`future_systems`]: the paper's
+/// conclusion lists exactly five follow-up architectures, and this one
+/// exists for the cooperative scheduler's high-rank sweeps rather than
+/// for the announced study.
+pub fn exascale_cluster() -> Machine {
+    Machine {
+        name: "Exascale cluster",
+        class: SystemClass::Scalar,
+        node: NodeModel {
+            cpus: 64,
+            clock_ghz: 2.4,
+            peak_gflops: 50.0, // wide-SIMD core: 2 FMA pipes x 8 lanes
+            stream_bw: 16.0e9,
+            mem_bw_node: 1.6e12, // HBM-class node aggregate
+            dgemm_eff: 0.90,
+            hpl_eff: 0.75,
+            mem_latency_us: 0.08,
+            random_concurrency: 16.0,
+        },
+        net: NetworkModel {
+            topology: TopologyKind::FatTree {
+                arity: 64,
+                blocking: 2.0, // 2:1 taper above the leaf switches
+                blocking_from: 1,
+            },
+            link_bw: 25.0e9, // 200 Gb/s-class NIC
+            nic_duplex: true,
+            mpi_latency_us: 1.5,
+            per_hop_us: 0.05,
+            overhead_us: 0.3,
+            intra_latency_us: 0.3,
+            intra_bw: 12.0e9,
+            per_msg_bw: 12.0e9,
+            plain_link_bw: 25.0e9,
+        },
+        max_cpus: 262_144,
+    }
+}
+
 /// All five announced follow-up systems.
 pub fn future_systems() -> Vec<Machine> {
     vec![
@@ -192,6 +239,22 @@ mod tests {
             m.validate().unwrap_or_else(|e| panic!("{e}"));
         }
         assert_eq!(future_systems().len(), 5, "the conclusion lists five");
+    }
+
+    #[test]
+    fn exascale_cluster_validates_and_scales_past_the_paper_era() {
+        let m = exascale_cluster();
+        m.validate().unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            m.max_cpus >= 131_072,
+            "needs headroom for 100k-rank virtual worlds"
+        );
+        for f in future_systems() {
+            assert!(m.max_cpus > f.max_cpus, "vs {}", f.name);
+        }
+        // A 65536-rank fabric must build (the high-rank sweeps use it).
+        let f = m.fabric(65_536);
+        assert_eq!(f.topology().name(), "fat-tree");
     }
 
     #[test]

@@ -12,7 +12,7 @@ pub use altix::{altix_bx2, altix_nl3};
 pub use cray_opteron::cray_opteron;
 pub use cray_x1::{cray_x1_msp, cray_x1_ssp};
 pub use dell_xeon::dell_xeon;
-pub use future::future_systems;
+pub use future::{exascale_cluster, future_systems};
 pub use nec_sx8::nec_sx8;
 
 use crate::model::Machine;

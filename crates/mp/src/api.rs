@@ -142,6 +142,139 @@ impl Comm {
     }
 }
 
+/// Awaitable mirrors of the collective methods, for workloads running as
+/// cooperative tasks (see [`crate::run_coop`] and friends). Inside a
+/// cooperative task the blocking methods above panic; these suspend the
+/// task at each internal receive instead. On real threads they behave
+/// identically to their blocking counterparts.
+impl Comm {
+    /// Awaitable [`barrier`](Comm::barrier).
+    pub async fn barrier_async(&self) {
+        let _scope = self.coll_scope("barrier", None, Some(0));
+        coll::barrier::auto_async(self).await;
+    }
+
+    /// Awaitable [`bcast`](Comm::bcast).
+    pub async fn bcast_async<T: Word>(&self, buf: &mut [T], root: usize) {
+        let _scope = self.coll_scope("bcast", Some(root), shape_of(buf));
+        coll::bcast::auto_async(self, buf, root).await;
+    }
+
+    /// Awaitable [`gather`](Comm::gather).
+    pub async fn gather_async<T: Word>(&self, send: &[T], recv: Option<&mut [T]>, root: usize) {
+        let _scope = self.coll_scope("gather", Some(root), shape_of(send));
+        coll::gather::auto_async(self, send, recv, root).await;
+    }
+
+    /// Awaitable [`scatter`](Comm::scatter).
+    pub async fn scatter_async<T: Word>(&self, send: Option<&[T]>, recv: &mut [T], root: usize) {
+        let _scope = self.coll_scope("scatter", Some(root), shape_of(recv));
+        coll::scatter::auto_async(self, send, recv, root).await;
+    }
+
+    /// Awaitable [`allgather`](Comm::allgather).
+    pub async fn allgather_async<T: Word>(&self, send: &[T], recv: &mut [T]) {
+        let _scope = self.coll_scope("allgather", None, shape_of(send));
+        coll::allgather::auto_async(self, send, recv).await;
+    }
+
+    /// Awaitable [`allgatherv`](Comm::allgatherv).
+    pub async fn allgatherv_async<T: Word>(&self, send: &[T], recv: &mut [T], counts: &[usize]) {
+        let _scope = self.coll_scope("allgatherv", None, None);
+        coll::allgatherv::auto_async(self, send, recv, counts).await;
+    }
+
+    /// Awaitable [`alltoall`](Comm::alltoall).
+    pub async fn alltoall_async<T: Word>(&self, send: &[T], recv: &mut [T]) {
+        let _scope = self.coll_scope("alltoall", None, shape_of(send));
+        coll::alltoall::auto_async(self, send, recv).await;
+    }
+
+    /// Awaitable [`reduce`](Comm::reduce).
+    pub async fn reduce_async<T: Numeric>(
+        &self,
+        send: &[T],
+        recv: Option<&mut [T]>,
+        root: usize,
+        op: Op,
+    ) {
+        let _scope = self.coll_scope("reduce", Some(root), shape_of(send));
+        coll::reduce::auto_async(self, send, recv, root, op).await;
+    }
+
+    /// Awaitable [`allreduce`](Comm::allreduce).
+    pub async fn allreduce_async<T: Numeric>(&self, buf: &mut [T], op: Op) {
+        let _scope = self.coll_scope("allreduce", None, shape_of(buf));
+        coll::allreduce::auto_async(self, buf, op).await;
+    }
+
+    /// Awaitable [`reduce_scatter_block`](Comm::reduce_scatter_block).
+    pub async fn reduce_scatter_block_async<T: Numeric>(&self, send: &[T], recv: &mut [T], op: Op) {
+        let _scope = self.coll_scope("reduce_scatter_block", None, shape_of(recv));
+        coll::reduce_scatter::block_auto_async(self, send, recv, op).await;
+    }
+
+    /// Awaitable [`reduce_scatter`](Comm::reduce_scatter).
+    pub async fn reduce_scatter_async<T: Numeric>(
+        &self,
+        send: &[T],
+        recv: &mut [T],
+        counts: &[usize],
+        op: Op,
+    ) {
+        let _scope = self.coll_scope("reduce_scatter", None, None);
+        coll::reduce_scatter::auto_async(self, send, recv, counts, op).await;
+    }
+
+    /// Awaitable [`scan`](Comm::scan).
+    pub async fn scan_async<T: Numeric>(&self, buf: &mut [T], op: Op) {
+        let _scope = self.coll_scope("scan", None, shape_of(buf));
+        coll::scan::auto_async(self, buf, op).await;
+    }
+
+    /// Awaitable [`exscan`](Comm::exscan).
+    pub async fn exscan_async<T: Numeric>(&self, buf: &mut [T], op: Op) {
+        let _scope = self.coll_scope("exscan", None, shape_of(buf));
+        coll::scan::exscan_async(self, buf, op).await;
+    }
+
+    /// Awaitable [`alltoallv`](Comm::alltoallv).
+    pub async fn alltoallv_async<T: Word>(
+        &self,
+        send: &[T],
+        send_counts: &[usize],
+        recv: &mut [T],
+        recv_counts: &[usize],
+    ) {
+        let _scope = self.coll_scope("alltoallv", None, None);
+        coll::alltoallv::auto_async(self, send, send_counts, recv, recv_counts).await;
+    }
+
+    /// Awaitable [`gatherv`](Comm::gatherv).
+    pub async fn gatherv_async<T: Word>(
+        &self,
+        send: &[T],
+        recv: Option<&mut [T]>,
+        counts: &[usize],
+        root: usize,
+    ) {
+        let _scope = self.coll_scope("gatherv", Some(root), None);
+        coll::gatherv::gatherv_async(self, send, recv, counts, root).await;
+    }
+
+    /// Awaitable [`scatterv`](Comm::scatterv).
+    pub async fn scatterv_async<T: Word>(
+        &self,
+        send: Option<&[T]>,
+        recv: &mut [T],
+        counts: &[usize],
+        root: usize,
+    ) {
+        let _scope = self.coll_scope("scatterv", Some(root), None);
+        coll::gatherv::scatterv_async(self, send, recv, counts, root).await;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::runtime::run;

@@ -13,6 +13,11 @@ use super::LONG_MSG_THRESHOLD;
 /// payload that just arrived from the left (a shared-buffer handoff, not a
 /// re-encode), decoding a copy into the local result as it passes through.
 pub fn ring<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
+    crate::coop::block_on(ring_async(comm, send, recv));
+}
+
+/// Awaitable mirror of [`ring`].
+pub async fn ring_async<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     let block = send.len();
@@ -31,7 +36,9 @@ pub fn ring<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
     let mut outgoing = crate::payload::Payload::from_vec(encode(send));
     for k in 0..n - 1 {
         let recv_block = (me + n - k - 1) % n;
-        let got = comm.sendrecv_payload_coll(outgoing, right, left, tag);
+        let got = comm
+            .sendrecv_payload_coll_async(outgoing, right, left, tag)
+            .await;
         decode_into(
             &got,
             &mut recv[recv_block * block..(recv_block + 1) * block],
@@ -44,6 +51,11 @@ pub fn ring<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
 /// span each round. Latency-optimal; requires a power-of-two group (the
 /// dispatcher falls back to [`ring`] otherwise).
 pub fn recursive_doubling<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
+    crate::coop::block_on(recursive_doubling_async(comm, send, recv));
+}
+
+/// Awaitable mirror of [`recursive_doubling`].
+pub async fn recursive_doubling_async<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
     let n = comm.size();
     assert!(n.is_power_of_two(), "recursive doubling needs 2^k ranks");
     let tag = comm.next_coll_tag();
@@ -62,7 +74,9 @@ pub fn recursive_doubling<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
         let base = me & !(span - 1); // start of the 2^k-aligned group I hold
         let pbase = partner & !(span - 1);
         let out = encode(&recv[base * block..(base + span) * block]);
-        let bytes = comm.sendrecv_bytes_coll(out, partner, partner, tag);
+        let bytes = comm
+            .sendrecv_bytes_coll_async(out, partner, partner, tag)
+            .await;
         decode_into(&bytes, &mut recv[pbase * block..(pbase + span) * block]);
         span <<= 1;
     }
@@ -71,11 +85,16 @@ pub fn recursive_doubling<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
 /// Size- and shape-dispatched allgather: recursive doubling for short
 /// blocks on power-of-two groups, ring otherwise.
 pub fn auto<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
+    crate::coop::block_on(auto_async(comm, send, recv));
+}
+
+/// Awaitable mirror of [`auto`].
+pub async fn auto_async<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
     let n = comm.size();
     if n.is_power_of_two() && send.len() * T::SIZE * n < LONG_MSG_THRESHOLD {
-        recursive_doubling(comm, send, recv);
+        recursive_doubling_async(comm, send, recv).await;
     } else {
-        ring(comm, send, recv);
+        ring_async(comm, send, recv).await;
     }
 }
 

@@ -21,6 +21,11 @@ fn displs(counts: &[usize]) -> Vec<usize> {
 /// overhead for more complex situations" the IMB Allgatherv benchmark
 /// measures relative to Allgather.
 pub fn ring<T: Word>(comm: &Comm, send: &[T], recv: &mut [T], counts: &[usize]) {
+    crate::coop::block_on(ring_async(comm, send, recv, counts));
+}
+
+/// Awaitable mirror of [`ring`].
+pub async fn ring_async<T: Word>(comm: &Comm, send: &[T], recv: &mut [T], counts: &[usize]) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     assert_eq!(counts.len(), n, "one count per rank required");
@@ -38,7 +43,7 @@ pub fn ring<T: Word>(comm: &Comm, send: &[T], recv: &mut [T], counts: &[usize]) 
         let sb = (me + n - k) % n;
         let rb = (me + n - k - 1) % n;
         let out = encode(&recv[d[sb]..d[sb + 1]]);
-        let bytes = comm.sendrecv_bytes_coll(out, right, left, tag);
+        let bytes = comm.sendrecv_bytes_coll_async(out, right, left, tag).await;
         decode_into(&bytes, &mut recv[d[rb]..d[rb + 1]]);
     }
 }
@@ -46,6 +51,11 @@ pub fn ring<T: Word>(comm: &Comm, send: &[T], recv: &mut [T], counts: &[usize]) 
 /// The default allgatherv (ring).
 pub fn auto<T: Word>(comm: &Comm, send: &[T], recv: &mut [T], counts: &[usize]) {
     ring(comm, send, recv, counts);
+}
+
+/// Awaitable mirror of [`auto`].
+pub async fn auto_async<T: Word>(comm: &Comm, send: &[T], recv: &mut [T], counts: &[usize]) {
+    ring_async(comm, send, recv, counts).await;
 }
 
 #[cfg(test)]

@@ -42,14 +42,20 @@ impl Fold {
     }
 }
 
-fn fold_in<T: Numeric>(comm: &Comm, acc: &mut [T], op: Op, fold: &Fold, tag: Tag) -> Option<usize> {
+async fn fold_in<T: Numeric>(
+    comm: &Comm,
+    acc: &mut [T],
+    op: Op,
+    fold: &Fold,
+    tag: Tag,
+) -> Option<usize> {
     let me = comm.rank();
     if me < 2 * fold.rem {
         if me.is_multiple_of(2) {
             comm.send_bytes(encode(acc), me + 1, tag);
             None
         } else {
-            let operand: Vec<T> = decode(&comm.recv_bytes(me - 1, tag));
+            let operand: Vec<T> = decode(&comm.recv_bytes_async(me - 1, tag).await);
             op.fold_into(acc, &operand);
             Some(me / 2)
         }
@@ -58,13 +64,19 @@ fn fold_in<T: Numeric>(comm: &Comm, acc: &mut [T], op: Op, fold: &Fold, tag: Tag
     }
 }
 
-fn fold_out<T: Numeric>(comm: &Comm, acc: &mut [T], fold: &Fold, tag: Tag, participated: bool) {
+async fn fold_out<T: Numeric>(
+    comm: &Comm,
+    acc: &mut [T],
+    fold: &Fold,
+    tag: Tag,
+    participated: bool,
+) {
     let me = comm.rank();
     if me < 2 * fold.rem {
         if participated {
             comm.send_bytes(encode(acc), me - 1, tag);
         } else {
-            decode_into(&comm.recv_bytes(me + 1, tag), acc);
+            decode_into(&comm.recv_bytes_async(me + 1, tag).await, acc);
         }
     }
 }
@@ -72,25 +84,32 @@ fn fold_out<T: Numeric>(comm: &Comm, acc: &mut [T], fold: &Fold, tag: Tag, parti
 /// Recursive-doubling allreduce: after the fold, `log2 p` rounds in which
 /// participant pairs exchange and combine full vectors. Latency-optimal.
 pub fn recursive_doubling<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
+    crate::coop::block_on(recursive_doubling_async(comm, buf, op));
+}
+
+/// Awaitable mirror of [`recursive_doubling`].
+pub async fn recursive_doubling_async<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     if n == 1 {
         return;
     }
     let fold = Fold::new(n);
-    let newrank = fold_in(comm, buf, op, &fold, tag);
+    let newrank = fold_in(comm, buf, op, &fold, tag).await;
 
     if let Some(p) = newrank {
         let mut span = 1;
         while span < fold.pow2 {
             let partner = fold.oldrank(p ^ span);
-            let bytes = comm.sendrecv_bytes_coll(encode(buf), partner, partner, tag);
+            let bytes = comm
+                .sendrecv_bytes_coll_async(encode(buf), partner, partner, tag)
+                .await;
             let operand: Vec<T> = decode(&bytes);
             op.fold_into(buf, &operand);
             span <<= 1;
         }
     }
-    fold_out(comm, buf, &fold, tag, newrank.is_some());
+    fold_out(comm, buf, &fold, tag, newrank.is_some()).await;
 }
 
 /// Rabenseifner allreduce: after the fold, a recursive-halving
@@ -102,6 +121,11 @@ pub fn recursive_doubling<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
 /// Requires the vector length to be divisible by the participant count;
 /// the dispatcher checks and falls back to [`recursive_doubling`].
 pub fn rabenseifner<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
+    crate::coop::block_on(rabenseifner_async(comm, buf, op));
+}
+
+/// Awaitable mirror of [`rabenseifner`].
+pub async fn rabenseifner_async<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     if n == 1 {
@@ -112,7 +136,7 @@ pub fn rabenseifner<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
     let len = buf.len();
     assert_eq!(len % p, 0, "vector must divide among participants");
     let slice = len / p;
-    let newrank = fold_in(comm, buf, op, &fold, tag);
+    let newrank = fold_in(comm, buf, op, &fold, tag).await;
 
     if let Some(v) = newrank {
         // Reduce-scatter by recursive halving.
@@ -134,7 +158,9 @@ pub fn rabenseifner<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
                 (mid..hi, lo..mid)
             };
             let out = encode(&buf[give]);
-            let bytes = comm.sendrecv_bytes_coll(out, partner, partner, tag);
+            let bytes = comm
+                .sendrecv_bytes_coll_async(out, partner, partner, tag)
+                .await;
             let operand: Vec<T> = decode(&bytes);
             op.fold_into(&mut buf[keep.clone()], &operand);
             lo = keep.start;
@@ -152,23 +178,30 @@ pub fn rabenseifner<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
             let pbase = ((v ^ span_ranks) & !(span_ranks - 1)) * slice;
             let count = span_ranks * slice;
             let out = encode(&buf[base..base + count]);
-            let bytes = comm.sendrecv_bytes_coll(out, partner, partner, tag);
+            let bytes = comm
+                .sendrecv_bytes_coll_async(out, partner, partner, tag)
+                .await;
             decode_into(&bytes, &mut buf[pbase..pbase + count]);
             span_ranks <<= 1;
         }
     }
-    fold_out(comm, buf, &fold, tag, newrank.is_some());
+    fold_out(comm, buf, &fold, tag, newrank.is_some()).await;
 }
 
 /// Size-dispatched allreduce: Rabenseifner for long divisible vectors,
 /// recursive doubling otherwise.
 pub fn auto<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
+    crate::coop::block_on(auto_async(comm, buf, op));
+}
+
+/// Awaitable mirror of [`auto`].
+pub async fn auto_async<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
     let n = comm.size();
     let fold = Fold::new(n);
     if n > 1 && buf.len() * T::SIZE >= LONG_MSG_THRESHOLD && buf.len().is_multiple_of(fold.pow2) {
-        rabenseifner(comm, buf, op);
+        rabenseifner_async(comm, buf, op).await;
     } else {
-        recursive_doubling(comm, buf, op);
+        recursive_doubling_async(comm, buf, op).await;
     }
 }
 

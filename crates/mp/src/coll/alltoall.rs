@@ -12,6 +12,11 @@ use super::LONG_MSG_THRESHOLD;
 /// power-of-two groups, rotation otherwise). The standard long-message
 /// algorithm: every block travels exactly once.
 pub fn pairwise<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
+    crate::coop::block_on(pairwise_async(comm, send, recv));
+}
+
+/// Awaitable mirror of [`pairwise`].
+pub async fn pairwise_async<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     assert_eq!(send.len(), recv.len(), "alltoall buffers must match");
@@ -26,7 +31,7 @@ pub fn pairwise<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
             ((me + s) % n, (me + n - s) % n)
         };
         let out = encode(&send[dst * block..(dst + 1) * block]);
-        let bytes = comm.sendrecv_bytes_coll(out, dst, src, tag);
+        let bytes = comm.sendrecv_bytes_coll_async(out, dst, src, tag).await;
         decode_into(&bytes, &mut recv[src * block..(src + 1) * block]);
     }
 }
@@ -40,6 +45,11 @@ pub fn pairwise<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
 /// satisfy `L[j] = block from (me - j) to me`, undone by the final inverse
 /// rotation.
 pub fn bruck<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
+    crate::coop::block_on(bruck_async(comm, send, recv));
+}
+
+/// Awaitable mirror of [`bruck`].
+pub async fn bruck_async<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     assert_eq!(send.len(), recv.len(), "alltoall buffers must match");
@@ -68,7 +78,7 @@ pub fn bruck<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
         for &i in &moving {
             out.extend_from_slice(&slots[i * bw..(i + 1) * bw]);
         }
-        let bytes = comm.sendrecv_bytes_coll(out, dst, src, tag);
+        let bytes = comm.sendrecv_bytes_coll_async(out, dst, src, tag).await;
         assert_eq!(bytes.len(), moving.len() * bw, "bruck round size mismatch");
         for (j, &i) in moving.iter().enumerate() {
             slots[i * bw..(i + 1) * bw].copy_from_slice(&bytes[j * bw..(j + 1) * bw]);
@@ -89,6 +99,11 @@ pub fn bruck<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
 /// Linear alltoall: every rank fires all `n-1` sends eagerly, then drains
 /// its receives. Maximum overlap, no round structure; the baseline.
 pub fn linear<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
+    crate::coop::block_on(linear_async(comm, send, recv));
+}
+
+/// Awaitable mirror of [`linear`].
+pub async fn linear_async<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     assert_eq!(send.len(), recv.len(), "alltoall buffers must match");
@@ -102,13 +117,18 @@ pub fn linear<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
     }
     for off in 1..n {
         let src = (me + n - off) % n;
-        let bytes = comm.recv_bytes(src, tag);
+        let bytes = comm.recv_bytes_async(src, tag).await;
         decode_into(&bytes, &mut recv[src * block..(src + 1) * block]);
     }
 }
 
 /// Size-dispatched alltoall: Bruck for short blocks, pairwise for long.
 pub fn auto<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
+    crate::coop::block_on(auto_async(comm, send, recv));
+}
+
+/// Awaitable mirror of [`auto`].
+pub async fn auto_async<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
     let n = comm.size();
     if n == 1 {
         recv.copy_from_slice(send);
@@ -116,10 +136,10 @@ pub fn auto<T: Word>(comm: &Comm, send: &[T], recv: &mut [T]) {
     }
     let block_bytes = send.len() / n * T::SIZE;
     if block_bytes < 256 && n > 8 {
-        bruck(comm, send, recv);
+        bruck_async(comm, send, recv).await;
     } else {
         let _ = LONG_MSG_THRESHOLD;
-        pairwise(comm, send, recv);
+        pairwise_async(comm, send, recv).await;
     }
 }
 

@@ -25,6 +25,17 @@ pub fn pairwise<T: Word>(
     recv: &mut [T],
     recv_counts: &[usize],
 ) {
+    crate::coop::block_on(pairwise_async(comm, send, send_counts, recv, recv_counts));
+}
+
+/// Awaitable mirror of [`pairwise`].
+pub async fn pairwise_async<T: Word>(
+    comm: &Comm,
+    send: &[T],
+    send_counts: &[usize],
+    recv: &mut [T],
+    recv_counts: &[usize],
+) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     assert_eq!(send_counts.len(), n, "one send count per rank");
@@ -45,7 +56,7 @@ pub fn pairwise<T: Word>(
         let dst = (me + s) % n;
         let src = (me + n - s) % n;
         comm.send_bytes(encode(&send[sd[dst]..sd[dst + 1]]), dst, tag);
-        let bytes = comm.recv_bytes(src, tag);
+        let bytes = comm.recv_bytes_async(src, tag).await;
         decode_into(&bytes, &mut recv[rd[src]..rd[src + 1]]);
     }
 }
@@ -59,6 +70,17 @@ pub fn auto<T: Word>(
     recv_counts: &[usize],
 ) {
     pairwise(comm, send, send_counts, recv, recv_counts);
+}
+
+/// Awaitable mirror of [`auto`].
+pub async fn auto_async<T: Word>(
+    comm: &Comm,
+    send: &[T],
+    send_counts: &[usize],
+    recv: &mut [T],
+    recv_counts: &[usize],
+) {
+    pairwise_async(comm, send, send_counts, recv, recv_counts).await;
 }
 
 #[cfg(test)]

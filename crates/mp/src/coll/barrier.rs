@@ -6,6 +6,11 @@ use crate::comm::Comm;
 /// signals `(rank + 2^k) mod n` and waits for `(rank - 2^k) mod n`.
 /// This is the classic algorithm behind most MPI barrier implementations.
 pub fn dissemination(comm: &Comm) {
+    crate::coop::block_on(dissemination_async(comm));
+}
+
+/// Awaitable mirror of [`dissemination`].
+pub async fn dissemination_async(comm: &Comm) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     if n == 1 {
@@ -17,7 +22,7 @@ pub fn dissemination(comm: &Comm) {
         let dst = (me + k) % n;
         let src = (me + n - k) % n;
         comm.send_bytes(Vec::new(), dst, tag);
-        let _ = comm.recv_bytes(src, tag);
+        let _ = comm.recv_bytes_async(src, tag).await;
         k <<= 1;
     }
 }
@@ -26,6 +31,11 @@ pub fn dissemination(comm: &Comm) {
 /// zero-byte binomial broadcast. One more latency step than dissemination
 /// but half the messages; provided for algorithm ablation.
 pub fn tree(comm: &Comm) {
+    crate::coop::block_on(tree_async(comm));
+}
+
+/// Awaitable mirror of [`tree`].
+pub async fn tree_async(comm: &Comm) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     if n == 1 {
@@ -45,12 +55,12 @@ pub fn tree(comm: &Comm) {
         k += 1;
     }
     for &c in peers.iter().rev() {
-        let _ = comm.recv_bytes(c, tag);
+        let _ = comm.recv_bytes_async(c, tag).await;
     }
     if let Some((parent, _)) = node.parent {
         comm.send_bytes(Vec::new(), parent, tag);
         // Fan-out: wait for release from the parent.
-        let _ = comm.recv_bytes(parent, tag);
+        let _ = comm.recv_bytes_async(parent, tag).await;
     }
     for &c in &peers {
         comm.send_bytes(Vec::new(), c, tag);
@@ -60,6 +70,11 @@ pub fn tree(comm: &Comm) {
 /// The default barrier (dissemination).
 pub fn auto(comm: &Comm) {
     dissemination(comm);
+}
+
+/// Awaitable mirror of [`auto`].
+pub async fn auto_async(comm: &Comm) {
+    dissemination_async(comm).await;
 }
 
 #[cfg(test)]

@@ -12,6 +12,11 @@ use super::{binomial_node, halving_tree, unvrank, vrank, LONG_MSG_THRESHOLD};
 /// Every child receives a clone of the *same* shared [`Payload`] — a
 /// refcount bump per edge, never a copy of the bytes.
 pub fn binomial<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
+    crate::coop::block_on(binomial_async(comm, buf, root));
+}
+
+/// Awaitable mirror of [`binomial`].
+pub async fn binomial_async<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     if n == 1 {
@@ -21,7 +26,7 @@ pub fn binomial<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
     let node = binomial_node(v);
 
     let data = if let Some((parent, _)) = node.parent {
-        let payload = comm.recv_payload(unvrank(parent, root, n), tag);
+        let payload = comm.recv_payload_async(unvrank(parent, root, n), tag).await;
         decode_into(&payload, buf);
         payload
     } else {
@@ -49,6 +54,11 @@ pub fn binomial<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
 /// received the round before instead of re-encoding it. The only copies a
 /// rank pays are the writes into its final assembly buffer.
 pub fn scatter_allgather<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
+    crate::coop::block_on(scatter_allgather_async(comm, buf, root));
+}
+
+/// Awaitable mirror of [`scatter_allgather`].
+pub async fn scatter_allgather_async<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
     let n = comm.size();
     if n == 1 {
         return;
@@ -66,7 +76,7 @@ pub fn scatter_allgather<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
     let mut data = vec![0u8; total];
     let own: Payload = if let Some((p, range)) = parent {
         debug_assert_eq!(range.start, v, "halving tree keeps own block first");
-        let incoming = comm.recv_payload(unvrank(p, root, n), tag);
+        let incoming = comm.recv_payload_async(unvrank(p, root, n), tag).await;
         let base = cut(range.start);
         for (child, crange) in children {
             comm.send_payload(
@@ -97,7 +107,9 @@ pub fn scatter_allgather<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
     let mut outgoing = own;
     for k in 0..n - 1 {
         let recv_block = (v + n - k - 1) % n;
-        let got = comm.sendrecv_payload_coll(outgoing, right, left, tag);
+        let got = comm
+            .sendrecv_payload_coll_async(outgoing, right, left, tag)
+            .await;
         data[cut(recv_block)..cut(recv_block + 1)].copy_from_slice(&got);
         outgoing = got;
     }
@@ -107,10 +119,15 @@ pub fn scatter_allgather<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
 /// Size-dispatched broadcast: binomial for short payloads, scatter+allgather
 /// for long ones.
 pub fn auto<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
+    crate::coop::block_on(auto_async(comm, buf, root));
+}
+
+/// Awaitable mirror of [`auto`].
+pub async fn auto_async<T: Word>(comm: &Comm, buf: &mut [T], root: usize) {
     if buf.len() * T::SIZE >= LONG_MSG_THRESHOLD && comm.size() > 2 {
-        scatter_allgather(comm, buf, root);
+        scatter_allgather_async(comm, buf, root).await;
     } else {
-        binomial(comm, buf, root);
+        binomial_async(comm, buf, root).await;
     }
 }
 

@@ -7,6 +7,11 @@ use super::{halving_tree, unvrank, vrank};
 
 /// Linear gather: every rank sends directly to the root.
 pub fn linear<T: Word>(comm: &Comm, send: &[T], recv: Option<&mut [T]>, root: usize) {
+    crate::coop::block_on(linear_async(comm, send, recv, root));
+}
+
+/// Awaitable mirror of [`linear`].
+pub async fn linear_async<T: Word>(comm: &Comm, send: &[T], recv: Option<&mut [T]>, root: usize) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     let block = send.len();
@@ -15,7 +20,7 @@ pub fn linear<T: Word>(comm: &Comm, send: &[T], recv: Option<&mut [T]>, root: us
         assert_eq!(recv.len(), block * n, "gather receive buffer size mismatch");
         recv[root * block..(root + 1) * block].copy_from_slice(send);
         for r in (0..n).filter(|&r| r != root) {
-            let bytes = comm.recv_bytes(r, tag);
+            let bytes = comm.recv_bytes_async(r, tag).await;
             decode_into(&bytes, &mut recv[r * block..(r + 1) * block]);
         }
     } else {
@@ -27,6 +32,11 @@ pub fn linear<T: Word>(comm: &Comm, send: &[T], recv: Option<&mut [T]>, root: us
 /// collects its subtrees' blocks, then forwards its whole contiguous range
 /// to its parent. `ceil(log2 n)` rounds on the critical path.
 pub fn binomial<T: Word>(comm: &Comm, send: &[T], recv: Option<&mut [T]>, root: usize) {
+    crate::coop::block_on(binomial_async(comm, send, recv, root));
+}
+
+/// Awaitable mirror of [`binomial`].
+pub async fn binomial_async<T: Word>(comm: &Comm, send: &[T], recv: Option<&mut [T]>, root: usize) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     let block = send.len();
@@ -47,7 +57,7 @@ pub fn binomial<T: Word>(comm: &Comm, send: &[T], recv: Option<&mut [T]>, root: 
     // Children split ranges from the outside in; collect the innermost
     // (smallest, earliest-finished subtree) first.
     for (child, range) in children.iter().rev() {
-        let bytes = comm.recv_bytes(unvrank(*child, root, n), tag);
+        let bytes = comm.recv_bytes_async(unvrank(*child, root, n), tag).await;
         let off = (range.start - v) * bw;
         data[off..off + bytes.len()].copy_from_slice(&bytes);
     }
@@ -69,10 +79,15 @@ pub fn binomial<T: Word>(comm: &Comm, send: &[T], recv: Option<&mut [T]>, root: 
 
 /// Size-dispatched gather (binomial; linear for 2 ranks).
 pub fn auto<T: Word>(comm: &Comm, send: &[T], recv: Option<&mut [T]>, root: usize) {
+    crate::coop::block_on(auto_async(comm, send, recv, root));
+}
+
+/// Awaitable mirror of [`auto`].
+pub async fn auto_async<T: Word>(comm: &Comm, send: &[T], recv: Option<&mut [T]>, root: usize) {
     if comm.size() <= 2 {
-        linear(comm, send, recv, root);
+        linear_async(comm, send, recv, root).await;
     } else {
-        binomial(comm, send, recv, root);
+        binomial_async(comm, send, recv, root).await;
     }
 }
 

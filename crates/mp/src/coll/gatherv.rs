@@ -15,6 +15,17 @@ pub fn gatherv<T: Word>(
     counts: &[usize],
     root: usize,
 ) {
+    crate::coop::block_on(gatherv_async(comm, send, recv, counts, root));
+}
+
+/// Awaitable mirror of [`gatherv`].
+pub async fn gatherv_async<T: Word>(
+    comm: &Comm,
+    send: &[T],
+    recv: Option<&mut [T]>,
+    counts: &[usize],
+    root: usize,
+) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     assert_eq!(counts.len(), n, "one count per rank");
@@ -26,7 +37,7 @@ pub fn gatherv<T: Word>(
         assert_eq!(recv.len(), d[n], "gatherv receive buffer size mismatch");
         recv[d[root]..d[root + 1]].copy_from_slice(send);
         for r in (0..n).filter(|&r| r != root) {
-            let bytes = comm.recv_bytes(r, tag);
+            let bytes = comm.recv_bytes_async(r, tag).await;
             decode_into(&bytes, &mut recv[d[r]..d[r + 1]]);
         }
     } else {
@@ -36,6 +47,17 @@ pub fn gatherv<T: Word>(
 
 /// Linear scatterv: the root distributes per-rank blocks.
 pub fn scatterv<T: Word>(
+    comm: &Comm,
+    send: Option<&[T]>,
+    recv: &mut [T],
+    counts: &[usize],
+    root: usize,
+) {
+    crate::coop::block_on(scatterv_async(comm, send, recv, counts, root));
+}
+
+/// Awaitable mirror of [`scatterv`].
+pub async fn scatterv_async<T: Word>(
     comm: &Comm,
     send: Option<&[T]>,
     recv: &mut [T],
@@ -56,7 +78,7 @@ pub fn scatterv<T: Word>(
         }
         recv.copy_from_slice(&send[d[root]..d[root + 1]]);
     } else {
-        let bytes = comm.recv_bytes(root, tag);
+        let bytes = comm.recv_bytes_async(root, tag).await;
         decode_into(&bytes, recv);
     }
 }

@@ -10,6 +10,17 @@ use super::{binomial_node, halving_tree, unvrank, vrank, LONG_MSG_THRESHOLD};
 /// its children's full vectors into its accumulator, then forwards to its
 /// parent. `ceil(log2 n)` rounds; every edge carries the whole vector.
 pub fn binomial<T: Numeric>(comm: &Comm, send: &[T], recv: Option<&mut [T]>, root: usize, op: Op) {
+    crate::coop::block_on(binomial_async(comm, send, recv, root, op));
+}
+
+/// Awaitable mirror of [`binomial`].
+pub async fn binomial_async<T: Numeric>(
+    comm: &Comm,
+    send: &[T],
+    recv: Option<&mut [T]>,
+    root: usize,
+    op: Op,
+) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     let me = comm.rank();
@@ -35,7 +46,7 @@ pub fn binomial<T: Numeric>(comm: &Comm, send: &[T], recv: Option<&mut [T]>, roo
         k += 1;
     }
     for &c in &children {
-        let bytes = comm.recv_bytes(unvrank(c, root, n), tag);
+        let bytes = comm.recv_bytes_async(unvrank(c, root, n), tag).await;
         let operand: Vec<T> = decode(&bytes);
         op.fold_into(&mut acc, &operand);
     }
@@ -56,6 +67,17 @@ pub fn binomial<T: Numeric>(comm: &Comm, send: &[T], recv: Option<&mut [T]>, roo
 /// Requires a power-of-two group with the vector length divisible by it;
 /// the dispatcher checks and falls back to [`binomial`].
 pub fn rabenseifner<T: Numeric>(
+    comm: &Comm,
+    send: &[T],
+    recv: Option<&mut [T]>,
+    root: usize,
+    op: Op,
+) {
+    crate::coop::block_on(rabenseifner_async(comm, send, recv, root, op));
+}
+
+/// Awaitable mirror of [`rabenseifner`].
+pub async fn rabenseifner_async<T: Numeric>(
     comm: &Comm,
     send: &[T],
     recv: Option<&mut [T]>,
@@ -97,12 +119,14 @@ pub fn rabenseifner<T: Numeric>(
             (mid..hi, lo..mid)
         };
         let out = encode(&acc[give.clone()]);
-        let bytes = comm.sendrecv_bytes_coll(
-            out,
-            unvrank(partner_v, root, n),
-            unvrank(partner_v, root, n),
-            tag,
-        );
+        let bytes = comm
+            .sendrecv_bytes_coll_async(
+                out,
+                unvrank(partner_v, root, n),
+                unvrank(partner_v, root, n),
+                tag,
+            )
+            .await;
         let operand: Vec<T> = decode(&bytes);
         op.fold_into(&mut acc[keep.clone()], &operand);
         lo = keep.start;
@@ -117,7 +141,7 @@ pub fn rabenseifner<T: Numeric>(
     let mut gathered = vec![T::zero(); (hi_rank - v) * slice];
     gathered[..slice].copy_from_slice(&acc[lo..hi]);
     for (child, range) in children.iter().rev() {
-        let bytes = comm.recv_bytes(unvrank(*child, root, n), tag);
+        let bytes = comm.recv_bytes_async(unvrank(*child, root, n), tag).await;
         let operand: Vec<T> = decode(&bytes);
         let off = (range.start - v) * slice;
         gathered[off..off + operand.len()].copy_from_slice(&operand);
@@ -133,15 +157,26 @@ pub fn rabenseifner<T: Numeric>(
 /// Size-dispatched reduce: Rabenseifner when the shape allows and the
 /// vector is long, binomial otherwise.
 pub fn auto<T: Numeric>(comm: &Comm, send: &[T], recv: Option<&mut [T]>, root: usize, op: Op) {
+    crate::coop::block_on(auto_async(comm, send, recv, root, op));
+}
+
+/// Awaitable mirror of [`auto`].
+pub async fn auto_async<T: Numeric>(
+    comm: &Comm,
+    send: &[T],
+    recv: Option<&mut [T]>,
+    root: usize,
+    op: Op,
+) {
     let n = comm.size();
     if n.is_power_of_two()
         && n > 1
         && send.len().is_multiple_of(n)
         && send.len() * T::SIZE >= LONG_MSG_THRESHOLD
     {
-        rabenseifner(comm, send, recv, root, op);
+        rabenseifner_async(comm, send, recv, root, op).await;
     } else {
-        binomial(comm, send, recv, root, op);
+        binomial_async(comm, send, recv, root, op).await;
     }
 }
 

@@ -11,6 +11,17 @@ use crate::reduce::{Numeric, Op};
 /// slice arriving from `(me - s) mod n`. Works for any group size and any
 /// per-rank counts; bandwidth-optimal (each rank moves `len - own` once).
 pub fn pairwise<T: Numeric>(comm: &Comm, send: &[T], recv: &mut [T], counts: &[usize], op: Op) {
+    crate::coop::block_on(pairwise_async(comm, send, recv, counts, op));
+}
+
+/// Awaitable mirror of [`pairwise`].
+pub async fn pairwise_async<T: Numeric>(
+    comm: &Comm,
+    send: &[T],
+    recv: &mut [T],
+    counts: &[usize],
+    op: Op,
+) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     assert_eq!(counts.len(), n, "one count per rank required");
@@ -33,7 +44,7 @@ pub fn pairwise<T: Numeric>(comm: &Comm, send: &[T], recv: &mut [T], counts: &[u
         let dst = (me + s) % n;
         let src = (me + n - s) % n;
         comm.send_bytes(encode(&send[displ[dst]..displ[dst + 1]]), dst, tag);
-        let operand: Vec<T> = decode(&comm.recv_bytes(src, tag));
+        let operand: Vec<T> = decode(&comm.recv_bytes_async(src, tag).await);
         op.fold_into(&mut acc, &operand);
     }
     recv.copy_from_slice(&acc);
@@ -44,6 +55,11 @@ pub fn pairwise<T: Numeric>(comm: &Comm, send: &[T], recv: &mut [T], counts: &[u
 /// short-message algorithm; also the first phase of Rabenseifner's
 /// reductions.
 pub fn recursive_halving<T: Numeric>(comm: &Comm, send: &[T], recv: &mut [T], op: Op) {
+    crate::coop::block_on(recursive_halving_async(comm, send, recv, op));
+}
+
+/// Awaitable mirror of [`recursive_halving`].
+pub async fn recursive_halving_async<T: Numeric>(comm: &Comm, send: &[T], recv: &mut [T], op: Op) {
     let n = comm.size();
     assert!(n.is_power_of_two(), "recursive halving needs 2^k ranks");
     let tag = comm.next_coll_tag();
@@ -76,7 +92,9 @@ pub fn recursive_halving<T: Numeric>(comm: &Comm, send: &[T], recv: &mut [T], op
             (mid..hi, lo..mid)
         };
         let out = encode(&acc[give]);
-        let bytes = comm.sendrecv_bytes_coll(out, partner, partner, tag);
+        let bytes = comm
+            .sendrecv_bytes_coll_async(out, partner, partner, tag)
+            .await;
         let operand: Vec<T> = decode(&bytes);
         op.fold_into(&mut acc[keep.clone()], &operand);
         lo = keep.start;
@@ -90,19 +108,35 @@ pub fn recursive_halving<T: Numeric>(comm: &Comm, send: &[T], recv: &mut [T], op
 /// Dispatched equal-counts reduce-scatter (`MPI_Reduce_scatter_block`):
 /// recursive halving on power-of-two groups, pairwise otherwise.
 pub fn block_auto<T: Numeric>(comm: &Comm, send: &[T], recv: &mut [T], op: Op) {
+    crate::coop::block_on(block_auto_async(comm, send, recv, op));
+}
+
+/// Awaitable mirror of [`block_auto`].
+pub async fn block_auto_async<T: Numeric>(comm: &Comm, send: &[T], recv: &mut [T], op: Op) {
     let n = comm.size();
     if n.is_power_of_two() && send.len().is_multiple_of(n) {
-        recursive_halving(comm, send, recv, op);
+        recursive_halving_async(comm, send, recv, op).await;
     } else {
         let counts = vec![recv.len(); n];
         assert_eq!(send.len(), recv.len() * n, "send must be n equal blocks");
-        pairwise(comm, send, recv, &counts, op);
+        pairwise_async(comm, send, recv, &counts, op).await;
     }
 }
 
 /// General per-rank-counts reduce-scatter (pairwise).
 pub fn auto<T: Numeric>(comm: &Comm, send: &[T], recv: &mut [T], counts: &[usize], op: Op) {
     pairwise(comm, send, recv, counts, op);
+}
+
+/// Awaitable mirror of [`auto`].
+pub async fn auto_async<T: Numeric>(
+    comm: &Comm,
+    send: &[T],
+    recv: &mut [T],
+    counts: &[usize],
+    op: Op,
+) {
+    pairwise_async(comm, send, recv, counts, op).await;
 }
 
 #[cfg(test)]

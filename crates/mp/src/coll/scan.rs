@@ -13,11 +13,16 @@ use crate::reduce::{Numeric, Op};
 
 /// Linear scan: a pipeline along the rank order. `n-1` serial steps.
 pub fn linear<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
+    crate::coop::block_on(linear_async(comm, buf, op));
+}
+
+/// Awaitable mirror of [`linear`].
+pub async fn linear_async<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     let me = comm.rank();
     if me > 0 {
-        let prefix: Vec<T> = decode(&comm.recv_bytes(me - 1, tag));
+        let prefix: Vec<T> = decode(&comm.recv_bytes_async(me - 1, tag).await);
         // Ordered: earlier ranks' contribution on the left.
         let mut acc = prefix;
         op.fold_into(&mut acc, buf);
@@ -32,6 +37,11 @@ pub fn linear<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
 /// inclusive prefix `result` and the segment aggregate `partial`; round `d`
 /// ships `partial` a distance `d` to the right.
 pub fn recursive_doubling<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
+    crate::coop::block_on(recursive_doubling_async(comm, buf, op));
+}
+
+/// Awaitable mirror of [`recursive_doubling`].
+pub async fn recursive_doubling_async<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     let me = comm.rank();
@@ -42,7 +52,7 @@ pub fn recursive_doubling<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
             comm.send_bytes(encode(&partial), me + d, tag);
         }
         if me >= d {
-            let incoming: Vec<T> = decode(&comm.recv_bytes(me - d, tag));
+            let incoming: Vec<T> = decode(&comm.recv_bytes_async(me - d, tag).await);
             // incoming covers ranks [me-2d+1 ..= me-d]; keep it on the left.
             let mut r = incoming.clone();
             op.fold_into(&mut r, buf);
@@ -60,10 +70,20 @@ pub fn auto<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
     recursive_doubling(comm, buf, op);
 }
 
+/// Awaitable mirror of [`auto`].
+pub async fn auto_async<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
+    recursive_doubling_async(comm, buf, op).await;
+}
+
 /// Exclusive prefix reduction (`MPI_Exscan`): rank `r` receives the
 /// reduction of ranks `0..r`; rank 0's buffer is left as the operation's
 /// identity (undefined in MPI; the identity is the useful convention).
 pub fn exscan<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
+    crate::coop::block_on(exscan_async(comm, buf, op));
+}
+
+/// Awaitable mirror of [`exscan`].
+pub async fn exscan_async<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
     let me = comm.rank();
     // Inclusive scan of the original contribution, then shift by
     // combining with the inverse... reductions are not invertible in
@@ -71,7 +91,7 @@ pub fn exscan<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
     // exchange: rank r's exclusive result is rank r-1's inclusive one.
     // One extra ring hop keeps it simple and allocation-light.
     let tag = comm.next_coll_tag();
-    recursive_doubling(comm, buf, op);
+    recursive_doubling_async(comm, buf, op).await;
     let n = comm.size();
     if n == 1 {
         fill_identity(buf, op);
@@ -81,7 +101,7 @@ pub fn exscan<T: Numeric>(comm: &Comm, buf: &mut [T], op: Op) {
         comm.send_bytes(crate::datatype::encode(buf), me + 1, tag);
     }
     if me > 0 {
-        let bytes = comm.recv_bytes(me - 1, tag);
+        let bytes = comm.recv_bytes_async(me - 1, tag).await;
         crate::datatype::decode_into(&bytes, buf);
     } else {
         fill_identity(buf, op);

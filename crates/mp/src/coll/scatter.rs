@@ -8,6 +8,11 @@ use super::{halving_tree, unvrank, vrank};
 /// Linear scatter: the root sends each rank its block directly. Baseline
 /// algorithm (and the fallback for tiny groups).
 pub fn linear<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: usize) {
+    crate::coop::block_on(linear_async(comm, send, recv, root));
+}
+
+/// Awaitable mirror of [`linear`].
+pub async fn linear_async<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: usize) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     let block = recv.len();
@@ -23,7 +28,7 @@ pub fn linear<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: us
             }
         }
     } else {
-        let bytes = comm.recv_bytes(root, tag);
+        let bytes = comm.recv_bytes_async(root, tag).await;
         decode_into(&bytes, recv);
     }
 }
@@ -33,6 +38,11 @@ pub fn linear<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: us
 /// as zero-copy sub-slices of the one buffer it received — internal nodes
 /// never copy payload bytes.
 pub fn binomial<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: usize) {
+    crate::coop::block_on(binomial_async(comm, send, recv, root));
+}
+
+/// Awaitable mirror of [`binomial`].
+pub async fn binomial_async<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: usize) {
     let n = comm.size();
     let tag = comm.next_coll_tag();
     let block = recv.len();
@@ -47,7 +57,10 @@ pub fn binomial<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: 
     // Hold the encoded blocks for my subtree, indexed by vrank.
     let bw = block * T::SIZE;
     let (data, lo) = if let Some((p, range)) = parent {
-        (comm.recv_payload(unvrank(p, root, n), tag), range.start)
+        (
+            comm.recv_payload_async(unvrank(p, root, n), tag).await,
+            range.start,
+        )
     } else {
         // Root re-orders its buffer into vrank order once.
         let send = send.expect("root must supply a send buffer");
@@ -75,10 +88,15 @@ pub fn binomial<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: 
 
 /// Size-dispatched scatter (binomial; linear for 2 ranks).
 pub fn auto<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: usize) {
+    crate::coop::block_on(auto_async(comm, send, recv, root));
+}
+
+/// Awaitable mirror of [`auto`].
+pub async fn auto_async<T: Word>(comm: &Comm, send: Option<&[T]>, recv: &mut [T], root: usize) {
     if comm.size() <= 2 {
-        linear(comm, send, recv, root);
+        linear_async(comm, send, recv, root).await;
     } else {
-        binomial(comm, send, recv, root);
+        binomial_async(comm, send, recv, root).await;
     }
 }
 

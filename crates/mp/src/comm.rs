@@ -56,13 +56,15 @@ fn invert(group: &[usize]) -> Arc<HashMap<usize, usize>> {
 
 impl Comm {
     /// The world communicator for `rank` (all ranks, identity mapping).
+    /// The group and its inverse are shared tables built once per world:
+    /// building them per rank was O(n²) memory, which at 65536 ranks is
+    /// fatal long before the compute is.
     pub(crate) fn world(world: Arc<World>, rank: usize) -> Comm {
-        let n = world.n;
-        let group: Vec<usize> = (0..n).collect();
-        let inverse = invert(&group);
+        let group = Arc::clone(&world.world_group);
+        let inverse = Arc::clone(&world.world_inverse);
         Comm {
             world,
-            group: Arc::new(group),
+            group,
             inverse,
             rank,
             id: 0,
@@ -183,8 +185,11 @@ impl Comm {
     }
 
     /// Receives a payload from local rank `src` with `tag`, without
-    /// forcing ownership of the bytes (zero-copy for forwarding).
-    pub(crate) fn recv_payload(&self, src: usize, tag: Tag) -> Payload {
+    /// forcing ownership of the bytes (zero-copy for forwarding). On rank
+    /// threads the receive blocks inside the mailbox and the future
+    /// completes in one poll; in a cooperative task the wait is a yield
+    /// point.
+    pub(crate) async fn recv_payload_async(&self, src: usize, tag: Tag) -> Payload {
         assert!(src < self.size(), "recv from rank {src} of {}", self.size());
         self.perturb();
         let filter = Match {
@@ -192,7 +197,9 @@ impl Comm {
             src: Some(self.group[src]),
             tag: Some(tag),
         };
-        let msg = self.world.mailboxes[self.group[self.rank]].recv(filter);
+        let msg = self.world.mailboxes[self.group[self.rank]]
+            .recv_async(filter)
+            .await;
         self.observe_arrival(msg.arrival);
         msg.data
     }
@@ -200,7 +207,12 @@ impl Comm {
     /// Receives raw bytes from local rank `src` with `tag`. Zero-copy when
     /// the sender's buffer has no other holders (the point-to-point norm).
     pub(crate) fn recv_bytes(&self, src: usize, tag: Tag) -> Vec<u8> {
-        self.recv_payload(src, tag).into_vec()
+        crate::coop::block_on(self.recv_bytes_async(src, tag))
+    }
+
+    /// Awaitable mirror of [`recv_bytes`](Comm::recv_bytes).
+    pub(crate) async fn recv_bytes_async(&self, src: usize, tag: Tag) -> Vec<u8> {
+        self.recv_payload_async(src, tag).await.into_vec()
     }
 
     /// Advances this rank's virtual clock to a received message's
@@ -241,6 +253,12 @@ impl Comm {
     /// Panics if the matched message has a different length (MPI would
     /// raise `MPI_ERR_TRUNCATE`).
     pub fn recv<T: Word>(&self, buf: &mut [T], src: usize, tag: Tag) {
+        crate::coop::block_on(self.recv_async(buf, src, tag));
+    }
+
+    /// Awaitable mirror of [`recv`](Comm::recv), for rank bodies running
+    /// on the cooperative scheduler.
+    pub async fn recv_async<T: Word>(&self, buf: &mut [T], src: usize, tag: Tag) {
         assert!(tag < MAX_USER_TAG, "tag {tag:#x} is in the reserved range");
         assert!(src < self.size(), "recv from rank {src} of {}", self.size());
         let filter = Match {
@@ -248,20 +266,21 @@ impl Comm {
             src: Some(self.group[src]),
             tag: Some(tag),
         };
-        self.recv_words_into(filter, buf);
+        self.recv_words_into_async(filter, buf).await;
     }
 
-    /// Blocking typed receive; posts a rendezvous buffer for large
-    /// messages so a matching send can encode straight into it.
-    fn recv_words_into<T: Word>(&self, filter: Match, buf: &mut [T]) -> (usize, Tag) {
+    /// Typed receive; posts a rendezvous buffer for large messages so a
+    /// matching send can encode straight into it. The scratch `RefCell`
+    /// is only borrowed between awaits, never across.
+    async fn recv_words_into_async<T: Word>(&self, filter: Match, buf: &mut [T]) -> (usize, Tag) {
         self.perturb();
         let bytes = buf.len() * T::SIZE;
         let mailbox = &self.world.mailboxes[self.group[self.rank]];
         let (msg, spare) = if bytes >= LONG_MSG_THRESHOLD {
             let posted = self.take_scratch(bytes);
-            mailbox.recv_posting(filter, Some(posted))
+            mailbox.recv_posting_async(filter, Some(posted)).await
         } else {
-            mailbox.recv_posting(filter, None)
+            mailbox.recv_posting_async(filter, None).await
         };
         self.observe_arrival(msg.arrival);
         decode_into(&msg.data, buf);
@@ -315,14 +334,28 @@ impl Comm {
     /// The displaced buffer is kept for recycling by later sends and
     /// rendezvous receives.
     pub fn recv_raw(&self, buf: &mut Vec<u8>, src: usize, tag: Tag) {
+        crate::coop::block_on(self.recv_raw_async(buf, src, tag));
+    }
+
+    /// Awaitable mirror of [`recv_raw`](Comm::recv_raw).
+    pub async fn recv_raw_async(&self, buf: &mut Vec<u8>, src: usize, tag: Tag) {
         assert!(tag < MAX_USER_TAG, "tag {tag:#x} is in the reserved range");
-        let old = std::mem::replace(buf, self.recv_payload(src, tag).into_vec());
+        let old = std::mem::replace(buf, self.recv_payload_async(src, tag).await.into_vec());
         self.put_scratch(old);
     }
 
     /// Receives a message of any length, optionally constrained by source
     /// and/or tag. Returns the payload and the actual (source, tag).
     pub fn recv_any<T: Word>(&self, src: Option<usize>, tag: Option<Tag>) -> (Vec<T>, usize, Tag) {
+        crate::coop::block_on(self.recv_any_async(src, tag))
+    }
+
+    /// Awaitable mirror of [`recv_any`](Comm::recv_any).
+    pub async fn recv_any_async<T: Word>(
+        &self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> (Vec<T>, usize, Tag) {
         if let Some(t) = tag {
             assert!(t < MAX_USER_TAG, "tag {t:#x} is in the reserved range");
         }
@@ -332,7 +365,9 @@ impl Comm {
             src: src.map(|s| self.group[s]),
             tag,
         };
-        let msg = self.world.mailboxes[self.group[self.rank]].recv(filter);
+        let msg = self.world.mailboxes[self.group[self.rank]]
+            .recv_async(filter)
+            .await;
         self.observe_arrival(msg.arrival);
         let out = crate::datatype::decode(&msg.data);
         let tag = (msg.full_tag & 0xFFFF_FFFF) as Tag;
@@ -344,12 +379,25 @@ impl Comm {
     /// large-message rendezvous path only fires when the matching receive
     /// is already posted, so it cannot introduce a send-send wait cycle).
     pub fn sendrecv<T: Word>(&self, sbuf: &[T], dst: usize, rbuf: &mut [T], src: usize, tag: Tag) {
+        crate::coop::block_on(self.sendrecv_async(sbuf, dst, rbuf, src, tag));
+    }
+
+    /// Awaitable mirror of [`sendrecv`](Comm::sendrecv). The send half is
+    /// eager and completes synchronously; only the receive can suspend.
+    pub async fn sendrecv_async<T: Word>(
+        &self,
+        sbuf: &[T],
+        dst: usize,
+        rbuf: &mut [T],
+        src: usize,
+        tag: Tag,
+    ) {
         self.send(sbuf, dst, tag);
-        self.recv(rbuf, src, tag);
+        self.recv_async(rbuf, src, tag).await;
     }
 
     /// Internal sendrecv on a collective tag.
-    pub(crate) fn sendrecv_bytes_coll(
+    pub(crate) async fn sendrecv_bytes_coll_async(
         &self,
         sdata: Vec<u8>,
         dst: usize,
@@ -357,13 +405,13 @@ impl Comm {
         tag: Tag,
     ) -> Vec<u8> {
         self.send_bytes(sdata, dst, tag);
-        self.recv_bytes(src, tag)
+        self.recv_bytes_async(src, tag).await
     }
 
     /// Payload-level sendrecv on a collective tag: the received payload
     /// stays shared, so ring pipelines can forward it to the next peer
     /// without re-encoding or copying.
-    pub(crate) fn sendrecv_payload_coll(
+    pub(crate) async fn sendrecv_payload_coll_async(
         &self,
         sdata: Payload,
         dst: usize,
@@ -371,7 +419,7 @@ impl Comm {
         tag: Tag,
     ) -> Payload {
         self.send_payload(sdata, dst, tag);
-        self.recv_payload(src, tag)
+        self.recv_payload_async(src, tag).await
     }
 
     /// Posts a nonblocking receive into the mailbox's posted-receive
@@ -412,11 +460,16 @@ impl Comm {
     /// Splits the communicator by `color`; ranks with equal color form a new
     /// communicator ordered by `(key, old rank)`. Mirrors `MPI_Comm_split`.
     pub fn split(&self, color: u32, key: i64) -> Comm {
+        crate::coop::block_on(self.split_async(color, key))
+    }
+
+    /// Awaitable mirror of [`split`](Comm::split).
+    pub async fn split_async(&self, color: u32, key: i64) -> Comm {
         let _scope = self.coll_scope("split", None, None);
         // Share (color, key) among all ranks via the existing allgather.
         let mine = [u64::from(color), key as u64, self.rank as u64];
         let mut all = vec![0u64; 3 * self.size()];
-        crate::coll::allgather::ring(self, &mine, &mut all);
+        crate::coll::allgather::ring_async(self, &mine, &mut all).await;
 
         let mut members: Vec<(i64, usize)> = (0..self.size())
             .filter(|&r| all[3 * r] as u32 == color)
@@ -518,6 +571,10 @@ impl Comm {
         &self,
         make: impl FnOnce() -> std::sync::Arc<T>,
     ) -> std::sync::Arc<T> {
+        assert!(
+            !crate::coop::in_coop(),
+            "mp: rendezvous_storage (RMA window creation) is not supported inside cooperative tasks"
+        );
         let seq = self.next_coll_tag();
         let key = (u64::from(self.id) << 32) | u64::from(seq & 0x7FFF_FFFF);
         let n = self.size();
@@ -554,7 +611,18 @@ impl Comm {
                     return arc;
                 }
                 match &insp {
-                    None => self.world.rendezvous_cv.wait(&mut map),
+                    None => {
+                        if let Some((baton, rank)) = crate::coop::current_baton() {
+                            // Baton-serialized virtual run: parking on the
+                            // condvar would wedge the single runner. Hand
+                            // the baton on and re-check after requeue.
+                            drop(map);
+                            baton.yield_now(rank);
+                            map = self.world.rendezvous.lock();
+                        } else {
+                            self.world.rendezvous_cv.wait(&mut map);
+                        }
+                    }
                     Some(insp) => {
                         // Instrumented: publish the wait edge, park in
                         // short slices and honour a detector poison.
@@ -609,9 +677,16 @@ pub struct RecvHandle<T> {
 impl<T: Word> RecvHandle<T> {
     /// Blocks until the receive matches; fills `buf` (exact length).
     /// `comm` must be the communicator the receive was posted on.
-    pub fn wait(mut self, comm: &Comm, buf: &mut [T]) {
+    pub fn wait(self, comm: &Comm, buf: &mut [T]) {
+        crate::coop::block_on(self.wait_async(comm, buf));
+    }
+
+    /// Awaitable mirror of [`wait`](RecvHandle::wait).
+    pub async fn wait_async(mut self, comm: &Comm, buf: &mut [T]) {
         let posted = self.posted.take().expect("posting survives until wait");
-        let (msg, _) = self.world.mailboxes[self.grank].complete(posted, self.filter);
+        let (msg, _) = self.world.mailboxes[self.grank]
+            .complete_async(posted, self.filter)
+            .await;
         comm.observe_arrival(msg.arrival);
         decode_into(&msg.data, buf);
     }

@@ -1,0 +1,822 @@
+//! Cooperative rank scheduler: ranks as resumable tasks, not OS threads.
+//!
+//! Host limits (pid_max, vm.max_map_count, per-thread stacks) cap the
+//! thread-per-rank runtime at a few thousand ranks; the paper-scale
+//! virtual sweeps need 16k–100k. This module supplies two engines that
+//! share one deterministic FIFO run-queue discipline:
+//!
+//! * the **cooperative executor** ([`run_coop`], [`run_traced_coop`],
+//!   [`run_virtual_coop`], [`run_checked_coop`]): each rank body is an
+//!   `async` future, polled on the caller's thread; every blocking
+//!   receive ([`Mailbox::wait_ticket`](crate::mailbox) and friends)
+//!   becomes a yield point. One OS thread hosts the whole world, so a
+//!   100k-rank virtual run is just 100k boxed futures.
+//! * the **baton engine** ([`Baton`]): the legacy thread-backed
+//!   `run_with_virtual` path keeps its real threads but serialises them
+//!   through the *same* FIFO queue — exactly one rank thread runs at a
+//!   time, handing the baton over at the same blocking points where a
+//!   cooperative task would yield. Both engines therefore produce the
+//!   same rank interleaving, which makes virtual clocks byte-identical
+//!   across them (the `simnet` first-fit reservation timelines are
+//!   order-dependent under contention, so schedule determinism is what
+//!   buys clock determinism).
+//!
+//! Task states (see DESIGN.md "Cooperative scheduler"): *queued* (rank id
+//! in the run queue), *running* (being polled / holding the baton),
+//! *blocked* (pending on a receive, waker parked in the hand-off slot),
+//! *finished*. A blocked rank is woken by the sender that fills its
+//! hand-off slot; wakes push the rank id back onto the FIFO queue.
+//! Deadlock detection is *instant* in both engines — an empty queue with
+//! unfinished ranks is definitive, no wall-clock timeout needed — and
+//! composes with `mp::check`'s wait edges: a checked cooperative run
+//! calls [`check::diagnose`] at the stall and unwinds the blocked tasks
+//! with the cycle diagnosis.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::{Condvar, Mutex};
+use simnet::{Time, Transfer};
+
+use crate::check::{self, Checked, RunLog, Settings};
+use crate::comm::Comm;
+use crate::runtime::{panic_message, World};
+use crate::virt::VirtualNet;
+
+thread_local! {
+    /// True while this thread is polling a cooperative task.
+    static IN_COOP: Cell<bool> = const { Cell::new(false) };
+    /// The baton serialising this rank thread, if any (legacy virtual path).
+    static CURRENT_BATON: RefCell<Option<(Arc<Baton>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Whether the current thread is inside a cooperative task poll.
+pub(crate) fn in_coop() -> bool {
+    IN_COOP.with(Cell::get)
+}
+
+/// The baton (and rank) installed on this thread, if it is a
+/// baton-serialised rank thread.
+pub(crate) fn current_baton() -> Option<(Arc<Baton>, usize)> {
+    CURRENT_BATON.with(|b| b.borrow().clone())
+}
+
+/// RAII: marks the current thread as polling a cooperative task.
+struct CoopGuard {
+    prev: bool,
+}
+
+impl CoopGuard {
+    fn enter() -> CoopGuard {
+        CoopGuard {
+            prev: IN_COOP.with(|c| c.replace(true)),
+        }
+    }
+}
+
+impl Drop for CoopGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_COOP.with(|c| c.set(prev));
+    }
+}
+
+/// RAII: installs a baton + rank on the current thread.
+pub(crate) struct BatonGuard;
+
+impl BatonGuard {
+    pub fn install(baton: Arc<Baton>, rank: usize) -> BatonGuard {
+        CURRENT_BATON.with(|b| *b.borrow_mut() = Some((baton, rank)));
+        BatonGuard
+    }
+}
+
+impl Drop for BatonGuard {
+    fn drop(&mut self) {
+        CURRENT_BATON.with(|b| *b.borrow_mut() = None);
+    }
+}
+
+/// FIFO run queue of rank ids, shared by wakers and the engine draining
+/// it. Pushes coalesce: a rank already enqueued is not enqueued twice.
+pub(crate) struct RunQueue {
+    state: Mutex<QueueState>,
+}
+
+struct QueueState {
+    queue: VecDeque<usize>,
+    enqueued: Vec<bool>,
+}
+
+impl RunQueue {
+    fn new(n: usize) -> Arc<RunQueue> {
+        Arc::new(RunQueue {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::with_capacity(n),
+                enqueued: vec![false; n],
+            }),
+        })
+    }
+
+    fn push(&self, rank: usize) {
+        let mut st = self.state.lock();
+        if !st.enqueued[rank] {
+            st.enqueued[rank] = true;
+            st.queue.push_back(rank);
+        }
+    }
+
+    fn pop(&self) -> Option<usize> {
+        let mut st = self.state.lock();
+        let rank = st.queue.pop_front()?;
+        st.enqueued[rank] = false;
+        Some(rank)
+    }
+}
+
+/// Waker of one rank task: waking pushes the rank onto the run queue.
+struct TaskWaker {
+    queue: Arc<RunQueue>,
+    rank: usize,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.queue.push(self.rank);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.queue.push(self.rank);
+    }
+}
+
+/// Drives a future that must complete without yielding: the bridge that
+/// lets one source of truth (the `*_async` bodies) serve the synchronous
+/// API. On rank threads every receive blocks the thread and completes
+/// synchronously, so the future is ready after a single poll. Inside a
+/// cooperative task this would park the whole executor, so it panics
+/// with a pointer at the async API instead.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    assert!(
+        !in_coop(),
+        "mp: blocking call inside a cooperative task; use the async (*_async) API"
+    );
+    let mut fut = std::pin::pin!(fut);
+    let mut cx = Context::from_waker(Waker::noop());
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(r) => r,
+        Poll::Pending => unreachable!(
+            "mp: future pended outside the cooperative executor; blocking receives \
+             complete synchronously on rank threads"
+        ),
+    }
+}
+
+/// Formats the instant-stall diagnosis of an uninstrumented cooperative
+/// or baton run: which ranks are blocked and what unmatched traffic the
+/// world still holds.
+pub(crate) fn stall_message(world: &World, blocked: &[usize]) -> String {
+    use std::fmt::Write;
+    let mut msg = format!(
+        "mp: deadlock: {} rank(s) blocked in receives with no runnable rank (ranks ",
+        blocked.len()
+    );
+    for (i, r) in blocked.iter().take(8).enumerate() {
+        if i > 0 {
+            msg.push_str(", ");
+        }
+        let _ = write!(msg, "{r}");
+    }
+    if blocked.len() > 8 {
+        msg.push_str(", ...");
+    }
+    msg.push(')');
+    let mut lanes = Vec::new();
+    for mb in &world.mailboxes {
+        lanes.extend(mb.inventory());
+    }
+    if !lanes.is_empty() {
+        let queued: usize = lanes.iter().map(|l| l.queued).sum();
+        let _ = write!(msg, "; {queued} unmatched message(s) queued:");
+        for lane in lanes {
+            msg.push_str("\n  ");
+            msg.push_str(&lane.to_string());
+        }
+    }
+    msg
+}
+
+/// The cooperative executor: polls every rank task to completion on the
+/// calling thread, FIFO over the shared run queue. Returns per-rank
+/// results (`None` for panicked ranks) and the non-poison panics.
+///
+/// Uninstrumented worlds panic immediately on the first rank panic or
+/// stall; instrumented worlds (world.inspector set) record panics, run
+/// the remaining ranks on, and on a stall diagnose + poison-drain the
+/// blocked tasks so the run log carries the deadlock.
+fn execute<R, F, Fut>(world: &Arc<World>, f: &F) -> (Vec<Option<R>>, Vec<(usize, String)>)
+where
+    F: Fn(Comm) -> Fut,
+    Fut: Future<Output = R>,
+{
+    let n = world.n;
+    let insp = world.inspector.clone();
+    let results: RefCell<Vec<Option<R>>> = RefCell::new((0..n).map(|_| None).collect());
+    let mut tasks: Vec<Option<Pin<Box<dyn Future<Output = ()> + '_>>>> = (0..n)
+        .map(|rank| {
+            let fut = f(Comm::world(Arc::clone(world), rank));
+            let results = &results;
+            let task: Pin<Box<dyn Future<Output = ()> + '_>> = Box::pin(async move {
+                let r = fut.await;
+                results.borrow_mut()[rank] = Some(r);
+            });
+            Some(task)
+        })
+        .collect();
+    let queue = RunQueue::new(n);
+    for rank in 0..n {
+        queue.push(rank);
+    }
+    let wakers: Vec<Waker> = (0..n)
+        .map(|rank| {
+            Waker::from(Arc::new(TaskWaker {
+                queue: Arc::clone(&queue),
+                rank,
+            }))
+        })
+        .collect();
+
+    let mut remaining = n;
+    let mut panics: Vec<(usize, String)> = Vec::new();
+    let mut poisoned_drain = false;
+    loop {
+        while let Some(rank) = queue.pop() {
+            let Some(task) = tasks[rank].as_mut() else {
+                continue;
+            };
+            let mut cx = Context::from_waker(&wakers[rank]);
+            let polled = {
+                let _in = CoopGuard::enter();
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    task.as_mut().poll(&mut cx)
+                }))
+            };
+            match polled {
+                Ok(Poll::Pending) => {}
+                Ok(Poll::Ready(())) => {
+                    tasks[rank] = None;
+                    remaining -= 1;
+                    if let Some(insp) = &insp {
+                        insp.finish(rank);
+                    }
+                }
+                Err(e) => {
+                    tasks[rank] = None;
+                    remaining -= 1;
+                    let msg = panic_message(&*e).to_string();
+                    match &insp {
+                        None => panic!("rank {rank} panicked: {msg}"),
+                        Some(insp) => {
+                            insp.finish(rank);
+                            if !msg.starts_with(check::POISON_MARK) {
+                                panics.push((rank, msg));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if remaining == 0 || poisoned_drain {
+            break;
+        }
+        // The queue is empty with unfinished ranks: on a single-threaded
+        // executor that is a definitive deadlock (wakes happen during
+        // polls; none are in flight).
+        let blocked: Vec<usize> = (0..n).filter(|&r| tasks[r].is_some()).collect();
+        match &insp {
+            None => panic!("{}", stall_message(world, &blocked)),
+            Some(insp) => match check::diagnose(world, insp) {
+                Some(diagnosis) => {
+                    insp.set_poison(diagnosis);
+                    // Re-run every blocked task once: each receive future
+                    // notices the poison and unwinds with the diagnosis.
+                    for &r in &blocked {
+                        queue.push(r);
+                    }
+                    poisoned_drain = true;
+                }
+                None => panic!("{}", stall_message(world, &blocked)),
+            },
+        }
+    }
+    drop(tasks);
+    (results.into_inner(), panics)
+}
+
+/// Runs `f` as an SPMD program over `n` cooperative rank tasks on the
+/// calling thread and returns per-rank results in rank order. The
+/// cooperative mirror of [`crate::run`]: `f` receives an owned world
+/// [`Comm`] and returns a future (write `move |comm| async move { .. }`).
+/// Panics if any rank panics or the world deadlocks (detected instantly,
+/// no timeout).
+pub fn run_coop<R, F, Fut>(n: usize, f: F) -> Vec<R>
+where
+    F: Fn(Comm) -> Fut,
+    Fut: Future<Output = R>,
+{
+    assert!(n > 0, "an SPMD world needs at least one rank");
+    let world = Arc::new(World::new(n, false, None));
+    let (results, _) = execute(&world, &f);
+    results
+        .into_iter()
+        .map(|r| r.expect("uninstrumented cooperative runs panic on rank failure"))
+        .collect()
+}
+
+/// Cooperative mirror of [`crate::run_traced`]: returns per-rank results
+/// plus every point-to-point transfer in (deterministic) delivery order.
+pub fn run_traced_coop<R, F, Fut>(n: usize, f: F) -> (Vec<R>, Vec<Transfer>)
+where
+    F: Fn(Comm) -> Fut,
+    Fut: Future<Output = R>,
+{
+    assert!(n > 0, "an SPMD world needs at least one rank");
+    let world = Arc::new(World::new(n, true, None));
+    let (results, _) = execute(&world, &f);
+    let world = Arc::try_unwrap(world)
+        .ok()
+        .expect("all rank tasks completed");
+    let trace = world
+        .trace
+        .map(Mutex::into_inner)
+        .expect("tracing was enabled");
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("uninstrumented cooperative runs panic on rank failure"))
+        .collect();
+    (results, trace)
+}
+
+/// Cooperative mirror of [`crate::run_virtual`]: runs `f` over `n` rank
+/// tasks with every message priced by `net`, and returns the per-rank
+/// results and final virtual clocks. Deterministic: the FIFO schedule
+/// fixes the order in which messages hit the simulated resource
+/// timelines, so clocks are byte-identical run to run (and identical to
+/// the baton-serialised thread-backed path).
+pub fn run_virtual_coop<R, F, Fut>(n: usize, net: Box<dyn VirtualNet>, f: F) -> (Vec<R>, Vec<Time>)
+where
+    F: Fn(Comm) -> Fut,
+    Fut: Future<Output = R>,
+{
+    assert!(n > 0, "an SPMD world needs at least one rank");
+    let mut world = World::new(n, false, None);
+    world.virtual_net = Some(net);
+    world.virtual_clocks = (0..n).map(|_| Mutex::new(Time::ZERO)).collect();
+    let world = Arc::new(world);
+    let (results, _) = execute(&world, &f);
+    let world = Arc::try_unwrap(world)
+        .ok()
+        .expect("all rank tasks completed");
+    let clocks = world
+        .virtual_clocks
+        .into_iter()
+        .map(Mutex::into_inner)
+        .collect();
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("uninstrumented cooperative runs panic on rank failure"))
+        .collect();
+    (results, clocks)
+}
+
+/// Cooperative mirror of the instrumented (checked) run path: rank
+/// panics are collected rather than propagated, and a deadlock is
+/// diagnosed at the instant of the stall — no detector thread, no poll
+/// interval — then poison-drained so the [`RunLog`] carries the cycle.
+pub fn run_checked_coop<R, F, Fut>(n: usize, settings: Settings, f: F) -> Checked<R>
+where
+    F: Fn(Comm) -> Fut,
+    Fut: Future<Output = R>,
+{
+    assert!(n > 0, "an SPMD world needs at least one rank");
+    let seed = settings.seed;
+    let inspector = Arc::new(check::Inspector::new(n, settings));
+    let world = Arc::new(World::new(n, false, Some(Arc::clone(&inspector))));
+    let (results, panics) = execute(&world, &f);
+    let world = Arc::try_unwrap(world)
+        .ok()
+        .expect("all rank tasks completed");
+    let mut leftover = Vec::new();
+    for mb in &world.mailboxes {
+        leftover.extend(mb.inventory());
+    }
+    let (events, dropped) = inspector.drain_events();
+    let deadlock = inspector.poisoned();
+    let complete = results.iter().all(Option::is_some);
+    Checked {
+        results: complete.then(|| {
+            results
+                .into_iter()
+                .map(|r| r.expect("checked above"))
+                .collect()
+        }),
+        panics,
+        log: RunLog {
+            n,
+            seed,
+            events,
+            dropped,
+            leftover,
+            deadlock,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Baton engine: serialise real rank threads onto the same FIFO schedule
+// ---------------------------------------------------------------------
+
+/// Unwind payload prefix of a baton teardown (stall or peer panic):
+/// the join loop filters these so only the real panic propagates.
+pub(crate) const TEARDOWN_MARK: &str = "mp: world torn down\n";
+
+/// Why a baton world is being torn down.
+enum BatonPoison {
+    /// No rank is runnable but some are unfinished (the message holds
+    /// the full stall diagnosis).
+    Stall(String),
+    /// A rank body panicked; peers unwind and the join loop reports it.
+    Abort,
+}
+
+/// Builds the stall diagnosis from the set of blocked ranks.
+pub(crate) type StallDiag = Box<dyn Fn(&[usize]) -> String + Send + Sync>;
+
+/// Serialises the rank threads of a thread-backed run through the
+/// cooperative FIFO schedule: exactly one thread runs at a time, and the
+/// baton changes hands at the blocking points where a cooperative task
+/// would yield. See the module docs for why this determinism matters.
+pub(crate) struct Baton {
+    queue: Arc<RunQueue>,
+    state: Mutex<BatonState>,
+    cv: Condvar,
+    /// Builds the stall diagnosis (captures the world for its mailbox
+    /// inventory); boxed so `runtime` can construct it without exposing
+    /// `World` here.
+    diag: StallDiag,
+}
+
+struct BatonState {
+    current: Option<usize>,
+    running: bool,
+    finished: Vec<bool>,
+    unfinished: usize,
+    poison: Option<BatonPoison>,
+}
+
+impl Baton {
+    /// A baton for `n` rank threads; all ranks start queued in rank
+    /// order. Call [`open`](Baton::open) once every thread is spawned.
+    pub fn new(n: usize, diag: StallDiag) -> Arc<Baton> {
+        let queue = RunQueue::new(n);
+        for rank in 0..n {
+            queue.push(rank);
+        }
+        Arc::new(Baton {
+            queue,
+            state: Mutex::new(BatonState {
+                current: None,
+                running: false,
+                finished: vec![false; n],
+                unfinished: n,
+                poison: None,
+            }),
+            cv: Condvar::new(),
+            diag,
+        })
+    }
+
+    /// Starts the world: grants the baton to the first queued rank.
+    pub fn open(&self) {
+        let mut st = self.state.lock();
+        st.running = true;
+        self.grant_next(&mut st);
+        self.cv.notify_all();
+    }
+
+    /// Parks the calling rank thread until it is granted the baton for
+    /// the first time. Unwinds with a teardown panic if the world is
+    /// poisoned before that happens.
+    pub fn wait_initial(&self, rank: usize) {
+        let mut st = self.state.lock();
+        loop {
+            if st.poison.is_some() {
+                teardown_panic(&st);
+            }
+            if st.running && st.current == Some(rank) {
+                return;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Gives up the baton (the rank is blocking on a receive) and parks
+    /// until re-granted — which happens only after this rank's waker has
+    /// pushed it back onto the queue, i.e. after its message arrived.
+    pub fn block_current(&self, rank: usize) {
+        let mut st = self.state.lock();
+        debug_assert_eq!(st.current, Some(rank), "only the running rank may block");
+        st.current = None;
+        self.grant_next(&mut st);
+        self.cv.notify_all();
+        loop {
+            if st.poison.is_some() {
+                teardown_panic(&st);
+            }
+            if st.current == Some(rank) {
+                return;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Requeues the calling rank and hands the baton to the next queued
+    /// rank, parking until re-granted. Used by polling waits (rendezvous
+    /// storage) that have no waker hook.
+    pub fn yield_now(&self, rank: usize) {
+        let mut st = self.state.lock();
+        debug_assert_eq!(st.current, Some(rank), "only the running rank may yield");
+        self.queue.push(rank);
+        st.current = None;
+        self.grant_next(&mut st);
+        self.cv.notify_all();
+        loop {
+            if st.poison.is_some() {
+                teardown_panic(&st);
+            }
+            if st.current == Some(rank) {
+                return;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Marks the calling rank finished and passes the baton on.
+    pub fn finish(&self, rank: usize) {
+        let mut st = self.state.lock();
+        if st.current == Some(rank) {
+            st.current = None;
+        }
+        if !st.finished[rank] {
+            st.finished[rank] = true;
+            st.unfinished -= 1;
+        }
+        if st.unfinished > 0 {
+            self.grant_next(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Marks the calling rank finished after a panic and poisons the
+    /// world so every parked peer unwinds. An existing stall poison is
+    /// preserved (teardown unwinds also land here via `catch_unwind`).
+    pub fn abort(&self, rank: usize) {
+        let mut st = self.state.lock();
+        if st.current == Some(rank) {
+            st.current = None;
+        }
+        if !st.finished[rank] {
+            st.finished[rank] = true;
+            st.unfinished -= 1;
+        }
+        if st.poison.is_none() {
+            st.poison = Some(BatonPoison::Abort);
+        }
+        self.cv.notify_all();
+    }
+
+    /// A waker for `rank` that pushes it back onto this baton's queue.
+    pub fn waker_for(&self, rank: usize) -> Waker {
+        Waker::from(Arc::new(TaskWaker {
+            queue: Arc::clone(&self.queue),
+            rank,
+        }))
+    }
+
+    /// Takes the stall diagnosis, if the world stalled.
+    pub fn take_stall(&self) -> Option<String> {
+        match self.state.lock().poison.take() {
+            Some(BatonPoison::Stall(msg)) => Some(msg),
+            _ => None,
+        }
+    }
+
+    /// Grants the baton to the next queued unfinished rank; with an
+    /// empty queue and unfinished ranks, diagnoses the stall and poisons
+    /// the world (instant deadlock detection, same as the executor).
+    fn grant_next(&self, st: &mut BatonState) {
+        while let Some(next) = self.queue.pop() {
+            if !st.finished[next] {
+                st.current = Some(next);
+                return;
+            }
+        }
+        if st.unfinished > 0 && st.poison.is_none() {
+            let blocked: Vec<usize> = st
+                .finished
+                .iter()
+                .enumerate()
+                .filter(|(_, &done)| !done)
+                .map(|(r, _)| r)
+                .collect();
+            st.poison = Some(BatonPoison::Stall((self.diag)(&blocked)));
+        }
+    }
+}
+
+/// Unwinds the calling rank thread with a marked teardown panic.
+fn teardown_panic(st: &BatonState) -> ! {
+    let reason = match &st.poison {
+        Some(BatonPoison::Stall(msg)) => msg.clone(),
+        _ => "a peer rank panicked".to_string(),
+    };
+    panic!("{TEARDOWN_MARK}{reason}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::schedule::P2pCost;
+
+    #[test]
+    fn coop_results_come_back_in_rank_order() {
+        let out = run_coop(8, |comm| async move { comm.rank() * 10 });
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn coop_ring_passes_messages() {
+        let n = 5;
+        let out = run_coop(n, move |comm| async move {
+            let me = comm.rank();
+            comm.send(&[me as u64], (me + 1) % n, 1);
+            let mut buf = [0u64; 1];
+            comm.recv_async(&mut buf, (me + n - 1) % n, 1).await;
+            buf[0]
+        });
+        let expect: Vec<u64> = (0..n).map(|r| ((r + n - 1) % n) as u64).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked: boom")]
+    fn coop_rank_panic_propagates() {
+        run_coop(4, |comm| async move {
+            if comm.rank() == 2 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "mp: deadlock: 2 rank(s) blocked")]
+    fn coop_deadlock_is_detected_instantly() {
+        // Both ranks receive, nobody sends: with threads this waits out
+        // a 20 s timeout; the executor sees the empty run queue at once.
+        run_coop(2, |comm| async move {
+            let mut b = [0u8; 1];
+            let from = comm.rank() ^ 1;
+            comm.recv_async(&mut b, from, 1).await;
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "blocking call inside a cooperative task")]
+    fn blocking_collective_inside_coop_is_rejected() {
+        run_coop(2, |comm| async move {
+            comm.barrier();
+        });
+    }
+
+    #[test]
+    fn traced_coop_matches_traced_threads() {
+        let (r_thread, mut t_thread) = crate::runtime::run_traced(4, |comm| {
+            let mut v = vec![0u64; 4];
+            comm.allgather(&[comm.rank() as u64 + 7], &mut v);
+            v
+        });
+        let (r_coop, mut t_coop) = run_traced_coop(4, |comm| async move {
+            let mut v = vec![0u64; 4];
+            comm.allgather_async(&[comm.rank() as u64 + 7], &mut v)
+                .await;
+            v
+        });
+        assert_eq!(r_thread, r_coop);
+        // Thread delivery order is nondeterministic; compare as multisets.
+        let key = |t: &Transfer| (t.src, t.dst, t.bytes);
+        t_thread.sort_by_key(key);
+        t_coop.sort_by_key(key);
+        assert_eq!(t_thread, t_coop);
+    }
+
+    /// Fixed-cost pricing for clock-parity tests (mirrors virt.rs).
+    struct TestNet;
+
+    impl VirtualNet for TestNet {
+        fn p2p(&self, _s: usize, _d: usize, bytes: u64, ready: Time) -> P2pCost {
+            let dur = Time::from_us(10.0) + Time::from_secs(bytes as f64 / 1e9);
+            P2pCost {
+                sender_done: ready + Time::from_us(1.0),
+                arrival: ready + dur,
+            }
+        }
+        fn compute(&self, flops: f64, eff: f64) -> Time {
+            Time::from_secs(flops / (1e9 * eff))
+        }
+        fn stream(&self, bytes: f64) -> Time {
+            Time::from_secs(bytes / 1e9)
+        }
+    }
+
+    #[test]
+    fn virtual_coop_ping_pong_accumulates_latency() {
+        let iters = 5;
+        let (_, clocks) = run_virtual_coop(2, Box::new(TestNet), move |comm| async move {
+            let me = comm.rank();
+            let buf = [0u8; 0];
+            for _ in 0..iters {
+                if me == 0 {
+                    comm.send(&buf, 1, 1);
+                    let mut r = [0u8; 0];
+                    comm.recv_async(&mut r, 1, 1).await;
+                } else {
+                    let mut r = [0u8; 0];
+                    comm.recv_async(&mut r, 0, 1).await;
+                    comm.send(&buf, 0, 1);
+                }
+            }
+        });
+        let expect = 2.0 * 10.0 * iters as f64;
+        assert!(
+            (clocks[0].as_us() - expect).abs() < 1e-6,
+            "clock {} vs {expect}",
+            clocks[0].as_us()
+        );
+    }
+
+    #[test]
+    fn virtual_coop_clocks_match_threaded_virtual() {
+        // Satellite: byte-identical clocks across the two engines.
+        let body_sync = |comm: &Comm| {
+            let mut x = vec![comm.rank() as f64 + 1.0; 3];
+            comm.allreduce(&mut x, crate::reduce::Op::Sum);
+            comm.v_sync();
+            x
+        };
+        let (r_thread, c_thread) = crate::virt::run_virtual(4, Box::new(TestNet), body_sync);
+        let (r_coop, c_coop) = run_virtual_coop(4, Box::new(TestNet), |comm| async move {
+            let mut x = vec![comm.rank() as f64 + 1.0; 3];
+            comm.allreduce_async(&mut x, crate::reduce::Op::Sum).await;
+            comm.v_sync_async().await;
+            x
+        });
+        assert_eq!(r_thread, r_coop);
+        assert_eq!(c_thread, c_coop, "virtual clocks must be byte-identical");
+    }
+
+    #[test]
+    fn checked_coop_names_a_recv_cycle() {
+        // Satellite: the deadlock detector still names the recv cycle
+        // when the cycling ranks are cooperative tasks, not threads.
+        let checked = run_checked_coop(2, Settings::default(), |comm| async move {
+            let mut b = [0u8; 1];
+            let from = comm.rank() ^ 1;
+            comm.recv_async(&mut b, from, 1).await;
+        });
+        assert!(checked.results.is_none());
+        let deadlock = checked.log.deadlock.expect("stall must be diagnosed");
+        let cycle = deadlock.cycle.as_ref().expect("a 0 -> 1 -> 0 recv cycle");
+        assert_eq!(cycle.len(), 2, "cycle: {cycle:?}");
+        assert!(checked.panics.is_empty(), "poison unwinds are not panics");
+    }
+
+    #[test]
+    fn coop_barrier_at_4096_ranks() {
+        // High-rank smoke: ~4096 * 12 messages, one thread, no spawns.
+        run_coop(4096, |comm| async move {
+            comm.barrier_async().await;
+        });
+    }
+
+    #[test]
+    #[ignore = "release-scale: 65536 ranks, ~1M messages; run with --ignored --release"]
+    fn coop_barrier_at_65536_ranks() {
+        run_coop(65536, |comm| async move {
+            comm.barrier_async().await;
+        });
+    }
+}

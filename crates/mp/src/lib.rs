@@ -30,6 +30,7 @@ mod api;
 pub mod check;
 pub mod coll;
 mod comm;
+mod coop;
 pub mod datatype;
 mod mailbox;
 mod msg;
@@ -41,6 +42,7 @@ pub mod sched;
 pub mod virt;
 
 pub use comm::{Comm, RecvHandle};
+pub use coop::{block_on, run_checked_coop, run_coop, run_traced_coop, run_virtual_coop};
 pub use datatype::Word;
 pub use msg::{Tag, MAX_USER_TAG};
 pub use reduce::{Numeric, Op};

@@ -17,7 +17,10 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
@@ -80,6 +83,9 @@ struct HandoffState {
     /// A rendezvous buffer returned unused (the message arrived through
     /// the eager path instead); the receiver recycles it.
     spare: Option<Vec<u8>>,
+    /// Waker of a cooperative task (or baton-serialised thread) blocked
+    /// on this slot; the sender takes and fires it on fill.
+    waker: Option<Waker>,
 }
 
 impl Handoff {
@@ -221,7 +227,11 @@ impl Inner {
         let mut st = p.slot.state.lock();
         st.arrived = Some(arrived);
         st.spare = p.buf;
+        let waker = st.waker.take();
         drop(st);
+        if let Some(w) = waker {
+            w.wake();
+        }
         p.slot.ready.notify_one();
         Ok(())
     }
@@ -369,34 +379,13 @@ impl Mailbox {
         };
         let mut st = p.slot.state.lock();
         st.arrived = Some(arrived);
+        let waker = st.waker.take();
         drop(st);
+        if let Some(w) = waker {
+            w.wake();
+        }
         p.slot.ready.notify_one();
         true
-    }
-
-    /// Removes and returns the oldest message matching `filter`, blocking
-    /// until one arrives. FIFO per (source, tag) pair (non-overtaking);
-    /// wildcard filters match in global arrival order.
-    pub fn recv(&self, filter: Match) -> Message {
-        self.recv_posting(filter, None).0
-    }
-
-    /// Like [`recv`](Mailbox::recv), but posts `buf` as a rendezvous
-    /// destination while waiting (see
-    /// [`rendezvous_send`](Mailbox::rendezvous_send)). Returns the message
-    /// and, if the rendezvous buffer went unused, the buffer itself for
-    /// recycling.
-    pub fn recv_posting(&self, filter: Match, buf: Option<Vec<u8>>) -> (Message, Option<Vec<u8>>) {
-        let mut inner = self.inner.lock();
-        if let Some((arrived, candidates)) = inner.take_queued(filter) {
-            drop(inner);
-            self.record_recv(&arrived, filter, candidates);
-            return (arrived.msg, buf);
-        }
-        let slot = Handoff::new();
-        let id = inner.register(filter, buf, Arc::clone(&slot));
-        drop(inner);
-        self.wait_ticket(Ticket { id, slot }, filter)
     }
 
     /// Registers a nonblocking receive: takes an already-queued match
@@ -411,18 +400,6 @@ impl Mailbox {
         let slot = Handoff::new();
         let id = inner.register(filter, buf, Arc::clone(&slot));
         PostedHandle::Pending(Ticket { id, slot })
-    }
-
-    /// Resolves a posted receive: immediate for an already-matched one,
-    /// blocking until a sender matches it otherwise.
-    pub fn complete(&self, handle: PostedHandle, filter: Match) -> (Message, Option<Vec<u8>>) {
-        match handle {
-            PostedHandle::Ready(arrived, candidates) => {
-                self.record_recv(&arrived, filter, candidates);
-                (arrived.msg, None)
-            }
-            PostedHandle::Pending(ticket) => self.wait_ticket(ticket, filter),
-        }
     }
 
     /// Cancels a posted receive. Any message it already matched is put
@@ -444,6 +421,13 @@ impl Mailbox {
     /// diagnosed deadlock unwinds this rank with the diagnosis instead of
     /// waiting out the wall-clock timeout, which is demoted to a backstop.
     pub fn wait_ticket(&self, ticket: Ticket, filter: Match) -> (Message, Option<Vec<u8>>) {
+        assert!(
+            !crate::coop::in_coop(),
+            "mp: synchronous receive inside a cooperative task; use the async receive API"
+        );
+        if let Some((baton, rank)) = crate::coop::current_baton() {
+            return self.wait_ticket_baton(ticket, filter, &baton, rank);
+        }
         let Ticket { id, slot } = ticket;
         if let Some(insp) = &self.inspector {
             insp.begin_wait(
@@ -520,6 +504,106 @@ impl Mailbox {
         }
     }
 
+    /// Baton-serialised wait: instead of parking on the hand-off condvar
+    /// (which would wedge the whole serialised world — no other rank
+    /// thread may run until this one yields), install a queue waker and
+    /// hand the baton over. Re-granted only after a sender fills the
+    /// slot and fires the waker; no lost wakeup is possible because the
+    /// fill happens under the slot lock and no peer thread runs between
+    /// the waker install and the baton hand-over.
+    fn wait_ticket_baton(
+        &self,
+        ticket: Ticket,
+        filter: Match,
+        baton: &Arc<crate::coop::Baton>,
+        rank: usize,
+    ) -> (Message, Option<Vec<u8>>) {
+        let Ticket { id: _, slot } = ticket;
+        loop {
+            let mut st = slot.state.lock();
+            if let Some(arrived) = st.arrived.take() {
+                let spare = st.spare.take();
+                drop(st);
+                self.record_recv(&arrived, filter, 1);
+                return (arrived.msg, spare);
+            }
+            st.waker = Some(baton.waker_for(rank));
+            drop(st);
+            baton.block_current(rank);
+        }
+    }
+
+    /// Removes and returns the oldest message matching `filter`, waiting
+    /// until one arrives; also posts `buf` as a rendezvous destination
+    /// while waiting (see [`rendezvous_send`](Mailbox::rendezvous_send)).
+    /// Returns the message and, if the rendezvous buffer went unused, the
+    /// buffer itself for recycling. On a rank thread the wait parks the
+    /// thread; inside a cooperative task it is a yield point.
+    pub async fn recv_posting_async(
+        &self,
+        filter: Match,
+        buf: Option<Vec<u8>>,
+    ) -> (Message, Option<Vec<u8>>) {
+        let mut inner = self.inner.lock();
+        if let Some((arrived, candidates)) = inner.take_queued(filter) {
+            drop(inner);
+            self.record_recv(&arrived, filter, candidates);
+            return (arrived.msg, buf);
+        }
+        let slot = Handoff::new();
+        let id = inner.register(filter, buf, Arc::clone(&slot));
+        drop(inner);
+        let ticket = Ticket { id, slot };
+        if crate::coop::in_coop() {
+            TicketWait::new(self, ticket, filter).await
+        } else {
+            self.wait_ticket(ticket, filter)
+        }
+    }
+
+    /// Removes and returns the oldest message matching `filter`, waiting
+    /// until one arrives. FIFO per (source, tag) pair (non-overtaking);
+    /// wildcard filters match in global arrival order.
+    pub async fn recv_async(&self, filter: Match) -> Message {
+        self.recv_posting_async(filter, None).await.0
+    }
+
+    /// Blocking [`recv_async`](Mailbox::recv_async), for thread-based
+    /// unit tests.
+    #[cfg(test)]
+    pub fn recv(&self, filter: Match) -> Message {
+        crate::coop::block_on(self.recv_async(filter))
+    }
+
+    /// Blocking [`recv_posting_async`](Mailbox::recv_posting_async), for
+    /// thread-based unit tests.
+    #[cfg(test)]
+    pub fn recv_posting(&self, filter: Match, buf: Option<Vec<u8>>) -> (Message, Option<Vec<u8>>) {
+        crate::coop::block_on(self.recv_posting_async(filter, buf))
+    }
+
+    /// Resolves a posted receive: immediate for an already-matched one,
+    /// waiting until a sender matches it otherwise.
+    pub async fn complete_async(
+        &self,
+        handle: PostedHandle,
+        filter: Match,
+    ) -> (Message, Option<Vec<u8>>) {
+        match handle {
+            PostedHandle::Ready(arrived, candidates) => {
+                self.record_recv(&arrived, filter, candidates);
+                (arrived.msg, None)
+            }
+            PostedHandle::Pending(ticket) => {
+                if crate::coop::in_coop() {
+                    TicketWait::new(self, ticket, filter).await
+                } else {
+                    self.wait_ticket(ticket, filter)
+                }
+            }
+        }
+    }
+
     /// Cancels a pending posted receive. If a sender matched it in the
     /// meantime, the message is put back at the front of its lane (its
     /// original arrival stamp preserved), exactly as if it had never been
@@ -552,6 +636,92 @@ impl Mailbox {
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn pending(&self) -> usize {
         self.inner.lock().queued
+    }
+}
+
+/// The cooperative executor's blocking point: a future that resolves
+/// when the posted receive behind `ticket` is matched. Each poll checks
+/// the detector poison first and publishes the wait edge *before*
+/// probing the slot (the same lock order `check::diagnose` uses —
+/// rank-state, then slot — so the two can never deadlock each other),
+/// then either takes the arrival or parks its waker in the slot.
+/// Dropping an unresolved wait cancels the posting, requeueing any
+/// message it had already matched.
+struct TicketWait<'a> {
+    mailbox: &'a Mailbox,
+    ticket: Option<Ticket>,
+    filter: Match,
+    registered_wait: bool,
+}
+
+impl<'a> TicketWait<'a> {
+    fn new(mailbox: &'a Mailbox, ticket: Ticket, filter: Match) -> TicketWait<'a> {
+        TicketWait {
+            mailbox,
+            ticket: Some(ticket),
+            filter,
+            registered_wait: false,
+        }
+    }
+}
+
+impl Future for TicketWait<'_> {
+    type Output = (Message, Option<Vec<u8>>);
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if let Some(insp) = &this.mailbox.inspector {
+            if let Some(diagnosis) = insp.poisoned() {
+                let Ticket { id, .. } = this.ticket.take().expect("polled after completion");
+                this.mailbox.inner.lock().deregister(id);
+                panic!("{}{diagnosis}", crate::check::POISON_MARK);
+            }
+            if !this.registered_wait {
+                let ticket = this.ticket.as_ref().expect("polled after completion");
+                insp.begin_wait(
+                    this.mailbox.rank,
+                    WaitOn::Recv {
+                        comm: this.filter.comm_id,
+                        src: this.filter.src,
+                        tag: this.filter.tag,
+                    },
+                    Some(Arc::clone(&ticket.slot)),
+                );
+                this.registered_wait = true;
+            }
+        }
+        let ticket = this.ticket.as_ref().expect("polled after completion");
+        let mut st = ticket.slot.state.lock();
+        if let Some(arrived) = st.arrived.take() {
+            let spare = st.spare.take();
+            drop(st);
+            if this.registered_wait {
+                if let Some(insp) = &this.mailbox.inspector {
+                    insp.end_wait(this.mailbox.rank);
+                }
+            }
+            // Hand-offs have exactly one candidate by construction (see
+            // wait_ticket).
+            this.mailbox.record_recv(&arrived, this.filter, 1);
+            this.ticket = None;
+            return Poll::Ready((arrived.msg, spare));
+        }
+        st.waker = Some(cx.waker().clone());
+        drop(st);
+        Poll::Pending
+    }
+}
+
+impl Drop for TicketWait<'_> {
+    fn drop(&mut self) {
+        if let Some(ticket) = self.ticket.take() {
+            if self.registered_wait {
+                if let Some(insp) = &self.mailbox.inspector {
+                    insp.end_wait(self.mailbox.rank);
+                }
+            }
+            self.mailbox.cancel_ticket(ticket);
+        }
     }
 }
 

@@ -7,6 +7,13 @@
 //! destination mailbox and completes immediately), mirroring MPI's eager
 //! protocol for the message sizes the benchmarks use; this also makes
 //! `sendrecv`-style exchange patterns trivially deadlock-free.
+//!
+//! Rank threads are spawned through [`std::thread::Builder`] with a
+//! bounded per-rank stack (`MP_RANK_STACK_BYTES`, default 2 MiB), and a
+//! failed spawn tears the world down with a clear "cannot spawn rank r of
+//! n" panic instead of aborting the process. For rank counts beyond what
+//! one host can thread (virtual sweeps at 16k–100k ranks), use the
+//! cooperative scheduler in [`crate::coop`] instead.
 
 use std::any::Any;
 use std::collections::HashMap;
@@ -23,10 +30,104 @@ use crate::mailbox::Mailbox;
 use crate::msg::Message;
 use crate::virt::VirtualNet;
 
+/// Default per-rank thread stack: far below the 8 MiB thread default —
+/// rank bodies here are benchmark kernels, not deep recursions — so a
+/// native world of a few thousand ranks does not exhaust address space.
+const DEFAULT_RANK_STACK_BYTES: usize = 2 * 1024 * 1024;
+
+#[cfg(test)]
+thread_local! {
+    /// Test-only override of the rank stack size, thread-local so a spawn
+    /// failure can be provoked without an env var racing parallel tests
+    /// (spawning happens on the calling thread, which owns this cell).
+    static STACK_OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Per-rank stack size for spawned rank threads, overridable via the
+/// `MP_RANK_STACK_BYTES` environment variable (read per run, not cached,
+/// for the same reason as `MP_DEADLOCK_TIMEOUT_SECS`). Unparsable values
+/// fall back to the default.
+fn rank_stack_bytes() -> usize {
+    #[cfg(test)]
+    if let Some(s) = STACK_OVERRIDE.with(std::cell::Cell::get) {
+        return s;
+    }
+    std::env::var("MP_RANK_STACK_BYTES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_RANK_STACK_BYTES)
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+/// The one helper behind every join path (native, traced, checked,
+/// virtual, cooperative), so no path drops the payload on the floor.
+pub(crate) fn panic_message(e: &(dyn Any + Send)) -> &str {
+    e.downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| e.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic>")
+}
+
+/// Start gate for rank threads: spawned threads park here until every
+/// sibling spawned successfully. If any spawn fails, the gate aborts and
+/// the already-spawned threads return without running the rank body —
+/// otherwise rank 0 could block forever in a collective waiting for a
+/// rank that never existed, turning a spawn error into a hang.
+struct StartGate {
+    state: Mutex<Option<bool>>,
+    cv: Condvar,
+}
+
+impl StartGate {
+    fn new() -> StartGate {
+        StartGate {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn open(&self) {
+        *self.state.lock() = Some(true);
+        self.cv.notify_all();
+    }
+
+    fn abort(&self) {
+        *self.state.lock() = Some(false);
+        self.cv.notify_all();
+    }
+
+    /// Parks until the gate resolves; true means "run the rank body".
+    fn wait(&self) -> bool {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(go) = *st {
+                return go;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+}
+
+/// Panics with the uniform spawn-failure diagnostic (satellite bugfix:
+/// previously an unchecked `scope.spawn` aborted the whole process).
+fn spawn_failure(rank: usize, n: usize, stack: usize, err: &std::io::Error) -> ! {
+    panic!(
+        "mp: cannot spawn rank {rank} of {n}: {err} \
+         (per-rank stack {stack} bytes; tune MP_RANK_STACK_BYTES)"
+    );
+}
+
 /// Shared state of a running SPMD world.
 pub(crate) struct World {
     pub n: usize,
     pub mailboxes: Vec<Mailbox>,
+    /// World group (identity mapping), shared by every rank's world
+    /// [`Comm`]: built once here instead of per rank, which at 65536
+    /// ranks is the difference between one 512 KiB table and an O(n²)
+    /// allocation storm.
+    pub world_group: Arc<Vec<usize>>,
+    /// Global rank -> local rank inverse of `world_group`.
+    pub world_inverse: Arc<HashMap<usize, usize>>,
     /// When tracing, every point-to-point payload is recorded here as a
     /// (global src, global dst, bytes) transfer.
     pub trace: Option<Mutex<Vec<Transfer>>>,
@@ -44,12 +145,17 @@ pub(crate) struct World {
 }
 
 impl World {
-    fn new(n: usize, traced: bool, inspector: Option<Arc<Inspector>>) -> World {
+    pub(crate) fn new(n: usize, traced: bool, inspector: Option<Arc<Inspector>>) -> World {
+        let world_group: Arc<Vec<usize>> = Arc::new((0..n).collect());
+        let world_inverse: Arc<HashMap<usize, usize>> =
+            Arc::new(world_group.iter().map(|&g| (g, g)).collect());
         World {
             n,
             mailboxes: (0..n)
                 .map(|rank| Mailbox::with_inspector(rank, inspector.clone()))
                 .collect(),
+            world_group,
+            world_inverse,
             trace: traced.then(|| Mutex::new(Vec::new())),
             rendezvous: Mutex::new(HashMap::new()),
             rendezvous_cv: Condvar::new(),
@@ -165,6 +271,13 @@ where
 }
 
 /// Virtual-execution entry point (see [`crate::virt::run_virtual`]).
+///
+/// The rank threads are serialised through a [`crate::coop::Baton`]: one
+/// thread runs at a time, handing over at every blocking receive, on the
+/// same FIFO schedule the cooperative executor uses. Message order into
+/// the simulated resource timelines is therefore deterministic, and the
+/// returned clocks are byte-identical run to run — and identical to
+/// [`crate::run_virtual_coop`] on the same program.
 pub(crate) fn run_with_virtual<R, F>(
     n: usize,
     net: Box<dyn VirtualNet>,
@@ -180,19 +293,70 @@ where
     world.virtual_clocks = (0..n).map(|_| Mutex::new(Time::ZERO)).collect();
     let world = Arc::new(world);
     let f = &f;
-    let results: Vec<R> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n)
-            .map(|rank| {
-                let world = Arc::clone(&world);
-                scope.spawn(move || f(&Comm::world(world, rank)))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .enumerate()
-            .map(|(rank, h)| h.join().unwrap_or_else(|_| panic!("rank {rank} panicked")))
-            .collect()
+    let diag_world = Arc::clone(&world);
+    let baton = crate::coop::Baton::new(
+        n,
+        Box::new(move |blocked: &[usize]| crate::coop::stall_message(&diag_world, blocked)),
+    );
+    let gate = StartGate::new();
+    let stack = rank_stack_bytes();
+    let mut first_panic: Option<(usize, String)> = None;
+    let mut results: Vec<Option<R>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for rank in 0..n {
+            let world = Arc::clone(&world);
+            let baton = Arc::clone(&baton);
+            let gate = &gate;
+            let spawned = std::thread::Builder::new()
+                .name(format!("mp-rank-{rank}"))
+                .stack_size(stack)
+                .spawn_scoped(scope, move || {
+                    if !gate.wait() {
+                        return None;
+                    }
+                    let _installed = crate::coop::BatonGuard::install(Arc::clone(&baton), rank);
+                    baton.wait_initial(rank);
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        f(&Comm::world(world, rank))
+                    }));
+                    match &out {
+                        Ok(_) => baton.finish(rank),
+                        Err(_) => baton.abort(rank),
+                    }
+                    Some(out)
+                });
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    gate.abort();
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    spawn_failure(rank, n, stack, &e);
+                }
+            }
+        }
+        gate.open();
+        baton.open();
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(Some(Ok(r))) => results[rank] = Some(r),
+                Ok(Some(Err(e))) => note_real_panic(rank, &*e, &mut first_panic),
+                Ok(None) => unreachable!("the gate opened, so every spawn succeeded"),
+                // A teardown unwind escaped before the catch (wait_initial).
+                Err(e) => note_real_panic(rank, &*e, &mut first_panic),
+            }
+        }
+        results
     });
+    if let Some((rank, msg)) = first_panic {
+        panic!("rank {rank} panicked: {msg}");
+    }
+    if let Some(stall) = baton.take_stall() {
+        panic!("{stall}");
+    }
+    drop(baton);
     let world = Arc::try_unwrap(world)
         .ok()
         .expect("all rank threads joined");
@@ -201,7 +365,23 @@ where
         .into_iter()
         .map(Mutex::into_inner)
         .collect();
+    let results = results
+        .drain(..)
+        .map(|r| r.expect("no panic and no stall, so every rank completed"))
+        .collect();
     (results, clocks)
+}
+
+/// Records the first *real* rank panic, skipping baton teardown unwinds
+/// (whose cause — a stall or a peer's panic — is reported separately).
+fn note_real_panic(rank: usize, e: &(dyn Any + Send), first: &mut Option<(usize, String)>) {
+    let msg = panic_message(e);
+    if msg.starts_with(crate::coop::TEARDOWN_MARK) {
+        return;
+    }
+    if first.is_none() {
+        *first = Some((rank, msg.to_string()));
+    }
 }
 
 fn run_inner<R, F>(n: usize, traced: bool, f: F) -> (Vec<R>, Option<Vec<Transfer>>)
@@ -212,29 +392,42 @@ where
     assert!(n > 0, "an SPMD world needs at least one rank");
     let world = Arc::new(World::new(n, traced, None));
     let f = &f;
+    let gate = StartGate::new();
+    let stack = rank_stack_bytes();
     let results: Vec<R> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n)
-            .map(|rank| {
-                let world = Arc::clone(&world);
-                scope.spawn(move || {
+        let mut handles = Vec::with_capacity(n);
+        for rank in 0..n {
+            let world = Arc::clone(&world);
+            let gate = &gate;
+            let spawned = std::thread::Builder::new()
+                .name(format!("mp-rank-{rank}"))
+                .stack_size(stack)
+                .spawn_scoped(scope, move || {
+                    if !gate.wait() {
+                        return None;
+                    }
                     let comm = Comm::world(world, rank);
-                    f(&comm)
-                })
-            })
-            .collect();
+                    Some(f(&comm))
+                });
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    gate.abort();
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    spawn_failure(rank, n, stack, &e);
+                }
+            }
+        }
+        gate.open();
         handles
             .into_iter()
             .enumerate()
             .map(|(rank, h)| match h.join() {
-                Ok(r) => r,
-                Err(e) => {
-                    let msg = e
-                        .downcast_ref::<String>()
-                        .map(String::as_str)
-                        .or_else(|| e.downcast_ref::<&str>().copied())
-                        .unwrap_or("<non-string panic>");
-                    panic!("rank {rank} panicked: {msg}");
-                }
+                Ok(Some(r)) => r,
+                Ok(None) => unreachable!("the gate opened, so every spawn succeeded"),
+                Err(e) => panic!("rank {rank} panicked: {}", panic_message(&*e)),
             })
             .collect()
     });
@@ -264,56 +457,85 @@ where
     let inspector = Arc::new(Inspector::new(n, settings));
     let world = Arc::new(World::new(n, false, Some(Arc::clone(&inspector))));
     let done = AtomicBool::new(false);
+    let gate = StartGate::new();
+    let stack = rank_stack_bytes();
     let outcomes: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
         let det_world = Arc::clone(&world);
         let det_insp = Arc::clone(&inspector);
         let det_done = &done;
-        scope.spawn(move || {
-            // Require several consecutive polls with no wait-state
-            // transitions and every unfinished rank parked before
-            // diagnosing: a notified-but-unscheduled thread looks blocked
-            // for one poll, never for three.
-            let mut last_activity = det_insp.activity();
-            let mut stable = 0u32;
-            while !det_done.load(Ordering::Acquire) {
-                std::thread::sleep(det_insp.settings().poll);
-                if det_done.load(Ordering::Acquire) {
-                    break;
-                }
-                let activity = det_insp.activity();
-                if activity == last_activity && det_insp.all_unfinished_waiting() {
-                    stable += 1;
-                } else {
-                    stable = 0;
-                }
-                last_activity = activity;
-                if stable >= 3 {
-                    match crate::check::diagnose(&det_world, &det_insp) {
-                        Some(diagnosis) => {
-                            det_insp.set_poison(diagnosis);
-                            break;
+        std::thread::Builder::new()
+            .name("mp-check-detector".to_string())
+            .spawn_scoped(scope, move || {
+                // Require several consecutive polls with no wait-state
+                // transitions and every unfinished rank parked before
+                // diagnosing: a notified-but-unscheduled thread looks blocked
+                // for one poll, never for three.
+                let mut last_activity = det_insp.activity();
+                let mut stable = 0u32;
+                while !det_done.load(Ordering::Acquire) {
+                    std::thread::sleep(det_insp.settings().poll);
+                    if det_done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let activity = det_insp.activity();
+                    if activity == last_activity && det_insp.all_unfinished_waiting() {
+                        stable += 1;
+                    } else {
+                        stable = 0;
+                    }
+                    last_activity = activity;
+                    if stable >= 3 {
+                        match crate::check::diagnose(&det_world, &det_insp) {
+                            Some(diagnosis) => {
+                                det_insp.set_poison(diagnosis);
+                                break;
+                            }
+                            // A wake was in flight after all; start over.
+                            None => stable = 0,
                         }
-                        // A wake was in flight after all; start over.
-                        None => stable = 0,
                     }
                 }
-            }
-        });
-        let handles: Vec<_> = (0..n)
-            .map(|rank| {
-                let world = Arc::clone(&world);
-                let insp = Arc::clone(&inspector);
-                scope.spawn(move || {
+            })
+            .unwrap_or_else(|e| panic!("mp: cannot spawn the deadlock detector: {e}"));
+        let mut handles = Vec::with_capacity(n);
+        for rank in 0..n {
+            let world = Arc::clone(&world);
+            let insp = Arc::clone(&inspector);
+            let gate = &gate;
+            let spawned = std::thread::Builder::new()
+                .name(format!("mp-rank-{rank}"))
+                .stack_size(stack)
+                .spawn_scoped(scope, move || {
+                    if !gate.wait() {
+                        return None;
+                    }
                     let comm = Comm::world(world, rank);
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
                     insp.finish(rank);
-                    out
-                })
-            })
-            .collect();
+                    Some(out)
+                });
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    gate.abort();
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    // Release the detector before unwinding, or the scope
+                    // join on it would hang the panic forever.
+                    done.store(true, Ordering::Release);
+                    spawn_failure(rank, n, stack, &e);
+                }
+            }
+        }
+        gate.open();
         let outcomes: Vec<_> = handles
             .into_iter()
-            .map(|h| h.join().expect("rank bodies are caught, joins cannot fail"))
+            .map(|h| {
+                h.join()
+                    .expect("rank bodies are caught, joins cannot fail")
+                    .expect("the gate opened, so every spawn succeeded")
+            })
             .collect();
         done.store(true, Ordering::Release);
         outcomes
@@ -335,11 +557,7 @@ where
             Ok(r) => results.push(r),
             Err(e) => {
                 complete = false;
-                let msg = e
-                    .downcast_ref::<String>()
-                    .map(String::as_str)
-                    .or_else(|| e.downcast_ref::<&str>().copied())
-                    .unwrap_or("<non-string panic>");
+                let msg = panic_message(&*e);
                 // Poison unwinds are the detector's doing, not the
                 // program's; the deadlock diagnosis already carries them.
                 if !msg.starts_with(crate::check::POISON_MARK) {
@@ -411,5 +629,82 @@ mod tests {
                 bytes: 16
             }
         );
+    }
+
+    /// Satellite regression: a failed rank spawn must fail cleanly with
+    /// the rank named, not abort the process (old `scope.spawn`) or hang
+    /// already-spawned siblings (they park behind the start gate). An
+    /// absurd stack request makes the *first* spawn fail deterministically.
+    #[test]
+    #[should_panic(expected = "mp: cannot spawn rank 0 of 4")]
+    fn spawn_failure_names_the_rank() {
+        STACK_OVERRIDE.with(|c| c.set(Some(usize::MAX)));
+        let restore = scopeguard();
+        let _ = &restore;
+        run(4, |comm| comm.rank());
+    }
+
+    /// Clears the stack override even when the test unwinds.
+    fn scopeguard() -> impl Drop {
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                STACK_OVERRIDE.with(|c| c.set(None));
+            }
+        }
+        Restore
+    }
+
+    /// Satellite regression: virtual-mode rank panics must carry the
+    /// payload (the old join loop said only "rank 1 panicked").
+    #[test]
+    #[should_panic(expected = "rank 1 panicked: virtual boom")]
+    fn virtual_rank_panic_names_the_payload() {
+        struct FreeNet;
+        impl VirtualNet for FreeNet {
+            fn p2p(&self, _s: usize, _d: usize, _b: u64, ready: Time) -> simnet::schedule::P2pCost {
+                simnet::schedule::P2pCost {
+                    sender_done: ready,
+                    arrival: ready,
+                }
+            }
+            fn compute(&self, _f: f64, _e: f64) -> Time {
+                Time::ZERO
+            }
+            fn stream(&self, _b: f64) -> Time {
+                Time::ZERO
+            }
+        }
+        run_with_virtual(2, Box::new(FreeNet), |comm| {
+            if comm.rank() == 1 {
+                panic!("virtual boom");
+            }
+        });
+    }
+
+    /// The baton engine detects a virtual-mode deadlock instantly (no
+    /// 20 s timeout) and names the blocked ranks.
+    #[test]
+    #[should_panic(expected = "mp: deadlock: 2 rank(s) blocked")]
+    fn virtual_deadlock_is_detected_instantly() {
+        struct FreeNet;
+        impl VirtualNet for FreeNet {
+            fn p2p(&self, _s: usize, _d: usize, _b: u64, ready: Time) -> simnet::schedule::P2pCost {
+                simnet::schedule::P2pCost {
+                    sender_done: ready,
+                    arrival: ready,
+                }
+            }
+            fn compute(&self, _f: f64, _e: f64) -> Time {
+                Time::ZERO
+            }
+            fn stream(&self, _b: f64) -> Time {
+                Time::ZERO
+            }
+        }
+        run_with_virtual(2, Box::new(FreeNet), |comm| {
+            let mut b = [0u8; 1];
+            comm.recv(&mut b, comm.rank() ^ 1, 1);
+        });
     }
 }

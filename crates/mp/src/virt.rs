@@ -14,12 +14,13 @@
 //! cross-validate the other two: a benchmark *executed* under virtual
 //! time must land near the price of its generated schedule.
 //!
-//! Approximation note: rank threads interleave nondeterministically, so
-//! when several messages contend for one simulated resource, their
-//! queueing order follows the host scheduler. First-fit reservation
-//! timelines keep the *total* times stable (see `simnet::resource`), but
-//! exact per-message arrivals may vary run to run by sub-contention
-//! amounts.
+//! Determinism: virtual runs are scheduled deterministically. The
+//! thread-backed path serializes its rank threads behind a run-queue
+//! baton, and the cooperative path ([`crate::run_virtual_coop`]) polls
+//! resumable rank tasks off the same FIFO discipline, so both engines
+//! replay the identical message order into the net's first-fit
+//! reservation timelines (see `simnet::resource`) and produce
+//! byte-identical per-rank clocks — run to run and engine to engine.
 
 use simnet::schedule::P2pCost;
 use simnet::Time;
@@ -83,6 +84,15 @@ impl Comm {
     pub fn v_sync(&self) -> Time {
         let mut t = [self.v_time().as_secs()];
         self.allreduce(&mut t, crate::reduce::Op::Max);
+        let target = Time::from_secs(t[0]);
+        self.set_virtual_clock_at_least(target);
+        target
+    }
+
+    /// Awaitable [`v_sync`](Comm::v_sync), for cooperative tasks.
+    pub async fn v_sync_async(&self) -> Time {
+        let mut t = [self.v_time().as_secs()];
+        self.allreduce_async(&mut t, crate::reduce::Op::Max).await;
         let target = Time::from_secs(t[0]);
         self.set_virtual_clock_at_least(target);
         target

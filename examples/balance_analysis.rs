@@ -14,6 +14,7 @@ fn main() {
     let cfg = FigureConfig {
         max_procs: 256,
         imb_bytes: 1 << 20,
+        ..FigureConfig::default()
     };
 
     println!("Communication/computation balance (Fig. 2): B/kFlop by CPUs\n");

@@ -10,6 +10,7 @@ fn cfg() -> FigureConfig {
     FigureConfig {
         max_procs: 16,
         imb_bytes: 1 << 20,
+        ..FigureConfig::default()
     }
 }
 
