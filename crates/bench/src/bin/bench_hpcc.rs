@@ -59,21 +59,36 @@ fn fill(len: usize, seed: u64) -> Vec<f64> {
 fn main() {
     let mut out_path = String::from("BENCH_hpcc.json");
     let mut runner = Runner::standard();
+    let mut threads = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--smoke" => runner = Runner::smoke(),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a count");
+            }
             other => {
-                eprintln!("unknown argument: {other}\nusage: bench_hpcc [--smoke] [--out FILE]");
+                eprintln!(
+                    "unknown argument: {other}\n\
+                     usage: bench_hpcc [--smoke] [--threads N] [--out FILE]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    if threads > 0 {
+        smp::pool::set_process_threads(threads);
+    }
+    let pool_threads = smp::ambient_threads().max(1);
     let smoke = runner.policy.is_smoke();
     let reps = runner.policy.best_reps(5);
 
     let mut sink = MetricSink::new("hpcc-compute-baseline");
+    sink.push("pool_threads", pool_threads as f64, "threads");
 
     // --- DGEMM: packed kernel vs the seed's tiled loop ------------------
     let dgemm_sizes: &[usize] = if smoke { &[256] } else { &[256, 512] };
@@ -83,10 +98,13 @@ fn main() {
         let mut c = vec![0.0f64; n * n];
         let flops = dgemm_flops(n);
 
-        let t_packed = Runner::best_secs(reps, || {
-            c.iter_mut().for_each(|v| *v = 0.0);
-            dgemm(n, &a, &b, &mut c);
-        });
+        let t_packed = {
+            let _serial = smp::AmbientGuard::serial();
+            Runner::best_secs(reps, || {
+                c.iter_mut().for_each(|v| *v = 0.0);
+                dgemm(n, &a, &b, &mut c);
+            })
+        };
         let t_tiled = Runner::best_secs(reps, || {
             c.iter_mut().for_each(|v| *v = 0.0);
             tiled_baseline(n, &a, &b, &mut c);
@@ -113,6 +131,28 @@ fn main() {
             t_tiled / t_packed,
             "x",
         );
+
+        if pool_threads > 1 {
+            let t_smp = Runner::best_secs(reps, || {
+                c.iter_mut().for_each(|v| *v = 0.0);
+                dgemm(n, &a, &b, &mut c);
+            });
+            println!(
+                "dgemm n={n} threads={pool_threads}: {:.2} Gflop/s, thread speedup {:.2}x",
+                flops / t_smp / 1e9,
+                t_packed / t_smp
+            );
+            sink.push(
+                format!("dgemm_packed_n{n}_t{pool_threads}_gflops"),
+                flops / t_smp / 1e9,
+                "Gflop/s",
+            );
+            sink.push(
+                format!("dgemm_thread_speedup_n{n}_t{pool_threads}"),
+                t_packed / t_smp,
+                "x",
+            );
+        }
     }
 
     // --- STREAM: sustainable bandwidth of the four kernels ---------------
@@ -127,7 +167,10 @@ fn main() {
             arrays.run(k);
         }
         for k in StreamKernel::ALL {
-            let secs = Runner::best_secs(reps, || arrays.run(k));
+            let secs = {
+                let _serial = smp::AmbientGuard::serial();
+                Runner::best_secs(reps, || arrays.run(k))
+            };
             let gbs = (k.bytes_per_element() * len) as f64 / secs / 1e9;
             let name = match k {
                 StreamKernel::Copy => "stream_copy_gbs",
@@ -137,13 +180,34 @@ fn main() {
             };
             println!("stream {k:?} len=2^{}: {gbs:.2} GB/s", len.trailing_zeros());
             sink.push(name, gbs, "GB/s");
+            if pool_threads > 1 {
+                let secs_smp = Runner::best_secs(reps, || arrays.run(k));
+                let gbs_smp = (k.bytes_per_element() * len) as f64 / secs_smp / 1e9;
+                println!(
+                    "stream {k:?} threads={pool_threads}: {gbs_smp:.2} GB/s, \
+                     thread speedup {:.2}x",
+                    secs / secs_smp
+                );
+                sink.push(format!("{name}_t{pool_threads}"), gbs_smp, "GB/s");
+            }
         }
     }
 
     // --- HPL: single-rank and small multi-rank factorisations -----------
+    // The canonical metrics (and the gated scaling ratios) are measured
+    // with serial ranks, like every prior baseline; hybrid-rank variants
+    // are reported alongside as *_t{N} when --threads is given.
     let hpl_n = if smoke { 256 } else { 512 };
+    smp::pool::set_process_threads(1);
     let r1 = mp::run(1, move |comm| {
-        hpl::run(comm, &HplConfig { n: hpl_n, nb: 32 })
+        hpl::run(
+            comm,
+            &HplConfig {
+                n: hpl_n,
+                nb: 32,
+                ..HplConfig::default()
+            },
+        )
     })[0];
     assert!(
         r1.passed,
@@ -157,7 +221,14 @@ fn main() {
     sink.push(format!("hpl1d_p1_n{hpl_n}_gflops"), r1.gflops, "Gflop/s");
 
     let r4 = mp::run(4, move |comm| {
-        hpl::run(comm, &HplConfig { n: hpl_n, nb: 32 })
+        hpl::run(
+            comm,
+            &HplConfig {
+                n: hpl_n,
+                nb: 32,
+                ..HplConfig::default()
+            },
+        )
     })[0];
     assert!(
         r4.passed,
@@ -177,6 +248,7 @@ fn main() {
                 n: hpl_n,
                 nb: 32,
                 p_rows: 2,
+                lookahead: true,
             },
         )
     })[0];
@@ -201,6 +273,53 @@ fn main() {
     );
     sink.push("hpl1d_scaling_p4_over_p1", r4.gflops / r1.gflops, "ratio");
     sink.push("hpl2d_2x2_over_hpl1d_p4", r2d.gflops / r4.gflops, "ratio");
+
+    // Hybrid-rank HPL: the same factorisations with --threads workers
+    // per rank, reported alongside the serial canon.
+    if threads > 1 {
+        smp::pool::set_process_threads(threads);
+        let r1t = mp::run(1, move |comm| {
+            hpl::run(
+                comm,
+                &HplConfig {
+                    n: hpl_n,
+                    nb: 32,
+                    ..HplConfig::default()
+                },
+            )
+        })[0];
+        assert!(r1t.passed, "hybrid HPL failed: residual {}", r1t.residual);
+        let r2dt = mp::run(4, move |comm| {
+            hpl2d::run(
+                comm,
+                &Hpl2dConfig {
+                    n: hpl_n,
+                    nb: 32,
+                    p_rows: 2,
+                    lookahead: true,
+                },
+            )
+        })[0];
+        assert!(r2dt.passed, "hybrid HPL2D failed: residual {}", r2dt.residual);
+        println!(
+            "hpl hybrid threads={threads}: 1d p=1 {:.2} Gflop/s ({:.2}x), \
+             2d 2x2 {:.2} Gflop/s ({:.2}x)",
+            r1t.gflops,
+            r1t.gflops / r1.gflops,
+            r2dt.gflops,
+            r2dt.gflops / r2d.gflops
+        );
+        sink.push(
+            format!("hpl1d_p1_n{hpl_n}_t{threads}_gflops"),
+            r1t.gflops,
+            "Gflop/s",
+        );
+        sink.push(
+            format!("hpl2d_2x2_n{hpl_n}_t{threads}_gflops"),
+            r2dt.gflops,
+            "Gflop/s",
+        );
+    }
 
     sink.write(&out_path);
     println!("wrote {out_path}");

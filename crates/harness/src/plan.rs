@@ -166,6 +166,7 @@ mod tests {
             mode,
             machine,
             procs: p,
+            threads: 1,
             bytes: b,
             metric: MetricKind::TimeUs,
             value: 1.0,
@@ -290,6 +291,7 @@ mod tests {
                     mode: Mode::Native,
                     machine: "host",
                     procs: p,
+                    threads: 1,
                     bytes: None,
                     metric: MetricKind::TimeUs,
                     value: 1.0,

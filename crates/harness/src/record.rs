@@ -165,6 +165,9 @@ pub struct Record {
     pub machine: &'static str,
     /// Number of processes.
     pub procs: usize,
+    /// Worker threads per rank (1 = pure message-passing; >1 = hybrid
+    /// SMP ranks fanning kernels out over a per-rank pool).
+    pub threads: usize,
     /// Message size in bytes; `None` for unsized workloads.
     pub bytes: Option<u64>,
     /// What `value` measures.
@@ -213,7 +216,7 @@ impl Record {
         };
         format!(
             "{{ \"benchmark\": \"{}\", \"suite\": \"{}\", \"mode\": \"{}\", \
-             \"machine\": \"{}\", \"procs\": {}, \"bytes\": {}, \
+             \"machine\": \"{}\", \"procs\": {}, \"threads\": {}, \"bytes\": {}, \
              \"metric\": \"{}\", \"value\": {:.6}, \"unit\": \"{}\", \
              \"repetitions\": {}, \"t_min_us\": {:.6}, \"t_avg_us\": {:.6}, \
              \"t_max_us\": {:.6}, \"passed\": {} }}",
@@ -222,6 +225,7 @@ impl Record {
             self.mode.as_str(),
             self.machine,
             self.procs,
+            self.threads,
             bytes,
             self.metric.unit(),
             self.value,
@@ -258,6 +262,7 @@ mod tests {
             mode: Mode::Native,
             machine: "host",
             procs: 2,
+            threads: 1,
             bytes: Some(1024),
             metric: MetricKind::BandwidthMBs,
             value: 123.4,
@@ -300,6 +305,7 @@ mod tests {
         assert!(json.contains("\"schema\": \"hpcbench-record-v1\""));
         assert!(json.contains("\"benchmark\": \"PingPong\""));
         assert!(json.contains("\"bytes\": 1024"));
+        assert!(json.contains("\"threads\": 1"));
         assert_eq!(json.matches("\"mode\": \"native\"").count(), 2);
         // Unsized records serialise bytes as null.
         let mut r = rec();

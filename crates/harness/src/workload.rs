@@ -190,6 +190,7 @@ mod tests {
             mode: Mode::Native,
             machine: "host",
             procs,
+            threads: 1,
             bytes: None,
             metric: MetricKind::TimeUs,
             value: 1.0,

@@ -25,11 +25,22 @@ pub struct HplConfig {
     pub n: usize,
     /// Panel (column block) width.
     pub nb: usize,
+    /// Panel lookahead: the owner of panel `k+1` factors it as soon as
+    /// its columns are updated, before finishing the rest of its
+    /// trailing update for panel `k` — overlapping the next factor with
+    /// everyone else's update. The arithmetic per element is identical,
+    /// only the schedule changes.
+    pub lookahead: bool,
 }
 
 impl Default for HplConfig {
     fn default() -> HplConfig {
-        HplConfig { n: 512, nb: 32 }
+        let t = smp::tuned_now();
+        HplConfig {
+            n: 512,
+            nb: t.hpl_nb.max(1),
+            lookahead: t.hpl_lookahead,
+        }
     }
 }
 
@@ -114,6 +125,62 @@ impl LocalPanel {
     }
 }
 
+/// Factors the panel `[k0, k1)` in place (partial pivoting, column
+/// scaling, in-panel elimination) and returns the broadcast payload:
+/// `kw` pivot rows followed by the factored panel columns (rows
+/// `k0..n` each). Caller guarantees the panel columns are fully
+/// updated through iteration `k0/nb - 1`.
+fn factor_panel(local: &mut LocalPanel, k0: usize, k1: usize) -> Vec<f64> {
+    let n = local.n;
+    let kw = k1 - k0;
+    let mut payload = vec![0.0f64; kw + kw * (n - k0)];
+    let lc0 = local.local_of(k0).expect("owner holds the panel");
+    for j in 0..kw {
+        let gj = k0 + j;
+        // Pivot search in column j of the panel, rows gj..n.
+        let (mut piv, mut best) = (gj, 0.0f64);
+        for r in gj..n {
+            let v = local.col(lc0 + j)[r].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        assert!(best > 0.0, "HPL hit an exactly singular pivot");
+        // Swap within the panel columns only; other columns follow
+        // after the broadcast.
+        if piv != gj {
+            for lc in lc0..lc0 + kw {
+                local.data.swap(lc * n + gj, lc * n + piv);
+            }
+        }
+        payload[j] = piv as f64;
+        // Scale L column and eliminate within the panel.
+        let pv = local.col(lc0 + j)[gj];
+        for r in gj + 1..n {
+            local.col_mut(lc0 + j)[r] /= pv;
+        }
+        for c in j + 1..kw {
+            let mult = local.col(lc0 + c)[gj];
+            if mult != 0.0 {
+                let (lcol, ccol) = {
+                    // Split borrows: copy the L column slice.
+                    let l: Vec<f64> = local.col(lc0 + j)[gj + 1..n].to_vec();
+                    (l, local.col_mut(lc0 + c))
+                };
+                for (r, lv) in (gj + 1..n).zip(lcol.iter()) {
+                    ccol[r] -= mult * lv;
+                }
+            }
+        }
+    }
+    for j in 0..kw {
+        let src = &local.col(lc0 + j)[k0..n];
+        payload[kw + j * (n - k0)..kw + (j + 1) * (n - k0)].copy_from_slice(src);
+    }
+    payload
+}
+
 /// Runs G-HPL on `comm`. All ranks receive the same result.
 pub fn run(comm: &Comm, cfg: &HplConfig) -> HplResult {
     mp::block_on(run_async(comm, cfg))
@@ -129,6 +196,10 @@ pub async fn run_async(comm: &Comm, cfg: &HplConfig) -> HplResult {
     let mut local = LocalPanel::generate(n, nb, p, me);
     let nblocks = n.div_ceil(nb);
     let mut pivots: Vec<usize> = Vec::with_capacity(n);
+    // Lookahead pipeline: the payload for panel `kb` factored one
+    // iteration early (owner rank only, `None` elsewhere and when
+    // lookahead is off).
+    let mut pending: Option<Vec<f64>> = None;
 
     comm.barrier_async().await;
     let clock = harness::Stopwatch::start();
@@ -141,55 +212,18 @@ pub async fn run_async(comm: &Comm, cfg: &HplConfig) -> HplResult {
 
         // --- Panel factorisation (owner) + broadcast --------------------
         // Payload: kw pivot rows followed by the factored panel columns
-        // (rows k0..n each).
-        let mut payload = vec![0.0f64; kw + kw * (n - k0)];
-        if me == owner {
-            let lc0 = local.local_of(k0).expect("owner holds the panel");
-            for j in 0..kw {
-                let gj = k0 + j;
-                // Pivot search in column j of the panel, rows gj..n.
-                let (mut piv, mut best) = (gj, 0.0f64);
-                for r in gj..n {
-                    let v = local.col(lc0 + j)[r].abs();
-                    if v > best {
-                        best = v;
-                        piv = r;
-                    }
-                }
-                assert!(best > 0.0, "HPL hit an exactly singular pivot");
-                // Swap within the panel columns only; other columns follow
-                // after the broadcast.
-                if piv != gj {
-                    let nloc = local.n;
-                    for lc in lc0..lc0 + kw {
-                        local.data.swap(lc * nloc + gj, lc * nloc + piv);
-                    }
-                }
-                payload[j] = piv as f64;
-                // Scale L column and eliminate within the panel.
-                let pv = local.col(lc0 + j)[gj];
-                for r in gj + 1..n {
-                    local.col_mut(lc0 + j)[r] /= pv;
-                }
-                for c in j + 1..kw {
-                    let mult = local.col(lc0 + c)[gj];
-                    if mult != 0.0 {
-                        let (lcol, ccol) = {
-                            // Split borrows: copy the L column slice.
-                            let l: Vec<f64> = local.col(lc0 + j)[gj + 1..n].to_vec();
-                            (l, local.col_mut(lc0 + c))
-                        };
-                        for (r, lv) in (gj + 1..n).zip(lcol.iter()) {
-                            ccol[r] -= mult * lv;
-                        }
-                    }
+        // (rows k0..n each). With lookahead the owner factored this
+        // panel during the previous iteration's trailing update.
+        let mut payload = match pending.take() {
+            Some(ready) => ready,
+            None => {
+                if me == owner {
+                    factor_panel(&mut local, k0, k1)
+                } else {
+                    vec![0.0f64; kw + kw * (n - k0)]
                 }
             }
-            for j in 0..kw {
-                let src = &local.col(local.local_of(k0).unwrap() + j)[k0..n];
-                payload[kw + j * (n - k0)..kw + (j + 1) * (n - k0)].copy_from_slice(src);
-            }
-        }
+        };
         comm.bcast_async(&mut payload, owner).await;
 
         let panel_pivots: Vec<usize> = payload[..kw].iter().map(|&v| v as usize).collect();
@@ -234,32 +268,68 @@ pub async fn run_async(comm: &Comm, cfg: &HplConfig) -> HplResult {
                 }
             }
             if k1 < n {
-                // A22 -= L21 * U12 as one rectangular GEMM. U12 (the kw
+                // A22 -= L21 * U12 as a rectangular GEMM. U12 (the kw
                 // panel rows of the trailing columns) is copied out
                 // because it aliases the update target's backing store.
+                // Its rows live above row k1, so neither the GEMM nor a
+                // lookahead factor invalidates it.
                 let mut u12 = vec![0.0f64; kw * ntrail];
                 for t in 0..ntrail {
                     for p in 0..kw {
                         u12[p * ntrail + t] = local.data[(lc_start + t) * n + k0 + p];
                     }
                 }
+                // Lookahead: if I own the next panel, its columns are my
+                // first `w` trailing columns (block-cyclic keeps them
+                // sorted first). Update just those, factor the panel
+                // early, then finish the rest of the update — the next
+                // iteration broadcasts the stashed payload immediately
+                // while this iteration's big GEMM overlapped the factor
+                // on every other rank.
+                let next_k1 = (k1 + nb).min(n);
+                let w = if cfg.lookahead && me == owner_of_block(kb + 1, p) {
+                    local.cols[lc_start..].partition_point(|&gc| gc < next_k1)
+                } else {
+                    0
+                };
                 // L21 lives in the broadcast panel: rows k1..n of the kw
                 // factored columns (column stride n - k0).
-                gemm_update(
-                    n - k1,
-                    ntrail,
-                    kw,
-                    -1.0,
-                    &panel[k1 - k0..],
-                    1,
-                    n - k0,
-                    &u12,
-                    ntrail,
-                    1,
-                    &mut local.data[lc_start * n + k1..],
-                    1,
-                    n,
-                );
+                let l21 = &panel[k1 - k0..];
+                if w > 0 {
+                    gemm_update(
+                        n - k1,
+                        w,
+                        kw,
+                        -1.0,
+                        l21,
+                        1,
+                        n - k0,
+                        &u12,
+                        ntrail,
+                        1,
+                        &mut local.data[lc_start * n + k1..],
+                        1,
+                        n,
+                    );
+                    pending = Some(factor_panel(&mut local, k1, next_k1));
+                }
+                if ntrail > w {
+                    gemm_update(
+                        n - k1,
+                        ntrail - w,
+                        kw,
+                        -1.0,
+                        l21,
+                        1,
+                        n - k0,
+                        &u12[w..],
+                        ntrail,
+                        1,
+                        &mut local.data[(lc_start + w) * n + k1..],
+                        1,
+                        n,
+                    );
+                }
             }
         }
     }
@@ -374,7 +444,16 @@ mod tests {
     #[test]
     fn solves_accurately_various_shapes() {
         for (p, n, nb) in [(1, 64, 8), (2, 64, 8), (3, 65, 8), (4, 96, 16), (5, 50, 7)] {
-            let results = mp::run(p, |comm| run(comm, &HplConfig { n, nb }));
+            let results = mp::run(p, |comm| {
+                run(
+                    comm,
+                    &HplConfig {
+                        n,
+                        nb,
+                        ..HplConfig::default()
+                    },
+                )
+            });
             for res in &results {
                 assert!(
                     res.passed,
@@ -394,7 +473,16 @@ mod tests {
         let residuals: Vec<f64> = [8usize, 17, 32]
             .iter()
             .map(|&nb| {
-                let r = mp::run(2, move |comm| run(comm, &HplConfig { n: 128, nb }))[0];
+                let r = mp::run(2, move |comm| {
+                    run(
+                        comm,
+                        &HplConfig {
+                            n: 128,
+                            nb,
+                            ..HplConfig::default()
+                        },
+                    )
+                })[0];
                 assert!(r.passed, "nb={nb}: residual {}", r.residual);
                 r.residual
             })
@@ -411,7 +499,16 @@ mod tests {
 
     #[test]
     fn all_ranks_agree_on_the_result() {
-        let results = mp::run(4, |comm| run(comm, &HplConfig { n: 48, nb: 6 }));
+        let results = mp::run(4, |comm| {
+            run(
+                comm,
+                &HplConfig {
+                    n: 48,
+                    nb: 6,
+                    ..HplConfig::default()
+                },
+            )
+        });
         for r in &results[1..] {
             assert_eq!(r.residual, results[0].residual);
             assert_eq!(r.time_s, results[0].time_s);

@@ -37,6 +37,12 @@ pub struct Hpl2dConfig {
     pub nb: usize,
     /// Process rows (`P`); `P * Q = comm.size()` with `Q = size / P`.
     pub p_rows: usize,
+    /// Panel lookahead: the process column owning panel `k+1` updates
+    /// its columns first, factors the panel, then finishes its trailing
+    /// update — so the next iteration starts from a stashed factor
+    /// while the other columns are still updating. Identical
+    /// arithmetic, reordered schedule.
+    pub lookahead: bool,
 }
 
 impl Hpl2dConfig {
@@ -50,6 +56,7 @@ impl Hpl2dConfig {
             n,
             nb,
             p_rows: p.max(1),
+            lookahead: smp::tuned_now().hpl_lookahead,
         }
     }
 }
@@ -179,6 +186,93 @@ async fn swap_rows(
     }
 }
 
+/// Distributed panel factorisation of `[k0, k1)`, collective over one
+/// process column (every rank with `qj == panel_q` calls this in
+/// lockstep). Returns the pivot rows.
+///
+/// The pivot search is fused with the pivot-row transport: each rank's
+/// allgather contribution carries `[best, best_row, candidate panel
+/// row]`, so once the winner is chosen every rank already holds the
+/// winning row's panel segment and the per-column pivot-row broadcast
+/// of the naive phasing disappears — one collective per column instead
+/// of two.
+async fn factor_panel_col(
+    local: &mut Local,
+    col_comm: &Comm,
+    nb: usize,
+    k0: usize,
+    k1: usize,
+) -> Vec<usize> {
+    let kw = k1 - k0;
+    let grid_p = col_comm.size();
+    let in_panel = |gc: usize| (k0..k1).contains(&gc);
+    // Local indices of the panel columns, hoisted out of the row loops
+    // (they were binary-searched per row per column before).
+    let panel_lcs: Vec<usize> = (k0..k1)
+        .map(|g| local.lcol(g).expect("panel col owned"))
+        .collect();
+    let mut panel_pivots = vec![0usize; kw];
+    let stride = 2 + kw;
+    let mut contrib = vec![0.0f64; stride];
+    let mut all = vec![0.0f64; stride * grid_p];
+    for j in 0..kw {
+        let gj = k0 + j;
+        let ljc = panel_lcs[j];
+        // Local pivot candidate over my trailing rows.
+        let (mut best, mut best_row) = (-1.0f64, usize::MAX);
+        for (lr, &gr) in local.rows.iter().enumerate() {
+            if gr >= gj {
+                let v = local.at(lr, ljc).abs();
+                if v > best {
+                    best = v;
+                    best_row = gr;
+                }
+            }
+        }
+        contrib[0] = best;
+        contrib[1] = best_row as f64;
+        if best_row != usize::MAX {
+            let lr = local.lrow(best_row).expect("candidate row owned");
+            for c in 0..kw {
+                contrib[2 + c] = local.at(lr, panel_lcs[c]);
+            }
+        }
+        // Global argmax across the process column (ties to the lowest
+        // row, matching serial partial pivoting).
+        col_comm.allgather_async(&contrib, &mut all).await;
+        let (mut gbest, mut grow, mut win) = (-1.0f64, usize::MAX, 0usize);
+        for c in 0..grid_p {
+            let (v, r) = (all[stride * c], all[stride * c + 1] as usize);
+            if v > gbest || (v == gbest && r < grow) {
+                gbest = v;
+                grow = r;
+                win = c;
+            }
+        }
+        assert!(gbest > 0.0, "2-D HPL hit an exactly singular pivot");
+        panel_pivots[j] = grow;
+        let urow = &all[stride * win + 2..stride * win + 2 + kw];
+        let ajj = urow[j];
+
+        // Swap rows gj <-> grow within the panel columns.
+        swap_rows(local, col_comm, nb, gj, grow, in_panel).await;
+
+        // Scale my below-diagonal entries of column j and rank-1 update
+        // the remaining panel columns.
+        let lrows = local.lrows();
+        for lr in 0..lrows {
+            if local.rows[lr] > gj {
+                let l = local.at(lr, ljc) / ajj;
+                *local.at_mut(lr, ljc) = l;
+                for c in j + 1..kw {
+                    *local.at_mut(lr, panel_lcs[c]) -= l * urow[c];
+                }
+            }
+        }
+    }
+    panel_pivots
+}
+
 /// Runs 2-D G-HPL on `comm`. All ranks receive the same result.
 pub fn run(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
     mp::block_on(run_async(comm, cfg))
@@ -207,6 +301,9 @@ pub async fn run_async(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
     let mut local = Local::generate(n, nb, pi, qj, grid_p, grid_q);
     let nblocks = n.div_ceil(nb);
     let mut pivots: Vec<usize> = Vec::with_capacity(n);
+    // Lookahead pipeline: pivots of the panel factored one iteration
+    // early (ranks of the owning process column only).
+    let mut pending_pivots: Option<Vec<usize>> = None;
 
     comm.barrier_async().await;
     let clock = harness::Stopwatch::start();
@@ -220,68 +317,15 @@ pub async fn run_async(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
         let in_panel = |gc: usize| (k0..k1).contains(&gc);
 
         // --- 1. Distributed panel factorisation -------------------------
-        // Everyone tracks the pivot list; panel owners do the arithmetic.
+        // Everyone tracks the pivot list; panel owners do the
+        // arithmetic — unless lookahead already factored this panel
+        // during the previous iteration's trailing update.
         let mut panel_pivots = vec![0usize; kw];
         if in_panel_col {
-            for j in 0..kw {
-                let gj = k0 + j;
-                let ljc = local.lcol(gj).expect("panel column owned");
-                // Local pivot candidate over my trailing rows.
-                let (mut best, mut best_row) = (-1.0f64, usize::MAX);
-                for (lr, &gr) in local.rows.iter().enumerate() {
-                    if gr >= gj {
-                        let v = local.at(lr, ljc).abs();
-                        if v > best {
-                            best = v;
-                            best_row = gr;
-                        }
-                    }
-                }
-                // Global argmax across the process column.
-                let mut all = vec![0.0f64; 2 * grid_p];
-                col_comm
-                    .allgather_async(&[best, best_row as f64], &mut all)
-                    .await;
-                let (mut gbest, mut grow) = (-1.0, usize::MAX);
-                for c in 0..grid_p {
-                    let (v, r) = (all[2 * c], all[2 * c + 1] as usize);
-                    if v > gbest || (v == gbest && r < grow) {
-                        gbest = v;
-                        grow = r;
-                    }
-                }
-                assert!(gbest > 0.0, "2-D HPL hit an exactly singular pivot");
-                panel_pivots[j] = grow;
-
-                // Swap rows gj <-> grow within the panel columns.
-                swap_rows(&mut local, &col_comm, nb, gj, grow, in_panel).await;
-
-                // Owner of (new) row gj broadcasts its panel segment.
-                let diag_owner = (gj / nb) % grid_p;
-                let mut urow = vec![0.0f64; kw];
-                if col_comm.rank() == diag_owner {
-                    let lr = local.lrow(gj).expect("diag row owned");
-                    for c in 0..kw {
-                        let lc = local.lcol(k0 + c).expect("panel col owned");
-                        urow[c] = local.at(lr, lc);
-                    }
-                }
-                mp::coll::bcast::binomial_async(&col_comm, &mut urow, diag_owner).await;
-                let ajj = urow[j];
-
-                // Scale my below-diagonal entries of column j and update
-                // the remaining panel columns.
-                for (lr, &gr) in local.rows.clone().iter().enumerate() {
-                    if gr > gj {
-                        let l = local.at(lr, ljc) / ajj;
-                        *local.at_mut(lr, ljc) = l;
-                        for c in j + 1..kw {
-                            let lcc = local.lcol(k0 + c).expect("panel col owned");
-                            *local.at_mut(lr, lcc) -= l * urow[c];
-                        }
-                    }
-                }
-            }
+            panel_pivots = match pending_pivots.take() {
+                Some(ready) => ready,
+                None => factor_panel_col(&mut local, &col_comm, nb, k0, k1).await,
+            };
         }
 
         // --- 2. Share pivots; apply swaps outside the panel -------------
@@ -351,12 +395,27 @@ pub async fn run_async(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
         // rectangular GEMM on column-major views. L21 is the gr >= k1
         // row suffix of the broadcast panel (column stride lrows), U12
         // the broadcast row block (row stride = my trailing width).
+        //
+        // Lookahead: the process column owning panel kb+1 holds that
+        // panel's columns as its first `w` trailing columns. It updates
+        // just those, factors the panel collectively (stashing the
+        // pivots for the next iteration), then finishes the rest of the
+        // update — by which point the other columns' ranks are deep in
+        // their own GEMMs, so the factor's latency-bound collectives
+        // hide behind compute instead of serialising ahead of it.
         let lr0 = local.rows.partition_point(|&gr| gr < k1);
         let lc0 = local.cols.len() - trailing.len();
-        if lr0 < lrows && !trailing.is_empty() {
+        let look = cfg.lookahead && k1 < n && (kb + 1) % grid_q == qj;
+        let next_k1 = (k1 + nb).min(n);
+        let w = if look {
+            trailing.partition_point(|&gc| gc < next_k1)
+        } else {
+            0
+        };
+        if lr0 < lrows && w > 0 {
             gemm_update(
                 lrows - lr0,
-                trailing.len(),
+                w,
                 kw,
                 -1.0,
                 &panel_piece[lr0..],
@@ -366,6 +425,26 @@ pub async fn run_async(comm: &Comm, cfg: &Hpl2dConfig) -> HplResult {
                 trailing.len(),
                 1,
                 &mut local.data[lc0 * lrows + lr0..],
+                1,
+                lrows,
+            );
+        }
+        if look {
+            pending_pivots = Some(factor_panel_col(&mut local, &col_comm, nb, k1, next_k1).await);
+        }
+        if lr0 < lrows && trailing.len() > w {
+            gemm_update(
+                lrows - lr0,
+                trailing.len() - w,
+                kw,
+                -1.0,
+                &panel_piece[lr0..],
+                1,
+                lrows,
+                &u12[w..],
+                trailing.len(),
+                1,
+                &mut local.data[(lc0 + w) * lrows + lr0..],
                 1,
                 lrows,
             );
@@ -459,7 +538,12 @@ mod tests {
     use super::*;
 
     fn check(size: usize, p_rows: usize, n: usize, nb: usize) {
-        let cfg = Hpl2dConfig { n, nb, p_rows };
+        let cfg = Hpl2dConfig {
+            n,
+            nb,
+            p_rows,
+            lookahead: true,
+        };
         let results = mp::run(size, |comm| run(comm, &cfg));
         for r in &results {
             assert!(
@@ -525,11 +609,19 @@ mod tests {
                     n: 64,
                     nb: 8,
                     p_rows: 2,
+                    lookahead: true,
                 },
             )
         })[0];
         let r1d = mp::run(4, |comm| {
-            crate::hpl::run(comm, &crate::hpl::HplConfig { n: 64, nb: 8 })
+            crate::hpl::run(
+                comm,
+                &crate::hpl::HplConfig {
+                    n: 64,
+                    nb: 8,
+                    ..crate::hpl::HplConfig::default()
+                },
+            )
         })[0];
         assert!(r2d.passed && r1d.passed);
         assert!(r2d.residual < 16.0 && r1d.residual < 16.0);

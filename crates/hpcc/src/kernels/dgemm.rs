@@ -15,19 +15,48 @@
 //! The general entry point is [`gemm_update`]: a rectangular, arbitrary-
 //! stride `C += alpha * A * B`, which serves row-major kernels (EP-DGEMM)
 //! and the column-major trailing updates of `hpl`/`hpl2d` alike.
+//!
+//! ## Threading and tuning
+//!
+//! `gemm_update` consults the ambient [`smp::Pool`]: with more than one
+//! worker it splits `C` along whichever of M/N yields disjoint
+//! contiguous subslices (boundaries aligned to the register block) and
+//! runs the serial packed GEMM on each part. Per-element summation
+//! order depends only on the `KC` depth blocking — never on how M or N
+//! are partitioned — so the threaded result is **bitwise identical** to
+//! the single-thread result. Macro-blocking parameters (`MC`/`NC`/`KC`)
+//! come from the per-host tuning table ([`smp::tuned`]) and fall back
+//! to the compiled defaults below.
 
 /// Microkernel register block: `MR x NR` f64 accumulators.
 pub const MR: usize = 8;
 /// Microkernel register block width.
 pub const NR: usize = 8;
 
-/// Rows of A packed per macro block (multiple of `MR`; A pack is
-/// `MC x KC` = 128 KiB, L2-resident).
-const MC: usize = 64;
-/// Columns of B packed per macro block (multiple of `NR`).
-const NC: usize = 256;
-/// Depth of one packed block (`KC x NC` B pack = 512 KiB).
-const KC: usize = 256;
+/// Default rows of A packed per macro block (multiple of `MR`; A pack
+/// is `MC x KC` = 128 KiB, L2-resident). Overridable per host via the
+/// tuning table.
+pub const MC_DEFAULT: usize = 64;
+/// Default columns of B packed per macro block (multiple of `NR`).
+pub const NC_DEFAULT: usize = 256;
+/// Default depth of one packed block (`KC x NC` B pack = 512 KiB).
+pub const KC_DEFAULT: usize = 256;
+
+/// Below this `m * n * k` volume the thread-split overhead outweighs
+/// the work; run serial regardless of pool size.
+const SPLIT_MIN_VOLUME: usize = 1 << 16;
+
+/// Macro-blocking parameters for this host: tuned values clamped to
+/// microkernel multiples (the tuning layer already sanitises, this is
+/// belt-and-braces against a hand-edited table).
+fn blocking() -> (usize, usize, usize) {
+    let t = smp::tuned_now();
+    (
+        t.dgemm_mc.max(MR) / MR * MR,
+        t.dgemm_nc.max(NR) / NR * NR,
+        t.dgemm_kc.max(1),
+    )
+}
 
 /// `C += A * B` for row-major `n x n` matrices (the EP-DGEMM shape).
 pub fn dgemm(n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
@@ -80,17 +109,128 @@ pub fn gemm_update(
         c.len()
     );
 
-    let mut apack = vec![0.0f64; MC * KC];
-    let mut bpack = vec![0.0f64; KC * NC];
+    let pool = smp::Pool::current();
+    let threads = pool.size();
+    if threads <= 1 || m * n * k < SPLIT_MIN_VOLUME {
+        return gemm_update_serial(m, n, k, alpha, a, rsa, csa, b, rsb, csb, c, rsc, csc);
+    }
 
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
+    // A dimension is splittable when its C subslices are disjoint
+    // contiguous ranges: columns [j0, j1) span c[j0*csc .. j1*csc) iff
+    // every row offset fits inside one column stride (and dually for
+    // rows). Both row-major and column-major C satisfy exactly one of
+    // these; exotic interleaved strides fall back to serial.
+    let n_splittable = csc > (m - 1) * rsc;
+    let m_splittable = rsc > (n - 1) * csc;
+
+    if n_splittable && (n >= m || !m_splittable) {
+        // Split C by column bands; each part sees the matching columns
+        // of B and all of A.
+        let ranges = smp::pool::chunk_ranges(n, threads, NR);
+        let mut parts: Vec<(usize, usize, &mut [f64])> = Vec::with_capacity(ranges.len());
+        let mut rest = c;
+        let mut off = 0usize;
+        for (i, r) in ranges.iter().enumerate() {
+            let end = if i + 1 < ranges.len() {
+                ranges[i + 1].start * csc
+            } else {
+                off + rest.len()
+            };
+            let (head, tail) = rest.split_at_mut(end - off);
+            off = end;
+            rest = tail;
+            parts.push((r.start, r.len(), head));
+        }
+        pool.run_parts(&mut parts, |_, part| {
+            let (j0, nn, cpart) = part;
+            gemm_update_serial(
+                m,
+                *nn,
+                k,
+                alpha,
+                a,
+                rsa,
+                csa,
+                &b[*j0 * csb..],
+                rsb,
+                csb,
+                &mut cpart[..],
+                rsc,
+                csc,
+            );
+        });
+    } else if m_splittable {
+        // Split C by row bands; each part sees the matching rows of A
+        // and all of B.
+        let ranges = smp::pool::chunk_ranges(m, threads, MR);
+        let mut parts: Vec<(usize, usize, &mut [f64])> = Vec::with_capacity(ranges.len());
+        let mut rest = c;
+        let mut off = 0usize;
+        for (i, r) in ranges.iter().enumerate() {
+            let end = if i + 1 < ranges.len() {
+                ranges[i + 1].start * rsc
+            } else {
+                off + rest.len()
+            };
+            let (head, tail) = rest.split_at_mut(end - off);
+            off = end;
+            rest = tail;
+            parts.push((r.start, r.len(), head));
+        }
+        pool.run_parts(&mut parts, |_, part| {
+            let (i0, mm, cpart) = part;
+            gemm_update_serial(
+                *mm,
+                n,
+                k,
+                alpha,
+                &a[*i0 * rsa..],
+                rsa,
+                csa,
+                b,
+                rsb,
+                csb,
+                &mut cpart[..],
+                rsc,
+                csc,
+            );
+        });
+    } else {
+        gemm_update_serial(m, n, k, alpha, a, rsa, csa, b, rsb, csb, c, rsc, csc);
+    }
+}
+
+/// The serial packed GEMM core: macro-blocked loops around the
+/// register microkernel, blocking parameters from the host tuning
+/// table. Callers guarantee in-bounds views.
+#[allow(clippy::too_many_arguments)]
+fn gemm_update_serial(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    rsa: usize,
+    csa: usize,
+    b: &[f64],
+    rsb: usize,
+    csb: usize,
+    c: &mut [f64],
+    rsc: usize,
+    csc: usize,
+) {
+    let (mc_blk, nc_blk, kc_blk) = blocking();
+    let mut apack = vec![0.0f64; mc_blk * kc_blk];
+    let mut bpack = vec![0.0f64; kc_blk * nc_blk];
+
+    for jc in (0..n).step_by(nc_blk) {
+        let nc = nc_blk.min(n - jc);
         let nr_panels = nc.div_ceil(NR);
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
+        for pc in (0..k).step_by(kc_blk) {
+            let kc = kc_blk.min(k - pc);
             pack_b(&mut bpack, b, pc, jc, kc, nc, rsb, csb, alpha);
-            for ic in (0..m).step_by(MC) {
-                let mc = MC.min(m - ic);
+            for ic in (0..m).step_by(mc_blk) {
+                let mc = mc_blk.min(m - ic);
                 let mr_panels = mc.div_ceil(MR);
                 pack_a(&mut apack, a, ic, pc, mc, kc, rsa, csa);
                 for jp in 0..nr_panels {

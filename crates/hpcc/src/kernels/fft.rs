@@ -106,15 +106,34 @@ impl Mul for Complex {
     }
 }
 
-/// Complex elements per L1-resident block: every stage whose butterfly
-/// block (`4h`) fits runs block by block while the block is hot. Two
-/// `f64` planes of 1024 elements are 16 KiB, comfortably inside L1d
-/// alongside the small-stage twiddle packs.
-const L1_BLOCK: usize = 1024;
+/// Default complex elements per L1-resident block: every stage whose
+/// butterfly block (`4h`) fits runs block by block while the block is
+/// hot. Two `f64` planes of 1024 elements are 16 KiB, comfortably
+/// inside L1d alongside the small-stage twiddle packs. Overridable per
+/// host via the tuning table.
+pub const L1_BLOCK_DEFAULT: usize = 1024;
 
-/// Complex elements per L2-resident block for the middle band of
-/// stages (plane footprint 512 KiB plus streamed twiddle packs).
-const L2_BLOCK: usize = 1 << 15;
+/// Default complex elements per L2-resident block for the middle band
+/// of stages (plane footprint 512 KiB plus streamed twiddle packs).
+pub const L2_BLOCK_DEFAULT: usize = 1 << 15;
+
+/// Block schedule for a length-`n` transform: tuned `(l1, l2)` block
+/// sizes clamped to powers of two no larger than `n` with `l1 <= l2`
+/// (the tuning layer sanitises; this guards a hand-edited table, and
+/// the power-of-two clamp keeps every `chunks_exact` block exact).
+fn fft_blocks(n: usize) -> (usize, usize) {
+    let t = smp::tuned_now();
+    let pow2 = |b: usize| {
+        if b.is_power_of_two() {
+            b
+        } else {
+            b.next_power_of_two() / 2
+        }
+    };
+    let l1 = pow2(t.fft_l1_block.max(4)).min(n);
+    let l2 = pow2(t.fft_l2_block.max(4)).min(n).max(l1);
+    (l1, l2)
+}
 
 /// Tile bits of the COBRA bit-reverse: 2^5 x 2^5 tiles staged through
 /// an L1 buffer. Sizes below 2^(2*COBRA_T) use the plain permutation.
@@ -1150,11 +1169,10 @@ fn dif_band<const INV: bool>(re: &mut [f64], im: &mut [f64], stages: &[Stage]) {
 fn soa_dit_passes<const INV: bool>(re: &mut [f64], im: &mut [f64], table: &TwiddleTable) {
     let n = re.len();
     let stages = table.stages();
-    let l1b = L1_BLOCK.min(n);
-    let l2b = L2_BLOCK.min(n);
+    let (l1b, l2b) = fft_blocks(n);
     let l1 = stages.partition_point(|s| 4 * s.h <= l1b);
     let l2 = stages.partition_point(|s| 4 * s.h <= l2b);
-    for (rb, ib) in re.chunks_exact_mut(l2b).zip(im.chunks_exact_mut(l2b)) {
+    let dit_block = |rb: &mut [f64], ib: &mut [f64]| {
         for (r1, i1) in rb.chunks_exact_mut(l1b).zip(ib.chunks_exact_mut(l1b)) {
             if table.has_odd_stage() {
                 soa_adjacent(r1, i1);
@@ -1162,6 +1180,23 @@ fn soa_dit_passes<const INV: bool>(re: &mut [f64], im: &mut [f64], table: &Twidd
             dit_band::<INV>(r1, i1, &stages[..l1]);
         }
         dit_band::<INV>(rb, ib, &stages[l1..l2]);
+    };
+    let pool = smp::Pool::current();
+    if pool.size() > 1 && n / l2b >= 2 {
+        // The L2 blocks are disjoint and all butterflies in stages
+        // below `l2` stay inside one block, so the blocks fan out over
+        // the pool with bitwise-identical results.
+        let mut parts: Vec<(&mut [f64], &mut [f64])> = re
+            .chunks_exact_mut(l2b)
+            .zip(im.chunks_exact_mut(l2b))
+            .collect();
+        pool.run_parts(&mut parts, |_, part| {
+            dit_block(&mut part.0[..], &mut part.1[..]);
+        });
+    } else {
+        for (rb, ib) in re.chunks_exact_mut(l2b).zip(im.chunks_exact_mut(l2b)) {
+            dit_block(rb, ib);
+        }
     }
     dit_band::<INV>(re, im, &stages[l2..]);
 }
@@ -1172,18 +1207,31 @@ fn soa_dit_passes<const INV: bool>(re: &mut [f64], im: &mut [f64], table: &Twidd
 fn soa_dif_passes<const INV: bool>(re: &mut [f64], im: &mut [f64], table: &TwiddleTable) {
     let n = re.len();
     let stages = table.stages();
-    let l1b = L1_BLOCK.min(n);
-    let l2b = L2_BLOCK.min(n);
+    let (l1b, l2b) = fft_blocks(n);
     let l1 = stages.partition_point(|s| 4 * s.h <= l1b);
     let l2 = stages.partition_point(|s| 4 * s.h <= l2b);
     dif_band::<INV>(re, im, &stages[l2..]);
-    for (rb, ib) in re.chunks_exact_mut(l2b).zip(im.chunks_exact_mut(l2b)) {
+    let dif_block = |rb: &mut [f64], ib: &mut [f64]| {
         dif_band::<INV>(rb, ib, &stages[l1..l2]);
         for (r1, i1) in rb.chunks_exact_mut(l1b).zip(ib.chunks_exact_mut(l1b)) {
             dif_band::<INV>(r1, i1, &stages[..l1]);
             if table.has_odd_stage() {
                 soa_adjacent(r1, i1);
             }
+        }
+    };
+    let pool = smp::Pool::current();
+    if pool.size() > 1 && n / l2b >= 2 {
+        let mut parts: Vec<(&mut [f64], &mut [f64])> = re
+            .chunks_exact_mut(l2b)
+            .zip(im.chunks_exact_mut(l2b))
+            .collect();
+        pool.run_parts(&mut parts, |_, part| {
+            dif_block(&mut part.0[..], &mut part.1[..]);
+        });
+    } else {
+        for (rb, ib) in re.chunks_exact_mut(l2b).zip(im.chunks_exact_mut(l2b)) {
+            dif_block(rb, ib);
         }
     }
 }
@@ -1371,6 +1419,34 @@ mod tests {
             worst = worst.max((scaled - *e).abs());
         }
         assert!(worst < 1e-12, "round-trip error {worst}");
+    }
+
+    /// Threaded L2-block schedule: a transform spanning several L2
+    /// blocks run under a multi-worker pool is bitwise identical to the
+    /// serial schedule — every butterfly below the top band stays
+    /// inside one disjoint block.
+    #[test]
+    fn pooled_fft_matches_serial_bitwise() {
+        let n = 4 * L2_BLOCK_DEFAULT; // four L2 blocks to fan out
+        let run = |threads: usize, inverse: bool| {
+            let _pool = smp::AmbientGuard::install(threads);
+            let mut x = signal(n);
+            fft(&mut x, inverse);
+            x
+        };
+        for inverse in [false, true] {
+            let serial = run(1, inverse);
+            for threads in [2, 3] {
+                let pooled = run(threads, inverse);
+                for (p, s) in pooled.iter().zip(&serial) {
+                    assert_eq!(
+                        (p.re, p.im),
+                        (s.re, s.im),
+                        "inverse={inverse} threads={threads}"
+                    );
+                }
+            }
+        }
     }
 
     proptest! {

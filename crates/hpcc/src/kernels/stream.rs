@@ -2,6 +2,16 @@
 //! simple vector operations. Backs the EP-STREAM benchmark, "a synthetic
 //! benchmark program that measures sustainable memory bandwidth (in GB/s)
 //! and the corresponding computation rate for simple vector kernels".
+//!
+//! Sweeps fan out over the ambient [`smp::Pool`]: the arrays are cut
+//! into per-worker contiguous bands (window-aligned, so every band
+//! keeps the vectorised `chunks_exact` fast path) and each worker
+//! streams its own band. The kernels are element-wise over disjoint
+//! indices, so the threaded sweep is bitwise identical to serial.
+
+/// Below this array length a threaded sweep costs more in fork-join
+/// overhead than it saves; run serial regardless of pool size.
+const SPLIT_MIN_LEN: usize = 1 << 15;
 
 /// Window width the kernels iterate by: `chunks_exact` blocks of this
 /// many `f64`s give LLVM a constant trip count per window, which is what
@@ -68,68 +78,15 @@ impl StreamArrays {
     /// trip count per window lets LLVM drop the bounds checks and emit
     /// straight packed loads/stores, where the fused iterator chains left
     /// vectorization at the mercy of alias analysis. The sub-window tail
-    /// (at most `STREAM_LANES - 1` elements) runs scalar.
+    /// (at most `STREAM_LANES - 1` elements) runs scalar. Large sweeps
+    /// band out over the ambient worker pool.
     pub fn run(&mut self, kernel: StreamKernel) {
-        const S: f64 = 3.0;
+        let pool = smp::Pool::current();
         match kernel {
-            StreamKernel::Copy => {
-                let mut a = self.a.chunks_exact(STREAM_LANES);
-                let mut c = self.c.chunks_exact_mut(STREAM_LANES);
-                for (c, a) in (&mut c).zip(&mut a) {
-                    c.copy_from_slice(a);
-                }
-                for (c, a) in c.into_remainder().iter_mut().zip(a.remainder()) {
-                    *c = *a;
-                }
-            }
-            StreamKernel::Scale => {
-                let mut c = self.c.chunks_exact(STREAM_LANES);
-                let mut b = self.b.chunks_exact_mut(STREAM_LANES);
-                for (b, c) in (&mut b).zip(&mut c) {
-                    for j in 0..STREAM_LANES {
-                        b[j] = S * c[j];
-                    }
-                }
-                for (b, c) in b.into_remainder().iter_mut().zip(c.remainder()) {
-                    *b = S * *c;
-                }
-            }
-            StreamKernel::Add => {
-                let mut a = self.a.chunks_exact(STREAM_LANES);
-                let mut b = self.b.chunks_exact(STREAM_LANES);
-                let mut c = self.c.chunks_exact_mut(STREAM_LANES);
-                for ((c, a), b) in (&mut c).zip(&mut a).zip(&mut b) {
-                    for j in 0..STREAM_LANES {
-                        c[j] = a[j] + b[j];
-                    }
-                }
-                for ((c, a), b) in c
-                    .into_remainder()
-                    .iter_mut()
-                    .zip(a.remainder())
-                    .zip(b.remainder())
-                {
-                    *c = *a + *b;
-                }
-            }
-            StreamKernel::Triad => {
-                let mut b = self.b.chunks_exact(STREAM_LANES);
-                let mut c = self.c.chunks_exact(STREAM_LANES);
-                let mut a = self.a.chunks_exact_mut(STREAM_LANES);
-                for ((a, b), c) in (&mut a).zip(&mut b).zip(&mut c) {
-                    for j in 0..STREAM_LANES {
-                        a[j] = b[j] + S * c[j];
-                    }
-                }
-                for ((a, b), c) in a
-                    .into_remainder()
-                    .iter_mut()
-                    .zip(b.remainder())
-                    .zip(c.remainder())
-                {
-                    *a = *b + S * *c;
-                }
-            }
+            StreamKernel::Copy => banded2(&pool, &mut self.c, &self.a, copy_band),
+            StreamKernel::Scale => banded2(&pool, &mut self.b, &self.c, scale_band),
+            StreamKernel::Add => banded3(&pool, &mut self.c, &self.a, &self.b, add_band),
+            StreamKernel::Triad => banded3(&pool, &mut self.a, &self.b, &self.c, triad_band),
         }
     }
 
@@ -152,6 +109,113 @@ impl StreamArrays {
         }
         Ok(())
     }
+}
+
+/// STREAM scalar, as in the reference implementation.
+const S: f64 = 3.0;
+
+/// `dst[i] = src[i]` over one band.
+fn copy_band(dst: &mut [f64], src: &[f64]) {
+    let mut s = src.chunks_exact(STREAM_LANES);
+    let mut d = dst.chunks_exact_mut(STREAM_LANES);
+    for (d, s) in (&mut d).zip(&mut s) {
+        d.copy_from_slice(s);
+    }
+    for (d, s) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *d = *s;
+    }
+}
+
+/// `dst[i] = S * src[i]` over one band.
+fn scale_band(dst: &mut [f64], src: &[f64]) {
+    let mut s = src.chunks_exact(STREAM_LANES);
+    let mut d = dst.chunks_exact_mut(STREAM_LANES);
+    for (d, s) in (&mut d).zip(&mut s) {
+        for j in 0..STREAM_LANES {
+            d[j] = S * s[j];
+        }
+    }
+    for (d, s) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *d = S * *s;
+    }
+}
+
+/// `dst[i] = s1[i] + s2[i]` over one band.
+fn add_band(dst: &mut [f64], s1: &[f64], s2: &[f64]) {
+    let mut x = s1.chunks_exact(STREAM_LANES);
+    let mut y = s2.chunks_exact(STREAM_LANES);
+    let mut d = dst.chunks_exact_mut(STREAM_LANES);
+    for ((d, x), y) in (&mut d).zip(&mut x).zip(&mut y) {
+        for j in 0..STREAM_LANES {
+            d[j] = x[j] + y[j];
+        }
+    }
+    for ((d, x), y) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(x.remainder())
+        .zip(y.remainder())
+    {
+        *d = *x + *y;
+    }
+}
+
+/// `dst[i] = s1[i] + S * s2[i]` over one band.
+fn triad_band(dst: &mut [f64], s1: &[f64], s2: &[f64]) {
+    let mut x = s1.chunks_exact(STREAM_LANES);
+    let mut y = s2.chunks_exact(STREAM_LANES);
+    let mut d = dst.chunks_exact_mut(STREAM_LANES);
+    for ((d, x), y) in (&mut d).zip(&mut x).zip(&mut y) {
+        for j in 0..STREAM_LANES {
+            d[j] = x[j] + S * y[j];
+        }
+    }
+    for ((d, x), y) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(x.remainder())
+        .zip(y.remainder())
+    {
+        *d = *x + S * *y;
+    }
+}
+
+/// Runs a two-operand kernel over window-aligned per-worker bands.
+fn banded2(pool: &smp::Pool, dst: &mut [f64], src: &[f64], f: fn(&mut [f64], &[f64])) {
+    if pool.size() <= 1 || dst.len() < SPLIT_MIN_LEN {
+        return f(dst, src);
+    }
+    let ranges = smp::pool::chunk_ranges(dst.len(), pool.size(), STREAM_LANES);
+    let mut parts: Vec<(&mut [f64], &[f64])> = Vec::with_capacity(ranges.len());
+    let mut rest = dst;
+    for r in &ranges {
+        let (head, tail) = rest.split_at_mut(r.len());
+        rest = tail;
+        parts.push((head, &src[r.clone()]));
+    }
+    pool.run_parts(&mut parts, |_, part| f(&mut part.0[..], part.1));
+}
+
+/// Runs a three-operand kernel over window-aligned per-worker bands.
+fn banded3(
+    pool: &smp::Pool,
+    dst: &mut [f64],
+    s1: &[f64],
+    s2: &[f64],
+    f: fn(&mut [f64], &[f64], &[f64]),
+) {
+    if pool.size() <= 1 || dst.len() < SPLIT_MIN_LEN {
+        return f(dst, s1, s2);
+    }
+    let ranges = smp::pool::chunk_ranges(dst.len(), pool.size(), STREAM_LANES);
+    let mut parts: Vec<(&mut [f64], &[f64], &[f64])> = Vec::with_capacity(ranges.len());
+    let mut rest = dst;
+    for r in &ranges {
+        let (head, tail) = rest.split_at_mut(r.len());
+        rest = tail;
+        parts.push((head, &s1[r.clone()], &s2[r.clone()]));
+    }
+    pool.run_parts(&mut parts, |_, part| f(&mut part.0[..], part.1, part.2));
 }
 
 #[cfg(test)]
@@ -191,6 +255,31 @@ mod tests {
                 }
             }
             s.verify(2).unwrap_or_else(|e| panic!("len={len}: {e}"));
+        }
+    }
+
+    /// Threaded sweeps (array above the split threshold, pool > 1) are
+    /// bitwise identical to serial: the bands are disjoint and the
+    /// kernels element-wise.
+    #[test]
+    fn pooled_sweep_matches_serial_bitwise() {
+        let len = SPLIT_MIN_LEN + 13; // ragged tail crosses band + window edges
+        let run_all = |threads: usize| {
+            let _pool = smp::AmbientGuard::install(threads);
+            let mut s = StreamArrays::new(len);
+            for _ in 0..2 {
+                for k in StreamKernel::ALL {
+                    s.run(k);
+                }
+            }
+            (s.a, s.b, s.c)
+        };
+        let serial = run_all(1);
+        for threads in [2, 3, 5] {
+            let pooled = run_all(threads);
+            assert_eq!(pooled.0, serial.0, "{threads} threads: a drifted");
+            assert_eq!(pooled.1, serial.1, "{threads} threads: b drifted");
+            assert_eq!(pooled.2, serial.2, "{threads} threads: c drifted");
         }
     }
 

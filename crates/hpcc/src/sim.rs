@@ -193,6 +193,7 @@ pub fn component_records(m: &Machine, p: usize, c: crate::suite::Component) -> V
             mode: Mode::Simulated,
             machine: m.name,
             procs: p,
+            threads: 1,
             bytes: None,
             metric,
             value,

@@ -126,6 +126,7 @@ impl Component {
                         &hpl::HplConfig {
                             n: cfg.hpl_n,
                             nb: cfg.hpl_nb,
+                            ..hpl::HplConfig::default()
                         },
                     )
                     .await
@@ -256,6 +257,7 @@ pub async fn run_component_on_async(
             mode: Mode::Native,
             machine: "host",
             procs: comm.size(),
+            threads: smp::ambient_threads(),
             bytes: None,
             metric,
             value,

@@ -124,6 +124,7 @@ fn run_virtual_engine(
                 mode: Mode::Virtual,
                 machine: machine.name,
                 procs,
+                threads: 1,
                 bytes: None,
                 metric: MetricKind::TimeUs,
                 value: stats.t_max_us,

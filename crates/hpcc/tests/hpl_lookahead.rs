@@ -1,0 +1,94 @@
+//! Lookahead is a schedule, not an algorithm: factoring panel `k+1`
+//! during panel `k`'s trailing update performs the exact same
+//! floating-point operations on the exact same values, so the solve
+//! must come out identical — not merely "close" — with lookahead on
+//! and off, for every panel width.
+
+use hpcc::hpl::{self, HplConfig};
+use hpcc::hpl2d::{self, Hpl2dConfig};
+
+/// 1-D HPL: residuals with and without lookahead are identical across
+/// the nb sweep (8 = many small panels, 17 = ragged edges everywhere,
+/// 32 = panel equals the default block).
+#[test]
+fn hpl_1d_residual_equivalent_across_nb_sweep() {
+    for nb in [8usize, 17, 32] {
+        let run_with = |lookahead: bool| {
+            mp::run(3, move |comm| {
+                hpl::run(
+                    comm,
+                    &HplConfig {
+                        n: 96,
+                        nb,
+                        lookahead,
+                    },
+                )
+            })[0]
+        };
+        let with = run_with(true);
+        let without = run_with(false);
+        assert!(with.passed && without.passed, "nb={nb} failed verification");
+        assert_eq!(
+            with.residual, without.residual,
+            "nb={nb}: lookahead changed the arithmetic"
+        );
+    }
+}
+
+/// 2-D HPL: same equivalence on a 2x2 grid, where the lookahead factor
+/// is itself a collective over one process column.
+#[test]
+fn hpl_2d_residual_equivalent_across_nb_sweep() {
+    for nb in [8usize, 17, 32] {
+        let run_with = |lookahead: bool| {
+            mp::run(4, move |comm| {
+                hpl2d::run(
+                    comm,
+                    &Hpl2dConfig {
+                        n: 96,
+                        nb,
+                        p_rows: 2,
+                        lookahead,
+                    },
+                )
+            })[0]
+        };
+        let with = run_with(true);
+        let without = run_with(false);
+        assert!(with.passed && without.passed, "nb={nb} failed verification");
+        assert_eq!(
+            with.residual, without.residual,
+            "nb={nb}: lookahead changed the arithmetic"
+        );
+    }
+}
+
+/// Lookahead composes with the single-rank degenerate case (the rank
+/// owns every panel, so it is always one factor ahead of itself).
+#[test]
+fn single_rank_lookahead_is_stable() {
+    for (n, nb) in [(64, 8), (50, 7)] {
+        let with = mp::run(1, move |comm| {
+            hpl::run(
+                comm,
+                &HplConfig {
+                    n,
+                    nb,
+                    lookahead: true,
+                },
+            )
+        })[0];
+        let without = mp::run(1, move |comm| {
+            hpl::run(
+                comm,
+                &HplConfig {
+                    n,
+                    nb,
+                    lookahead: false,
+                },
+            )
+        })[0];
+        assert!(with.passed && without.passed);
+        assert_eq!(with.residual, without.residual, "n={n} nb={nb}");
+    }
+}

@@ -168,6 +168,7 @@ pub(crate) fn record(
         mode,
         machine,
         procs,
+        threads: 1,
         bytes: benchmark.sized().then_some(bytes),
         metric,
         value,

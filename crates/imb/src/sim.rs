@@ -76,6 +76,7 @@ pub fn simulate(machine: &Machine, benchmark: Benchmark, procs: usize, bytes: u6
         mode: Mode::Simulated,
         machine: machine.name,
         procs,
+        threads: 1,
         bytes: benchmark.sized().then_some(bytes),
         metric,
         value,

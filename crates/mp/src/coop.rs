@@ -65,15 +65,21 @@ pub(crate) fn current_baton() -> Option<(Arc<Baton>, usize)> {
     CURRENT_BATON.with(|b| b.borrow().clone())
 }
 
-/// RAII: marks the current thread as polling a cooperative task.
+/// RAII: marks the current thread as polling a cooperative task. Also
+/// pins the ambient worker pool to size 1 for the duration: a
+/// cooperative world hosts up to 65k ranks on one OS thread, and a
+/// kernel fanning out per rank would oversubscribe the host by orders
+/// of magnitude (see `smp::pool`).
 struct CoopGuard {
     prev: bool,
+    _pool: smp::AmbientGuard,
 }
 
 impl CoopGuard {
     fn enter() -> CoopGuard {
         CoopGuard {
             prev: IN_COOP.with(|c| c.replace(true)),
+            _pool: smp::AmbientGuard::serial(),
         }
     }
 }

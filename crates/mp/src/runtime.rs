@@ -314,6 +314,10 @@ where
                     if !gate.wait() {
                         return None;
                     }
+                    // Baton-serialised virtual worlds run one rank at a
+                    // time on purpose; a worker pool would oversubscribe
+                    // the host for no modelled benefit.
+                    let _pool = smp::AmbientGuard::serial();
                     let _installed = crate::coop::BatonGuard::install(Arc::clone(&baton), rank);
                     baton.wait_initial(rank);
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -406,6 +410,9 @@ where
                     if !gate.wait() {
                         return None;
                     }
+                    // Hybrid SMP: each native rank's kernels may fan out
+                    // over an even share of the host's cores.
+                    let _pool = smp::AmbientGuard::install(smp::pool::rank_threads(n));
                     let comm = Comm::world(world, rank);
                     Some(f(&comm))
                 });
@@ -509,6 +516,7 @@ where
                     if !gate.wait() {
                         return None;
                     }
+                    let _pool = smp::AmbientGuard::install(smp::pool::rank_threads(n));
                     let comm = Comm::world(world, rank);
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
                     insp.finish(rank);

@@ -1,0 +1,24 @@
+//! Hybrid-SMP support for the benchmark suite: a per-rank worker-thread
+//! pool, host CPU-topology detection, and a persistent per-host tuning
+//! table.
+//!
+//! The paper's machines all ran HPCC in hybrid MPI+SMP mode — a few
+//! ranks per node, each fanning out over the node's cores. This crate is
+//! the intra-rank half of that model:
+//!
+//! * [`pool`] — a fork-join worker pool sized per execution mode. Native
+//!   ranks get `cores / ranks` threads; cooperative/virtual worlds (up
+//!   to 65k ranks hosted on one OS thread) degrade to pool size 1
+//!   without ever spawning.
+//! * [`topo`] — CPU model / core-count / cache detection, the key the
+//!   tuning table is indexed by.
+//! * [`tune`] — the versioned tuning table: autotuned DGEMM blocking,
+//!   FFT block schedule, HPL panel width and thread count, persisted per
+//!   host and loaded transparently by the kernels (overridable by env).
+
+pub mod pool;
+pub mod topo;
+pub mod tune;
+
+pub use pool::{ambient_threads, AmbientGuard, Pool};
+pub use tune::{current as tuned_now, tuned, Tuned};

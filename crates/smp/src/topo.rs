@@ -1,0 +1,108 @@
+//! Host CPU topology detection: the key the per-host tuning table is
+//! indexed by, and the core budget the pool sizing divides among ranks.
+
+use std::sync::OnceLock;
+
+/// What the tuning table keys on: enough topology to distinguish hosts
+/// whose tuned parameters would differ.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostTopo {
+    /// CPU model string (`model name` from `/proc/cpuinfo`, or
+    /// "unknown-cpu" when undetectable).
+    pub model: String,
+    /// Logical CPUs available to this process.
+    pub online_cpus: usize,
+}
+
+impl HostTopo {
+    /// The tuning-table key for this topology: the model string with
+    /// whitespace collapsed, joined with the core count. Stable across
+    /// runs on the same host, distinct across machines that would tune
+    /// differently.
+    pub fn key(&self) -> String {
+        let model: String = self
+            .model
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join("-")
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        format!("{model}/cpus{}", self.online_cpus)
+    }
+}
+
+/// Detects the host topology once per process.
+pub fn detect() -> &'static HostTopo {
+    static TOPO: OnceLock<HostTopo> = OnceLock::new();
+    TOPO.get_or_init(|| HostTopo {
+        model: cpu_model().unwrap_or_else(|| "unknown-cpu".to_string()),
+        online_cpus: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    })
+}
+
+/// The tuning-table key for this host.
+pub fn host_key() -> String {
+    detect().key()
+}
+
+/// First `model name` line of `/proc/cpuinfo` (Linux); `None` elsewhere.
+fn cpu_model() -> Option<String> {
+    let info = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    for line in info.lines() {
+        if let Some(rest) = line.strip_prefix("model name") {
+            return Some(rest.trim_start_matches([' ', '\t', ':']).trim().to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_is_stable_and_positive() {
+        let a = detect();
+        let b = detect();
+        assert_eq!(a, b);
+        assert!(a.online_cpus >= 1);
+    }
+
+    #[test]
+    fn key_is_filesystem_safe() {
+        let t = HostTopo {
+            model: "Intel(R) Xeon(R) Processor @ 2.70GHz".to_string(),
+            online_cpus: 4,
+        };
+        let key = t.key();
+        assert!(!key.contains(' '), "{key}");
+        assert!(key.ends_with("/cpus4"));
+        assert!(key.chars().all(|c| c.is_ascii_alphanumeric()
+            || c == '-'
+            || c == '.'
+            || c == '_'
+            || c == '/'));
+    }
+
+    #[test]
+    fn distinct_topologies_get_distinct_keys() {
+        let a = HostTopo {
+            model: "m".into(),
+            online_cpus: 2,
+        };
+        let b = HostTopo {
+            model: "m".into(),
+            online_cpus: 4,
+        };
+        assert_ne!(a.key(), b.key());
+    }
+}

@@ -51,7 +51,14 @@ fn native_results_are_value_deterministic() {
     // Wall-clock timings vary; computed *values* must not.
     let run = || {
         mp::run(4, |comm| {
-            let r = hpcc::hpl::run(comm, &hpcc::hpl::HplConfig { n: 64, nb: 8 });
+            let r = hpcc::hpl::run(
+                comm,
+                &hpcc::hpl::HplConfig {
+                    n: 64,
+                    nb: 8,
+                    ..hpcc::hpl::HplConfig::default()
+                },
+            );
             r.residual
         })[0]
     };

@@ -58,7 +58,14 @@ fn imb_size_sweep_is_monotone_in_time() {
 fn hpl_residual_quality_across_block_sizes() {
     for nb in [8usize, 17, 32] {
         let results = mp::run(4, |comm| {
-            hpcc::hpl::run(comm, &hpcc::hpl::HplConfig { n: 120, nb })
+            hpcc::hpl::run(
+                comm,
+                &hpcc::hpl::HplConfig {
+                    n: 120,
+                    nb,
+                    ..hpcc::hpl::HplConfig::default()
+                },
+            )
         });
         assert!(
             results[0].passed,
