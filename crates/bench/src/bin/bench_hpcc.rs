@@ -300,7 +300,11 @@ fn main() {
                 },
             )
         })[0];
-        assert!(r2dt.passed, "hybrid HPL2D failed: residual {}", r2dt.residual);
+        assert!(
+            r2dt.passed,
+            "hybrid HPL2D failed: residual {}",
+            r2dt.residual
+        );
         println!(
             "hpl hybrid threads={threads}: 1d p=1 {:.2} Gflop/s ({:.2}x), \
              2d 2x2 {:.2} Gflop/s ({:.2}x)",

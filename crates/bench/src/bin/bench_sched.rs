@@ -10,7 +10,7 @@
 //! cargo run -p bench --bin bench_sched --release -- --baseline F # merge a prior run
 //! ```
 //!
-//! Three metrics, all in events per second:
+//! Five metrics, all in events per second:
 //!
 //! * `spawn_teardown_ranks_per_s` — world construction: spawn a large
 //!   world of trivial rank tasks, run it to completion, tear it down.
@@ -19,8 +19,16 @@
 //!   each delivery resumes it, so switches = ranks x rounds.
 //! * `pingpong_switches_per_s` — the two-task minimum: the pure
 //!   suspend/resume round trip without fan-out effects.
+//! * `timeline_reserves_per_s` — `simnet::Resource` first-fit
+//!   reservations under the fragmenting mid-timeline backfill pattern
+//!   high-rank virtual worlds produce on hot resources.
+//! * `timeline_naive_reserves_per_s` — the same pattern through the
+//!   frozen flat sorted-`Vec` algorithm (the pre-chunking structure),
+//!   kept as the before lane so the speedup stays visible in
+//!   `BENCH_sched.json`.
 
 use harness::{metrics, Stopwatch};
+use simnet::{Resource, Time};
 
 /// One context switch per (rank, round): each receive parks the task
 /// until its predecessor's token lands.
@@ -63,6 +71,76 @@ fn spawn_teardown_rate(n: usize) -> f64 {
     n as f64 / sw.elapsed_secs()
 }
 
+/// One deterministic LCG step (the reservation pattern generator).
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}
+
+/// The ready time / size of the `i`-th synthetic reservation: loosely
+/// increasing ready times with a wide jitter window, the fragmentation
+/// and mid-timeline backfill mix profiled on hot resources of 16k-rank
+/// virtual worlds (interval lists grow into the tens of thousands and
+/// most reservations land mid-timeline).
+fn reservation(i: u64, state: &mut u64) -> (f64, u64) {
+    let s = lcg(state);
+    let jitter_us = ((s >> 33) % 1_000_000) as f64;
+    (i as f64 * 0.5 + jitter_us, 1 + (s >> 55) % 4096)
+}
+
+/// First-fit reservation rate of the production timeline.
+fn timeline_reserve_rate(n: usize) -> f64 {
+    let mut r = Resource::new(1e9);
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let sw = Stopwatch::start();
+    for i in 0..n as u64 {
+        let (ready_us, bytes) = reservation(i, &mut state);
+        r.reserve(Time::from_us(ready_us), bytes);
+    }
+    n as f64 / sw.elapsed_secs()
+}
+
+/// The frozen flat sorted-`Vec` first-fit (verbatim, the pre-chunking
+/// structure), the "before" lane. `simnet`'s tests pin the production
+/// timeline to this algorithm grant-for-grant; here it pins the
+/// speedup.
+fn naive_reserve_rate(n: usize) -> f64 {
+    let mut intervals: Vec<(f64, f64)> = Vec::new();
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let sw = Stopwatch::start();
+    for i in 0..n as u64 {
+        let (ready_us, bytes) = reservation(i, &mut state);
+        let ready = ready_us * 1e-6;
+        let service = bytes as f64 / 1e9;
+        let mut idx = intervals.partition_point(|iv| iv.1 <= ready);
+        let mut candidate = ready;
+        while idx < intervals.len() {
+            let (s, e) = intervals[idx];
+            if s >= candidate + service {
+                break;
+            }
+            candidate = candidate.max(e);
+            idx += 1;
+        }
+        let start = candidate;
+        let end = start + service;
+        let merges_prev = idx > 0 && intervals[idx - 1].1 == start;
+        let merges_next = idx < intervals.len() && intervals[idx].0 == end;
+        match (merges_prev, merges_next) {
+            (true, true) => {
+                intervals[idx - 1].1 = intervals[idx].1;
+                intervals.remove(idx);
+            }
+            (true, false) => intervals[idx - 1].1 = end,
+            (false, true) => intervals[idx].0 = start,
+            (false, false) => intervals.insert(idx, (start, end)),
+        }
+    }
+    n as f64 / sw.elapsed_secs()
+}
+
 fn best_of(reps: usize, f: impl Fn() -> f64) -> f64 {
     (0..reps).map(|_| f()).fold(0.0f64, f64::max)
 }
@@ -87,10 +165,10 @@ fn main() {
         }
     }
 
-    let (world, ring_n, rounds, iters, reps) = if smoke {
-        (4096, 256, 50, 2_000, 2)
+    let (world, ring_n, rounds, iters, reps, reserves) = if smoke {
+        (4096, 256, 50, 2_000, 2, 50_000)
     } else {
-        (65_536, 1024, 200, 20_000, 3)
+        (65_536, 1024, 200, 20_000, 3, 200_000)
     };
 
     let mut sink = metrics::MetricSink::new("coop-sched");
@@ -106,6 +184,17 @@ fn main() {
     let pp = best_of(reps, || pingpong_switch_rate(iters));
     println!("pingpong x{iters}: {pp:.0} switches/s");
     sink.push("pingpong_switches_per_s", pp, "switch/s");
+
+    let timeline = best_of(reps, || timeline_reserve_rate(reserves));
+    println!("timeline x{reserves}: {timeline:.0} reserves/s");
+    sink.push("timeline_reserves_per_s", timeline, "reserve/s");
+
+    let naive = best_of(reps, || naive_reserve_rate(reserves));
+    println!(
+        "timeline (naive vec) x{reserves}: {naive:.0} reserves/s ({:.1}x slower)",
+        timeline / naive
+    );
+    sink.push("timeline_naive_reserves_per_s", naive, "reserve/s");
 
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path)

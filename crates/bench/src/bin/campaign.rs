@@ -11,6 +11,9 @@
 //! cargo run -p bench --bin campaign -- --check              # mpcheck-verify native runs
 //! cargo run -p bench --bin campaign -- --check-report FILE  # mpcheck report JSON path
 //! cargo run -p bench --bin campaign -- --high-rank N        # virtual slice at N coop ranks
+//! cargo run -p bench --bin campaign -- --workloads A,B      # registry-name filter
+//! cargo run -p bench --bin campaign -- --smoke --backend shm --nprocs 2
+//!                                                           # native cells over process fleets
 //! ```
 //!
 //! Full mode replays the paper's simulated campaign over every machine
@@ -18,29 +21,174 @@
 //! (`hpcbench::output::write_all`). Smoke mode exercises every execution
 //! path — native, simulated and virtual — on a small cross product so CI
 //! proves all three routes stay wired through the registry and Runner.
+//!
+//! # Multi-process backends
+//!
+//! With `--backend shm` (one host, shared-memory channel files) or
+//! `--backend tcp` (loopback sockets in CI), every native cell of the
+//! smoke cross product runs as a fleet of `--nprocs` worker processes:
+//! the driver re-execs *this binary* per cell through
+//! [`mp::transport::launcher::Launcher`], which wires the world topology
+//! via the `MP_*` environment. A worker detects the `HPCB_CELL_*` cell
+//! description before argument parsing, installs the session, runs the
+//! one workload, and — when it hosts rank 0 — writes the canonical
+//! record lines for the driver to splice into the unified stream.
+//! Simulated and virtual records are deterministic model evaluation and
+//! always run in the driver. The record stream is line-for-line
+//! comparable with a `--backend local` run of the same plan (modulo
+//! timing statistics), which is exactly what the backend-parity test
+//! asserts.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
-use harness::{records_json, Mode, ProcGrid, Record, RunPlan, Runner};
+use harness::{
+    records_json, records_json_from_lines, Backend, Cell, Mode, ProcGrid, Record, RunPlan, Runner,
+};
 use hpcbench::figures::FigureConfig;
 use hpcbench::output::{self, OutputConfig};
 use machines::systems;
+use mp::transport::launcher::Launcher;
 
-fn smoke_records(check: bool) -> (Vec<Record>, Option<mpcheck::Report>) {
-    let reg = hpcbench::registry();
-    let plan = RunPlan {
+/// Cell-description environment (set by the driver's fleet launcher on
+/// top of the launcher's own `MP_*` session wiring): which workload a
+/// worker runs, at what scale, and where the rank-0 host writes records.
+const CELL_WORKLOAD: &str = "HPCB_CELL_WORKLOAD";
+/// World size (rank count) of the cell; must equal `MP_WORLD_SIZE`.
+const CELL_PROCS: &str = "HPCB_CELL_PROCS";
+/// Message size in bytes, or `none` for unsized workloads.
+const CELL_BYTES: &str = "HPCB_CELL_BYTES";
+/// Repetition policy: `smoke`, `standard`, or a fixed iteration count.
+const CELL_RUNNER: &str = "HPCB_CELL_RUNNER";
+/// Path the rank-0-hosting worker writes the record JSON lines to.
+const CELL_OUT: &str = "HPCB_CELL_OUT";
+
+/// The smoke cross product: all three modes over a reduced grid. The
+/// same plan drives the in-process path and the fleet path, so the two
+/// record streams stay line-for-line comparable.
+fn smoke_plan(backend: Backend, workloads: Option<Vec<&'static str>>) -> RunPlan {
+    RunPlan {
+        backend,
         modes: vec![Mode::Native, Mode::Simulated, Mode::Virtual],
         machines: vec![systems::dell_xeon(), systems::nec_sx8()],
         procs: ProcGrid::List(vec![2, 4]),
         bytes: vec![1024, 65536],
-        workloads: None,
+        workloads,
         runner: Runner::smoke(),
-    };
+    }
+}
+
+fn smoke_records(
+    check: bool,
+    workloads: Option<Vec<&'static str>>,
+) -> (Vec<Record>, Option<mpcheck::Report>) {
+    let reg = hpcbench::registry();
+    let plan = smoke_plan(Backend::Local, workloads);
     if check {
         let (records, report) = plan.execute_checked(&reg, mpcheck::Settings::default());
         (records, Some(report))
     } else {
         (plan.execute(&reg), None)
+    }
+}
+
+/// The multi-process smoke sweep: native cells delegated to per-cell
+/// worker fleets, simulated and virtual records produced in-process,
+/// interleaved in the plan's deterministic order.
+fn smoke_lines_multiproc(
+    backend: Backend,
+    nprocs: usize,
+    workloads: Option<Vec<&'static str>>,
+) -> Vec<String> {
+    let reg = hpcbench::registry();
+    let plan = smoke_plan(backend, workloads);
+    let exe = std::env::current_exe().expect("campaign executable path");
+    let scratch = std::env::temp_dir().join(format!("campaign-cells-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create cell scratch directory");
+    let lines = plan.execute_lines(&reg, |cell| {
+        run_cell_fleet(backend, nprocs, &exe, &scratch, cell)
+    });
+    let _ = std::fs::remove_dir_all(&scratch);
+    lines
+}
+
+/// Launches one native cell as a worker fleet and returns the canonical
+/// record lines its rank-0 host emitted.
+fn run_cell_fleet(
+    backend: Backend,
+    nprocs: usize,
+    exe: &std::path::Path,
+    scratch: &std::path::Path,
+    cell: &Cell,
+) -> Vec<String> {
+    let bytes_tag = cell
+        .bytes
+        .map_or_else(|| "none".to_string(), |b| b.to_string());
+    let out_path = scratch.join(format!(
+        "{}-p{}-b{}.jsonl",
+        cell.workload, cell.procs, bytes_tag
+    ));
+    // A fleet never has more processes than ranks.
+    let np = nprocs.clamp(1, cell.procs);
+    println!(
+        "  [{backend}] {} procs={} bytes={bytes_tag} over {np} worker process(es)",
+        cell.workload, cell.procs
+    );
+    Launcher::new(backend, cell.procs, np, exe)
+        .env(CELL_WORKLOAD, cell.workload)
+        .env(CELL_PROCS, cell.procs.to_string())
+        .env(CELL_BYTES, bytes_tag)
+        .env(CELL_RUNNER, "smoke")
+        .env(CELL_OUT, out_path.display().to_string())
+        .timeout(Duration::from_secs(600))
+        .run();
+    let body = std::fs::read_to_string(&out_path).unwrap_or_else(|e| {
+        panic!(
+            "cell {} left no records at {}: {e}",
+            cell.workload,
+            out_path.display()
+        )
+    });
+    body.lines().map(str::to_string).collect()
+}
+
+/// Worker-process entry: runs the one native cell described by the
+/// `HPCB_CELL_*` environment inside the `MP_*` session the launcher
+/// wired, then writes the record lines if this process hosts rank 0
+/// (whose records are the canonical stream — every rank's records agree
+/// on everything but timing, because the statistics are allreduced).
+fn run_cell_worker() {
+    let proc = mp::transport::init_from_env()
+        .expect("cell workers are launched with an MP_* session environment");
+    let var =
+        |key: &str| std::env::var(key).unwrap_or_else(|_| panic!("cell worker: {key} must be set"));
+    let name = var(CELL_WORKLOAD);
+    let procs: usize = var(CELL_PROCS).parse().expect("cell world size");
+    assert_eq!(
+        procs,
+        proc.world(),
+        "cell world size must match the session's"
+    );
+    let bytes = match var(CELL_BYTES).as_str() {
+        "none" => None,
+        v => Some(v.parse::<u64>().expect("cell bytes")),
+    };
+    let runner = match var(CELL_RUNNER).as_str() {
+        "smoke" => Runner::smoke(),
+        "standard" => Runner::standard(),
+        v => Runner::fixed(v.parse().expect("cell runner: smoke | standard | <iters>")),
+    };
+    let reg = hpcbench::registry();
+    let workload = reg
+        .get(&name)
+        .unwrap_or_else(|| panic!("unknown workload {name:?}"));
+    let records = workload
+        .run(Mode::Native, &runner, None, procs, bytes)
+        .expect("the driver only ships admissible native cells");
+    if proc.resident(0) {
+        let out = var(CELL_OUT);
+        let lines: String = records.iter().map(|r| r.to_json() + "\n").collect();
+        std::fs::write(&out, lines).unwrap_or_else(|e| panic!("cell worker: write {out}: {e}"));
     }
 }
 
@@ -51,6 +199,7 @@ fn smoke_records(check: bool) -> (Vec<Record>, Option<mpcheck::Report>) {
 fn highrank_records(procs: usize) -> Vec<Record> {
     let reg = hpcbench::registry();
     let plan = RunPlan {
+        backend: Backend::Local,
         modes: vec![Mode::Virtual],
         machines: vec![systems::exascale_cluster()],
         procs: ProcGrid::List(vec![procs]),
@@ -61,9 +210,14 @@ fn highrank_records(procs: usize) -> Vec<Record> {
     plan.execute(&reg)
 }
 
-fn paper_records(max_procs: usize, check: bool) -> (Vec<Record>, Option<mpcheck::Report>) {
+fn paper_records(
+    max_procs: usize,
+    check: bool,
+    workloads: Option<Vec<&'static str>>,
+) -> (Vec<Record>, Option<mpcheck::Report>) {
     let reg = hpcbench::registry();
     let plan = RunPlan {
+        backend: Backend::Local,
         modes: vec![Mode::Simulated],
         machines: systems::all_variants(),
         procs: ProcGrid::per_workload(move |m, _| {
@@ -82,7 +236,7 @@ fn paper_records(max_procs: usize, check: bool) -> (Vec<Record>, Option<mpcheck:
             grid
         }),
         bytes: vec![simnet::units::MIB],
-        workloads: None,
+        workloads,
         runner: Runner::standard(),
     };
     if check {
@@ -94,6 +248,13 @@ fn paper_records(max_procs: usize, check: bool) -> (Vec<Record>, Option<mpcheck:
 }
 
 fn main() {
+    // Fleet workers re-exec this binary with the cell environment set;
+    // they never parse arguments.
+    if std::env::var_os(CELL_WORKLOAD).is_some() {
+        run_cell_worker();
+        return;
+    }
+
     let mut out_dir = PathBuf::from("out");
     let mut records_path: Option<PathBuf> = None;
     let mut check_report_path: Option<PathBuf> = None;
@@ -101,6 +262,9 @@ fn main() {
     let mut check = false;
     let mut with_figures = true;
     let mut max_procs = 2048usize;
+    let mut backend = Backend::Local;
+    let mut nprocs = 2usize;
+    let mut workload_filter: Option<Vec<String>> = None;
     // Smoke runs a 16384-rank virtual slice by default; `--high-rank N`
     // raises it (65536+ for the scaling acceptance run) or adds the
     // slice to a full campaign. 0 disables it.
@@ -134,25 +298,102 @@ fn main() {
                         .expect("--high-rank needs a rank count (0 disables the slice)"),
                 );
             }
+            "--backend" => {
+                backend = args
+                    .next()
+                    .expect("--backend needs local, shm or tcp")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("--backend: {e}"));
+            }
+            "--nprocs" => {
+                nprocs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--nprocs needs a process count >= 1");
+            }
+            "--workloads" => {
+                let list = args.next().expect("--workloads needs a,b,c names");
+                workload_filter = Some(list.split(',').map(str::to_string).collect());
+            }
             other => {
                 eprintln!(
                     "unknown argument: {other}\n\
                      usage: campaign [--smoke] [--check] [--no-figures] [--max-procs N] \
-                     [--high-rank N] [--out DIR] [--records FILE] [--check-report FILE]"
+                     [--high-rank N] [--backend local|shm|tcp] [--nprocs N] \
+                     [--workloads A,B] [--out DIR] [--records FILE] [--check-report FILE]"
                 );
                 std::process::exit(2);
             }
         }
     }
 
+    // Resolve the filter against the registry up front: unknown names
+    // fail loudly instead of silently matching nothing, and the plan's
+    // filter wants the registry's 'static names.
+    let workloads: Option<Vec<&'static str>> = workload_filter.map(|names| {
+        let reg = hpcbench::registry();
+        names
+            .iter()
+            .map(|n| {
+                reg.get(n)
+                    .unwrap_or_else(|| panic!("unknown workload {n:?} in --workloads"))
+                    .meta
+                    .name
+            })
+            .collect()
+    });
+
+    if backend != Backend::Local {
+        if !smoke {
+            eprintln!("--backend {backend} drives the smoke cross product; add --smoke");
+            std::process::exit(2);
+        }
+        if check {
+            eprintln!("--check instruments in-process native runs; it does not compose with --backend {backend}");
+            std::process::exit(2);
+        }
+        println!(
+            "campaign --smoke --backend {backend}: native cells over {nprocs}-process fleets, \
+             simulated + virtual in-process"
+        );
+        let mut lines = smoke_lines_multiproc(backend, nprocs, workloads);
+        let high_rank = high_rank.unwrap_or(16_384);
+        if high_rank > 0 {
+            println!("high-rank slice: virtual IMB at {high_rank} cooperative ranks");
+            lines.extend(highrank_records(high_rank).iter().map(Record::to_json));
+        }
+        let count = |mode: &str| {
+            let needle = format!("\"mode\": \"{mode}\"");
+            lines.iter().filter(|l| l.contains(&needle)).count()
+        };
+        println!(
+            "{} records ({} native, {} simulated, {} virtual), all passed: {}",
+            lines.len(),
+            count("native"),
+            count("simulated"),
+            count("virtual"),
+            lines.iter().all(|l| l.contains("\"passed\": true"))
+        );
+        assert!(
+            lines.iter().all(|l| l.contains("\"passed\": true")),
+            "campaign contains failed records"
+        );
+        std::fs::create_dir_all(&out_dir).expect("create output directory");
+        let records_path = records_path.unwrap_or_else(|| out_dir.join("records.json"));
+        std::fs::write(&records_path, records_json_from_lines(&lines)).expect("write records json");
+        println!("wrote {}", records_path.display());
+        return;
+    }
+
     let (mut records, check_report) = if smoke {
         println!("campaign --smoke: native + simulated + virtual on a reduced cross product");
-        smoke_records(check)
+        smoke_records(check, workloads)
     } else {
         println!(
             "campaign: simulated paper sweep over every machine variant (max_procs = {max_procs})"
         );
-        paper_records(max_procs, check)
+        paper_records(max_procs, check, workloads)
     };
 
     let high_rank = high_rank.unwrap_or(if smoke { 16_384 } else { 0 });

@@ -109,6 +109,7 @@ pub fn hpcc_sweeps(cfg: &FigureConfig) -> Vec<HpccSweep> {
         .map(|machine| {
             let grid = hpcc_grid(&machine, cfg.max_procs);
             let plan = RunPlan {
+                backend: harness::Backend::Local,
                 modes: vec![Mode::Simulated],
                 machines: vec![machine.clone()],
                 procs: ProcGrid::List(grid.clone()),
@@ -340,6 +341,7 @@ fn imb_figure(
     let reg = crate::registry::registry();
     let cap = cfg.max_procs;
     let plan = RunPlan {
+        backend: harness::Backend::Local,
         modes: vec![Mode::Simulated],
         machines: imb_machines(),
         procs: ProcGrid::per_workload(move |m, _| {
@@ -480,6 +482,7 @@ pub fn fig_highrank_collectives(cfg: &FigureConfig) -> Figure {
         .iter()
         .map(|&name| {
             let plan = RunPlan {
+                backend: harness::Backend::Local,
                 modes: vec![Mode::Virtual],
                 machines: vec![machine.clone()],
                 procs: ProcGrid::List(grid.clone()),
@@ -520,6 +523,7 @@ pub fn fig_highrank_hpcc(cfg: &FigureConfig) -> Figure {
     let machine = systems::exascale_cluster();
     let grid = highrank_grid(cfg);
     let plan = RunPlan {
+        backend: harness::Backend::Local,
         modes: vec![Mode::Simulated],
         machines: vec![machine.clone()],
         procs: ProcGrid::List(grid),

@@ -30,8 +30,9 @@ pub mod timer;
 mod workload;
 
 pub use metrics::{Metric, MetricSink};
-pub use plan::{GridFn, ProcGrid, RunPlan};
-pub use record::{records_json, MetricKind, Mode, Record, Stats, Suite};
+pub use mp::Backend;
+pub use plan::{Cell, GridFn, ProcGrid, RunPlan};
+pub use record::{records_json, records_json_from_lines, MetricKind, Mode, Record, Stats, Suite};
 pub use runner::{BestOf, RepetitionPolicy, Runner};
 pub use timer::Stopwatch;
 pub use workload::{Registry, Workload, WorkloadMeta};

@@ -4,14 +4,19 @@
 //! One plan regenerates the inputs for every paper table and figure.
 
 use machines::Machine;
+use mp::Backend;
 
 use crate::record::{Mode, Record};
 use crate::runner::Runner;
-use crate::workload::{Registry, WorkloadMeta};
+use crate::workload::{Registry, Workload, WorkloadMeta};
 
 /// A per-workload grid function: called with the machine (`None` in
 /// native mode) and the workload's metadata.
 pub type GridFn = dyn Fn(Option<&Machine>, &WorkloadMeta) -> Vec<usize> + Send + Sync;
+
+/// Visitor over the plan's (workload, mode, machine, procs, bytes) grid
+/// points, in deterministic execution order (see `RunPlan::walk`).
+type GridVisitor<'a> = dyn FnMut(&Workload, Mode, Option<&Machine>, usize, Option<u64>) + 'a;
 
 /// The processor counts a plan sweeps.
 pub enum ProcGrid {
@@ -55,9 +60,30 @@ impl ProcGrid {
     }
 }
 
+/// One native-mode grid cell of a plan: the unit of work a
+/// multi-process backend ships to a worker fleet. Simulated and virtual
+/// execution are deterministic model evaluation and always run
+/// in-process, so only native cells are enumerated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// The workload's registry name.
+    pub workload: &'static str,
+    /// World size (rank count) for this cell.
+    pub procs: usize,
+    /// Message size, `None` for unsized workloads.
+    pub bytes: Option<u64>,
+}
+
 /// A full campaign description: which workloads to run, in which modes,
 /// on which machines, at which scales.
 pub struct RunPlan {
+    /// The transport backend native measurements run over. `Local` is
+    /// the seed path ([`RunPlan::execute`] runs every rank as a thread
+    /// of this process); `Shm` and `Tcp` mark the plan's native cells
+    /// as destined for a worker fleet, which a driver launches per cell
+    /// through [`RunPlan::execute_lines`] (the harness cannot spawn the
+    /// fleet itself — only the driver binary knows its own executable).
+    pub backend: Backend,
     /// Execution modes, in order.
     pub modes: Vec<Mode>,
     /// Machine models for the simulated and virtual modes (ignored by
@@ -78,8 +104,32 @@ pub struct RunPlan {
 impl RunPlan {
     /// Executes the plan, returning every record it produced, in
     /// deterministic (workload, mode, machine, procs, bytes) order.
+    ///
+    /// Requires [`Backend::Local`]: native measurements run in-process,
+    /// every rank a thread. Multi-process plans go through
+    /// [`RunPlan::execute_lines`] with a fleet runner instead.
     pub fn execute(&self, registry: &Registry) -> Vec<Record> {
+        assert_eq!(
+            self.backend,
+            Backend::Local,
+            "execute() runs native cells in-process; drive a {} plan \
+             through execute_lines() with a per-cell fleet runner",
+            self.backend
+        );
         let mut out = Vec::new();
+        self.walk(registry, &mut |workload, mode, machine, p, bytes| {
+            if let Some(recs) = workload.run(mode, &self.runner, machine, p, bytes) {
+                out.extend(recs);
+            }
+        });
+        out
+    }
+
+    /// Visits every (workload, mode, machine, procs, bytes) grid point of
+    /// the plan, in the deterministic execution order. Admissibility
+    /// (min_procs, pow2, closure presence) is the visitor's concern —
+    /// `Workload::run` already gates on it.
+    fn walk(&self, registry: &Registry, visit: &mut GridVisitor<'_>) {
         for workload in registry.iter() {
             if let Some(filter) = &self.workloads {
                 if !filter.contains(&workload.meta.name) {
@@ -91,10 +141,7 @@ impl RunPlan {
                     Mode::Native => {
                         for p in self.procs.resolve(None, &workload.meta) {
                             for bytes in self.bytes_for(&workload.meta) {
-                                if let Some(recs) = workload.run(mode, &self.runner, None, p, bytes)
-                                {
-                                    out.extend(recs);
-                                }
+                                visit(workload, mode, None, p, bytes);
                             }
                         }
                     }
@@ -105,11 +152,7 @@ impl RunPlan {
                                     continue;
                                 }
                                 for bytes in self.bytes_for(&workload.meta) {
-                                    if let Some(recs) =
-                                        workload.run(mode, &self.runner, Some(machine), p, bytes)
-                                    {
-                                        out.extend(recs);
-                                    }
+                                    visit(workload, mode, Some(machine), p, bytes);
                                 }
                             }
                         }
@@ -117,6 +160,52 @@ impl RunPlan {
                 }
             }
         }
+    }
+
+    /// The plan's admissible native-mode cells, in execution order: the
+    /// work a multi-process driver distributes over worker fleets, one
+    /// fleet (world size = `cell.procs`) per cell.
+    pub fn native_cells(&self, registry: &Registry) -> Vec<Cell> {
+        let mut cells = Vec::new();
+        self.walk(registry, &mut |w, mode, _machine, p, bytes| {
+            if mode == Mode::Native && w.supports(mode) && w.meta.admits(p, mode) {
+                cells.push(Cell {
+                    workload: w.meta.name,
+                    procs: p,
+                    bytes,
+                });
+            }
+        });
+        cells
+    }
+
+    /// Executes the plan as a JSON-line stream, delegating every native
+    /// cell to `native` (which returns the cell's record lines — for a
+    /// multi-process backend, the canonical lines emitted by the worker
+    /// hosting rank 0). Simulated and virtual records are produced
+    /// in-process, exactly as [`RunPlan::execute`] would, and serialised
+    /// with [`Record::to_json`]; the interleaving matches `execute`'s
+    /// record order line for line, which is what the local-vs-shm parity
+    /// check rests on.
+    pub fn execute_lines(
+        &self,
+        registry: &Registry,
+        native: impl Fn(&Cell) -> Vec<String>,
+    ) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(registry, &mut |w, mode, machine, p, bytes| {
+            if mode == Mode::Native {
+                if w.supports(mode) && w.meta.admits(p, mode) {
+                    out.extend(native(&Cell {
+                        workload: w.meta.name,
+                        procs: p,
+                        bytes,
+                    }));
+                }
+            } else if let Some(recs) = w.run(mode, &self.runner, machine, p, bytes) {
+                out.extend(recs.iter().map(Record::to_json));
+            }
+        });
         out
     }
 
@@ -202,6 +291,7 @@ mod tests {
     #[test]
     fn plan_crosses_workloads_modes_procs_and_bytes() {
         let plan = RunPlan {
+            backend: Backend::Local,
             modes: vec![Mode::Native, Mode::Simulated],
             machines: vec![machines::systems::dell_xeon()],
             procs: ProcGrid::List(vec![2, 4]),
@@ -225,6 +315,7 @@ mod tests {
         let mut x1 = machines::systems::cray_x1_msp();
         x1.max_cpus = 2;
         let plan = RunPlan {
+            backend: Backend::Local,
             modes: vec![Mode::Simulated],
             machines: vec![x1],
             procs: ProcGrid::List(vec![2, 64]),
@@ -244,6 +335,7 @@ mod tests {
     #[test]
     fn pow2_grid_climbs_from_min_procs_to_the_cap() {
         let plan = RunPlan {
+            backend: Backend::Local,
             modes: vec![Mode::Simulated],
             machines: vec![machines::systems::dell_xeon()],
             procs: ProcGrid::Pow2Through(16),
@@ -260,6 +352,7 @@ mod tests {
         let mut small = machines::systems::dell_xeon();
         small.max_cpus = 4;
         let capped = RunPlan {
+            backend: Backend::Local,
             modes: vec![Mode::Simulated],
             machines: vec![small],
             procs: ProcGrid::Pow2Through(1 << 20),
@@ -301,6 +394,7 @@ mod tests {
             }),
         );
         let plan = RunPlan {
+            backend: Backend::Local,
             modes: vec![Mode::Native],
             machines: vec![],
             procs: ProcGrid::List(vec![2]),
@@ -316,8 +410,98 @@ mod tests {
     }
 
     #[test]
+    fn native_cells_enumerate_the_admissible_native_grid() {
+        let plan = RunPlan {
+            backend: Backend::Shm,
+            modes: vec![Mode::Native, Mode::Simulated],
+            machines: vec![machines::systems::dell_xeon()],
+            procs: ProcGrid::List(vec![1, 2]),
+            bytes: vec![256, 1024],
+            workloads: None,
+            runner: Runner::smoke(),
+        };
+        let cells = plan.native_cells(&reg());
+        // "sized" admits only p=2 (min_procs) and sweeps both sizes;
+        // "unsized" runs once per proc count with bytes = None.
+        assert_eq!(
+            cells,
+            vec![
+                Cell {
+                    workload: "sized",
+                    procs: 2,
+                    bytes: Some(256)
+                },
+                Cell {
+                    workload: "sized",
+                    procs: 2,
+                    bytes: Some(1024)
+                },
+                Cell {
+                    workload: "unsized",
+                    procs: 1,
+                    bytes: None
+                },
+                Cell {
+                    workload: "unsized",
+                    procs: 2,
+                    bytes: None
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn execute_lines_matches_execute_order_exactly() {
+        let mk = |backend| RunPlan {
+            backend,
+            modes: vec![Mode::Native, Mode::Simulated],
+            machines: vec![machines::systems::dell_xeon()],
+            procs: ProcGrid::List(vec![2]),
+            bytes: vec![256, 1024],
+            workloads: None,
+            runner: Runner::smoke(),
+        };
+        let registry = reg();
+        let direct: Vec<String> = mk(Backend::Local)
+            .execute(&registry)
+            .iter()
+            .map(Record::to_json)
+            .collect();
+        // The delegated stream, with the "fleet" running cells through
+        // the very same registry in-process, must interleave native and
+        // simulated lines identically.
+        let plan = mk(Backend::Shm);
+        let runner = plan.runner;
+        let delegated = plan.execute_lines(&registry, |cell| {
+            let w = registry.get(cell.workload).expect("cell names an entry");
+            w.run(Mode::Native, &runner, None, cell.procs, cell.bytes)
+                .expect("native cells are admissible")
+                .iter()
+                .map(Record::to_json)
+                .collect()
+        });
+        assert_eq!(delegated, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "execute_lines")]
+    fn execute_rejects_multiprocess_backends() {
+        let plan = RunPlan {
+            backend: Backend::Tcp,
+            modes: vec![Mode::Simulated],
+            machines: vec![machines::systems::dell_xeon()],
+            procs: ProcGrid::List(vec![2]),
+            bytes: vec![64],
+            workloads: None,
+            runner: Runner::smoke(),
+        };
+        plan.execute(&reg());
+    }
+
+    #[test]
     fn per_workload_grids_see_the_machine() {
         let plan = RunPlan {
+            backend: Backend::Local,
             modes: vec![Mode::Simulated],
             machines: vec![machines::systems::dell_xeon()],
             procs: ProcGrid::per_workload(|m, _| {

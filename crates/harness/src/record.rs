@@ -251,6 +251,21 @@ pub fn records_json(records: &[Record]) -> String {
     out
 }
 
+/// Serialises an already-rendered record-line stream (one JSON object
+/// per entry, as produced by [`Record::to_json`]) into the same unified
+/// document as [`records_json`]. This is the assembly path for
+/// multi-process campaigns, where native records arrive as canonical
+/// JSON lines from worker fleets rather than as in-process [`Record`]s.
+pub fn records_json_from_lines(lines: &[String]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"hpcbench-record-v1\",\n  \"records\": [\n");
+    for (i, line) in lines.iter().enumerate() {
+        let comma = if i + 1 < lines.len() { "," } else { "" };
+        let _ = writeln!(out, "    {}{comma}", line.trim());
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +326,18 @@ mod tests {
         let mut r = rec();
         r.bytes = None;
         assert!(r.to_json().contains("\"bytes\": null"));
+    }
+
+    #[test]
+    fn line_assembly_matches_record_assembly() {
+        let records = [rec(), rec()];
+        let lines: Vec<String> = records.iter().map(Record::to_json).collect();
+        assert_eq!(records_json_from_lines(&lines), records_json(&records));
+        assert_eq!(
+            records_json_from_lines(&[]),
+            records_json(&[]),
+            "empty streams agree too"
+        );
     }
 
     #[test]

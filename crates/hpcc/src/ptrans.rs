@@ -43,6 +43,45 @@ fn b_elem(i: usize, j: usize) -> f64 {
     crate::hpl::matrix_element(i + 2_000_033, j)
 }
 
+/// Tile size (elements) below which the transpose-accumulate stays
+/// serial: a fork-join region costs more than a small tile's arithmetic.
+const PAR_MIN_ELEMS: usize = 64 * 64;
+
+/// The local transpose-accumulate at the heart of PTRANS:
+/// `a[r][col0 + c] += incoming[c * rows + r]` over the `rows x rows`
+/// tile, fanned out over the rank's worker pool in contiguous row bands
+/// (`a` is row-major, so a row band is one contiguous `&mut` split).
+/// Every output element receives exactly one addition from exactly one
+/// worker — the same addition the serial loop performs — so the result
+/// is bitwise identical for any thread count.
+fn transpose_accumulate(a: &mut [f64], n: usize, rows: usize, col0: usize, incoming: &[f64]) {
+    let pool = smp::Pool::current();
+    if pool.size() <= 1 || rows * rows < PAR_MIN_ELEMS {
+        for r in 0..rows {
+            for c in 0..rows {
+                a[r * n + col0 + c] += incoming[c * rows + r];
+            }
+        }
+        return;
+    }
+    let ranges = pool.chunk_ranges(rows, 1);
+    let mut bands: Vec<(usize, &mut [f64])> = Vec::with_capacity(ranges.len());
+    let mut rest: &mut [f64] = a;
+    for rng in ranges {
+        let (band, tail) = std::mem::take(&mut rest).split_at_mut((rng.end - rng.start) * n);
+        bands.push((rng.start, band));
+        rest = tail;
+    }
+    pool.run_parts(&mut bands, |_, (r0, band)| {
+        for (dr, row) in band.chunks_mut(n).enumerate() {
+            let r = *r0 + dr;
+            for c in 0..rows {
+                row[col0 + c] += incoming[c * rows + r];
+            }
+        }
+    });
+}
+
 /// Runs G-PTRANS on `comm`.
 pub fn run(comm: &Comm, cfg: &PtransConfig) -> PtransResult {
     mp::block_on(run_async(comm, cfg))
@@ -85,12 +124,8 @@ pub async fn run_async(comm: &Comm, cfg: &PtransConfig) -> PtransResult {
             comm.sendrecv_async(&tile, dst, &mut incoming, src, 3).await;
         }
         // incoming = B[rows_src][cols_me]; A[my rows][cols_src] += its
-        // transpose.
-        for r in 0..rows {
-            for c in 0..rows {
-                a[r * n + src * rows + c] += incoming[c * rows + r];
-            }
-        }
+        // transpose, fanned over the rank's worker pool.
+        transpose_accumulate(&mut a, n, rows, src * rows, &incoming);
     }
 
     let time_s = clock.elapsed_secs();
@@ -135,5 +170,32 @@ mod tests {
     #[should_panic(expected = "divisible")]
     fn rejects_indivisible_order() {
         mp::run(3, |comm| run(comm, &PtransConfig { n: 16 }));
+    }
+
+    #[test]
+    fn transpose_accumulate_is_bitwise_identical_across_thread_counts() {
+        let n = 512;
+        let rows = 128; // rows * rows >= PAR_MIN_ELEMS: the banded path runs.
+        let col0 = 256;
+        let mk = || -> Vec<f64> { (0..rows * n).map(|k| a_elem(k / n, k % n)).collect() };
+        let incoming: Vec<f64> = (0..rows * rows)
+            .map(|k| b_elem(k % rows, k / rows))
+            .collect();
+        let reference = {
+            let _serial = smp::AmbientGuard::install(1);
+            let mut a = mk();
+            transpose_accumulate(&mut a, n, rows, col0, &incoming);
+            a
+        };
+        for threads in [2usize, 3, 4, 8] {
+            let _guard = smp::AmbientGuard::install(threads);
+            let mut a = mk();
+            transpose_accumulate(&mut a, n, rows, col0, &incoming);
+            let identical = reference
+                .iter()
+                .zip(&a)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(identical, "{threads}-thread transpose drifted from serial");
+        }
     }
 }

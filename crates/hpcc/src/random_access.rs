@@ -51,13 +51,54 @@ pub struct RandomAccessResult {
     pub passed: bool,
 }
 
+/// Bucket size below which the XOR apply stays serial: with the default
+/// 1024-update look-ahead a fork-join region would dwarf the updates.
+const PAR_MIN_UPDATES: usize = 4096;
+
+/// Applies one bucket of XOR updates to the local table slice, fanning
+/// the scan over the rank's worker pool when the bucket is large: the
+/// table splits into contiguous bands and every worker scans the whole
+/// bucket, applying only the updates that land in its band. Each table
+/// word belongs to exactly one band, so updates to it are applied by one
+/// worker in stream order — and XOR is exact and order-independent
+/// anyway — making the result bitwise identical to the serial loop for
+/// any thread count.
+fn apply_updates(table: &mut [u64], my_base: u64, table_bits: u32, incoming: &[u64]) {
+    let mask = (1u64 << table_bits) - 1;
+    let pool = smp::Pool::current();
+    if pool.size() <= 1 || incoming.len() < PAR_MIN_UPDATES {
+        for &v in incoming {
+            let local = (v & mask) - my_base;
+            debug_assert!((local as usize) < table.len());
+            table[local as usize] ^= v;
+        }
+        return;
+    }
+    let ranges = pool.chunk_ranges(table.len(), 1);
+    let mut bands: Vec<(u64, &mut [u64])> = Vec::with_capacity(ranges.len());
+    let mut rest: &mut [u64] = table;
+    for rng in ranges {
+        let (band, tail) = std::mem::take(&mut rest).split_at_mut(rng.end - rng.start);
+        bands.push((rng.start as u64, band));
+        rest = tail;
+    }
+    pool.run_parts(&mut bands, |_, (lo, band)| {
+        let hi = *lo + band.len() as u64;
+        for &v in incoming {
+            let local = (v & mask) - my_base;
+            if local >= *lo && local < hi {
+                band[(local - *lo) as usize] ^= v;
+            }
+        }
+    });
+}
+
 /// One pass over this rank's update stream, exchanging buckets and
 /// applying XOR updates to the local table slice.
 async fn apply_stream(
     comm: &Comm,
     table: &mut [u64],
     my_base: u64,
-    local_mask: u64,
     cfg: &RandomAccessConfig,
     total_updates: u64,
 ) {
@@ -95,12 +136,7 @@ async fn apply_stream(
                 let (data, _, _) = comm.recv_any_async::<u64>(Some(src), Some(11)).await;
                 data
             };
-            for v in incoming {
-                let addr = v & ((1u64 << table_bits) - 1);
-                let local = addr - my_base;
-                debug_assert!(local <= local_mask);
-                table[local as usize] ^= v;
-            }
+            apply_updates(table, my_base, table_bits, &incoming);
         }
         remaining -= now as u64;
     }
@@ -138,28 +174,12 @@ pub async fn run_async(comm: &Comm, cfg: &RandomAccessConfig) -> RandomAccessRes
 
     comm.barrier_async().await;
     let clock = harness::Stopwatch::start();
-    apply_stream(
-        comm,
-        &mut table,
-        my_base,
-        local_size - 1,
-        cfg,
-        total_updates,
-    )
-    .await;
+    apply_stream(comm, &mut table, my_base, cfg, total_updates).await;
     comm.barrier_async().await;
     let time_s = clock.elapsed_secs();
 
     // Verification: replay the identical stream; XOR self-inverts.
-    apply_stream(
-        comm,
-        &mut table,
-        my_base,
-        local_size - 1,
-        cfg,
-        total_updates,
-    )
-    .await;
+    apply_stream(comm, &mut table, my_base, cfg, total_updates).await;
     let ok = table
         .iter()
         .enumerate()
@@ -215,5 +235,31 @@ mod tests {
     #[should_panic(expected = "power-of-two")]
     fn rejects_non_power_of_two_ranks() {
         mp::run(3, |comm| run(comm, &RandomAccessConfig::default()));
+    }
+
+    #[test]
+    fn banded_apply_is_bitwise_identical_across_thread_counts() {
+        let bits = 14u32;
+        let mut stream = ra_rng::UpdateStream::at(0);
+        // Large enough to clear PAR_MIN_UPDATES: the banded path runs.
+        let incoming: Vec<u64> = (0..2 * PAR_MIN_UPDATES)
+            .map(|_| stream.next().expect("stream is infinite"))
+            .collect();
+        let mk = || (0..(1u64 << bits)).collect::<Vec<u64>>();
+        let reference = {
+            let _serial = smp::AmbientGuard::install(1);
+            let mut table = mk();
+            apply_updates(&mut table, 0, bits, &incoming);
+            table
+        };
+        for threads in [2usize, 3, 4, 8] {
+            let _guard = smp::AmbientGuard::install(threads);
+            let mut table = mk();
+            apply_updates(&mut table, 0, bits, &incoming);
+            assert_eq!(
+                table, reference,
+                "{threads}-thread apply drifted from serial"
+            );
+        }
     }
 }

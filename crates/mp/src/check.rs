@@ -588,8 +588,69 @@ pub(crate) fn diagnose(world: &World, insp: &Inspector) -> Option<Arc<Deadlock>>
     }))
 }
 
+/// Wait snapshot of a *subset* of the world's ranks: the per-process half
+/// of the cross-process deadlock detector. Like [`diagnose`], but only
+/// over `ranks` (the ranks resident in this process) and returning the
+/// raw wait edges rather than a full diagnosis — cycle finding happens on
+/// process 0 once every process's edges are in. Returns `None` when some
+/// listed rank is runnable or has a wake already in flight (filled
+/// hand-off slot, published rendezvous object); an empty vector when
+/// every listed rank has finished.
+pub(crate) fn snapshot_ranks(
+    world: &World,
+    insp: &Inspector,
+    ranks: &[usize],
+) -> Option<Vec<WaitSnapshot>> {
+    let mut waits: Vec<WaitSnapshot> = Vec::new();
+    let mut slots: Vec<Option<Arc<Handoff>>> = Vec::new();
+    for &rank in ranks {
+        let st = insp.ranks[rank].lock();
+        if st.finished {
+            continue;
+        }
+        match &st.waiting {
+            None => return None, // someone is runnable after all
+            Some(w) => {
+                waits.push(WaitSnapshot {
+                    rank,
+                    on: w.on.clone(),
+                    coll: st.coll,
+                });
+                slots.push(w.slot.clone());
+            }
+        }
+    }
+    for (w, slot) in waits.iter().zip(&slots) {
+        if let Some(slot) = slot {
+            if slot.has_arrived() {
+                return None;
+            }
+        }
+        if let WaitOn::Rendezvous { key } = &w.on {
+            if world.rendezvous.lock().contains_key(key) {
+                return None;
+            }
+        }
+    }
+    Some(waits)
+}
+
+/// Whether every unfinished rank among `ranks` is currently parked in a
+/// wait. True when every listed rank has finished — a process whose
+/// residents are all done contributes no wait edges but must not block
+/// the global stall from being declared.
+pub(crate) fn ranks_stable(insp: &Inspector, ranks: &[usize]) -> bool {
+    for &rank in ranks {
+        let st = insp.ranks[rank].lock();
+        if !st.finished && st.waiting.is_none() {
+            return false;
+        }
+    }
+    true
+}
+
 /// Finds a cycle in a functional graph (`succ[v]` = at most one edge).
-fn find_cycle(succ: &[Option<usize>]) -> Option<Vec<usize>> {
+pub(crate) fn find_cycle(succ: &[Option<usize>]) -> Option<Vec<usize>> {
     // 0 = unvisited, 1 = on current path, 2 = done.
     let mut color = vec![0u8; succ.len()];
     for start in 0..succ.len() {

@@ -575,6 +575,17 @@ impl Comm {
             !crate::coop::in_coop(),
             "mp: rendezvous_storage (RMA window creation) is not supported inside cooperative tasks"
         );
+        if let Some(remote) = &self.world.remote {
+            // The shared object lives in one address space; a window over
+            // ranks in different processes has nowhere to live.
+            for &g in self.group.iter() {
+                assert!(
+                    remote.resident(g),
+                    "mp: rendezvous_storage (RMA window creation) requires every communicator \
+                     member to be resident in one process (rank {g} is hosted elsewhere)"
+                );
+            }
+        }
         let seq = self.next_coll_tag();
         let key = (u64::from(self.id) << 32) | u64::from(seq & 0x7FFF_FFFF);
         let n = self.size();

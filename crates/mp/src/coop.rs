@@ -335,6 +335,7 @@ where
     Fut: Future<Output = R>,
 {
     assert!(n > 0, "an SPMD world needs at least one rank");
+    crate::transport::assert_no_session("run_coop");
     let world = Arc::new(World::new(n, false, None));
     let (results, _) = execute(&world, &f);
     results
@@ -351,6 +352,7 @@ where
     Fut: Future<Output = R>,
 {
     assert!(n > 0, "an SPMD world needs at least one rank");
+    crate::transport::assert_no_session("run_traced_coop");
     let world = Arc::new(World::new(n, true, None));
     let (results, _) = execute(&world, &f);
     let world = Arc::try_unwrap(world)
@@ -379,6 +381,7 @@ where
     Fut: Future<Output = R>,
 {
     assert!(n > 0, "an SPMD world needs at least one rank");
+    crate::transport::assert_no_session("run_virtual_coop");
     let mut world = World::new(n, false, None);
     world.virtual_net = Some(net);
     world.virtual_clocks = (0..n).map(|_| Mutex::new(Time::ZERO)).collect();
@@ -409,6 +412,7 @@ where
     Fut: Future<Output = R>,
 {
     assert!(n > 0, "an SPMD world needs at least one rank");
+    crate::transport::assert_no_session("run_checked_coop");
     let seed = settings.seed;
     let inspector = Arc::new(check::Inspector::new(n, settings));
     let world = Arc::new(World::new(n, false, Some(Arc::clone(&inspector))));

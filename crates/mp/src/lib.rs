@@ -39,6 +39,7 @@ pub mod reduce;
 pub mod rma;
 mod runtime;
 pub mod sched;
+pub mod transport;
 pub mod virt;
 
 pub use comm::{Comm, RecvHandle};
@@ -48,4 +49,5 @@ pub use msg::{Tag, MAX_USER_TAG};
 pub use reduce::{Numeric, Op};
 pub use rma::Window;
 pub use runtime::{run, run_traced};
+pub use transport::{Backend, Proc};
 pub use virt::{run_virtual, VirtualNet};

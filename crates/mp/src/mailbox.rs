@@ -52,7 +52,7 @@ const DEFAULT_DEADLOCK_TIMEOUT_SECS: u64 = 20;
 /// long-running drivers may legitimately adjust the timeout between runs,
 /// and a stale first-read value would silently win. Unparsable values
 /// fall back to the default.
-fn deadlock_timeout() -> Duration {
+pub(crate) fn deadlock_timeout() -> Duration {
     let secs = std::env::var("MP_DEADLOCK_TIMEOUT_SECS")
         .ok()
         .and_then(|v| v.parse().ok())

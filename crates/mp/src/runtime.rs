@@ -142,6 +142,10 @@ pub(crate) struct World {
     pub virtual_clocks: Vec<Mutex<Time>>,
     /// Instrumentation registry of a checked run (None otherwise).
     pub inspector: Option<Arc<Inspector>>,
+    /// Multi-process session handle: present when this world is one epoch
+    /// of a cross-process world, consulted by [`World::deliver`] to route
+    /// messages for ranks hosted by other processes over the transport.
+    pub remote: Option<crate::transport::RemoteWorld>,
 }
 
 impl World {
@@ -162,11 +166,23 @@ impl World {
             virtual_net: None,
             virtual_clocks: Vec::new(),
             inspector,
+            remote: None,
         }
     }
 
     /// Delivers `msg` to global rank `dst`, recording it if tracing.
+    /// Under a multi-process session, a message for a rank hosted by
+    /// another process is framed and sent over the transport instead of
+    /// pushed into a local mailbox — the one point where residency is
+    /// decided, so everything above (collectives, rendezvous fallback,
+    /// instrumentation) is transport-agnostic by construction.
     pub fn deliver(&self, dst: usize, msg: Message) {
+        if let Some(remote) = &self.remote {
+            if !remote.resident(dst) {
+                remote.send_data(dst, &msg);
+                return;
+            }
+        }
         if let Some(trace) = &self.trace {
             trace.lock().push(Transfer {
                 src: msg.src,
@@ -189,6 +205,13 @@ impl World {
         full_tag: u64,
         words: &[T],
     ) -> bool {
+        if let Some(remote) = &self.remote {
+            if !remote.resident(dst) {
+                // No visibility into a remote mailbox's posted receives;
+                // the caller falls back to the eager (framed) path.
+                return false;
+            }
+        }
         if !self.mailboxes[dst].rendezvous_send(src, full_tag, words, None) {
             return false;
         }
@@ -219,6 +242,14 @@ impl World {
 ///
 /// Panics if any rank panics (the panic is propagated with its message).
 ///
+/// Under a multi-process session
+/// ([`transport::init_from_env`](crate::transport::init_from_env) found a
+/// backend), `n` must equal the launcher-fixed world size, the ranks
+/// resident in this process run here while the rest run in their own
+/// processes, and only the *resident* ranks' results come back (in
+/// ascending rank order) — every process of the world must make the same
+/// `run` calls in the same order.
+///
 /// # Examples
 ///
 /// ```
@@ -234,6 +265,12 @@ where
     R: Send,
     F: Fn(&Comm) -> R + Send + Sync,
 {
+    // A multi-process session reroutes delivery through its transport;
+    // it takes precedence over scoped checking (the session runs its own
+    // cross-process detector).
+    if let Some(sess) = crate::transport::session() {
+        return crate::transport::run_multiproc(&sess, n, f);
+    }
     // An ambient check configuration (installed on *this* thread via
     // `check::install_scoped`) reroutes the run through the instrumented
     // path: deadlocks are diagnosed, the run log goes to the sink, and
@@ -266,6 +303,7 @@ where
     R: Send,
     F: Fn(&Comm) -> R + Send + Sync,
 {
+    crate::transport::assert_no_session("run_traced");
     let (results, trace) = run_inner(n, true, f);
     (results, trace.expect("tracing was enabled"))
 }
@@ -288,6 +326,7 @@ where
     F: Fn(&Comm) -> R + Send + Sync,
 {
     assert!(n > 0, "an SPMD world needs at least one rank");
+    crate::transport::assert_no_session("run_virtual");
     let mut world = World::new(n, false, None);
     world.virtual_net = Some(net);
     world.virtual_clocks = (0..n).map(|_| Mutex::new(Time::ZERO)).collect();
@@ -446,6 +485,67 @@ where
     (results, trace)
 }
 
+/// Spawns one rank thread per entry of `ranks` against `world` (whose
+/// size may exceed `ranks.len()` — the multi-process runtime hosts only
+/// the resident subset of a larger world), joins them, and returns their
+/// results in `ranks` order. `world_size` is the *full* world size,
+/// which sizes each rank's SMP worker share exactly as a single-process
+/// run of that world would — a parity requirement, not a nicety: the
+/// `threads` field of emitted records must not depend on how ranks were
+/// packed into processes.
+pub(crate) fn spawn_rank_threads<R, F>(
+    world: &Arc<World>,
+    ranks: &[usize],
+    world_size: usize,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &Comm) -> R + Send + Sync,
+{
+    let f = &f;
+    let gate = StartGate::new();
+    let stack = rank_stack_bytes();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranks.len());
+        for &rank in ranks {
+            let world = Arc::clone(world);
+            let gate = &gate;
+            let spawned = std::thread::Builder::new()
+                .name(format!("mp-rank-{rank}"))
+                .stack_size(stack)
+                .spawn_scoped(scope, move || {
+                    if !gate.wait() {
+                        return None;
+                    }
+                    let _pool = smp::AmbientGuard::install(smp::pool::rank_threads(world_size));
+                    let comm = Comm::world(world, rank);
+                    Some(f(rank, &comm))
+                });
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    gate.abort();
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    spawn_failure(rank, world_size, stack, &e);
+                }
+            }
+        }
+        gate.open();
+        handles
+            .into_iter()
+            .zip(ranks)
+            .map(|(h, &rank)| match h.join() {
+                Ok(Some(r)) => r,
+                Ok(None) => unreachable!("the gate opened, so every spawn succeeded"),
+                Err(e) => panic!("rank {rank} panicked: {}", panic_message(&*e)),
+            })
+            .collect()
+    })
+}
+
 /// The instrumented run path behind [`crate::check::run_checked`] (and,
 /// via a scoped install, [`run`]): an [`Inspector`] is attached to the
 /// world, every rank runs under `catch_unwind`, and a detector thread
@@ -460,6 +560,7 @@ where
     use std::sync::atomic::{AtomicBool, Ordering};
 
     assert!(n > 0, "an SPMD world needs at least one rank");
+    crate::transport::assert_no_session("run_checked");
     let seed = settings.seed;
     let inspector = Arc::new(Inspector::new(n, settings));
     let world = Arc::new(World::new(n, false, Some(Arc::clone(&inspector))));

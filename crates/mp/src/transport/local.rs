@@ -1,0 +1,32 @@
+//! The degenerate single-process transport.
+//!
+//! The *local backend* proper is not here — it is the seed delivery path
+//! itself: with no session installed (or every rank resident),
+//! [`World::deliver`](crate::runtime::World::deliver) pushes straight
+//! into the destination mailbox, byte-identical to the pre-refactor
+//! runtime. This type only exists so a session whose world happens to fit
+//! in one process (`MP_NPROCS=1`) still has a [`Transport`] to hold: it
+//! has no peers, so `send` is unreachable and `recv` just idles.
+
+use std::time::Duration;
+
+use super::wire::Frame;
+use super::{Backend, Transport};
+
+/// Transport of a single-process session: no peers, nothing to move.
+pub(crate) struct LocalTransport;
+
+impl Transport for LocalTransport {
+    fn send(&self, dst_proc: usize, _frame: &Frame) {
+        unreachable!("mp transport: local send to proc {dst_proc} in a 1-process world");
+    }
+
+    fn recv(&self, timeout: Duration) -> Option<Frame> {
+        std::thread::sleep(timeout);
+        None
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Local
+    }
+}

@@ -1,0 +1,955 @@
+//! Pluggable message-delivery backends: one matching-semantics contract,
+//! three transports.
+//!
+//! Everything above message delivery — [`Payload`](crate::payload),
+//! per-(src, comm, tag) mailboxes with non-overtaking wildcard matching,
+//! rendezvous, the collectives, `mp::check` instrumentation — is
+//! transport-agnostic: a send terminates in
+//! [`World::deliver`](crate::runtime::World::deliver), and `deliver`
+//! routes on *residency*:
+//!
+//! * **local** — the destination rank lives in this process: the message
+//!   is pushed straight into its mailbox, exactly the seed runtime's
+//!   path (byte-identical; see [`local`]).
+//! * **shm** — the destination rank lives in another process on this
+//!   host: the message is framed ([`wire`]) and appended to a
+//!   single-writer/single-reader channel file on a shared-memory
+//!   filesystem (see [`shm`]).
+//! * **tcp** — the destination rank lives on (potentially) another host:
+//!   the frame goes over a length-prefixed socket (see [`tcp`]).
+//!
+//! # Sessions, worlds and epochs
+//!
+//! A *session* is this process's membership in a multi-process world:
+//! process index, rank→process map and a [`Transport`]. It is installed
+//! explicitly from the environment ([`init_from_env`]) — the variables
+//! are wired by the [`launcher`] — and every subsequent [`crate::run`]
+//! call in the process becomes one *epoch* of that world: all processes
+//! must call `run` with the same world size in the same order (the SPMD
+//! discipline, process-level). Each epoch, `run` spawns rank threads for
+//! the ranks *resident* in this process and returns only their results.
+//!
+//! Epoch teardown uses a flush barrier: after its residents join, each
+//! process sends a `Barrier` frame to every peer and waits for theirs.
+//! Channels are FIFO, so receipt of a peer's barrier proves every data
+//! frame that peer sent this epoch has already been buffered — no frame
+//! can leak into the next epoch.
+//!
+//! # Cross-process deadlock detection
+//!
+//! `mp::check`'s wait-edge instrumentation keeps working when the
+//! wait-for graph spans processes. Each process runs a monitor thread
+//! that watches its resident ranks exactly like the single-process
+//! detector (stable activity across polls, every unfinished rank parked,
+//! in-flight wakes ruled out via hand-off probes); on local stability it
+//! serializes its wait edges as a `Stable` control frame to process 0.
+//! Process 0 aggregates: when every process has reported, the global
+//! sent/received data-frame counts balance (no frame in flight — the
+//! classic counting method for distributed termination detection), and a
+//! `Confirm`/`ConfirmAck` round proves every snapshot is still current,
+//! it assembles the global wait-for graph, reuses the single-process
+//! cycle finder, and broadcasts the [`Deadlock`](crate::check::Deadlock)
+//! as a `Poison` frame — blocked ranks on every process unwind with the
+//! diagnosis naming the cycle.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::check::{self, Inspector, Settings, WaitSnapshot};
+use crate::comm::Comm;
+use crate::msg::Message;
+use crate::payload::Payload;
+use crate::runtime::World;
+
+pub mod launcher;
+pub(crate) mod local;
+pub(crate) mod shm;
+pub(crate) mod tcp;
+pub(crate) mod wire;
+
+use wire::{Frame, FrameKind, StableReport};
+
+/// Environment variable selecting the backend (`local`, `shm`, `tcp`).
+pub const ENV_BACKEND: &str = "MP_BACKEND";
+/// Environment variable carrying the world size (total ranks).
+pub const ENV_WORLD_SIZE: &str = "MP_WORLD_SIZE";
+/// Environment variable carrying the number of processes.
+pub const ENV_NPROCS: &str = "MP_NPROCS";
+/// Environment variable carrying this process's index.
+pub const ENV_PROC: &str = "MP_PROC";
+/// Environment variable carrying the session directory (shm channel
+/// files, tcp address files).
+pub const ENV_WORLD_DIR: &str = "MP_WORLD_DIR";
+/// Optional comma-separated rank→process map (`MP_RANK_PROCS=0,0,1,1`);
+/// defaults to balanced contiguous blocks.
+pub const ENV_RANK_PROCS: &str = "MP_RANK_PROCS";
+/// Optional comma-separated `host:port` listener address per process for
+/// the tcp backend; defaults to loopback rendezvous via the session dir.
+pub const ENV_TCP_PEERS: &str = "MP_TCP_PEERS";
+/// Optional bind address for this process's tcp listener
+/// (default `127.0.0.1:0`).
+pub const ENV_TCP_BIND: &str = "MP_TCP_BIND";
+
+/// A message-delivery backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// In-process delivery (the seed path): every rank is a thread of
+    /// this process.
+    Local,
+    /// Multiple processes on one host exchanging frames through
+    /// shared-memory channel files.
+    Shm,
+    /// Length-prefixed socket framing; worlds may span hosts.
+    Tcp,
+}
+
+impl Backend {
+    /// The backend's canonical flag/env spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Backend::Local => "local",
+            Backend::Shm => "shm",
+            Backend::Tcp => "tcp",
+        }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Backend, String> {
+        match s {
+            "local" => Ok(Backend::Local),
+            "shm" => Ok(Backend::Shm),
+            "tcp" => Ok(Backend::Tcp),
+            other => Err(format!(
+                "unknown backend {other:?} (expected local, shm or tcp)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The world topology of a multi-process session: which process hosts
+/// which rank.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    world: usize,
+    nprocs: usize,
+    me: usize,
+    /// Global rank -> hosting process.
+    rank_proc: Vec<u32>,
+}
+
+impl Topology {
+    /// Balanced contiguous block mapping: process `i` hosts ranks
+    /// `[i*world/nprocs, (i+1)*world/nprocs)`.
+    pub fn blocks(world: usize, nprocs: usize, me: usize) -> Topology {
+        assert!(world > 0, "an SPMD world needs at least one rank");
+        assert!(nprocs > 0 && me < nprocs, "proc {me} of {nprocs}");
+        let mut rank_proc = vec![0u32; world];
+        for p in 0..nprocs {
+            let lo = p * world / nprocs;
+            let hi = (p + 1) * world / nprocs;
+            for r in rank_proc.iter_mut().take(hi).skip(lo) {
+                *r = p as u32;
+            }
+        }
+        Topology {
+            world,
+            nprocs,
+            me,
+            rank_proc,
+        }
+    }
+
+    /// Explicit rank→process mapping (the `MP_RANK_PROCS` form).
+    pub fn explicit(rank_proc: Vec<u32>, nprocs: usize, me: usize) -> Topology {
+        assert!(
+            !rank_proc.is_empty(),
+            "an SPMD world needs at least one rank"
+        );
+        assert!(nprocs > 0 && me < nprocs, "proc {me} of {nprocs}");
+        for (r, &p) in rank_proc.iter().enumerate() {
+            assert!(
+                (p as usize) < nprocs,
+                "rank {r} mapped to proc {p} of {nprocs}"
+            );
+        }
+        Topology {
+            world: rank_proc.len(),
+            nprocs,
+            me,
+            rank_proc,
+        }
+    }
+
+    /// Total ranks in the world.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Number of processes the world spans.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// This process's index.
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// The process hosting global rank `rank`.
+    pub fn proc_of(&self, rank: usize) -> usize {
+        self.rank_proc[rank] as usize
+    }
+
+    /// Whether global rank `rank` lives in this process.
+    pub fn resident(&self, rank: usize) -> bool {
+        self.rank_proc[rank] as usize == self.me
+    }
+
+    /// The global ranks resident in this process, ascending.
+    pub fn resident_ranks(&self) -> Vec<usize> {
+        (0..self.world).filter(|&r| self.resident(r)).collect()
+    }
+}
+
+/// Reliable, FIFO-per-ordered-process-pair frame delivery. `send` may
+/// block briefly (file append, socket write) but never deadlocks against
+/// `recv`; `recv` returns `None` on timeout.
+pub(crate) trait Transport: Send + Sync {
+    /// Sends `frame` to process `dst_proc`. FIFO with respect to every
+    /// other send from this process to `dst_proc`.
+    fn send(&self, dst_proc: usize, frame: &Frame);
+    /// Receives the next frame from any peer, waiting up to `timeout`.
+    fn recv(&self, timeout: Duration) -> Option<Frame>;
+    /// Which backend this is (diagnostics).
+    fn backend(&self) -> Backend;
+}
+
+/// One process's membership in a multi-process world.
+pub(crate) struct Session {
+    pub(crate) topo: Topology,
+    backend: Backend,
+    transport: Box<dyn Transport>,
+    state: Mutex<SessState>,
+    cv: Condvar,
+    /// Data frames sent / received by this process (all epochs): the
+    /// conservation check behind the cross-process deadlock detector.
+    data_sent: AtomicU64,
+    data_recvd: AtomicU64,
+}
+
+#[derive(Default)]
+struct SessState {
+    next_epoch: u32,
+    current: Option<(u32, Arc<World>)>,
+    /// Data frames for epochs this process has not installed yet.
+    pending: HashMap<u32, Vec<(usize, Message)>>,
+    /// Peer flush barriers received, per epoch.
+    barriers: HashMap<u32, usize>,
+    /// Latest stable report per process (process 0 only), tagged with
+    /// the epoch it was taken in.
+    reports: HashMap<usize, (u32, StableReport)>,
+    /// Latest confirm ack per process: (gen, activity, sent, recvd).
+    acks: HashMap<usize, (u64, u64, u64, u64)>,
+}
+
+static SESSION: OnceLock<Option<Arc<Session>>> = OnceLock::new();
+
+/// The installed session, if [`init_from_env`] found one.
+pub(crate) fn session() -> Option<Arc<Session>> {
+    SESSION.get().and_then(Clone::clone)
+}
+
+/// A handle onto this process's multi-process session.
+#[derive(Clone)]
+pub struct Proc {
+    sess: Arc<Session>,
+}
+
+impl Proc {
+    /// The backend the session runs on. For a single-process session the
+    /// *transport* degenerates to local even when `shm`/`tcp` was asked
+    /// for; this reports what is actually carrying frames.
+    pub fn backend(&self) -> Backend {
+        if self.sess.topo.nprocs == 1 {
+            self.sess.transport.backend()
+        } else {
+            self.sess.backend
+        }
+    }
+
+    /// This process's index.
+    pub fn index(&self) -> usize {
+        self.sess.topo.me
+    }
+
+    /// Number of processes in the world.
+    pub fn nprocs(&self) -> usize {
+        self.sess.topo.nprocs
+    }
+
+    /// Total ranks in the world.
+    pub fn world(&self) -> usize {
+        self.sess.topo.world
+    }
+
+    /// Whether global rank `rank` is hosted by this process.
+    pub fn resident(&self, rank: usize) -> bool {
+        self.sess.topo.resident(rank)
+    }
+}
+
+/// Installs the process-global session described by the `MP_*`
+/// environment variables (wired by the [`launcher`]) and returns a
+/// handle to it. Returns `None` when no multi-process backend is
+/// requested (`MP_BACKEND` unset or `local`) — the process then runs
+/// every rank in-process as always. Subsequent calls return the same
+/// session; the environment is read once.
+///
+/// Worker binaries call this at startup, *before* any [`crate::run`]:
+/// the session changes `run`'s contract (it returns only resident
+/// ranks' results), so installation is explicit rather than ambient.
+pub fn init_from_env() -> Option<Proc> {
+    SESSION
+        .get_or_init(|| build_session_from_env().map(Arc::new))
+        .as_ref()
+        .map(|sess| Proc {
+            sess: Arc::clone(sess),
+        })
+}
+
+/// The installed session handle, if any ([`init_from_env`] ran and found
+/// a backend).
+pub fn active() -> Option<Proc> {
+    session().map(|sess| Proc { sess })
+}
+
+/// Panics when a multi-process session is installed: the traced, virtual,
+/// checked and cooperative run paths are single-process by design (they
+/// all need global visibility — a full trace, a global clock, a whole
+/// wait-for graph, a shared scheduler — that one process of a larger
+/// world cannot have).
+pub(crate) fn assert_no_session(what: &str) {
+    assert!(
+        session().is_none(),
+        "mp: {what} is not available under a multiprocess session \
+         (worlds spanning processes support plain run() only)"
+    );
+}
+
+fn env_usize(name: &str) -> usize {
+    let v = std::env::var(name)
+        .unwrap_or_else(|_| panic!("mp transport: {name} must be set alongside {ENV_BACKEND}"));
+    v.parse()
+        .unwrap_or_else(|_| panic!("mp transport: {name}={v:?} is not a number"))
+}
+
+fn build_session_from_env() -> Option<Session> {
+    let backend = match std::env::var(ENV_BACKEND) {
+        Ok(v) if !v.is_empty() && v != "local" => v
+            .parse::<Backend>()
+            .unwrap_or_else(|e| panic!("mp transport: {ENV_BACKEND}: {e}")),
+        _ => return None,
+    };
+    let world = env_usize(ENV_WORLD_SIZE);
+    let nprocs = env_usize(ENV_NPROCS);
+    let me = env_usize(ENV_PROC);
+    let topo = match std::env::var(ENV_RANK_PROCS) {
+        Ok(map) => {
+            let rank_proc: Vec<u32> = map
+                .split(',')
+                .map(|t| {
+                    t.trim().parse().unwrap_or_else(|_| {
+                        panic!("mp transport: bad {ENV_RANK_PROCS} entry {t:?}")
+                    })
+                })
+                .collect();
+            assert_eq!(
+                rank_proc.len(),
+                world,
+                "mp transport: {ENV_RANK_PROCS} must name a proc for each of the {world} ranks"
+            );
+            Topology::explicit(rank_proc, nprocs, me)
+        }
+        Err(_) => Topology::blocks(world, nprocs, me),
+    };
+    let dir = std::path::PathBuf::from(std::env::var(ENV_WORLD_DIR).unwrap_or_else(|_| {
+        panic!("mp transport: {ENV_WORLD_DIR} must point at the session directory")
+    }));
+    let transport: Box<dyn Transport> = if nprocs == 1 {
+        Box::new(local::LocalTransport)
+    } else {
+        match backend {
+            Backend::Local => unreachable!("local returns above"),
+            Backend::Shm => Box::new(shm::ShmTransport::new(&dir, me, nprocs)),
+            Backend::Tcp => Box::new(tcp::TcpTransport::connect(&dir, me, nprocs)),
+        }
+    };
+    let sess = Session {
+        topo,
+        backend,
+        transport,
+        state: Mutex::new(SessState::default()),
+        cv: Condvar::new(),
+        data_sent: AtomicU64::new(0),
+        data_recvd: AtomicU64::new(0),
+    };
+    Some(sess)
+}
+
+/// Spawns the session's pump thread. Called once, after the session Arc
+/// exists (the pump holds a clone). Detached on purpose: it serves the
+/// whole process lifetime and exits with it.
+fn spawn_pump(sess: &Arc<Session>) {
+    static PUMP_STARTED: OnceLock<()> = OnceLock::new();
+    let sess = Arc::clone(sess);
+    PUMP_STARTED.get_or_init(move || {
+        if sess.topo.nprocs > 1 {
+            std::thread::Builder::new()
+                .name("mp-transport-pump".to_string())
+                .spawn(move || pump(&sess))
+                .expect("mp transport: cannot spawn the pump thread");
+        }
+    });
+}
+
+/// The receive pump: drains the transport and dispatches frames — data
+/// into mailboxes (or the pending stash for not-yet-installed epochs),
+/// control frames into the session/detector state.
+fn pump(sess: &Arc<Session>) {
+    loop {
+        let Some(frame) = sess.transport.recv(Duration::from_millis(25)) else {
+            continue;
+        };
+        let src_proc = frame.src_proc as usize;
+        match frame.kind {
+            FrameKind::Data => {
+                sess.data_recvd.fetch_add(1, Ordering::Release);
+                let dst = frame.b as usize;
+                let msg = Message {
+                    src: frame.a as usize,
+                    full_tag: frame.c,
+                    data: Payload::from_vec(frame.payload),
+                    arrival: None,
+                };
+                let mut st = sess.state.lock();
+                match &st.current {
+                    Some((epoch, world)) if *epoch == frame.epoch => {
+                        let world = Arc::clone(world);
+                        drop(st);
+                        world.deliver(dst, msg);
+                    }
+                    Some((epoch, _)) if *epoch > frame.epoch => {
+                        panic!(
+                            "mp transport: stale data frame for epoch {} while epoch {} is live \
+                             (flush-barrier protocol violated)",
+                            frame.epoch, epoch
+                        );
+                    }
+                    _ => {
+                        st.pending.entry(frame.epoch).or_default().push((dst, msg));
+                    }
+                }
+            }
+            FrameKind::Barrier => {
+                let mut st = sess.state.lock();
+                *st.barriers.entry(frame.epoch).or_insert(0) += 1;
+                drop(st);
+                sess.cv.notify_all();
+            }
+            FrameKind::Stable => {
+                let report = wire::decode_report(&frame.payload);
+                let mut st = sess.state.lock();
+                st.reports.insert(src_proc, (frame.epoch, report));
+                drop(st);
+                sess.cv.notify_all();
+            }
+            FrameKind::Confirm => {
+                // Reply with the counters as of *now*; proc 0 compares
+                // them against the snapshot it is trying to confirm.
+                let st = sess.state.lock();
+                let activity = match &st.current {
+                    Some((epoch, world)) if *epoch == frame.epoch => world
+                        .inspector
+                        .as_ref()
+                        .map_or(u64::MAX, |insp| insp.activity()),
+                    _ => u64::MAX, // no such epoch here: never confirms
+                };
+                drop(st);
+                let ack = Frame {
+                    kind: FrameKind::ConfirmAck,
+                    epoch: frame.epoch,
+                    src_proc: sess.topo.me as u32,
+                    a: frame.a, // gen echo
+                    b: activity,
+                    c: sess.data_sent.load(Ordering::Acquire),
+                    payload: sess
+                        .data_recvd
+                        .load(Ordering::Acquire)
+                        .to_le_bytes()
+                        .to_vec(),
+                };
+                sess.transport.send(src_proc, &ack);
+            }
+            FrameKind::ConfirmAck => {
+                let recvd =
+                    u64::from_le_bytes(frame.payload[..8].try_into().expect("8-byte ack payload"));
+                let mut st = sess.state.lock();
+                st.acks.insert(src_proc, (frame.a, frame.b, frame.c, recvd));
+                drop(st);
+                sess.cv.notify_all();
+            }
+            FrameKind::Poison => {
+                let diagnosis = Arc::new(wire::decode_deadlock(&frame.payload));
+                let st = sess.state.lock();
+                if let Some((epoch, world)) = &st.current {
+                    if *epoch == frame.epoch {
+                        if let Some(insp) = &world.inspector {
+                            insp.set_poison(diagnosis);
+                        }
+                    }
+                }
+            }
+            FrameKind::Hello | FrameKind::Shutdown => {
+                // Connection management; handled inside the transports.
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Residency routing
+// ---------------------------------------------------------------------
+
+/// A world's handle onto its session: consulted by
+/// [`World::deliver`](crate::runtime::World::deliver) to route messages
+/// for non-resident ranks over the transport.
+pub(crate) struct RemoteWorld {
+    sess: Arc<Session>,
+    epoch: u32,
+}
+
+impl RemoteWorld {
+    /// Whether `rank` lives in this process.
+    pub(crate) fn resident(&self, rank: usize) -> bool {
+        self.sess.topo.resident(rank)
+    }
+
+    /// Frames `msg` and sends it to the process hosting `dst`.
+    pub(crate) fn send_data(&self, dst: usize, msg: &Message) {
+        debug_assert!(!self.resident(dst));
+        debug_assert!(msg.arrival.is_none(), "virtual worlds are single-process");
+        let frame = Frame {
+            kind: FrameKind::Data,
+            epoch: self.epoch,
+            src_proc: self.sess.topo.me as u32,
+            a: msg.src as u64,
+            b: dst as u64,
+            c: msg.full_tag,
+            payload: msg.data.as_slice().to_vec(),
+        };
+        self.sess.data_sent.fetch_add(1, Ordering::Release);
+        self.sess
+            .transport
+            .send(self.sess.topo.proc_of(dst), &frame);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The multi-process run path
+// ---------------------------------------------------------------------
+
+/// Runs one epoch of the session's world: spawns rank threads for the
+/// resident ranks, routes non-resident traffic over the transport, and
+/// returns the resident ranks' results in ascending rank order.
+pub(crate) fn run_multiproc<R, F>(sess: &Arc<Session>, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    assert_eq!(
+        n, sess.topo.world,
+        "mp: run({n}) under a multiprocess session with world size {} — \
+         the world size is fixed by the launcher",
+        sess.topo.world
+    );
+    spawn_pump(sess);
+    let residents = sess.topo.resident_ranks();
+    // Every multiprocess world is instrumented: the cross-process
+    // deadlock detector needs wait edges, and a poison channel is the
+    // only way to unwind ranks blocked on a peer process that died.
+    // The ring is kept tiny — event history belongs to `run_checked`.
+    let settings = Settings {
+        ring_capacity: 16,
+        ..Settings::default()
+    };
+    let poll = settings.poll;
+    let inspector = Arc::new(Inspector::new(n, settings));
+    let mut world = World::new(n, false, Some(Arc::clone(&inspector)));
+    let epoch = {
+        let mut st = sess.state.lock();
+        assert!(
+            st.current.is_none(),
+            "mp: nested run() under a multiprocess session"
+        );
+        let epoch = st.next_epoch;
+        st.next_epoch += 1;
+        epoch
+    };
+    world.remote = Some(RemoteWorld {
+        sess: Arc::clone(sess),
+        epoch,
+    });
+    let world = Arc::new(world);
+    install_world(sess, epoch, &world);
+
+    let done = Arc::new(AtomicBool::new(false));
+    let monitor = {
+        let sess = Arc::clone(sess);
+        let world = Arc::clone(&world);
+        let insp = Arc::clone(&inspector);
+        let residents = residents.clone();
+        let done = Arc::clone(&done);
+        std::thread::Builder::new()
+            .name("mp-proc-monitor".to_string())
+            .spawn(move || monitor_loop(&sess, epoch, &world, &insp, &residents, &done, poll))
+            .expect("mp transport: cannot spawn the stall monitor")
+    };
+
+    let outcomes = run_residents(&world, &inspector, &residents, n, &f);
+
+    // Flush barrier: FIFO channels guarantee every data frame this
+    // process sent in this epoch precedes its barrier, so once every
+    // peer's barrier has arrived no frame of this epoch is in flight.
+    let barrier = Frame::control(FrameKind::Barrier, epoch, sess.topo.me as u32);
+    for p in 0..sess.topo.nprocs {
+        if p != sess.topo.me {
+            sess.transport.send(p, &barrier);
+        }
+    }
+    wait_peer_barriers(sess, epoch);
+    done.store(true, Ordering::Release);
+    monitor.join().expect("the monitor never panics");
+    end_epoch(sess, epoch);
+
+    // Report in the same priority order as the single-process checked
+    // path: a deadlock diagnosis first, then real rank panics.
+    if let Some(diagnosis) = inspector.poisoned() {
+        panic!("{}{diagnosis}", check::POISON_MARK);
+    }
+    let mut results = Vec::with_capacity(outcomes.len());
+    for (rank, out) in residents.iter().zip(outcomes) {
+        match out {
+            Ok(r) => results.push(r),
+            Err(e) => {
+                let msg = crate::runtime::panic_message(&*e);
+                panic!("rank {rank} panicked: {msg}");
+            }
+        }
+    }
+    results
+}
+
+fn install_world(sess: &Arc<Session>, epoch: u32, world: &Arc<World>) {
+    let mut st = sess.state.lock();
+    st.current = Some((epoch, Arc::clone(world)));
+    let pending = st.pending.remove(&epoch).unwrap_or_default();
+    drop(st);
+    for (dst, msg) in pending {
+        world.deliver(dst, msg);
+    }
+}
+
+fn wait_peer_barriers(sess: &Arc<Session>, epoch: u32) {
+    let peers = sess.topo.nprocs - 1;
+    let timeout = crate::mailbox::deadlock_timeout();
+    let slice = Duration::from_millis(50);
+    let mut waited = Duration::ZERO;
+    let mut st = sess.state.lock();
+    while st.barriers.get(&epoch).copied().unwrap_or(0) < peers {
+        if sess.cv.wait_for(&mut st, slice).timed_out() {
+            waited += slice;
+            if waited >= timeout {
+                panic!(
+                    "mp transport: flush barrier for epoch {epoch} timed out after {timeout:?} \
+                     ({} of {peers} peer barriers arrived) — a peer process likely died",
+                    st.barriers.get(&epoch).copied().unwrap_or(0)
+                );
+            }
+        }
+    }
+}
+
+fn end_epoch(sess: &Arc<Session>, epoch: u32) {
+    let mut st = sess.state.lock();
+    st.current = None;
+    st.barriers.remove(&epoch);
+    st.reports.clear();
+    st.acks.clear();
+    assert!(
+        !st.pending.contains_key(&epoch),
+        "mp transport: data frames for epoch {epoch} arrived after its flush barrier"
+    );
+}
+
+/// Spawns and joins the resident rank threads (the multi-process mirror
+/// of the single-process checked run's rank loop).
+fn run_residents<R, F>(
+    world: &Arc<World>,
+    inspector: &Arc<Inspector>,
+    residents: &[usize],
+    n: usize,
+    f: &F,
+) -> Vec<std::thread::Result<R>>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    crate::runtime::spawn_rank_threads(world, residents, n, move |rank, comm| {
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
+        inspector.finish(rank);
+        out
+    })
+}
+
+// ---------------------------------------------------------------------
+// The cross-process stall monitor
+// ---------------------------------------------------------------------
+
+/// Per-process monitor: detects local stability (every resident
+/// unfinished rank parked, activity quiet, no wake in flight), publishes
+/// the serialized wait snapshot to process 0, and — on process 0 —
+/// aggregates the global diagnosis.
+#[allow(clippy::too_many_arguments)]
+fn monitor_loop(
+    sess: &Arc<Session>,
+    epoch: u32,
+    world: &Arc<World>,
+    insp: &Arc<Inspector>,
+    residents: &[usize],
+    done: &AtomicBool,
+    poll: Duration,
+) {
+    let me = sess.topo.me;
+    let mut last_activity = insp.activity();
+    let mut stable = 0u32;
+    let mut gen: u64 = 0;
+    let mut published = false;
+    while !done.load(Ordering::Acquire) {
+        std::thread::sleep(poll);
+        if done.load(Ordering::Acquire) || insp.poisoned().is_some() {
+            break;
+        }
+        let activity = insp.activity();
+        if activity == last_activity && check::ranks_stable(insp, residents) {
+            stable += 1;
+        } else {
+            stable = 0;
+            published = false;
+        }
+        last_activity = activity;
+        if stable >= 3 && !published {
+            let Some(waits) = check::snapshot_ranks(world, insp, residents) else {
+                stable = 0; // a wake was in flight after all
+                continue;
+            };
+            let mut inventory = Vec::new();
+            for &r in residents {
+                inventory.extend(world.mailboxes[r].inventory());
+            }
+            // Counter sampling order matters: activity after the
+            // snapshot, so any wake between snapshot and the confirm
+            // round shows up as a counter change.
+            let report = StableReport {
+                gen: {
+                    gen += 1;
+                    gen
+                },
+                activity: insp.activity(),
+                sent: sess.data_sent.load(Ordering::Acquire),
+                recvd: sess.data_recvd.load(Ordering::Acquire),
+                waits,
+                inventory,
+            };
+            if report.activity != activity {
+                stable = 0;
+                continue;
+            }
+            if me == 0 {
+                sess.state.lock().reports.insert(0, (epoch, report));
+            } else {
+                let frame = Frame {
+                    kind: FrameKind::Stable,
+                    epoch,
+                    src_proc: me as u32,
+                    a: 0,
+                    b: 0,
+                    c: 0,
+                    payload: wire::encode_report(&report),
+                };
+                sess.transport.send(0, &frame);
+            }
+            published = true;
+        }
+        if me == 0 {
+            try_global_diagnosis(sess, epoch, insp, poll);
+        }
+    }
+}
+
+/// Process 0's aggregation step: with a stable report from every process
+/// and balanced global data-frame counters, run a confirm round and — if
+/// every snapshot is still current — assemble and broadcast the global
+/// deadlock diagnosis.
+fn try_global_diagnosis(sess: &Arc<Session>, epoch: u32, insp: &Arc<Inspector>, poll: Duration) {
+    let nprocs = sess.topo.nprocs;
+    let reports: Vec<StableReport> = {
+        let st = sess.state.lock();
+        let mut out = Vec::with_capacity(nprocs);
+        for p in 0..nprocs {
+            match st.reports.get(&p) {
+                Some((e, r)) if *e == epoch => out.push(r.clone()),
+                _ => return, // not every process is stable yet
+            }
+        }
+        out
+    };
+    let sent: u64 = reports.iter().map(|r| r.sent).sum();
+    let recvd: u64 = reports.iter().map(|r| r.recvd).sum();
+    if sent != recvd {
+        return; // data frames still in flight
+    }
+    // Confirm round: every worker must still be exactly at its snapshot.
+    {
+        let mut st = sess.state.lock();
+        st.acks.clear();
+    }
+    for (p, report) in reports.iter().enumerate().skip(1) {
+        let frame = Frame {
+            kind: FrameKind::Confirm,
+            epoch,
+            src_proc: 0,
+            a: report.gen,
+            b: 0,
+            c: 0,
+            payload: Vec::new(),
+        };
+        sess.transport.send(p, &frame);
+    }
+    // Collect acks (with a bounded wait so a woken world never wedges
+    // the monitor).
+    let deadline_slices = 50u32;
+    let mut slices = 0u32;
+    let confirmed = loop {
+        let st = sess.state.lock();
+        let have_all = (1..nprocs).all(|p| st.acks.contains_key(&p));
+        if have_all {
+            let ok = (1..nprocs).all(|p| {
+                let (gen, activity, psent, precvd) = st.acks[&p];
+                let r = &reports[p];
+                gen == r.gen && activity == r.activity && psent == r.sent && precvd == r.recvd
+            });
+            break ok;
+        }
+        drop(st);
+        std::thread::sleep(poll);
+        slices += 1;
+        if slices >= deadline_slices {
+            break false;
+        }
+    };
+    // Re-validate process 0's own snapshot the same way.
+    let self_ok = insp.activity() == reports[0].activity
+        && sess.data_sent.load(Ordering::Acquire) == reports[0].sent
+        && sess.data_recvd.load(Ordering::Acquire) == reports[0].recvd;
+    if !confirmed || !self_ok {
+        // Something moved: drop every report and wait for fresh ones.
+        let mut st = sess.state.lock();
+        st.reports.clear();
+        st.acks.clear();
+        return;
+    }
+    // A genuine global stall: assemble the world-wide diagnosis.
+    let mut waits: Vec<WaitSnapshot> = reports.iter().flat_map(|r| r.waits.clone()).collect();
+    waits.sort_by_key(|w| w.rank);
+    let mut succ: Vec<Option<usize>> = vec![None; sess.topo.world];
+    for w in &waits {
+        if let check::WaitOn::Recv { src: Some(s), .. } = w.on {
+            succ[w.rank] = Some(s);
+        }
+    }
+    let cycle = check::find_cycle(&succ);
+    let mut inventory: Vec<check::LaneInfo> =
+        reports.iter().flat_map(|r| r.inventory.clone()).collect();
+    inventory.sort_by_key(|l| (l.dst, l.src));
+    let diagnosis = Arc::new(check::Deadlock {
+        cycle,
+        waits,
+        inventory,
+    });
+    for p in 1..nprocs {
+        let frame = Frame {
+            kind: FrameKind::Poison,
+            epoch,
+            src_proc: 0,
+            a: 0,
+            b: 0,
+            c: 0,
+            payload: wire::encode_deadlock(&diagnosis),
+        };
+        sess.transport.send(p, &frame);
+    }
+    insp.set_poison(diagnosis);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_topology_is_balanced_and_contiguous() {
+        let t = Topology::blocks(10, 4, 1);
+        let sizes: Vec<usize> = (0..4)
+            .map(|p| (0..10).filter(|&r| t.proc_of(r) == p).count())
+            .collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3), "{sizes:?}");
+        // Contiguity: proc index is monotone in rank.
+        for r in 1..10 {
+            assert!(t.proc_of(r) >= t.proc_of(r - 1));
+        }
+        assert_eq!(t.resident_ranks(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn one_proc_hosts_everything() {
+        let t = Topology::blocks(4, 1, 0);
+        assert_eq!(t.resident_ranks(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn explicit_topology_round_robin() {
+        let t = Topology::explicit(vec![0, 1, 0, 1], 2, 0);
+        assert_eq!(t.resident_ranks(), vec![0, 2]);
+        assert!(!t.resident(1));
+    }
+
+    #[test]
+    fn backend_parses_both_ways() {
+        for b in [Backend::Local, Backend::Shm, Backend::Tcp] {
+            assert_eq!(b.as_str().parse::<Backend>().unwrap(), b);
+        }
+        assert!("rdma".parse::<Backend>().is_err());
+    }
+}

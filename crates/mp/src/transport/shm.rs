@@ -1,0 +1,273 @@
+//! Shared-memory transport: processes on one host exchanging frames
+//! through per-pair channel files on a memory-backed filesystem.
+//!
+//! The launcher points every process of a world at one session directory
+//! (on `/dev/shm` when available, so "file" I/O is page-cache traffic,
+//! never disk). Each *ordered* process pair gets its own append-only
+//! channel file, `ch-{src}-to-{dst}.mpq`: exactly one writer and one
+//! reader per file, so appends need no cross-process locking and reads
+//! are a simple private offset walk. FIFO per pair — the property the
+//! epoch flush barrier and the non-overtaking matching semantics rest
+//! on — is inherited from append order.
+//!
+//! The workspace forbids `unsafe`, which rules out `mmap`-style shared
+//! segments; bytes move through ordinary `read`/`write` on tmpfs files
+//! instead. That costs a syscall per poll, not a copy per rank pair more
+//! than any other design, and keeps the whole backend safe code.
+//!
+//! A reader polls its channels with a short adaptive sleep. Partial
+//! frames are the decoder's problem, not ours: [`Frame::decode`] returns
+//! `None` until the buffered prefix holds a complete frame, so a
+//! concurrent append can never be misparsed, only deferred.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use super::wire::Frame;
+use super::{Backend, Transport};
+
+/// Polling interval while a receive waits for bytes.
+const POLL_SLEEP: Duration = Duration::from_micros(200);
+
+/// The channel file carrying frames from `src` to `dst`.
+fn channel_path(dir: &Path, src: usize, dst: usize) -> PathBuf {
+    dir.join(format!("ch-{src}-to-{dst}.mpq"))
+}
+
+/// Outbound half of one channel: the append handle, opened lazily (the
+/// first send creates the file; a peer that never hears from us never
+/// sees one).
+struct Writer {
+    path: PathBuf,
+    file: Option<File>,
+}
+
+impl Writer {
+    fn write(&mut self, bytes: &[u8]) {
+        if self.file.is_none() {
+            self.file = Some(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)
+                    .unwrap_or_else(|e| {
+                        panic!("mp shm: cannot open channel {}: {e}", self.path.display())
+                    }),
+            );
+        }
+        let file = self.file.as_mut().expect("opened above");
+        file.write_all(bytes)
+            .unwrap_or_else(|e| panic!("mp shm: append to {} failed: {e}", self.path.display()));
+    }
+}
+
+/// Inbound half of one channel: a private read offset plus a buffer for
+/// the tail of a frame whose bytes have not all landed yet.
+struct Reader {
+    path: PathBuf,
+    file: Option<File>,
+    offset: u64,
+    partial: Vec<u8>,
+}
+
+impl Reader {
+    /// Pulls newly appended bytes and decodes every complete frame into
+    /// `out`. Returns how many frames were decoded.
+    fn poll(&mut self, out: &mut Vec<Frame>) -> usize {
+        if self.file.is_none() {
+            // The peer may not have sent anything yet (the file is
+            // created on first send); absent is just empty.
+            self.file = File::open(&self.path).ok();
+        }
+        let Some(file) = &self.file else { return 0 };
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            match file.read_at(&mut chunk, self.offset) {
+                Ok(0) => break,
+                Ok(n) => {
+                    self.offset += n as u64;
+                    self.partial.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("mp shm: read from {} failed: {e}", self.path.display()),
+            }
+        }
+        let mut at = 0;
+        let mut decoded = 0;
+        while let Some((frame, used)) = Frame::decode(&self.partial[at..]) {
+            out.push(frame);
+            at += used;
+            decoded += 1;
+        }
+        if at > 0 {
+            self.partial.drain(..at);
+        }
+        decoded
+    }
+}
+
+/// State behind the receive side: one [`Reader`] per peer plus the queue
+/// of decoded-but-undelivered frames.
+struct Inbox {
+    readers: Vec<Reader>,
+    ready: std::collections::VecDeque<Frame>,
+    /// Rotating poll start index, so a chatty low-numbered peer cannot
+    /// starve the rest.
+    rr: usize,
+}
+
+impl Inbox {
+    fn next_frame(&mut self) -> Option<Frame> {
+        if let Some(f) = self.ready.pop_front() {
+            return Some(f);
+        }
+        let n = self.readers.len();
+        let mut buf = Vec::new();
+        for i in 0..n {
+            let idx = (self.rr + i) % n;
+            self.readers[idx].poll(&mut buf);
+            self.ready.extend(buf.drain(..));
+        }
+        self.rr = (self.rr + 1) % n.max(1);
+        self.ready.pop_front()
+    }
+}
+
+/// The shared-memory-file transport (see the module docs).
+pub(crate) struct ShmTransport {
+    /// Outbound channels, indexed by destination process (`None` at our
+    /// own index).
+    writers: Vec<Option<Mutex<Writer>>>,
+    inbox: Mutex<Inbox>,
+}
+
+impl ShmTransport {
+    /// Opens the channels of process `me` in an `nprocs`-process session
+    /// rooted at `dir` (which the launcher created).
+    pub fn new(dir: &Path, me: usize, nprocs: usize) -> ShmTransport {
+        assert!(
+            dir.is_dir(),
+            "mp shm: session directory {} does not exist (launcher wiring bug)",
+            dir.display()
+        );
+        let writers = (0..nprocs)
+            .map(|p| {
+                (p != me).then(|| {
+                    Mutex::new(Writer {
+                        path: channel_path(dir, me, p),
+                        file: None,
+                    })
+                })
+            })
+            .collect();
+        let readers = (0..nprocs)
+            .filter(|&p| p != me)
+            .map(|p| Reader {
+                path: channel_path(dir, p, me),
+                file: None,
+                offset: 0,
+                partial: Vec::new(),
+            })
+            .collect();
+        ShmTransport {
+            writers,
+            inbox: Mutex::new(Inbox {
+                readers,
+                ready: std::collections::VecDeque::new(),
+                rr: 0,
+            }),
+        }
+    }
+}
+
+impl Transport for ShmTransport {
+    fn send(&self, dst_proc: usize, frame: &Frame) {
+        let writer = self.writers[dst_proc]
+            .as_ref()
+            .unwrap_or_else(|| panic!("mp shm: send to self (proc {dst_proc})"));
+        // Encode outside the lock; append under it. One write_all per
+        // frame keeps the single-writer file a clean frame sequence.
+        let bytes = frame.encode();
+        writer.lock().write(&bytes);
+    }
+
+    fn recv(&self, timeout: Duration) -> Option<Frame> {
+        let mut waited = Duration::ZERO;
+        loop {
+            if let Some(f) = self.inbox.lock().next_frame() {
+                return Some(f);
+            }
+            if waited >= timeout {
+                return None;
+            }
+            std::thread::sleep(POLL_SLEEP);
+            waited += POLL_SLEEP;
+        }
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Shm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::wire::FrameKind;
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mp-shm-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create test dir");
+        dir
+    }
+
+    #[test]
+    fn frames_cross_between_endpoints_in_order() {
+        let dir = tmpdir("order");
+        let a = ShmTransport::new(&dir, 0, 2);
+        let b = ShmTransport::new(&dir, 1, 2);
+        for i in 0..10u64 {
+            let mut f = Frame::control(FrameKind::Data, 0, 0);
+            f.a = i;
+            f.payload = vec![i as u8; (i as usize) * 37];
+            a.send(1, &f);
+        }
+        for i in 0..10u64 {
+            let f = b
+                .recv(Duration::from_secs(5))
+                .expect("frame must be delivered");
+            assert_eq!(f.a, i, "FIFO per channel");
+            assert_eq!(f.payload.len(), (i as usize) * 37);
+        }
+        assert!(b.recv(Duration::from_millis(5)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_appends_defer_not_corrupt() {
+        let dir = tmpdir("partial");
+        let b = ShmTransport::new(&dir, 1, 2);
+        let mut f = Frame::control(FrameKind::Data, 3, 0);
+        f.payload = vec![7u8; 1000];
+        let bytes = f.encode();
+        // Simulate a writer caught mid-append: first half, then the rest.
+        let path = channel_path(&dir, 0, 1);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap();
+        file.write_all(&bytes[..bytes.len() / 2]).unwrap();
+        assert!(b.recv(Duration::from_millis(5)).is_none());
+        file.write_all(&bytes[bytes.len() / 2..]).unwrap();
+        let got = b.recv(Duration::from_secs(5)).expect("completed frame");
+        assert_eq!(got, f);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
