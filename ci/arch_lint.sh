@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Architectural lints the compiler cannot express. Run from the repo root:
 #
-#   ci/arch_lint.sh
+#   ci/arch_lint.sh               # lint this repository
+#   ci/arch_lint.sh --self-test   # prove the lint catches what it claims
+#   ci/arch_lint.sh --root DIR    # lint an arbitrary tree (self-test fixtures)
 #
 # Enforced invariants:
 #
@@ -11,12 +13,127 @@
 #      stay wall-clock-free so simulated and virtual execution remain
 #      deterministic and the mpcheck schedule perturbation stays
 #      reproducible.
-#   2. Every workspace crate opts into the shared `[workspace.lints]`
+#   2. `std::thread::sleep` and `std::time::SystemTime` stay out of
+#      non-test code everywhere except the harness, `mp::check` (the
+#      perturbation delays and the watchdog poll), the process
+#      transports/launcher (which wait on real OS processes), and the
+#      vendored shims. A sleep anywhere else would desynchronise the
+#      deterministic schedules the DPOR explorer enumerates.
+#   3. Every workspace crate opts into the shared `[workspace.lints]`
 #      policy via `[lints] workspace = true`, so a new crate cannot
 #      silently skip `forbid(unsafe_code)`.
-#   3. No crate re-enables unsafe code locally.
+#   4. No source file re-enables a workspace-forbidden lint with
+#      `#[allow(...)]` / `#[expect(...)]` — the forbidden set is read
+#      from the root manifest, not hard-coded here.
+#
+# Test modules (everything at or below a column-0 `#[cfg(test)]`) are
+# exempt from the source scans: tests may sleep to provoke blocking
+# paths.
 set -u
-cd "$(dirname "$0")/.."
+
+root=""
+selftest=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --root)
+            root=$2
+            shift 2
+            ;;
+        --self-test)
+            selftest=1
+            shift
+            ;;
+        *)
+            echo "usage: arch_lint.sh [--root DIR] [--self-test]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+if [ "$selftest" -eq 1 ]; then
+    self=$(cd "$(dirname "$0")" && pwd)/$(basename "$0")
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+
+    # --- The passing fixture: a compliant miniature workspace ----------
+    pass="$tmp/pass"
+    mkdir -p "$pass/crates/ok/src"
+    cat > "$pass/Cargo.toml" <<'EOF'
+[workspace.lints.rust]
+unsafe_code = "forbid"
+
+[lints]
+workspace = true
+EOF
+    cat > "$pass/crates/ok/Cargo.toml" <<'EOF'
+[package]
+name = "ok"
+
+[lints]
+workspace = true
+EOF
+    cat > "$pass/crates/ok/src/lib.rs" <<'EOF'
+pub fn f() -> u32 { 1 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sleeps_are_fine_in_tests() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+EOF
+    if ! "$self" --root "$pass" > "$tmp/pass.log" 2>&1; then
+        echo "arch_lint --self-test: compliant fixture was rejected:" >&2
+        cat "$tmp/pass.log" >&2
+        exit 1
+    fi
+
+    # --- The failing fixture: one of each violation --------------------
+    bad="$tmp/bad"
+    mkdir -p "$bad/crates/bad/src"
+    cat > "$bad/Cargo.toml" <<'EOF'
+[workspace.lints.rust]
+unsafe_code = "forbid"
+
+[lints]
+workspace = true
+EOF
+    # Manifest that skips the workspace lint policy.
+    cat > "$bad/crates/bad/Cargo.toml" <<'EOF'
+[package]
+name = "bad"
+EOF
+    # Wall-clock, a stray sleep, and a forbidden-lint opt-out.
+    cat > "$bad/crates/bad/src/lib.rs" <<'EOF'
+#[allow(unsafe_code)]
+pub fn f() {
+    let _ = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+EOF
+    if "$self" --root "$bad" > "$tmp/bad.log" 2>&1; then
+        echo "arch_lint --self-test: violating fixture was accepted" >&2
+        exit 1
+    fi
+    for needle in "Instant" "thread::sleep" "SystemTime" "does not opt into" \
+        "allow(unsafe_code)"; do
+        if ! grep -q "$needle" "$tmp/bad.log"; then
+            echo "arch_lint --self-test: missing diagnostic for '$needle':" >&2
+            cat "$tmp/bad.log" >&2
+            exit 1
+        fi
+    done
+    echo "arch_lint: self-test ok (pass and fail fixtures behave)"
+    exit 0
+fi
+
+if [ -n "$root" ]; then
+    cd "$root"
+else
+    cd "$(dirname "$0")/.."
+fi
 
 fail=0
 err() {
@@ -24,9 +141,20 @@ err() {
     fail=1
 }
 
+# Prints PATTERN matches in crates/**/*.rs as file:line: text, ignoring
+# everything at or below a file's column-0 `#[cfg(test)]` marker.
+scan() {
+    local pattern=$1
+    find crates -name '*.rs' -print0 2>/dev/null | sort -z | \
+        xargs -0 -r awk -v pat="$pattern" '
+            FNR == 1 { intest = 0 }
+            /^#\[cfg\(test\)\]/ { intest = 1 }
+            !intest && $0 ~ pat { print FILENAME ":" FNR ": " $0 }
+        '
+}
+
 # --- 1. Instant stays inside the harness (and the criterion shim) -------
-offenders=$(grep -rnE 'time::Instant|Instant::now' crates \
-    --include='*.rs' \
+offenders=$(scan 'time::Instant|Instant::now' \
     | grep -v '^crates/harness/' \
     | grep -v '^crates/criterion/' || true)
 if [ -n "$offenders" ]; then
@@ -34,23 +162,45 @@ if [ -n "$offenders" ]; then
 $offenders"
 fi
 
-# --- 2. Every manifest opts into the workspace lint policy --------------
+# --- 2. Sleeps and SystemTime stay out of the deterministic layers ------
+offenders=$(scan 'thread::sleep|time::SystemTime|SystemTime::now' \
+    | grep -v '^crates/harness/' \
+    | grep -v '^crates/mp/src/check\.rs' \
+    | grep -v '^crates/mp/src/transport/' \
+    | grep -v '^crates/criterion/' \
+    | grep -v '^crates/parking_lot/' || true)
+if [ -n "$offenders" ]; then
+    err "thread::sleep / SystemTime outside the harness, mp::check and the transports \
+(deterministic layers must not touch the wall clock):
+$offenders"
+fi
+
+# --- 3. Every manifest opts into the workspace lint policy --------------
 for manifest in Cargo.toml crates/*/Cargo.toml; do
+    [ -f "$manifest" ] || continue
     if ! grep -q '^\[lints\]' "$manifest" \
         || ! grep -A1 '^\[lints\]' "$manifest" | grep -q '^workspace *= *true'; then
         err "$manifest does not opt into [workspace.lints] ([lints] workspace = true)"
     fi
 done
 
-# --- 3. The policy itself stays strict, and nothing opts back out ------
+# --- 4. The policy itself stays strict, and nothing opts back out ------
 if ! grep -q '^unsafe_code *= *"forbid"' Cargo.toml; then
     err "root Cargo.toml must keep unsafe_code = \"forbid\" under [workspace.lints.rust]"
 fi
-optouts=$(grep -rnE 'allow\(unsafe_code\)' crates --include='*.rs' || true)
-if [ -n "$optouts" ]; then
-    err "allow(unsafe_code) found:
+forbidden=$(awk '
+    /^\[workspace\.lints/ { insec = 1; next }
+    /^\[/ { insec = 0 }
+    insec && /= *"forbid"/ { print $1 }
+' Cargo.toml)
+for lint in $forbidden; do
+    # Opt-outs are forbidden in test code too: forbid is crate-wide.
+    optouts=$(grep -rnE "(allow|expect)\($lint\)" crates --include='*.rs' 2>/dev/null || true)
+    if [ -n "$optouts" ]; then
+        err "allow($lint) / expect($lint) found, but the workspace forbids $lint:
 $optouts"
-fi
+    fi
+done
 
 if [ "$fail" -ne 0 ]; then
     exit 1

@@ -10,6 +10,7 @@
 //! cargo run -p bench --bin campaign -- --no-figures         # records only
 //! cargo run -p bench --bin campaign -- --check              # mpcheck-verify native runs
 //! cargo run -p bench --bin campaign -- --check-report FILE  # mpcheck report JSON path
+//! cargo run -p bench --bin campaign -- --explore            # DPOR schedule exploration
 //! cargo run -p bench --bin campaign -- --high-rank N        # virtual slice at N coop ranks
 //! cargo run -p bench --bin campaign -- --workloads A,B      # registry-name filter
 //! cargo run -p bench --bin campaign -- --smoke --backend shm --nprocs 2
@@ -38,6 +39,10 @@
 //! comparable with a `--backend local` run of the same plan (modulo
 //! timing statistics), which is exactly what the backend-parity test
 //! asserts.
+
+#[path = "../explore_driver.rs"]
+#[allow(dead_code)] // `replay_file` is the mpcheck binary's half of the shared driver.
+mod explore_driver;
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -260,6 +265,7 @@ fn main() {
     let mut check_report_path: Option<PathBuf> = None;
     let mut smoke = false;
     let mut check = false;
+    let mut explore = false;
     let mut with_figures = true;
     let mut max_procs = 2048usize;
     let mut backend = Backend::Local;
@@ -274,6 +280,7 @@ fn main() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--check" => check = true,
+            "--explore" => explore = true,
             "--check-report" => {
                 check = true;
                 check_report_path = Some(PathBuf::from(
@@ -319,7 +326,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument: {other}\n\
-                     usage: campaign [--smoke] [--check] [--no-figures] [--max-procs N] \
+                     usage: campaign [--smoke] [--check] [--explore] [--no-figures] [--max-procs N] \
                      [--high-rank N] [--backend local|shm|tcp] [--nprocs N] \
                      [--workloads A,B] [--out DIR] [--records FILE] [--check-report FILE]"
                 );
@@ -343,6 +350,40 @@ fn main() {
             })
             .collect()
     });
+
+    // Schedule-space exploration replaces the record sweep: the DPOR
+    // explorer drives the misuse gallery plus small-world virtual slices
+    // of the registry through every meaningfully distinct interleaving,
+    // and the exit code carries the acceptance verdict.
+    if explore {
+        if backend != Backend::Local || check {
+            eprintln!("--explore runs in-process; it does not compose with --check or --backend");
+            std::process::exit(2);
+        }
+        let plan = explore_driver::ExplorePlan {
+            workloads: workloads
+                .as_ref()
+                .map(|names| names.iter().map(|n| n.to_string()).collect()),
+            ..explore_driver::ExplorePlan::default()
+        };
+        let summary = explore_driver::run(&plan, &out_dir).expect("write exploration artefacts");
+        print!("{}", summary.report);
+        let report_path = out_dir.join("mpcheck-explore.json");
+        std::fs::write(&report_path, summary.report.to_json()).expect("write exploration report");
+        println!("wrote {}", report_path.display());
+        println!(
+            "wrote {} counterexample trace(s) under {}",
+            summary.traces.len(),
+            out_dir.join("schedules").display()
+        );
+        if !summary.failures.is_empty() {
+            for failure in &summary.failures {
+                eprintln!("campaign --explore: {failure}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if backend != Backend::Local {
         if !smoke {

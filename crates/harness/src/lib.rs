@@ -22,6 +22,7 @@
 //! `simnet` and `machines`); the registry wiring the suites' closures
 //! together lives above them, in `hpcbench::registry`.
 
+pub mod explore;
 pub mod metrics;
 mod plan;
 mod record;

@@ -267,7 +267,7 @@ impl std::fmt::Display for Deadlock {
 
 /// Marker prefix of poison-panic messages, so callers can distinguish a
 /// detector-initiated unwind from an ordinary rank panic.
-pub(crate) const POISON_MARK: &str = "mp: deadlock detected\n";
+pub const POISON_MARK: &str = "mp: deadlock detected\n";
 
 /// Everything an instrumented run recorded, handed to the analysis layer.
 pub struct RunLog {
@@ -346,10 +346,21 @@ pub struct Inspector {
     activity: AtomicU64,
     poisoned: AtomicBool,
     poison: Mutex<Option<Arc<Deadlock>>>,
+    /// A schedule controller observing every recorded event (controlled
+    /// cooperative runs); `None` on plain checked runs.
+    observer: Option<Arc<dyn crate::coop::ScheduleController>>,
 }
 
 impl Inspector {
     pub(crate) fn new(n: usize, settings: Settings) -> Inspector {
+        Inspector::new_observed(n, settings, None)
+    }
+
+    pub(crate) fn new_observed(
+        n: usize,
+        settings: Settings,
+        observer: Option<Arc<dyn crate::coop::ScheduleController>>,
+    ) -> Inspector {
         Inspector {
             ranks: (0..n).map(|_| Mutex::new(RankState::default())).collect(),
             events: (0..n)
@@ -365,14 +376,14 @@ impl Inspector {
             activity: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
             poison: Mutex::new(None),
+            observer,
         }
     }
 
-    pub(crate) fn settings(&self) -> &Settings {
-        &self.settings
-    }
-
     pub(crate) fn record(&self, rank: usize, event: Event) {
+        if let Some(obs) = &self.observer {
+            obs.note_event(rank, &event);
+        }
         self.events[rank].lock().push(event);
     }
 
@@ -467,6 +478,14 @@ impl Inspector {
         } else if h.is_multiple_of(3) {
             std::thread::yield_now();
         }
+    }
+
+    /// Parks the calling thread for one watchdog poll interval. The
+    /// native deadlock watchdog in `runtime.rs` calls through here so
+    /// that wall-clock sleeps stay confined to this module, the process
+    /// transports and the harness (enforced by `ci/arch_lint.sh`).
+    pub(crate) fn poll_sleep(&self) {
+        std::thread::sleep(self.settings.poll);
     }
 
     pub(crate) fn poisoned(&self) -> Option<Arc<Deadlock>> {

@@ -42,7 +42,7 @@ use std::task::{Context, Poll, Wake, Waker};
 use parking_lot::{Condvar, Mutex};
 use simnet::{Time, Transfer};
 
-use crate::check::{self, Checked, RunLog, Settings};
+use crate::check::{self, Checked, Event, RunLog, Settings};
 use crate::comm::Comm;
 use crate::runtime::{panic_message, World};
 use crate::virt::VirtualNet;
@@ -52,6 +52,129 @@ thread_local! {
     static IN_COOP: Cell<bool> = const { Cell::new(false) };
     /// The baton serialising this rank thread, if any (legacy virtual path).
     static CURRENT_BATON: RefCell<Option<(Arc<Baton>, usize)>> = const { RefCell::new(None) };
+    /// Ambient exploration configuration (see [`install_explore`]).
+    static EXPLORE: RefCell<Option<ScopedExplore>> = const { RefCell::new(None) };
+}
+
+// ---------------------------------------------------------------------
+// Schedule controllers: every engine choice as an enumerable decision
+// ---------------------------------------------------------------------
+
+/// One matchable lane at a wildcard-receive choice point, in arrival
+/// order (`seq` is the global arrival stamp of the lane front).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WildcardCandidate {
+    /// Global source rank of the candidate lane.
+    pub src: usize,
+    /// Communicator id of the lane.
+    pub comm: u32,
+    /// In-communicator tag of the lane.
+    pub tag: u32,
+    /// Arrival stamp of the lane front (the message that would match).
+    pub seq: u64,
+}
+
+/// A scheduling decision procedure for cooperative runs.
+///
+/// The cooperative engine has exactly two sources of schedule freedom:
+/// which ready rank to poll next, and which queued lane a wildcard
+/// receive matches when several hold messages. A controller is consulted
+/// at both — each call is an enumerable choice point, which is the
+/// substrate the `mpcheck` DPOR explorer drives. The engine's default
+/// behaviour (no controller installed) is index 0 at every choice, i.e.
+/// exactly [`FifoController`]; parity tests pin that equivalence.
+///
+/// The `note_*` hooks let a controller attribute communication effects
+/// (sends, receive matches, posted receives) to scheduling steps without
+/// a second instrumentation layer; default implementations ignore them.
+pub trait ScheduleController: Send + Sync {
+    /// Picks the next rank to poll from `ready` (engine FIFO order).
+    /// Called only when `ready.len() >= 2`. Returns an index into `ready`.
+    fn pick_ready(&self, ready: &[usize]) -> usize;
+
+    /// Picks which candidate lane a wildcard receive on `rank` matches.
+    /// `candidates` is sorted oldest-arrival-first and has length >= 2.
+    /// Returns an index into `candidates`.
+    fn pick_wildcard(&self, rank: usize, candidates: &[WildcardCandidate]) -> usize;
+
+    /// Called immediately before `rank` is polled (every step, whether
+    /// the pick was a real choice or forced).
+    fn note_step(&self, rank: usize) {
+        let _ = rank;
+    }
+
+    /// Called for every instrumentation event recorded on `rank`'s ring.
+    fn note_event(&self, rank: usize, event: &Event) {
+        let _ = (rank, event);
+    }
+
+    /// Called when `rank` registers a posted receive — a visible effect
+    /// on its mailbox even before any message matches it.
+    fn note_touch(&self, rank: usize) {
+        let _ = rank;
+    }
+
+    /// Called when a new controlled world of `n` ranks starts.
+    fn note_world(&self, n: usize) {
+        let _ = n;
+    }
+}
+
+/// The trivial controller: index 0 at every choice point, reproducing
+/// the engine's FIFO ready order and oldest-arrival wildcard matching
+/// byte for byte. Exists so parity tests can pin "controlled run with
+/// FIFO controller == uncontrolled run".
+pub struct FifoController;
+
+impl ScheduleController for FifoController {
+    fn pick_ready(&self, _ready: &[usize]) -> usize {
+        0
+    }
+
+    fn pick_wildcard(&self, _rank: usize, _candidates: &[WildcardCandidate]) -> usize {
+        0
+    }
+}
+
+/// Ambient exploration configuration: while installed on a thread (see
+/// [`install_explore`]), every cooperative run started from that thread
+/// ([`run_coop`], [`run_virtual_coop`]) is instrumented, its scheduling
+/// decisions are routed through `controller`, and its [`RunLog`] reaches
+/// `sink` *before* any deadlock or rank panic propagates — so a schedule
+/// explorer always sees what happened, even on failing schedules.
+#[derive(Clone)]
+pub struct ScopedExplore {
+    /// Decides every ready-set pick and wildcard match of the run.
+    pub controller: Arc<dyn ScheduleController>,
+    /// Instrumentation settings. Perturbation is forced off: a controlled
+    /// schedule subsumes (and supersedes) random perturbation.
+    pub settings: Settings,
+    /// Receives the log of every controlled run, on the installing
+    /// thread, before failures propagate.
+    pub sink: Arc<dyn Fn(RunLog) + Send + Sync>,
+}
+
+/// Installs `explore` on the current thread until the returned guard
+/// drops. Cooperative runs started while installed run controlled; see
+/// [`ScopedExplore`].
+pub fn install_explore(explore: ScopedExplore) -> ExploreGuard {
+    EXPLORE.with(|e| *e.borrow_mut() = Some(explore));
+    ExploreGuard { _private: () }
+}
+
+/// Uninstalls the thread's ambient exploration configuration on drop.
+pub struct ExploreGuard {
+    _private: (),
+}
+
+impl Drop for ExploreGuard {
+    fn drop(&mut self) {
+        EXPLORE.with(|e| *e.borrow_mut() = None);
+    }
+}
+
+fn explore_scoped() -> Option<ScopedExplore> {
+    EXPLORE.with(|e| e.borrow().clone())
 }
 
 /// Whether the current thread is inside a cooperative task poll.
@@ -139,6 +262,44 @@ impl RunQueue {
     fn pop(&self) -> Option<usize> {
         let mut st = self.state.lock();
         let rank = st.queue.pop_front()?;
+        st.enqueued[rank] = false;
+        Some(rank)
+    }
+
+    /// Pops the next rank to poll. Finished ranks (stale wakes) are
+    /// dropped first so a controller only ever chooses among live tasks;
+    /// with no controller — or fewer than two live candidates — this is
+    /// exactly FIFO [`pop`](RunQueue::pop).
+    fn pop_controlled(
+        &self,
+        ctl: Option<&Arc<dyn ScheduleController>>,
+        live: &dyn Fn(usize) -> bool,
+    ) -> Option<usize> {
+        let mut st = self.state.lock();
+        let mut i = 0;
+        while i < st.queue.len() {
+            let r = st.queue[i];
+            if live(r) {
+                i += 1;
+            } else {
+                st.enqueued[r] = false;
+                st.queue.remove(i);
+            }
+        }
+        let idx = match ctl {
+            Some(ctl) if st.queue.len() >= 2 => {
+                let ready: Vec<usize> = st.queue.iter().copied().collect();
+                let pick = ctl.pick_ready(&ready);
+                assert!(
+                    pick < ready.len(),
+                    "controller ready pick {pick} out of range (ready set of {})",
+                    ready.len()
+                );
+                pick
+            }
+            _ => 0,
+        };
+        let rank = st.queue.remove(idx)?;
         st.enqueued[rank] = false;
         Some(rank)
     }
@@ -231,6 +392,7 @@ where
 {
     let n = world.n;
     let insp = world.inspector.clone();
+    let ctl = world.controller.clone();
     let results: RefCell<Vec<Option<R>>> = RefCell::new((0..n).map(|_| None).collect());
     let mut tasks: Vec<Option<Pin<Box<dyn Future<Output = ()> + '_>>>> = (0..n)
         .map(|rank| {
@@ -260,10 +422,17 @@ where
     let mut panics: Vec<(usize, String)> = Vec::new();
     let mut poisoned_drain = false;
     loop {
-        while let Some(rank) = queue.pop() {
+        // Controller choices are suppressed during the poison drain: the
+        // drained polls only unwind, so their order is not a schedule
+        // decision an explorer should enumerate.
+        let step_ctl = if poisoned_drain { None } else { ctl.as_ref() };
+        while let Some(rank) = queue.pop_controlled(step_ctl, &|r| tasks[r].is_some()) {
             let Some(task) = tasks[rank].as_mut() else {
                 continue;
             };
+            if let Some(ctl) = step_ctl {
+                ctl.note_step(rank);
+            }
             let mut cx = Context::from_waker(&wakers[rank]);
             let polled = {
                 let _in = CoopGuard::enter();
@@ -336,12 +505,85 @@ where
 {
     assert!(n > 0, "an SPMD world needs at least one rank");
     crate::transport::assert_no_session("run_coop");
+    if let Some(explore) = explore_scoped() {
+        let (results, _) = run_explored(n, &explore, None, &f);
+        return results
+            .into_iter()
+            .map(|r| r.expect("no deadlock, no panics, so every rank completed"))
+            .collect();
+    }
     let world = Arc::new(World::new(n, false, None));
     let (results, _) = execute(&world, &f);
     results
         .into_iter()
         .map(|r| r.expect("uninstrumented cooperative runs panic on rank failure"))
         .collect()
+}
+
+/// One controlled, instrumented cooperative world: the ambient-explore
+/// path behind [`run_coop`] and [`run_virtual_coop`]. The run log
+/// reaches the sink *before* any deadlock or rank panic propagates, so
+/// an explorer sees what happened even on failing schedules.
+fn run_explored<R, F, Fut>(
+    n: usize,
+    explore: &ScopedExplore,
+    net: Option<Box<dyn VirtualNet>>,
+    f: &F,
+) -> (Vec<Option<R>>, Vec<Time>)
+where
+    F: Fn(Comm) -> Fut,
+    Fut: Future<Output = R>,
+{
+    let mut settings = explore.settings.clone();
+    settings.perturb = false;
+    let seed = settings.seed;
+    explore.controller.note_world(n);
+    let inspector = Arc::new(check::Inspector::new_observed(
+        n,
+        settings,
+        Some(Arc::clone(&explore.controller)),
+    ));
+    let mut world = World::new_controlled(
+        n,
+        false,
+        Some(Arc::clone(&inspector)),
+        Some(Arc::clone(&explore.controller)),
+    );
+    if let Some(net) = net {
+        world.virtual_net = Some(net);
+        world.virtual_clocks = (0..n).map(|_| Mutex::new(Time::ZERO)).collect();
+    }
+    let world = Arc::new(world);
+    let (results, panics) = execute(&world, f);
+    let world = Arc::try_unwrap(world)
+        .ok()
+        .expect("all rank tasks completed");
+    let mut leftover = Vec::new();
+    for mb in &world.mailboxes {
+        leftover.extend(mb.inventory());
+    }
+    let (events, dropped) = inspector.drain_events();
+    let deadlock = inspector.poisoned();
+    (explore.sink)(RunLog {
+        n,
+        seed,
+        events,
+        dropped,
+        leftover,
+        deadlock: deadlock.clone(),
+    });
+    if let Some(d) = deadlock {
+        panic!("{}{d}", check::POISON_MARK);
+    }
+    if let Some((rank, msg)) = panics.first() {
+        panic!("rank {rank} panicked: {msg}");
+    }
+    let clocks = world
+        .virtual_clocks
+        .into_iter()
+        .map(Mutex::into_inner)
+        .collect();
+    (results, clocks)
 }
 
 /// Cooperative mirror of [`crate::run_traced`]: returns per-rank results
@@ -382,6 +624,14 @@ where
 {
     assert!(n > 0, "an SPMD world needs at least one rank");
     crate::transport::assert_no_session("run_virtual_coop");
+    if let Some(explore) = explore_scoped() {
+        let (results, clocks) = run_explored(n, &explore, Some(net), &f);
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("no deadlock, no panics, so every rank completed"))
+            .collect();
+        return (results, clocks);
+    }
     let mut world = World::new(n, false, None);
     world.virtual_net = Some(net);
     world.virtual_clocks = (0..n).map(|_| Mutex::new(Time::ZERO)).collect();
@@ -416,6 +666,68 @@ where
     let seed = settings.seed;
     let inspector = Arc::new(check::Inspector::new(n, settings));
     let world = Arc::new(World::new(n, false, Some(Arc::clone(&inspector))));
+    let (results, panics) = execute(&world, &f);
+    let world = Arc::try_unwrap(world)
+        .ok()
+        .expect("all rank tasks completed");
+    let mut leftover = Vec::new();
+    for mb in &world.mailboxes {
+        leftover.extend(mb.inventory());
+    }
+    let (events, dropped) = inspector.drain_events();
+    let deadlock = inspector.poisoned();
+    let complete = results.iter().all(Option::is_some);
+    Checked {
+        results: complete.then(|| {
+            results
+                .into_iter()
+                .map(|r| r.expect("checked above"))
+                .collect()
+        }),
+        panics,
+        log: RunLog {
+            n,
+            seed,
+            events,
+            dropped,
+            leftover,
+            deadlock,
+        },
+    }
+}
+
+/// Like [`run_checked_coop`], but with every scheduling decision made by
+/// `controller`: the direct entry point of the schedule explorer. Rank
+/// panics are collected and deadlocks diagnosed into the log rather than
+/// propagated; perturbation is forced off (a controlled schedule subsumes
+/// it).
+pub fn run_controlled_coop<R, F, Fut>(
+    n: usize,
+    settings: Settings,
+    controller: Arc<dyn ScheduleController>,
+    f: F,
+) -> Checked<R>
+where
+    F: Fn(Comm) -> Fut,
+    Fut: Future<Output = R>,
+{
+    assert!(n > 0, "an SPMD world needs at least one rank");
+    crate::transport::assert_no_session("run_controlled_coop");
+    let mut settings = settings;
+    settings.perturb = false;
+    let seed = settings.seed;
+    controller.note_world(n);
+    let inspector = Arc::new(check::Inspector::new_observed(
+        n,
+        settings,
+        Some(Arc::clone(&controller)),
+    ));
+    let world = Arc::new(World::new_controlled(
+        n,
+        false,
+        Some(Arc::clone(&inspector)),
+        Some(controller),
+    ));
     let (results, panics) = execute(&world, &f);
     let world = Arc::try_unwrap(world)
         .ok()
@@ -796,6 +1108,84 @@ mod tests {
         });
         assert_eq!(r_thread, r_coop);
         assert_eq!(c_thread, c_coop, "virtual clocks must be byte-identical");
+    }
+
+    /// Tentpole parity pin: a run driven by the trivial [`FifoController`]
+    /// must be byte-identical to the uncontrolled default — same results
+    /// and same virtual clocks (clocks are schedule-order-sensitive, so
+    /// equality here means the interleaving itself was identical).
+    #[test]
+    fn fifo_controller_is_byte_identical_to_default() {
+        async fn body(comm: Comm) -> Vec<f64> {
+            let mut x = vec![comm.rank() as f64 + 1.0; 3];
+            comm.allreduce_async(&mut x, crate::reduce::Op::Sum).await;
+            comm.v_sync_async().await;
+            x
+        }
+        let (r_plain, c_plain) = run_virtual_coop(4, Box::new(TestNet), body);
+        let logs: Arc<Mutex<Vec<RunLog>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_logs = Arc::clone(&logs);
+        let guard = install_explore(ScopedExplore {
+            controller: Arc::new(FifoController),
+            settings: Settings::default(),
+            sink: Arc::new(move |log| sink_logs.lock().push(log)),
+        });
+        let (r_ctl, c_ctl) = run_virtual_coop(4, Box::new(TestNet), body);
+        drop(guard);
+        assert_eq!(r_plain, r_ctl);
+        assert_eq!(
+            c_plain, c_ctl,
+            "FIFO-controlled clocks must be byte-identical"
+        );
+        let logs = logs.lock();
+        assert_eq!(
+            logs.len(),
+            1,
+            "the controlled run hands its log to the sink"
+        );
+        assert!(logs[0].deadlock.is_none());
+    }
+
+    /// A controller's wildcard pick really selects the matched message:
+    /// picking the *newest* candidate must reverse the arrival order the
+    /// default (oldest-first) discipline would have produced.
+    #[test]
+    fn controller_wildcard_pick_selects_the_match() {
+        struct NewestWins;
+        impl ScheduleController for NewestWins {
+            fn pick_ready(&self, _ready: &[usize]) -> usize {
+                0
+            }
+            fn pick_wildcard(&self, _rank: usize, candidates: &[WildcardCandidate]) -> usize {
+                candidates.len() - 1
+            }
+        }
+        let run = |ctl: Arc<dyn ScheduleController>| {
+            let checked = run_controlled_coop(3, Settings::default(), ctl, |comm| async move {
+                match comm.rank() {
+                    0 => {
+                        // Pin both senders' arrivals before the wildcard
+                        // receives so two candidate lanes are queued.
+                        let mut sync = [0u8; 1];
+                        comm.recv_async(&mut sync, 1, 99).await;
+                        comm.recv_async(&mut sync, 2, 99).await;
+                        let (_, a, _) = comm.recv_any_async::<u64>(None, Some(1)).await;
+                        let (_, b, _) = comm.recv_any_async::<u64>(None, Some(1)).await;
+                        vec![a, b]
+                    }
+                    me => {
+                        comm.send(&[me as u64], 0, 1);
+                        comm.send(&[1u8], 0, 99);
+                        Vec::new()
+                    }
+                }
+            });
+            checked.results.expect("clean program")[0].clone()
+        };
+        let oldest = run(Arc::new(FifoController));
+        let newest = run(Arc::new(NewestWins));
+        assert_eq!(oldest, vec![1, 2], "default matches in arrival order");
+        assert_eq!(newest, vec![2, 1], "controller reversed the match order");
     }
 
     #[test]

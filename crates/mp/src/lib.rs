@@ -43,7 +43,11 @@ pub mod transport;
 pub mod virt;
 
 pub use comm::{Comm, RecvHandle};
-pub use coop::{block_on, run_checked_coop, run_coop, run_traced_coop, run_virtual_coop};
+pub use coop::{
+    block_on, install_explore, run_checked_coop, run_controlled_coop, run_coop, run_traced_coop,
+    run_virtual_coop, ExploreGuard, FifoController, ScheduleController, ScopedExplore,
+    WildcardCandidate,
+};
 pub use datatype::Word;
 pub use msg::{Tag, MAX_USER_TAG};
 pub use reduce::{Numeric, Op};

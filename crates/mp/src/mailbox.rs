@@ -26,6 +26,7 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 
 use crate::check::{Event, Inspector, LaneInfo, WaitOn};
+use crate::coop::{ScheduleController, WildcardCandidate};
 use crate::datatype::Word;
 use crate::msg::{Match, Message};
 use crate::payload::Payload;
@@ -132,8 +133,14 @@ impl Inner {
     /// O(1) lane pop for exact filters (candidates = 1), arrival-ordered
     /// scan over lane fronts for wildcards. A wildcard match with two or
     /// more candidate lanes depended on arrival order — the race the
-    /// trace lint flags.
-    fn take_queued(&mut self, filter: Match) -> Option<(Arrived, u32)> {
+    /// trace lint flags, and the choice point a schedule controller
+    /// (`ctl` = controller + receiving rank) enumerates instead of
+    /// always taking the oldest.
+    fn take_queued(
+        &mut self,
+        filter: Match,
+        ctl: Option<(&Arc<dyn ScheduleController>, usize)>,
+    ) -> Option<(Arrived, u32)> {
         let (key, candidates): (LaneKey, u32) = if filter.is_exact() {
             let src = filter.src.expect("exact filter");
             let tag = filter.tag.expect("exact filter");
@@ -142,6 +149,43 @@ impl Inner {
                 return None;
             }
             (key, 1)
+        } else if let Some((ctl, rank)) = ctl {
+            // Controlled wildcard: materialise every matching lane front
+            // in arrival order and let the controller pick. Index 0 (the
+            // oldest) reproduces the default engine behaviour.
+            let mut fronts: Vec<(u64, LaneKey)> = Vec::new();
+            for ((src, full_tag), q) in &self.lanes {
+                let Some(front) = q.front() else { continue };
+                if !filter.accepts_parts(*src, *full_tag) {
+                    continue;
+                }
+                fronts.push((front.seq, (*src, *full_tag)));
+            }
+            if fronts.is_empty() {
+                return None;
+            }
+            fronts.sort_unstable_by_key(|&(seq, _)| seq);
+            let idx = if fronts.len() >= 2 {
+                let cands: Vec<WildcardCandidate> = fronts
+                    .iter()
+                    .map(|&(seq, (src, full_tag))| WildcardCandidate {
+                        src,
+                        comm: (full_tag >> 32) as u32,
+                        tag: (full_tag & 0xFFFF_FFFF) as u32,
+                        seq,
+                    })
+                    .collect();
+                let pick = ctl.pick_wildcard(rank, &cands);
+                assert!(
+                    pick < cands.len(),
+                    "controller wildcard pick {pick} out of range ({} candidates)",
+                    cands.len()
+                );
+                pick
+            } else {
+                0
+            };
+            (fronts[idx].1, fronts.len() as u32)
         } else {
             // Wildcard: the oldest matching message overall is the oldest
             // among matching lanes' fronts (lanes are FIFO).
@@ -254,6 +298,9 @@ pub(crate) struct Mailbox {
     rank: usize,
     /// Instrumentation registry of a checked run, if any.
     inspector: Option<Arc<Inspector>>,
+    /// Schedule controller of a controlled run, if any: picks wildcard
+    /// matches and learns about posted receives.
+    controller: Option<Arc<dyn ScheduleController>>,
 }
 
 /// A registered nonblocking receive: either the message was already
@@ -276,15 +323,35 @@ impl Mailbox {
     /// A standalone uninstrumented mailbox (unit tests).
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn new() -> Mailbox {
-        Mailbox::with_inspector(0, None)
+        Mailbox::with_instrumentation(0, None, None)
     }
 
-    /// A mailbox owned by `rank`, instrumented when `inspector` is set.
-    pub fn with_inspector(rank: usize, inspector: Option<Arc<Inspector>>) -> Mailbox {
+    /// A mailbox owned by `rank`, instrumented when `inspector` is set
+    /// and schedule-controlled when `controller` is set.
+    pub fn with_instrumentation(
+        rank: usize,
+        inspector: Option<Arc<Inspector>>,
+        controller: Option<Arc<dyn ScheduleController>>,
+    ) -> Mailbox {
         Mailbox {
             inner: Mutex::new(Inner::default()),
             rank,
             inspector,
+            controller,
+        }
+    }
+
+    /// The controller choice-point context of this mailbox, if any.
+    fn ctl(&self) -> Option<(&Arc<dyn ScheduleController>, usize)> {
+        self.controller.as_ref().map(|c| (c, self.rank))
+    }
+
+    /// Tells the controller this rank registered a posted receive — a
+    /// mailbox effect a schedule explorer must treat as a dependency
+    /// even before any message matches it.
+    fn note_touch(&self) {
+        if let Some(ctl) = &self.controller {
+            ctl.note_touch(self.rank);
         }
     }
 
@@ -394,11 +461,13 @@ impl Mailbox {
     /// can complete it before the receiver waits.
     pub fn post(&self, filter: Match, buf: Option<Vec<u8>>) -> PostedHandle {
         let mut inner = self.inner.lock();
-        if let Some((arrived, candidates)) = inner.take_queued(filter) {
+        if let Some((arrived, candidates)) = inner.take_queued(filter, self.ctl()) {
             return PostedHandle::Ready(arrived, candidates);
         }
         let slot = Handoff::new();
         let id = inner.register(filter, buf, Arc::clone(&slot));
+        drop(inner);
+        self.note_touch();
         PostedHandle::Pending(Ticket { id, slot })
     }
 
@@ -545,7 +614,7 @@ impl Mailbox {
         buf: Option<Vec<u8>>,
     ) -> (Message, Option<Vec<u8>>) {
         let mut inner = self.inner.lock();
-        if let Some((arrived, candidates)) = inner.take_queued(filter) {
+        if let Some((arrived, candidates)) = inner.take_queued(filter, self.ctl()) {
             drop(inner);
             self.record_recv(&arrived, filter, candidates);
             return (arrived.msg, buf);
@@ -553,6 +622,7 @@ impl Mailbox {
         let slot = Handoff::new();
         let id = inner.register(filter, buf, Arc::clone(&slot));
         drop(inner);
+        self.note_touch();
         let ticket = Ticket { id, slot };
         if crate::coop::in_coop() {
             TicketWait::new(self, ticket, filter).await
@@ -625,7 +695,7 @@ impl Mailbox {
     /// Exercised by tests and kept for `iprobe`-style extensions.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn try_recv(&self, filter: Match) -> Option<Message> {
-        let taken = self.inner.lock().take_queued(filter);
+        let taken = self.inner.lock().take_queued(filter, self.ctl());
         taken.map(|(arrived, candidates)| {
             self.record_recv(&arrived, filter, candidates);
             arrived.msg
@@ -815,7 +885,7 @@ mod tests {
     fn wildcard_candidates_counted_for_race_detection() {
         use crate::check::{Event, Inspector, Settings};
         let insp = Arc::new(Inspector::new(1, Settings::default()));
-        let mb = Mailbox::with_inspector(0, Some(Arc::clone(&insp)));
+        let mb = Mailbox::with_instrumentation(0, Some(Arc::clone(&insp)), None);
         mb.push(msg(1, 5, vec![1]));
         mb.push(msg(2, 6, vec![2]));
         assert_eq!(mb.recv(any()).src, 1, "oldest arrival wins");

@@ -142,6 +142,11 @@ pub(crate) struct World {
     pub virtual_clocks: Vec<Mutex<Time>>,
     /// Instrumentation registry of a checked run (None otherwise).
     pub inspector: Option<Arc<Inspector>>,
+    /// Schedule controller of a controlled cooperative run (None
+    /// otherwise): consulted by the executor at ready-set picks and by
+    /// mailboxes at wildcard matches. Thread-based engines ignore it —
+    /// real parallelism has no enumerable schedule to control.
+    pub controller: Option<Arc<dyn crate::coop::ScheduleController>>,
     /// Multi-process session handle: present when this world is one epoch
     /// of a cross-process world, consulted by [`World::deliver`] to route
     /// messages for ranks hosted by other processes over the transport.
@@ -150,13 +155,24 @@ pub(crate) struct World {
 
 impl World {
     pub(crate) fn new(n: usize, traced: bool, inspector: Option<Arc<Inspector>>) -> World {
+        World::new_controlled(n, traced, inspector, None)
+    }
+
+    pub(crate) fn new_controlled(
+        n: usize,
+        traced: bool,
+        inspector: Option<Arc<Inspector>>,
+        controller: Option<Arc<dyn crate::coop::ScheduleController>>,
+    ) -> World {
         let world_group: Arc<Vec<usize>> = Arc::new((0..n).collect());
         let world_inverse: Arc<HashMap<usize, usize>> =
             Arc::new(world_group.iter().map(|&g| (g, g)).collect());
         World {
             n,
             mailboxes: (0..n)
-                .map(|rank| Mailbox::with_inspector(rank, inspector.clone()))
+                .map(|rank| {
+                    Mailbox::with_instrumentation(rank, inspector.clone(), controller.clone())
+                })
                 .collect(),
             world_group,
             world_inverse,
@@ -166,6 +182,7 @@ impl World {
             virtual_net: None,
             virtual_clocks: Vec::new(),
             inspector,
+            controller,
             remote: None,
         }
     }
@@ -581,7 +598,7 @@ where
                 let mut last_activity = det_insp.activity();
                 let mut stable = 0u32;
                 while !det_done.load(Ordering::Acquire) {
-                    std::thread::sleep(det_insp.settings().poll);
+                    det_insp.poll_sleep();
                     if det_done.load(Ordering::Acquire) {
                         break;
                     }

@@ -38,12 +38,12 @@ fn deadlock(log: &RunLog, findings: &mut Vec<Finding>) {
             ),
         ),
     };
-    findings.push(Finding {
-        class: FindingClass::Deadlock,
+    findings.push(Finding::new(
+        FindingClass::Deadlock,
         ranks,
         summary,
-        detail: d.to_string(),
-    });
+        d.to_string(),
+    ));
 }
 
 /// One rank's view of one collective call site.
@@ -119,16 +119,16 @@ fn collective_divergence(log: &RunLog, findings: &mut Vec<Finding>) {
             .map(Call::describe)
             .collect::<Vec<_>>()
             .join("\n");
-        findings.push(Finding {
-            class: FindingClass::CollectiveDivergence,
+        findings.push(Finding::new(
+            FindingClass::CollectiveDivergence,
             ranks,
-            summary: format!(
+            format!(
                 "collective call #{index} on comm {comm:#x} diverges: {} vs {}",
                 reference.describe(),
                 diverging[0].describe()
             ),
             detail,
-        });
+        ));
     }
     // Call-count divergence is only conclusive when the run completed and
     // no events were dropped; on a deadlocked run truncated sequences are
@@ -146,15 +146,15 @@ fn collective_divergence(log: &RunLog, findings: &mut Vec<Finding>) {
                 .map(|(rank, count)| format!("rank {rank}: {count} collective call(s)"))
                 .collect::<Vec<_>>()
                 .join("\n");
-            findings.push(Finding {
-                class: FindingClass::CollectiveDivergence,
+            findings.push(Finding::new(
+                FindingClass::CollectiveDivergence,
                 ranks,
-                summary: format!(
+                format!(
                     "ranks disagree on the number of collective calls on comm {comm:#x} \
                      ({min} vs {max})"
                 ),
                 detail,
-            });
+            ));
         }
     }
 }
@@ -182,16 +182,16 @@ fn leftovers(log: &RunLog, findings: &mut Vec<Finding>) {
                 "receiver never received on this (comm, tag)",
             )
         };
-        findings.push(Finding {
+        findings.push(Finding::new(
             class,
-            ranks: vec![lane.src, lane.dst],
-            summary: format!(
+            vec![lane.src, lane.dst],
+            format!(
                 "{} message(s) from rank {} to rank {} (comm {:#x}, tag {:#x}) \
                  unmatched at finalize: {what}",
                 lane.queued, lane.src, lane.dst, lane.comm, lane.tag
             ),
-            detail: lane.to_string(),
-        });
+            lane.to_string(),
+        ));
     }
 }
 
@@ -225,15 +225,15 @@ fn wildcard_races(log: &RunLog, findings: &mut Vec<Finding>) {
             }
         }
         if racy > 0 {
-            findings.push(Finding {
-                class: FindingClass::WildcardRace,
-                ranks: vec![rank],
-                summary: format!(
+            findings.push(Finding::new(
+                FindingClass::WildcardRace,
+                vec![rank],
+                format!(
                     "{racy} wildcard receive(s) on rank {rank} matched by arrival \
                      order (up to {max_candidates} candidate lanes)"
                 ),
-                detail: example.unwrap_or_default(),
-            });
+                example.unwrap_or_default(),
+            ));
         }
     }
 }
@@ -271,11 +271,13 @@ mod tests {
 
     #[test]
     fn dedup_keeps_first_occurrence() {
-        let f = |summary: &str| Finding {
-            class: FindingClass::TagLeak,
-            ranks: vec![0, 1],
-            summary: summary.into(),
-            detail: String::new(),
+        let f = |summary: &str| {
+            Finding::new(
+                FindingClass::TagLeak,
+                vec![0, 1],
+                summary.into(),
+                String::new(),
+            )
         };
         let mut findings = vec![f("a"), f("b"), f("a")];
         dedup(&mut findings);

@@ -22,9 +22,9 @@
 //!    order-dependent behavior a single lucky schedule would hide.
 //!
 //! Findings render as human-readable text ([`Report`]'s `Display`) and as
-//! an `mpcheck-report-v1` JSON document ([`Report::to_json`]).
+//! an `mpcheck-report-v2` JSON document ([`Report::to_json`]).
 //!
-//! Two entry points:
+//! Three entry points:
 //!
 //! - [`check`] — run a closure as an SPMD program under the full
 //!   multi-seed sweep and get a [`Report`] back. This is what the misuse
@@ -33,13 +33,27 @@
 //!   so existing code paths that call [`mp::run`] (the harness's plan
 //!   executor, bench binaries) are checked without changing their
 //!   signatures. This is what `campaign --check` uses.
+//! - [`explore`] — *enumerate* the schedule space instead of sampling
+//!   it: a DPOR explorer over the cooperative scheduler that drives
+//!   every ready-set pick and wildcard match as an explicit decision,
+//!   prunes equivalent interleavings, and emits replayable
+//!   `hpcbench-schedule-v1` counterexamples ([`Schedule`]). This is what
+//!   `campaign --explore` and the `mpcheck explore` CLI use.
 
 mod analyze;
+pub mod explore;
+pub mod gallery;
+pub mod json;
 mod report;
+mod schedule;
 
 pub use analyze::analyze;
+pub use explore::{
+    classify_panic, explore, explore_with, replay, replay_with, ExploreOptions, Guided, RunOutcome,
+};
 pub use mp::check::Settings;
-pub use report::{Finding, FindingClass, Report};
+pub use report::{Finding, FindingClass, Report, ScheduleStats, REPORT_SCHEMA};
+pub use schedule::{Decision, DecisionKind, Schedule, SCHEDULE_SCHEMA};
 
 use std::sync::{Arc, Mutex};
 
@@ -88,8 +102,8 @@ impl CheckOptions {
 }
 
 /// Per-rank sequence of sources matched by wildcard receives, used to
-/// compare matching between seeds.
-fn wildcard_orders(log: &RunLog) -> Vec<Vec<usize>> {
+/// compare matching between seeds and between explored schedules.
+pub(crate) fn wildcard_orders(log: &RunLog) -> Vec<Vec<usize>> {
     log.events
         .iter()
         .map(|events| {
@@ -137,15 +151,26 @@ where
             .sum::<u64>();
         report.dropped += checked.log.dropped.iter().sum::<u64>();
         for (rank, msg) in &checked.panics {
+            // The summary is deliberately seed-free so the same panic
+            // rediscovered under every seed dedupes to one finding; the
+            // seed that surfaced it is in the `seed` field.
             report.findings.push(Finding {
-                class: FindingClass::RankPanic,
-                ranks: vec![*rank],
-                summary: format!("rank {rank} panicked under seed {seed}"),
-                detail: msg.clone(),
+                seed: Some(seed),
+                ..Finding::new(
+                    FindingClass::RankPanic,
+                    vec![*rank],
+                    format!("rank {rank} panicked"),
+                    format!("seed {seed}: {msg}"),
+                )
             });
         }
         let clean = checked.log.deadlock.is_none() && checked.panics.is_empty();
-        report.findings.extend(analyze(&checked.log));
+        report
+            .findings
+            .extend(analyze(&checked.log).into_iter().map(|mut f| {
+                f.seed = Some(seed);
+                f
+            }));
         if clean {
             orders.push((seed, wildcard_orders(&checked.log)));
         }
@@ -154,19 +179,25 @@ where
         for (seed, other) in rest {
             for rank in 0..n {
                 if other.get(rank) != first.get(rank) {
+                    // Seed numbers stay out of the summary: every seed
+                    // pair that disagrees is the same underlying race,
+                    // and must dedupe to one finding per rank.
                     report.findings.push(Finding {
-                        class: FindingClass::WildcardRace,
-                        ranks: vec![rank],
-                        summary: format!(
-                            "wildcard matching on rank {rank} depends on the schedule: \
-                             source order differs between seeds {first_seed} and {seed}"
-                        ),
-                        detail: format!(
-                            "seed {first_seed}: matched sources {:?}\n\
-                             seed {seed}: matched sources {:?}",
-                            first.get(rank).map(Vec::as_slice).unwrap_or(&[]),
-                            other.get(rank).map(Vec::as_slice).unwrap_or(&[]),
-                        ),
+                        seed: Some(*seed),
+                        ..Finding::new(
+                            FindingClass::WildcardRace,
+                            vec![rank],
+                            format!(
+                                "wildcard matching on rank {rank} depends on the schedule: \
+                                 matched source order differs between perturbation seeds"
+                            ),
+                            format!(
+                                "seed {first_seed}: matched sources {:?}\n\
+                                 seed {seed}: matched sources {:?}",
+                                first.get(rank).map(Vec::as_slice).unwrap_or(&[]),
+                                other.get(rank).map(Vec::as_slice).unwrap_or(&[]),
+                            ),
+                        )
                     });
                 }
             }
@@ -206,8 +237,14 @@ impl Session {
                 }
                 report.events += log.events.iter().map(|v| v.len() as u64).sum::<u64>();
                 report.dropped += log.dropped.iter().sum::<u64>();
-                let found = analyze(&log);
-                report.findings.extend(found);
+                // Every finding records the seed of the run that
+                // produced it, not just runs that failed outright.
+                report
+                    .findings
+                    .extend(analyze(&log).into_iter().map(|mut f| {
+                        f.seed = Some(log.seed);
+                        f
+                    }));
             }),
         });
         Session { acc, guard }
@@ -307,6 +344,79 @@ mod tests {
         assert!(report.clean(), "unexpected findings:\n{report}");
         assert_eq!(report.runs, 1);
         assert!(report.events > 0);
+    }
+
+    #[test]
+    fn findings_carry_the_seed_that_produced_them() {
+        let opts = CheckOptions {
+            seeds: vec![0],
+            settings: fast(),
+        };
+        let report = check(2, &opts, |comm| {
+            let peer = comm.size() - 1 - comm.rank();
+            let mut buf = [0u8];
+            comm.recv(&mut buf, peer, 9);
+            comm.send(&buf, peer, 9);
+        });
+        let deadlock = report
+            .findings
+            .iter()
+            .find(|f| f.class == FindingClass::Deadlock)
+            .expect("deadlock finding");
+        assert_eq!(
+            deadlock.seed,
+            Some(0),
+            "the seed is recorded on the finding, not only on failures"
+        );
+    }
+
+    #[test]
+    fn cross_seed_rediscoveries_dedupe_to_one_finding() {
+        // Regression: summaries used to embed the seed pair ("between
+        // seeds 0 and 2"), so a race rediscovered under every seed
+        // produced one finding per seed pair instead of one finding.
+        let opts = CheckOptions {
+            seeds: vec![0, 1, 2, 3],
+            settings: fast(),
+        };
+        let report = check(3, &opts, |comm| {
+            if comm.rank() == 0 {
+                let mut sync = [0u64];
+                comm.recv(&mut sync, 1, 99);
+                comm.recv(&mut sync, 2, 99);
+                let _ = comm.recv_any::<u64>(None, Some(1));
+                let _ = comm.recv_any::<u64>(None, Some(1));
+            } else {
+                comm.send(&[comm.rank() as u64], 0, 1);
+                comm.send(&[1u64], 0, 99);
+            }
+            comm.barrier();
+        });
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.class == FindingClass::WildcardRace),
+            "the race is found:\n{report}"
+        );
+        for f in &report.findings {
+            assert!(f.seed.is_some(), "every finding is seed-attributed: {f}");
+            for s in 0..4 {
+                assert!(
+                    !f.summary.contains(&format!("seed {s}"))
+                        && !f.summary.contains(&format!("seeds {s}")),
+                    "summaries stay free of seed numbers so rediscoveries dedupe: {}",
+                    f.summary
+                );
+            }
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for f in &report.findings {
+            assert!(
+                seen.insert((f.class, f.ranks.clone(), f.summary.clone())),
+                "cross-seed rediscovery was not deduplicated: {f}"
+            );
+        }
     }
 
     #[test]

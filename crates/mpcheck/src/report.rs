@@ -1,8 +1,18 @@
 //! The structured finding report: classes, findings, and the
-//! `mpcheck-report-v1` JSON rendering (serde-free, mirroring the
+//! `mpcheck-report-v2` JSON rendering (serde-free, mirroring the
 //! harness's `hpcbench-record-v1` emitter).
+//!
+//! v2 extends v1 with schedule-exploration accounting
+//! ([`ScheduleStats`]), per-finding seed attribution, and embedded
+//! replayable counterexamples, and adds a parser ([`Report::from_json`])
+//! so reports round-trip losslessly.
 
 use std::fmt::Write as _;
+
+use crate::json::{self, Value};
+
+/// Schema identifier written into every report document.
+pub const REPORT_SCHEMA: &str = "mpcheck-report-v2";
 
 /// The misuse classes the analyses diagnose.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -20,7 +30,7 @@ pub enum FindingClass {
     TagLeak,
     /// A wildcard receive whose match depended on arrival order — two or
     /// more candidate lanes were nonempty at match time, or matching
-    /// diverged across perturbed schedules.
+    /// diverged across perturbed or explored schedules.
     WildcardRace,
     /// A rank panicked for a reason other than deadlock poisoning.
     RankPanic,
@@ -38,6 +48,19 @@ impl FindingClass {
             FindingClass::RankPanic => "rank-panic",
         }
     }
+
+    /// Inverse of [`FindingClass::name`].
+    pub fn from_name(name: &str) -> Option<FindingClass> {
+        match name {
+            "deadlock" => Some(FindingClass::Deadlock),
+            "collective-divergence" => Some(FindingClass::CollectiveDivergence),
+            "unmatched-send" => Some(FindingClass::UnmatchedSend),
+            "tag-leak" => Some(FindingClass::TagLeak),
+            "wildcard-race" => Some(FindingClass::WildcardRace),
+            "rank-panic" => Some(FindingClass::RankPanic),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for FindingClass {
@@ -53,11 +76,34 @@ pub struct Finding {
     pub class: FindingClass,
     /// World ranks involved (cycle members, diverging ranks, ...).
     pub ranks: Vec<usize>,
-    /// One-line description.
+    /// One-line description. Deliberately free of seed and schedule
+    /// numbers so that rediscoveries of the same bug across seeds or
+    /// schedules deduplicate; the run that surfaced it is in [`seed`]
+    /// and [`counterexample`](Finding::counterexample).
     pub summary: String,
     /// Multi-line evidence (cycle listing, per-rank call sites,
     /// pending-message inventory).
     pub detail: String,
+    /// The perturbation seed of the run that first surfaced this
+    /// finding, when it came from a seeded run.
+    pub seed: Option<u64>,
+    /// A replayable `hpcbench-schedule-v1` document reproducing the
+    /// finding, when it came from the schedule explorer.
+    pub counterexample: Option<String>,
+}
+
+impl Finding {
+    /// A finding with only the required fields set.
+    pub fn new(class: FindingClass, ranks: Vec<usize>, summary: String, detail: String) -> Finding {
+        Finding {
+            class,
+            ranks,
+            summary,
+            detail,
+            seed: None,
+            counterexample: None,
+        }
+    }
 }
 
 impl std::fmt::Display for Finding {
@@ -70,11 +116,33 @@ impl std::fmt::Display for Finding {
             ranks.join(", "),
             self.summary
         )?;
+        if let Some(seed) = self.seed {
+            write!(f, " (seed {seed})")?;
+        }
+        if self.counterexample.is_some() {
+            write!(f, " [replayable]")?;
+        }
         for line in self.detail.lines() {
             write!(f, "\n    {line}")?;
         }
         Ok(())
     }
+}
+
+/// Schedule-exploration accounting, present when the report came from
+/// the DPOR explorer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Complete schedules executed.
+    pub visited: u64,
+    /// Alternative branches that existed but were provably redundant
+    /// (persistent-set / sleep-set pruning) and were never run.
+    pub pruned: u64,
+    /// Branches skipped by the bounded-preemption fallback.
+    pub bounded_skips: u64,
+    /// Whether the schedule space was explored exhaustively (no budget
+    /// exhaustion, no bound skips).
+    pub exhaustive: bool,
 }
 
 /// The outcome of a check: every finding across all analyzed runs, plus
@@ -91,6 +159,8 @@ pub struct Report {
     pub events: u64,
     /// Total events dropped to ring-buffer overflow.
     pub dropped: u64,
+    /// Exploration accounting, when the explorer produced this report.
+    pub schedules: Option<ScheduleStats>,
 }
 
 impl Report {
@@ -99,21 +169,42 @@ impl Report {
         self.findings.is_empty()
     }
 
-    /// Renders the report as an `mpcheck-report-v1` JSON document.
+    /// Renders the report as an `mpcheck-report-v2` JSON document.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"mpcheck-report-v1\",\n");
+        let mut out = String::new();
+        let _ = writeln!(out, "{{\n  \"schema\": \"{REPORT_SCHEMA}\",");
         let _ = writeln!(out, "  \"runs\": {},", self.runs);
         let seeds: Vec<String> = self.seeds.iter().map(|s| s.to_string()).collect();
         let _ = writeln!(out, "  \"seeds\": [{}],", seeds.join(", "));
         let _ = writeln!(out, "  \"events\": {},", self.events);
         let _ = writeln!(out, "  \"dropped\": {},", self.dropped);
+        match &self.schedules {
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    "  \"schedules\": {{\"visited\": {}, \"pruned\": {}, \
+                     \"bounded_skips\": {}, \"exhaustive\": {}}},",
+                    s.visited, s.pruned, s.bounded_skips, s.exhaustive
+                );
+            }
+            None => out.push_str("  \"schedules\": null,\n"),
+        }
         out.push_str("  \"findings\": [\n");
         for (i, finding) in self.findings.iter().enumerate() {
             let ranks: Vec<String> = finding.ranks.iter().map(|r| r.to_string()).collect();
             let comma = if i + 1 < self.findings.len() { "," } else { "" };
+            let seed = match finding.seed {
+                Some(s) => s.to_string(),
+                None => "null".into(),
+            };
+            let cx = match &finding.counterexample {
+                Some(c) => json_string(c),
+                None => "null".into(),
+            };
             let _ = writeln!(
                 out,
-                "    {{\"class\": \"{}\", \"ranks\": [{}], \"summary\": {}, \"detail\": {}}}{comma}",
+                "    {{\"class\": \"{}\", \"ranks\": [{}], \"summary\": {}, \
+                 \"detail\": {}, \"seed\": {seed}, \"counterexample\": {cx}}}{comma}",
                 finding.class.name(),
                 ranks.join(", "),
                 json_string(&finding.summary),
@@ -122,6 +213,111 @@ impl Report {
         }
         out.push_str("  ]\n}\n");
         out
+    }
+
+    /// Parses an `mpcheck-report-v2` document.
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        let v = json::parse(text)?;
+        match v.get("schema").and_then(Value::as_str) {
+            Some(REPORT_SCHEMA) => {}
+            other => return Err(format!("not a {REPORT_SCHEMA} document: {other:?}")),
+        }
+        let mut report = Report {
+            runs: v
+                .get("runs")
+                .and_then(Value::as_usize)
+                .ok_or("bad \"runs\"")?,
+            events: v
+                .get("events")
+                .and_then(Value::as_u64)
+                .ok_or("bad \"events\"")?,
+            dropped: v
+                .get("dropped")
+                .and_then(Value::as_u64)
+                .ok_or("bad \"dropped\"")?,
+            ..Report::default()
+        };
+        for s in v
+            .get("seeds")
+            .and_then(Value::as_arr)
+            .ok_or("bad \"seeds\"")?
+        {
+            report.seeds.push(s.as_u64().ok_or("bad seed entry")?);
+        }
+        match v.get("schedules") {
+            None | Some(Value::Null) => {}
+            Some(s) => {
+                report.schedules = Some(ScheduleStats {
+                    visited: s
+                        .get("visited")
+                        .and_then(Value::as_u64)
+                        .ok_or("bad visited")?,
+                    pruned: s
+                        .get("pruned")
+                        .and_then(Value::as_u64)
+                        .ok_or("bad pruned")?,
+                    bounded_skips: s
+                        .get("bounded_skips")
+                        .and_then(Value::as_u64)
+                        .ok_or("bad bounded_skips")?,
+                    exhaustive: s
+                        .get("exhaustive")
+                        .and_then(Value::as_bool)
+                        .ok_or("bad exhaustive")?,
+                });
+            }
+        }
+        for (i, f) in v
+            .get("findings")
+            .and_then(Value::as_arr)
+            .ok_or("bad \"findings\"")?
+            .iter()
+            .enumerate()
+        {
+            let class = f
+                .get("class")
+                .and_then(Value::as_str)
+                .and_then(FindingClass::from_name)
+                .ok_or_else(|| format!("finding {i}: bad \"class\""))?;
+            let mut ranks = Vec::new();
+            for r in f
+                .get("ranks")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("finding {i}: bad \"ranks\""))?
+            {
+                ranks.push(
+                    r.as_usize()
+                        .ok_or_else(|| format!("finding {i}: bad rank"))?,
+                );
+            }
+            report.findings.push(Finding {
+                class,
+                ranks,
+                summary: f
+                    .get("summary")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("finding {i}: bad \"summary\""))?
+                    .to_string(),
+                detail: f
+                    .get("detail")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("finding {i}: bad \"detail\""))?
+                    .to_string(),
+                seed: match f.get("seed") {
+                    None | Some(Value::Null) => None,
+                    Some(s) => Some(s.as_u64().ok_or_else(|| format!("finding {i}: bad seed"))?),
+                },
+                counterexample: match f.get("counterexample") {
+                    None | Some(Value::Null) => None,
+                    Some(c) => Some(
+                        c.as_str()
+                            .ok_or_else(|| format!("finding {i}: bad counterexample"))?
+                            .to_string(),
+                    ),
+                },
+            });
+        }
+        Ok(report)
     }
 }
 
@@ -135,6 +331,20 @@ impl std::fmt::Display for Report {
             self.events,
             self.dropped
         )?;
+        if let Some(s) = &self.schedules {
+            writeln!(
+                f,
+                "  schedules: {} visited, {} pruned, {} bound-skipped, {}",
+                s.visited,
+                s.pruned,
+                s.bounded_skips,
+                if s.exhaustive {
+                    "exhaustive"
+                } else {
+                    "budget-limited"
+                }
+            )?;
+        }
         for finding in &self.findings {
             writeln!(f, "  {finding}")?;
         }
@@ -143,7 +353,7 @@ impl std::fmt::Display for Report {
 }
 
 /// Escapes a string as a JSON string literal (quotes included).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -175,44 +385,111 @@ mod tests {
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
     }
 
-    #[test]
-    fn report_json_is_wellformed() {
-        let report = Report {
-            findings: vec![Finding {
-                class: FindingClass::Deadlock,
-                ranks: vec![0, 1],
-                summary: "cycle 0 -> 1 -> 0".into(),
-                detail: "rank 0: blocked\nrank 1: blocked".into(),
-            }],
+    fn sample() -> Report {
+        Report {
+            findings: vec![
+                Finding {
+                    class: FindingClass::Deadlock,
+                    ranks: vec![0, 1],
+                    summary: "cycle 0 -> 1 -> 0".into(),
+                    detail: "rank 0: blocked\nrank 1: blocked".into(),
+                    seed: Some(2),
+                    counterexample: Some(
+                        "{\"schema\": \"hpcbench-schedule-v1\", \"target\": \"t\", \
+                         \"world\": 2, \"decisions\": []}"
+                            .into(),
+                    ),
+                },
+                Finding::new(
+                    FindingClass::TagLeak,
+                    vec![1, 0],
+                    "tag 0x5 leaked".into(),
+                    String::new(),
+                ),
+            ],
             runs: 3,
             seeds: vec![0, 1, 2],
             events: 42,
             dropped: 0,
-        };
+            schedules: Some(ScheduleStats {
+                visited: 7,
+                pruned: 3,
+                bounded_skips: 0,
+                exhaustive: true,
+            }),
+        }
+    }
+
+    #[test]
+    fn report_json_is_wellformed() {
+        let report = sample();
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"mpcheck-report-v1\""));
+        assert!(json.contains("\"schema\": \"mpcheck-report-v2\""));
         assert!(json.contains("\"class\": \"deadlock\""));
         assert!(json.contains("\"ranks\": [0, 1]"));
+        assert!(json.contains("\"seed\": 2"));
+        assert!(json.contains("\"visited\": 7"));
         assert!(json.contains("\\n"), "newlines must be escaped");
-        assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count(),
-            "balanced braces"
-        );
         assert!(!report.clean());
         assert!(Report::default().clean());
     }
 
     #[test]
-    fn display_renders_class_and_ranks() {
+    fn report_round_trips_through_json_with_display_equality() {
+        let report = sample();
+        let back = Report::from_json(&report.to_json()).expect("parse back");
+        assert_eq!(report.to_string(), back.to_string());
+        assert_eq!(back.to_json(), report.to_json());
+        assert_eq!(back.schedules, report.schedules);
+        assert_eq!(
+            back.findings[0].counterexample,
+            report.findings[0].counterexample
+        );
+        // A schedule-free report round-trips too.
+        let plain = Report {
+            schedules: None,
+            ..sample()
+        };
+        let back = Report::from_json(&plain.to_json()).expect("parse back");
+        assert_eq!(plain.to_string(), back.to_string());
+        assert!(back.schedules.is_none());
+    }
+
+    #[test]
+    fn from_json_rejects_v1_documents() {
+        let v1 = "{\"schema\": \"mpcheck-report-v1\", \"runs\": 0}";
+        assert!(Report::from_json(v1).is_err());
+    }
+
+    #[test]
+    fn display_renders_class_ranks_and_attribution() {
         let finding = Finding {
             class: FindingClass::WildcardRace,
             ranks: vec![2],
             summary: "arrival-order dependent match".into(),
             detail: String::new(),
+            seed: Some(1),
+            counterexample: Some("{}".into()),
         };
         let text = finding.to_string();
         assert!(text.contains("[wildcard-race]"));
         assert!(text.contains("ranks {2}"));
+        assert!(text.contains("(seed 1)"));
+        assert!(text.contains("[replayable]"));
+    }
+
+    #[test]
+    fn class_names_round_trip() {
+        for class in [
+            FindingClass::Deadlock,
+            FindingClass::CollectiveDivergence,
+            FindingClass::UnmatchedSend,
+            FindingClass::TagLeak,
+            FindingClass::WildcardRace,
+            FindingClass::RankPanic,
+        ] {
+            assert_eq!(FindingClass::from_name(class.name()), Some(class));
+        }
+        assert_eq!(FindingClass::from_name("nope"), None);
     }
 }
